@@ -1,0 +1,110 @@
+// PPC tour — a guided walk through the Polymorphic Parallel C programming
+// model on a small array (the paper's Figure 1 made executable):
+// parallel variables, where/elsewhere, switch-box reconfiguration,
+// segmented broadcasts, the wired-OR, and the bit-serial minimum, each
+// printed as the array state it produces.
+//
+//   ./ppc_tour [--n 6]
+#include <cstdio>
+#include <string>
+
+#include "ppc/primitives.hpp"
+#include "util/cli.hpp"
+
+using namespace ppa;
+using ppc::Pbool;
+using ppc::Pint;
+using sim::Direction;
+using sim::Word;
+
+namespace {
+
+void show(const char* label, const Pint& value) {
+  const std::size_t n = value.context().n();
+  std::printf("%s\n", label);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::string line = "  ";
+    for (std::size_t c = 0; c < n; ++c) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "%4u", value.at(r, c));
+      line += buffer;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("\n");
+}
+
+void show(const char* label, const Pbool& value) {
+  const std::size_t n = value.context().n();
+  std::printf("%s\n", label);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::string line = "  ";
+    for (std::size_t c = 0; c < n; ++c) {
+      line += value.at(r, c) ? " 1" : " .";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Tour of the PPC programming model on a small PPA");
+  cli.flag("n", "array side", "6");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+
+  sim::MachineConfig cfg;
+  cfg.n = n;
+  cfg.bits = 8;
+  sim::Machine machine(cfg);
+  ppc::Context ctx(machine);
+
+  std::printf("=== 1. parallel variables and the ROW/COL constants ===\n\n");
+  const Pint ROW = ppc::row_of(ctx);
+  const Pint COL = ppc::col_of(ctx);
+  Pint value(ctx, 0);
+  value.store_all(ROW + COL);  // every PE computes its own r+c
+  show("value = ROW + COL:", value);
+
+  std::printf("=== 2. where / elsewhere — the SIMD activity mask ===\n\n");
+  ppc::where_else(
+      ctx, (ROW == COL), [&] { value = Pint(ctx, 9); },
+      [&] { value = Pint(ctx, 1); });
+  show("where (ROW == COL) value = 9; elsewhere value = 1:", value);
+
+  std::printf("=== 3. switch boxes: Open PEs segment a bus and inject ===\n\n");
+  const Pbool opens = (COL == static_cast<Word>(ctx.n() / 2)) | (COL == Word{0});
+  show("switch setting L (1 = Open), columns 0 and n/2:", opens);
+  const Pint payload = COL + Word{10};
+  const Pint received = ppc::broadcast(payload, Direction::East, opens);
+  show("broadcast(COL + 10, EAST, L) — each PE hears the nearest Open PE to its west\n"
+       "(ring wrap-around at the row ends):",
+       received);
+
+  std::printf("=== 4. the wired-OR: a whole cluster reads a flag in one cycle ===\n\n");
+  const Pbool row_end = (COL == static_cast<Word>(n - 1));
+  const Pbool pull = (ROW == Word{1}) & (COL == Word{2});
+  show("one PE pulls the line (row 1, col 2):", pull);
+  const Pbool heard = ppc::bus_or(pull, Direction::West, row_end);
+  show("bus_or(pull, WEST, COL == n-1) — all of row 1 sees the pull:", heard);
+
+  std::printf("=== 5. the paper's bit-serial minimum ===\n\n");
+  Pint data(ctx, 0);
+  data.store_all(select((ROW == COL), Pint(ctx, 3), (ROW + Word{1}) + (COL + Word{7})));
+  show("per-PE data (diagonal planted at 3):", data);
+  const auto before = machine.steps();
+  const Pint row_min = ppc::pmin(data, Direction::West, row_end);
+  const auto cost = machine.steps().since(before);
+  show("pmin(data, WEST, COL == n-1) — every PE of each row now holds the row minimum:",
+       row_min);
+  std::printf("That one min() cost %llu SIMD steps (%llu wired-OR cycles for h = 8 bits,\n"
+              "independent of the cluster length).\n\n",
+              static_cast<unsigned long long>(cost.total()),
+              static_cast<unsigned long long>(cost.count(sim::StepCategory::BusOr)));
+
+  std::printf("=== 6. the machine's total bill for this tour ===\n\n");
+  std::printf("%s\n", machine.steps().summary().c_str());
+  return 0;
+}

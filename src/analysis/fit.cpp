@@ -1,0 +1,57 @@
+#include "analysis/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ppa::analysis {
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  PPA_REQUIRE(x.size() == y.size(), "fit vectors must have equal length");
+  PPA_REQUIRE(x.size() >= 2, "a linear fit needs at least two points");
+  const double count = static_cast<double>(x.size());
+
+  double sum_x = 0;
+  double sum_y = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / count;
+  const double mean_y = sum_y / count;
+
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PPA_REQUIRE(sxx > 0, "all x values identical — nothing to fit");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double predicted = fit.intercept + fit.slope * x[i];
+    const double residual = y[i] - predicted;
+    ss_res += residual * residual;
+  }
+  fit.r_squared = (syy == 0) ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+double spread_ratio(const std::vector<double>& y) {
+  PPA_REQUIRE(!y.empty(), "spread of an empty series");
+  const auto [lo, hi] = std::minmax_element(y.begin(), y.end());
+  PPA_REQUIRE(*lo > 0, "spread_ratio needs positive values");
+  return *hi / *lo;
+}
+
+}  // namespace ppa::analysis

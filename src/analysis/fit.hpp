@@ -1,0 +1,44 @@
+// Least-squares fits used to *test* the paper's complexity claims.
+//
+// "Steps grow as O(p * h)" is checked by fitting measured step counts
+// against the swept parameter and asserting (a) the fit is nearly perfect
+// (R^2 close to 1 for a linear law) and (b) the slope is positive; the
+// size-independence claim (E4) is checked by fitting against n and
+// asserting the slope is ~0 relative to the intercept.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppa::analysis {
+
+/// y ≈ intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // 1 - SS_res / SS_tot; 1.0 when SS_tot == 0
+};
+
+/// Ordinary least squares over equal-length vectors (size >= 2).
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// A named (x, y) measurement series, convenient for table emission.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+
+  [[nodiscard]] LinearFit fit() const { return fit_linear(x, y); }
+};
+
+/// Ratio of the largest to the smallest y value (growth check for
+/// "independent of n" claims; 1.0 means perfectly flat).
+[[nodiscard]] double spread_ratio(const std::vector<double>& y);
+
+}  // namespace ppa::analysis

@@ -1,0 +1,51 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ppa::analysis {
+
+Summary summarize(const std::vector<double>& sample) {
+  PPA_REQUIRE(!sample.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = sample.size();
+  s.mean = mean_of(sample);
+
+  double sum_sq = 0;
+  for (const double v : sample) {
+    const double d = v - s.mean;
+    sum_sq += d * d;
+  }
+  s.stddev = sample.size() < 2
+                 ? 0.0
+                 : std::sqrt(sum_sq / static_cast<double>(sample.size() - 1));
+
+  std::vector<double> sorted(sample);
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1) ? sorted[mid] : (sorted[mid - 1] + sorted[mid]) / 2.0;
+  return s;
+}
+
+double mean_of(const std::vector<double>& sample) {
+  PPA_REQUIRE(!sample.empty(), "cannot take the mean of an empty sample");
+  double sum = 0;
+  for (const double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double geometric_mean(const std::vector<double>& sample) {
+  PPA_REQUIRE(!sample.empty(), "cannot take the geometric mean of an empty sample");
+  double log_sum = 0;
+  for (const double v : sample) {
+    PPA_REQUIRE(v > 0, "geometric mean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace ppa::analysis

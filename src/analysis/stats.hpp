@@ -1,0 +1,28 @@
+// Summary statistics for measurement series (experiment reporting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppa::analysis {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1); 0 for n < 2
+  double min = 0;
+  double max = 0;
+  double median = 0;
+};
+
+/// Computes the summary; requires a non-empty sample.
+[[nodiscard]] Summary summarize(const std::vector<double>& sample);
+
+/// Population mean of a sample (non-empty).
+[[nodiscard]] double mean_of(const std::vector<double>& sample);
+
+/// Geometric mean (all values must be positive).
+[[nodiscard]] double geometric_mean(const std::vector<double>& sample);
+
+}  // namespace ppa::analysis

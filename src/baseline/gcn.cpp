@@ -1,0 +1,20 @@
+#include "baseline/gcn.hpp"
+
+namespace ppa::baseline::gcn {
+
+Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
+                         graph::Vertex destination) {
+  mcp::Options options;
+  options.min_variant = mcp::MinVariant::OrProbe;
+  return mcp::minimum_cost_path(machine, graph, destination, options);
+}
+
+Result solve(const graph::WeightMatrix& graph, graph::Vertex destination) {
+  sim::MachineConfig config;
+  config.n = graph.size();
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+  return minimum_cost_path(machine, graph, destination);
+}
+
+}  // namespace ppa::baseline::gcn

@@ -1,0 +1,38 @@
+// MCP on the Gated Connection Network (GCN) — Shu & Nash's comparator.
+//
+// The GCN is a processor array whose row/column interconnect is an
+// open-drain bus with per-PE *gates*: closing a gate segments the line,
+// and every PE on a segment both drives (wired-OR) and senses it. The
+// dynamic-programming MCP on the GCN therefore computes the segment
+// minimum bit-serially — h wired-OR cycles, MSB first — with every PE
+// reconstructing the minimum locally from the OR results; there is no
+// "route to the extreme node and broadcast back" epilogue like the PPA's
+// min() (the PPA needs it because only Open switch-boxes can inject a
+// full word onto a bus).
+//
+// Mapping onto this repo: the GCN's gated segments are exactly the
+// clusters of the sim::bus engine, and the local-reconstruction minimum is
+// ppc::pmin_orprobe / selected_min_orprobe. The DP skeleton (column
+// broadcast of row d, row min/argmin, diagonal return, global-OR
+// convergence test) is identical to the PPA's, so gcn::minimum_cost_path
+// runs mcp::minimum_cost_path with MinVariant::OrProbe on a dedicated
+// machine and reports its own step counts. The measured per-iteration gap
+// between GCN and PPA is the PPA min()'s two extra broadcasts — constants,
+// not asymptotics, which is the paper's parity claim.
+#pragma once
+
+#include "graph/weight_matrix.hpp"
+#include "mcp/mcp.hpp"
+
+namespace ppa::baseline::gcn {
+
+using Result = mcp::Result;
+
+/// Runs the GCN-style DP toward `destination` on `machine`.
+[[nodiscard]] Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
+                                       graph::Vertex destination);
+
+/// Convenience one-shot with a fresh host-sequential machine.
+[[nodiscard]] Result solve(const graph::WeightMatrix& graph, graph::Vertex destination);
+
+}  // namespace ppa::baseline::gcn

@@ -1,0 +1,151 @@
+#include "baseline/hypercube.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ppa::baseline::hypercube {
+
+Machine::Machine(int dimensions, int bits) : dimensions_(dimensions), field_(bits) {
+  PPA_REQUIRE(dimensions >= 0 && dimensions <= 26, "hypercube dimension out of range");
+}
+
+std::vector<Word> Machine::exchange(std::span<const Word> reg, int k) {
+  PPA_REQUIRE(reg.size() == pe_count(), "register must cover the whole machine");
+  PPA_REQUIRE(k >= 0 && k < dimensions_, "dimension out of range");
+  steps_.charge(sim::StepCategory::Shift);  // one route step
+  const std::size_t flip = std::size_t{1} << k;
+  std::vector<Word> out(reg.size());
+  for (std::size_t pe = 0; pe < reg.size(); ++pe) out[pe] = reg[pe ^ flip];
+  return out;
+}
+
+bool Machine::global_or(std::span<const Word> flags) {
+  PPA_REQUIRE(flags.size() == pe_count(), "register must cover the whole machine");
+  steps_.charge(sim::StepCategory::GlobalOr);
+  return std::any_of(flags.begin(), flags.end(), [](Word w) { return w != 0; });
+}
+
+namespace {
+
+/// (value, index) lexicographic all-reduce minimum across dimensions
+/// [first, first + count): after it, every PE in each reduction group
+/// holds the group's minimum value and the smallest index attaining it.
+void allreduce_min_pair(Machine& m, std::vector<Word>& value, std::vector<Word>& index,
+                        int first, int count) {
+  for (int k = first; k < first + count; ++k) {
+    const std::vector<Word> pv = m.exchange(value, k);
+    const std::vector<Word> pi = m.exchange(index, k);
+    m.charge_alu(2);  // compare + conditional select of the pair
+    for (std::size_t pe = 0; pe < value.size(); ++pe) {
+      if (pv[pe] < value[pe] || (pv[pe] == value[pe] && pi[pe] < index[pe])) {
+        value[pe] = pv[pe];
+        index[pe] = pi[pe];
+      }
+    }
+  }
+}
+
+/// Grid transpose in the hypercube embedding: for each bit pair (k, k+L)
+/// route along both dimensions and keep the routed value exactly where the
+/// two address bits differ. 2L route steps.
+std::vector<Word> transpose(Machine& m, const std::vector<Word>& reg, int log_side) {
+  std::vector<Word> current(reg);
+  for (int k = 0; k < log_side; ++k) {
+    const std::vector<Word> once = m.exchange(current, k);
+    const std::vector<Word> both = m.exchange(once, k + log_side);
+    m.charge_alu(1);  // select on (row bit != column bit)
+    const std::size_t col_bit = std::size_t{1} << k;
+    const std::size_t row_bit = std::size_t{1} << (k + log_side);
+    for (std::size_t pe = 0; pe < current.size(); ++pe) {
+      const bool differ = ((pe & col_bit) != 0) != ((pe & row_bit) != 0);
+      if (differ) current[pe] = both[pe];
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+Result minimum_cost_path(const graph::WeightMatrix& graph, graph::Vertex destination) {
+  const std::size_t n = graph.size();
+  PPA_REQUIRE(destination < n, "destination out of range");
+
+  const int log_side = util::ceil_log2(n);
+  const std::size_t side = std::size_t{1} << log_side;
+  Machine machine(2 * log_side, graph.field().bits());
+  const Word inf = graph.infinity();
+
+  const auto pe_of = [side](std::size_t i, std::size_t j) { return i * side + j; };
+
+  // Load W (padded with infinity; every diagonal 0) and the DP state.
+  // dist / next are indexed by COLUMN: every PE of column j holds dist_j.
+  std::vector<Word> w(side * side, inf);
+  std::vector<Word> dist(side * side, inf);
+  std::vector<Word> next(side * side, static_cast<Word>(destination));
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      if (i < n && j < n) w[pe_of(i, j)] = (i == j) ? 0 : graph.at(i, j);
+      if (i == j) w[pe_of(i, j)] = 0;
+      if (j < n) dist[pe_of(i, j)] = (j == destination) ? 0 : graph.at(j, destination);
+    }
+  }
+  machine.charge_alu(3);  // the three host loads
+
+  std::vector<Word> col_index(side * side);
+  for (std::size_t pe = 0; pe < col_index.size(); ++pe) {
+    col_index[pe] = static_cast<Word>(pe % side);
+  }
+  machine.charge_alu(1);
+
+  Result result;
+  result.log_side = log_side;
+  const auto& field = machine.field();
+
+  for (;;) {
+    PPA_REQUIRE(result.iterations < n + 2,
+                "hypercube relaxation failed to converge within the iteration cap");
+
+    // Candidates: PE (i,j) computes w_ij + dist_j.
+    std::vector<Word> cand(side * side);
+    for (std::size_t pe = 0; pe < cand.size(); ++pe) cand[pe] = field.add(w[pe], dist[pe]);
+    machine.charge_alu(1);
+
+    // Row minimum + argmin via column-dimension butterfly all-reduce.
+    std::vector<Word> arg(col_index);
+    machine.charge_alu(1);  // copy of the index register
+    allreduce_min_pair(machine, cand, arg, 0, log_side);
+
+    // cand now holds m_i in every PE of row i; transpose so every PE of
+    // column j holds m_j (and the matching argmin).
+    const std::vector<Word> m_by_col = transpose(machine, cand, log_side);
+    const std::vector<Word> a_by_col = transpose(machine, arg, log_side);
+
+    // Strict-improvement update, mirroring the PPA's changed test.
+    std::vector<Word> changed(side * side, 0);
+    for (std::size_t pe = 0; pe < dist.size(); ++pe) {
+      if (m_by_col[pe] < dist[pe]) {
+        dist[pe] = m_by_col[pe];
+        next[pe] = a_by_col[pe];
+        changed[pe] = 1;
+      }
+    }
+    machine.charge_alu(3);  // compare + two conditional stores
+
+    ++result.iterations;
+    if (!machine.global_or(changed)) break;
+  }
+
+  result.total_steps = machine.steps();
+  result.solution.destination = destination;
+  result.solution.cost.resize(n);
+  result.solution.next.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.solution.cost[j] = dist[pe_of(0, j)];
+    result.solution.next[j] = static_cast<graph::Vertex>(next[pe_of(0, j)]);
+  }
+  return result;
+}
+
+}  // namespace ppa::baseline::hypercube

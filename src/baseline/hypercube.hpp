@@ -1,0 +1,80 @@
+// MCP on a SIMD hypercube — the Connection Machine comparator.
+//
+// The paper claims the PPA MCP "delivers the same performance, in terms of
+// computational complexity, as the hypercube interconnection network of
+// the Connection Machine" [Hillis 1985]. To measure that claim (experiment
+// E7) we implement the CM-style dynamic program on a word-level SIMD
+// hypercube simulator:
+//
+//   * N = next_pow2(n); the N x N logical grid is embedded in a
+//     2*log2(N)-dimensional hypercube (PE address = row bits : column
+//     bits), the standard CM grid embedding.
+//   * One `exchange` along a hypercube dimension moves one word between
+//     every PE pair differing in that address bit — one Route step.
+//   * The row minimum is a butterfly all-reduce over the column
+//     dimensions: log2(N) exchanges, after which EVERY PE of the row
+//     holds the (min, argmin) pair. Cost Θ(log n) word steps, versus the
+//     PPA's Θ(h) bit-serial bus cycles.
+//   * Moving per-row results into the destination row uses a column
+//     all-broadcast (another log2(N) exchanges of the diagonal value —
+//     implemented as a column all-reduce of a (flag, value) selection).
+//
+// Step accounting reuses sim::StepCounter: Shift counts routes, Alu counts
+// elementwise instructions, GlobalOr the convergence test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/path.hpp"
+#include "graph/weight_matrix.hpp"
+#include "sim/step_counter.hpp"
+#include "util/saturating.hpp"
+
+namespace ppa::baseline::hypercube {
+
+using Word = std::uint32_t;
+
+/// Word-level SIMD hypercube of 2^dimensions PEs.
+class Machine {
+ public:
+  Machine(int dimensions, int bits);
+
+  [[nodiscard]] int dimensions() const noexcept { return dimensions_; }
+  [[nodiscard]] std::size_t pe_count() const noexcept { return std::size_t{1} << dimensions_; }
+  [[nodiscard]] const util::HField& field() const noexcept { return field_; }
+  [[nodiscard]] sim::StepCounter& steps() noexcept { return steps_; }
+  [[nodiscard]] const sim::StepCounter& steps() const noexcept { return steps_; }
+
+  /// One route step: every PE receives its dimension-k partner's value.
+  [[nodiscard]] std::vector<Word> exchange(std::span<const Word> reg, int k);
+
+  /// One elementwise SIMD instruction worth of accounting.
+  void charge_alu(std::uint64_t count = 1) noexcept {
+    steps_.charge(sim::StepCategory::Alu, count);
+  }
+
+  /// Controller global-OR response line.
+  [[nodiscard]] bool global_or(std::span<const Word> flags);
+
+ private:
+  int dimensions_;
+  util::HField field_;
+  sim::StepCounter steps_;
+};
+
+struct Result {
+  graph::McpSolution solution;
+  std::size_t iterations = 0;
+  sim::StepCounter total_steps;
+  int log_side = 0;  // log2 of the padded grid side
+};
+
+/// Runs the CM-style DP toward `destination`. The graph is padded to the
+/// next power-of-two side with infinity weights (padding vertices are
+/// isolated and never influence real ones).
+[[nodiscard]] Result minimum_cost_path(const graph::WeightMatrix& graph,
+                                       graph::Vertex destination);
+
+}  // namespace ppa::baseline::hypercube

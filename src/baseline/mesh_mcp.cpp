@@ -1,0 +1,164 @@
+#include "baseline/mesh_mcp.hpp"
+
+#include "ppc/primitives.hpp"
+#include "util/check.hpp"
+
+namespace ppa::baseline {
+
+namespace {
+
+using ppc::Context;
+using ppc::Pbool;
+using ppc::Pint;
+using sim::Direction;
+using sim::Word;
+
+/// Spreads the `src` value held by the source PEs (exactly one per line
+/// along `axis`) to every PE of the line, using 2(n-1) neighbour shifts
+/// (one sweep each way). This is the mesh's O(n) substitute for one O(1)
+/// bus broadcast.
+Pint spread_line(Context& ctx, const Pint& src, const Pbool& source, sim::Axis axis) {
+  const std::size_t n = ctx.n();
+  Pint val(ctx, 0);
+  Pbool have(source);
+  ppc::where(ctx, source, [&] { val = src; });
+
+  const auto sweep = [&](Direction dir) {
+    for (std::size_t step = 1; step < n; ++step) {
+      const Pint moved = ppc::shift(val, dir, 0);
+      const Pbool arrived = ppc::shift(have, dir, false);
+      ppc::where(ctx, (!have) & arrived, [&] { val = moved; });
+      have = have | arrived;
+    }
+  };
+  if (axis == sim::Axis::Row) {
+    sweep(Direction::East);
+    sweep(Direction::West);
+  } else {
+    sweep(Direction::South);
+    sweep(Direction::North);
+  }
+  return val;
+}
+
+struct RowMin {
+  Pint value;
+  Pint index;
+};
+
+/// Word-parallel row minimum + argmin by an eastward accumulate sweep
+/// followed by a spread back. Lexicographic (value, index) accumulation
+/// resolves cost ties to the smallest column index, like selected_min.
+RowMin row_min_scan(Context& ctx, const Pint& src) {
+  const std::size_t n = ctx.n();
+  const Word inf = ctx.field().infinity();
+  Pint best(src);
+  Pint best_idx(ppc::col_of(ctx));
+  for (std::size_t step = 1; step < n; ++step) {
+    const Pint moved_v = ppc::shift(best, Direction::East, inf);
+    const Pint moved_i = ppc::shift(best_idx, Direction::East, 0);
+    const Pbool better = (moved_v < best) | ((moved_v == best) & (moved_i < best_idx));
+    ppc::where(ctx, better, [&] {
+      best = moved_v;
+      best_idx = moved_i;
+    });
+  }
+  // The full-row result sits in the last column; spread it back.
+  const Pbool at_end = (ppc::col_of(ctx) == static_cast<Word>(n - 1));
+  return RowMin{spread_line(ctx, best, at_end, sim::Axis::Row),
+                spread_line(ctx, best_idx, at_end, sim::Axis::Row)};
+}
+
+std::vector<Word> machine_weights(const graph::WeightMatrix& g) {
+  const std::size_t n = g.size();
+  std::vector<Word> cells(g.cells().begin(), g.cells().end());
+  for (std::size_t i = 0; i < n; ++i) cells[i * n + i] = 0;
+  return cells;
+}
+
+}  // namespace
+
+MeshMcpResult mesh_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
+                                     graph::Vertex destination) {
+  const std::size_t n = graph.size();
+  PPA_REQUIRE(machine.n() == n, "machine side must equal the vertex count");
+  PPA_REQUIRE(machine.field() == graph.field(),
+              "machine and graph must use the same h-bit field");
+  PPA_REQUIRE(destination < n, "destination out of range");
+
+  Context ctx(machine);
+  const sim::StepCounter at_entry = machine.steps();
+
+  const Pint W(ctx, machine_weights(graph));
+  const Pint ROW = ppc::row_of(ctx);
+  const Pint COL = ppc::col_of(ctx);
+  const Word d = static_cast<Word>(destination);
+  const Pbool row_is_d = (ROW == d);
+  const Pbool col_is_d = (COL == d);
+  const Pbool on_diagonal = (ROW == COL);
+
+  Pint SOW(ctx, machine.field().infinity());
+  Pint PTN(ctx, d);
+
+  // Init: transpose column d of W into row d with two line spreads
+  // (the mesh version of the PPA's two init broadcasts).
+  {
+    const Pint w_into_d = spread_line(ctx, W, col_is_d, sim::Axis::Row);
+    const Pint init_row = spread_line(ctx, w_into_d, on_diagonal, sim::Axis::Column);
+    ppc::where(ctx, row_is_d, [&] {
+      SOW = init_row;
+      PTN = Pint(ctx, d);
+    });
+  }
+
+  MeshMcpResult result;
+  result.init_steps = machine.steps().since(at_entry);
+
+  for (;;) {
+    PPA_REQUIRE(result.iterations < n + 2,
+                "mesh relaxation failed to converge within the iteration cap");
+
+    // Column spread of row d's SOW, then the candidate matrix.
+    const Pint sow_col = spread_line(ctx, SOW, row_is_d, sim::Axis::Column);
+    Pint candidates(ctx, 0);
+    candidates.store_all(sow_col + W);
+
+    const RowMin row_best = row_min_scan(ctx, candidates);
+
+    // Move the per-row results from the diagonal into row d.
+    const Pint min_at_d = spread_line(ctx, row_best.value, on_diagonal, sim::Axis::Column);
+    const Pint ptr_at_d = spread_line(ctx, row_best.index, on_diagonal, sim::Axis::Column);
+
+    Pbool changed(ctx, false);
+    Pint OLD_SOW(ctx, 0);
+    ppc::where(ctx, row_is_d, [&] {
+      OLD_SOW = SOW;
+      SOW = min_at_d;
+      changed = (SOW != OLD_SOW);
+      ppc::where(ctx, changed, [&] { PTN = ptr_at_d; });
+    });
+
+    ++result.iterations;
+    if (!ppc::any(changed)) break;
+  }
+
+  result.total_steps = machine.steps().since(at_entry);
+  result.solution.destination = destination;
+  result.solution.cost.resize(n);
+  result.solution.next.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.solution.cost[i] = SOW.at(destination, i);
+    result.solution.next[i] = static_cast<graph::Vertex>(PTN.at(destination, i));
+  }
+  return result;
+}
+
+MeshMcpResult mesh_solve(const graph::WeightMatrix& graph, graph::Vertex destination) {
+  sim::MachineConfig config;
+  config.n = graph.size();
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+  return mesh_minimum_cost_path(machine, graph, destination);
+}
+
+}  // namespace ppa::baseline

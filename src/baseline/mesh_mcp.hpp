@@ -1,0 +1,41 @@
+// MCP on a plain (non-reconfigurable) SIMD mesh.
+//
+// The paper motivates the PPA against "the simple mesh": without buses,
+// moving a value across a row or column costs one nearest-neighbour shift
+// per hop, so each relaxation iteration — broadcast row d, row min/argmin,
+// return to row d — costs Θ(n) SIMD steps instead of the PPA's Θ(h).
+// This module runs the *same* dynamic program on the same Machine but
+// restricted to shift + ALU instructions, which makes the E4/E7 comparison
+// an apples-to-apples measurement: identical DP, identical step
+// accounting, only the communication capability differs.
+//
+// Word-parallel minimum: a plain mesh has full-word neighbour links, so
+// the row reduction is a word-level scan (min+argmin carried together,
+// ties to the smaller index), not a bit-serial loop.
+#pragma once
+
+#include "graph/path.hpp"
+#include "graph/weight_matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ppa::baseline {
+
+struct MeshMcpResult {
+  graph::McpSolution solution;
+  std::size_t iterations = 0;
+  sim::StepCounter init_steps;
+  sim::StepCounter total_steps;
+};
+
+/// Runs the DP on `machine` using shift/ALU only. Same preconditions as
+/// mcp::minimum_cost_path. The machine's bus system is never used, so the
+/// result is identical under Ring and Linear topologies.
+[[nodiscard]] MeshMcpResult mesh_minimum_cost_path(sim::Machine& machine,
+                                                   const graph::WeightMatrix& graph,
+                                                   graph::Vertex destination);
+
+/// Convenience one-shot with a fresh host-sequential machine.
+[[nodiscard]] MeshMcpResult mesh_solve(const graph::WeightMatrix& graph,
+                                       graph::Vertex destination);
+
+}  // namespace ppa::baseline

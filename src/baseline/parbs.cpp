@@ -1,0 +1,154 @@
+#include "baseline/parbs.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ppa::baseline::parbs {
+
+namespace {
+
+/// Plain union-find over the port-graph nodes.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t size) : parent_(size) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+SwitchConfig SwitchConfig::fuse(std::initializer_list<Port> ports) {
+  SwitchConfig config;
+  PPA_REQUIRE(ports.size() >= 2, "fusing fewer than two ports is a no-op");
+  const auto first = static_cast<std::size_t>(*ports.begin());
+  for (const Port p : ports) {
+    config.group[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(first);
+  }
+  return config;
+}
+
+Machine::Machine(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  PPA_REQUIRE(rows >= 1 && cols >= 1, "PARBS dimensions must be positive");
+}
+
+std::vector<std::size_t> Machine::components(std::span<const SwitchConfig> configs) {
+  PPA_REQUIRE(configs.size() == pe_count(), "one switch config per PE");
+  steps_.charge_bus(sim::StepCategory::BusBroadcast, rows_ * cols_);
+
+  UnionFind uf(pe_count() * 4);
+  // Intra-PE fusion.
+  for (std::size_t pe = 0; pe < pe_count(); ++pe) {
+    const auto& group = configs[pe].group;
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = a + 1; b < 4; ++b) {
+        if (group[a] == group[b]) uf.unite(pe * 4 + a, pe * 4 + b);
+      }
+    }
+  }
+  // Inter-PE wires: East-West and South-North between neighbours.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t pe = r * cols_ + c;
+      if (c + 1 < cols_) {
+        uf.unite(node_of(pe, Port::East), node_of(pe + 1, Port::West));
+      }
+      if (r + 1 < rows_) {
+        uf.unite(node_of(pe, Port::South), node_of(pe + cols_, Port::North));
+      }
+    }
+  }
+
+  std::vector<std::size_t> labels(pe_count() * 4);
+  for (std::size_t node = 0; node < labels.size(); ++node) labels[node] = uf.find(node);
+  return labels;
+}
+
+std::vector<bool> Machine::reachable_from(std::span<const SwitchConfig> configs,
+                                          std::size_t drive_pe, Port drive_port) {
+  PPA_REQUIRE(drive_pe < pe_count(), "driver out of range");
+  const auto labels = components(configs);
+  const std::size_t target = labels[node_of(drive_pe, drive_port)];
+  std::vector<bool> reach(labels.size());
+  for (std::size_t node = 0; node < labels.size(); ++node) {
+    reach[node] = (labels[node] == target);
+  }
+  return reach;
+}
+
+std::vector<bool> Machine::component_or(std::span<const SwitchConfig> configs,
+                                        const std::vector<bool>& pulls) {
+  PPA_REQUIRE(pulls.size() == pe_count() * 4, "one pull flag per (pe, port) node");
+  const auto labels = components(configs);
+  steps_.charge_bus(sim::StepCategory::BusOr, rows_ * cols_);
+  std::vector<bool> pulled_label(pe_count() * 4, false);
+  for (std::size_t node = 0; node < pulls.size(); ++node) {
+    if (pulls[node]) pulled_label[labels[node]] = true;
+  }
+  std::vector<bool> out(pulls.size());
+  for (std::size_t node = 0; node < pulls.size(); ++node) {
+    out[node] = pulled_label[labels[node]];
+  }
+  return out;
+}
+
+CountResult count_ones(const std::vector<bool>& bits) {
+  const std::size_t n = bits.size();
+  PPA_REQUIRE(n >= 1, "count_ones needs at least one bit");
+  Machine machine(n + 1, n);
+  const auto at_entry = machine.steps();
+
+  // Every PE derives its switch setting from its column's bit: one SIMD
+  // instruction. 1-bit column: the bus entering from the West drops one
+  // row ({W,S} fused) and the row below carries on East ({N,E} fused);
+  // 0-bit column: straight through ({W,E}).
+  std::vector<SwitchConfig> configs(machine.pe_count());
+  for (std::size_t r = 0; r <= n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      SwitchConfig config = SwitchConfig::all_separate();
+      if (bits[c]) {
+        config.group = {0, 0, 3, 3};  // {N,E} fused, {W,S} fused
+      } else {
+        config.group = {0, 1, 2, 1};  // {E,W} fused
+      }
+      configs[r * n + c] = config;
+    }
+  }
+  machine.charge_alu();
+
+  // Inject at the West port of (0, 0); the signal exits the East side at
+  // row == popcount. One settle, then the controller reads the exit row.
+  const auto reach = machine.reachable_from(configs, 0, Port::West);
+  CountResult result;
+  bool found = false;
+  for (std::size_t r = 0; r <= n; ++r) {
+    if (reach[machine.node_of(r * n + (n - 1), Port::East)]) {
+      result.count = r;
+      found = true;
+      break;
+    }
+  }
+  PPA_REQUIRE(found, "staircase bus must exit on the East side");
+  result.parity = (result.count % 2) != 0;
+  result.steps = machine.steps().since(at_entry);
+  return result;
+}
+
+}  // namespace ppa::baseline::parbs

@@ -1,0 +1,106 @@
+// PARBS — Processor Arrays with a Reconfigurable Bus System.
+//
+// The paper's concluding remarks place the PPA in a power hierarchy:
+// "The row/column only PPA is a less powerful model with respect to the
+// Reconfigurable Mesh [1], the Gated Connection Network [5] and the
+// PARBS [6] ... Nevertheless it is hardware implementable". This module
+// makes the hierarchy measurable. A PARBS PE may fuse ANY subset of its
+// four ports, so buses can take arbitrary connected shapes across the
+// array — which enables constant-time tricks that row/column sub-buses
+// cannot express. The classic demonstration implemented here is
+// bit summation (Wang & Chen's model; the construction follows the
+// staircase technique): bits b_0..b_{n-1} are loaded one per column, a
+// 1-bit column steps the bus down one row ({N,E} and {W,S} fused) while a
+// 0-bit column passes it straight ({W,E}); a signal injected at the top
+// left then EXITS AT ROW = number of ones — a unary popcount, hence also
+// parity — in O(1) bus steps, independent of n. On the PPA the same
+// reduction costs Θ(n) shift steps (no port fusion). Experiment E10.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/step_counter.hpp"
+
+namespace ppa::baseline::parbs {
+
+using Word = std::uint32_t;
+
+/// PE port ids.
+enum class Port : int { North = 0, East = 1, South = 2, West = 3 };
+
+/// Per-PE switch setting: ports with equal group ids are fused inside the
+/// PE. The default keeps all four ports separate (no bus through the PE).
+struct SwitchConfig {
+  std::array<std::uint8_t, 4> group{0, 1, 2, 3};
+
+  [[nodiscard]] static SwitchConfig all_separate() { return {}; }
+
+  /// Fuses exactly the given ports into one group (the rest stay
+  /// separate).
+  [[nodiscard]] static SwitchConfig fuse(std::initializer_list<Port> ports);
+
+  friend bool operator==(const SwitchConfig&, const SwitchConfig&) = default;
+};
+
+/// A rows x cols PARBS. Primitives charge the machine's StepCounter:
+/// writing a configuration is one ALU step; a bus settle (components /
+/// reachability / wired-OR probe) is one BusBroadcast or BusOr step.
+class Machine {
+ public:
+  Machine(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t pe_count() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] sim::StepCounter& steps() noexcept { return steps_; }
+  [[nodiscard]] const sim::StepCounter& steps() const noexcept { return steps_; }
+
+  /// Node id of (pe, port) in the port graph.
+  [[nodiscard]] std::size_t node_of(std::size_t pe, Port port) const {
+    return pe * 4 + static_cast<std::size_t>(port);
+  }
+
+  /// Bus component labels per (pe, port) node under `configs` (size
+  /// pe_count). Two nodes share a label iff they are electrically
+  /// connected (intra-PE fusion + the wires between adjacent PEs).
+  /// One BusBroadcast step (a settle).
+  [[nodiscard]] std::vector<std::size_t> components(std::span<const SwitchConfig> configs);
+
+  /// True per (pe, port) node iff it shares a bus with (drive_pe,
+  /// drive_port) — "where does a signal injected here reach?". One
+  /// BusBroadcast step.
+  [[nodiscard]] std::vector<bool> reachable_from(std::span<const SwitchConfig> configs,
+                                                 std::size_t drive_pe, Port drive_port);
+
+  /// Wired-OR per bus: pulls[node] pulls its component low; every node
+  /// reads its component's OR. One BusOr step.
+  [[nodiscard]] std::vector<bool> component_or(std::span<const SwitchConfig> configs,
+                                               const std::vector<bool>& pulls);
+
+  /// One elementwise SIMD instruction worth of accounting (e.g. every PE
+  /// computing its switch setting from a local bit).
+  void charge_alu(std::uint64_t count = 1) noexcept {
+    steps_.charge(sim::StepCategory::Alu, count);
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  sim::StepCounter steps_;
+};
+
+struct CountResult {
+  std::size_t count = 0;       // number of set bits
+  bool parity = false;         // count & 1
+  sim::StepCounter steps;      // O(1) bus steps, independent of n
+};
+
+/// The staircase bit summation: counts `bits` (size n) on an (n+1) x n
+/// PARBS in O(1) bus steps. (Takes the vector directly — std::vector<bool>
+/// is bit-packed and cannot be viewed through a span.)
+[[nodiscard]] CountResult count_ones(const std::vector<bool>& bits);
+
+}  // namespace ppa::baseline::parbs

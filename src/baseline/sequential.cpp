@@ -1,0 +1,156 @@
+#include "baseline/sequential.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace ppa::baseline {
+
+graph::McpSolution dijkstra_to(const graph::WeightMatrix& g, graph::Vertex destination) {
+  const std::size_t n = g.size();
+  PPA_REQUIRE(destination < n, "destination out of range");
+  const graph::Weight inf = g.infinity();
+  const auto& field = g.field();
+
+  graph::McpSolution solution;
+  solution.destination = destination;
+  solution.cost.assign(n, inf);
+  solution.next.assign(n, destination);
+
+  // Dijkstra over the reverse graph: settling u with distance D means the
+  // cheapest u -> destination path costs D. Edges are scanned v -> u, i.e.
+  // forward edge (u, v) relaxes u from v.
+  using Entry = std::pair<graph::Weight, graph::Vertex>;  // (dist, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<bool> settled(n, false);
+
+  solution.cost[destination] = 0;
+  heap.emplace(0, destination);
+
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (graph::Vertex u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const graph::Weight w = g.at(u, v);
+      if (w == inf) continue;
+      const graph::Weight candidate = field.add(w, dist);
+      if (candidate == inf) continue;  // saturated — indistinguishable from unreachable
+      if (candidate < solution.cost[u] ||
+          (candidate == solution.cost[u] && v < solution.next[u])) {
+        solution.cost[u] = candidate;
+        solution.next[u] = v;
+        heap.emplace(candidate, u);
+      }
+    }
+  }
+  return solution;
+}
+
+BellmanFordResult bellman_ford_to(const graph::WeightMatrix& g, graph::Vertex destination) {
+  const std::size_t n = g.size();
+  PPA_REQUIRE(destination < n, "destination out of range");
+  const graph::Weight inf = g.infinity();
+  const auto& field = g.field();
+
+  BellmanFordResult result;
+  auto& sol = result.solution;
+  sol.destination = destination;
+  sol.cost.assign(n, inf);
+  sol.next.assign(n, destination);
+
+  // 1-edge init, diagonal treated as 0 (empty path d -> d).
+  for (graph::Vertex i = 0; i < n; ++i) sol.cost[i] = g.at(i, destination);
+  sol.cost[destination] = 0;
+
+  for (std::size_t round = 0; round < n + 1; ++round) {
+    std::vector<graph::Weight> next_cost(sol.cost);
+    std::vector<graph::Vertex> next_ptr(sol.next);
+    bool changed = false;
+    for (graph::Vertex i = 0; i < n; ++i) {
+      if (i == destination) continue;
+      graph::Weight best = sol.cost[i];
+      graph::Vertex best_next = sol.next[i];
+      for (graph::Vertex j = 0; j < n; ++j) {
+        const graph::Weight w = (i == j) ? 0 : g.at(i, j);
+        if (w == inf || sol.cost[j] == inf) continue;
+        const graph::Weight candidate = field.add(w, sol.cost[j]);
+        if (candidate == inf) continue;
+        // Strict improvement only — mirrors the machine, whose PTN is
+        // rewritten only "if a SOW_id changes"; ties resolve to the
+        // smallest next index via the candidate scan order.
+        if (candidate < best) {
+          best = candidate;
+          best_next = j == i ? best_next : j;
+          // j == i means "keep the old value"; its pointer stays.
+        }
+      }
+      if (best != sol.cost[i]) {
+        next_cost[i] = best;
+        next_ptr[i] = best_next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    sol.cost = std::move(next_cost);
+    sol.next = std::move(next_ptr);
+    result.rounds = round + 1;
+  }
+  return result;
+}
+
+graph::McpSolution AllPairs::toward(graph::Vertex d) const {
+  PPA_REQUIRE(d < n, "destination out of range");
+  graph::McpSolution solution;
+  solution.destination = d;
+  solution.cost.resize(n);
+  solution.next.resize(n);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    solution.cost[i] = dist_at(i, d);
+    solution.next[i] = next_at(i, d);
+  }
+  solution.cost[d] = 0;
+  solution.next[d] = d;
+  return solution;
+}
+
+AllPairs floyd_warshall(const graph::WeightMatrix& g) {
+  const std::size_t n = g.size();
+  const graph::Weight inf = g.infinity();
+  const auto& field = g.field();
+
+  AllPairs ap;
+  ap.n = n;
+  ap.dist.assign(g.cells().begin(), g.cells().end());
+  ap.next.resize(n * n);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    for (graph::Vertex j = 0; j < n; ++j) ap.next[i * n + j] = j;
+    ap.dist[i * n + i] = 0;
+    ap.next[i * n + i] = i;
+  }
+
+  for (graph::Vertex k = 0; k < n; ++k) {
+    for (graph::Vertex i = 0; i < n; ++i) {
+      const graph::Weight dik = ap.dist[i * n + k];
+      if (dik == inf) continue;
+      for (graph::Vertex j = 0; j < n; ++j) {
+        const graph::Weight dkj = ap.dist[k * n + j];
+        if (dkj == inf) continue;
+        const graph::Weight through_k = field.add(dik, dkj);
+        if (through_k == inf) continue;
+        graph::Weight& dij = ap.dist[i * n + j];
+        if (through_k < dij) {
+          dij = through_k;
+          ap.next[i * n + j] = ap.next[i * n + k];
+        }
+      }
+    }
+  }
+  return ap;
+}
+
+}  // namespace ppa::baseline

@@ -1,0 +1,65 @@
+// Sequential reference algorithms.
+//
+// These are the ground truth every machine model is verified against
+// (experiment E1) and the classical comparators for the examples:
+//
+//   dijkstra_to      — binary-heap Dijkstra on the reverse graph; O(E log V).
+//   bellman_ford_to  — synchronous Bellman–Ford; also reports the round
+//                      count, which equals the PPA loop's useful-iteration
+//                      count (the DP is the same recurrence).
+//   floyd_warshall   — all-pairs, for cross-checking any destination.
+//
+// All of them use the same h-bit saturating field as the machines, so
+// costs match bit for bit (including saturation to "infinity" on
+// overflowing paths).
+#pragma once
+
+#include <vector>
+
+#include "graph/path.hpp"
+#include "graph/weight_matrix.hpp"
+
+namespace ppa::baseline {
+
+/// Single-destination Dijkstra (non-negative weights — always true here,
+/// weights are unsigned). Ties in the next-hop pointer resolve to the
+/// smallest vertex index, matching the PPA's selected_min.
+[[nodiscard]] graph::McpSolution dijkstra_to(const graph::WeightMatrix& g,
+                                             graph::Vertex destination);
+
+struct BellmanFordResult {
+  graph::McpSolution solution;
+  /// Synchronous relaxation rounds executed after the 1-edge init until the
+  /// cost vector stopped changing (the paper's loop count).
+  std::size_t rounds = 0;
+};
+
+/// Synchronous (Jacobi-style) Bellman–Ford toward `destination`, the exact
+/// sequential mirror of the machine DP: init with 1-edge paths, then
+/// rounds of dist[i] = min(dist[i], min_j(w_ij + dist[j])) with the
+/// diagonal treated as 0. Next-hop ties resolve to the smallest index.
+[[nodiscard]] BellmanFordResult bellman_ford_to(const graph::WeightMatrix& g,
+                                                graph::Vertex destination);
+
+/// All-pairs costs: dist(i, j) = cost of the cheapest path i -> j, in the
+/// saturating field; next(i, j) = the vertex after i on such a path.
+struct AllPairs {
+  std::size_t n = 0;
+  std::vector<graph::Weight> dist;   // row-major n x n
+  std::vector<graph::Vertex> next;   // row-major n x n
+
+  [[nodiscard]] graph::Weight dist_at(graph::Vertex i, graph::Vertex j) const {
+    return dist[i * n + j];
+  }
+  [[nodiscard]] graph::Vertex next_at(graph::Vertex i, graph::Vertex j) const {
+    return next[i * n + j];
+  }
+
+  /// The single-destination slice toward `d`, comparable to any machine's
+  /// McpSolution.
+  [[nodiscard]] graph::McpSolution toward(graph::Vertex d) const;
+};
+
+[[nodiscard]] AllPairs floyd_warshall(const graph::WeightMatrix& g);
+
+}  // namespace ppa::baseline

@@ -1,0 +1,222 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ppa::graph {
+
+namespace {
+
+/// Validates the range against the field and draws one weight from it.
+class WeightDrawer {
+ public:
+  WeightDrawer(const util::HField& field, WeightRange range, util::Rng& rng)
+      : range_(range), rng_(rng) {
+    PPA_REQUIRE(range.lo <= range.hi, "weight range is inverted");
+    PPA_REQUIRE(range.hi <= field.max_finite(),
+                "weight range collides with the field's infinity");
+  }
+
+  Weight operator()() {
+    return static_cast<Weight>(
+        rng_.between(static_cast<std::int64_t>(range_.lo), static_cast<std::int64_t>(range_.hi)));
+  }
+
+ private:
+  WeightRange range_;
+  util::Rng& rng_;
+};
+
+}  // namespace
+
+WeightMatrix random_digraph(std::size_t n, int bits, double edge_probability,
+                            WeightRange range, util::Rng& rng) {
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.chance(edge_probability)) g.set(i, j, draw());
+    }
+  }
+  return g;
+}
+
+WeightMatrix random_reachable_digraph(std::size_t n, int bits, double edge_probability,
+                                      WeightRange range, Vertex destination, util::Rng& rng) {
+  PPA_REQUIRE(destination < n, "destination out of range");
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+
+  // Random in-tree toward the destination: attach the vertices in a random
+  // order, each to a uniformly chosen already-attached vertex, so every
+  // vertex has a directed path to `destination`.
+  std::vector<Vertex> order;
+  order.reserve(n - 1);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != destination) order.push_back(v);
+  }
+  rng.shuffle(order);
+  std::vector<Vertex> attached{destination};
+  attached.reserve(n);
+  for (const Vertex v : order) {
+    const Vertex parent = attached[static_cast<std::size_t>(rng.below(attached.size()))];
+    g.set(v, parent, draw());
+    attached.push_back(v);
+  }
+
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = 0; j < n; ++j) {
+      if (i == j || g.has_edge(i, j)) continue;
+      if (rng.chance(edge_probability)) g.set(i, j, draw());
+    }
+  }
+  return g;
+}
+
+WeightMatrix directed_ring(std::size_t n, int bits, WeightRange range, util::Rng& rng) {
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (Vertex i = 0; i < n; ++i) g.set(i, (i + 1) % n, draw());
+  return g;
+}
+
+WeightMatrix directed_path(std::size_t n, int bits, WeightRange range, util::Rng& rng) {
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (Vertex i = 0; i + 1 < n; ++i) g.set(i, i + 1, draw());
+  return g;
+}
+
+WeightMatrix layered_dag(std::size_t layers, std::size_t width, std::size_t fan_out, int bits,
+                         WeightRange range, util::Rng& rng) {
+  PPA_REQUIRE(layers >= 1 && width >= 1, "layered_dag needs at least one layer and one column");
+  PPA_REQUIRE(fan_out >= 1 && fan_out <= width, "fan_out must be in [1, width]");
+  const std::size_t n = layers * width + 1;
+  const Vertex sink = n - 1;
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+
+  const auto vertex_at = [width](std::size_t layer, std::size_t slot) {
+    return layer * width + slot;
+  };
+
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    const bool last = (layer + 1 == layers);
+    for (std::size_t slot = 0; slot < width; ++slot) {
+      const Vertex from = vertex_at(layer, slot);
+      if (last) {
+        g.set(from, sink, draw());
+        continue;
+      }
+      const auto targets = util::sample_without_replacement(rng, width, fan_out);
+      for (const std::size_t t : targets) g.set(from, vertex_at(layer + 1, t), draw());
+    }
+  }
+  return g;
+}
+
+namespace {
+
+WeightMatrix grid_like(std::size_t rows, std::size_t cols, int bits, WeightRange range,
+                       util::Rng& rng, bool wrap) {
+  PPA_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  WeightMatrix g(rows * cols, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Vertex v = id(r, c);
+      const auto connect = [&](std::size_t rr, std::size_t cc) {
+        const Vertex u = id(rr, cc);
+        if (u == v) return;
+        g.set(v, u, draw());
+        g.set(u, v, draw());
+      };
+      if (c + 1 < cols) {
+        connect(r, c + 1);
+      } else if (wrap && cols > 2) {
+        connect(r, 0);
+      }
+      if (r + 1 < rows) {
+        connect(r + 1, c);
+      } else if (wrap && rows > 2) {
+        connect(0, c);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+WeightMatrix grid_mesh(std::size_t rows, std::size_t cols, int bits, WeightRange range,
+                       util::Rng& rng) {
+  return grid_like(rows, cols, bits, range, rng, /*wrap=*/false);
+}
+
+WeightMatrix torus_mesh(std::size_t rows, std::size_t cols, int bits, WeightRange range,
+                        util::Rng& rng) {
+  return grid_like(rows, cols, bits, range, rng, /*wrap=*/true);
+}
+
+WeightMatrix star(std::size_t n, int bits, Vertex center, WeightRange range, util::Rng& rng) {
+  PPA_REQUIRE(center < n, "star center out of range");
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == center) continue;
+    g.set(v, center, draw());
+    g.set(center, v, draw());
+  }
+  return g;
+}
+
+WeightMatrix complete(std::size_t n, int bits, WeightRange range, util::Rng& rng) {
+  return random_digraph(n, bits, 1.0, range, rng);
+}
+
+WeightMatrix banded(std::size_t n, int bits, std::size_t bandwidth, WeightRange range,
+                    util::Rng& rng) {
+  PPA_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::size_t gap = (i > j) ? i - j : j - i;
+      if (gap <= bandwidth) g.set(i, j, draw());
+    }
+  }
+  return g;
+}
+
+WeightMatrix geometric(std::size_t n, int bits, double radius, WeightRange range,
+                       util::Rng& rng) {
+  PPA_REQUIRE(radius > 0.0, "geometric radius must be positive");
+  WeightMatrix g(n, bits);
+  PPA_REQUIRE(range.lo <= range.hi && range.hi <= g.field().max_finite(),
+              "weight range collides with the field's infinity");
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    xs[v] = rng.uniform();
+    ys[v] = rng.uniform();
+  }
+  const double span = static_cast<double>(range.hi - range.lo);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist > radius) continue;
+      const double scaled = static_cast<double>(range.lo) + span * (dist / radius);
+      g.set(i, j, static_cast<Weight>(std::lround(scaled)));
+    }
+  }
+  return g;
+}
+
+}  // namespace ppa::graph

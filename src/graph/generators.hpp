@@ -1,0 +1,84 @@
+// Synthetic workload generators.
+//
+// The paper evaluates "the generic problem of finding the minimum cost path
+// from all the vertices of a graph to one specific destination" without
+// fixing a graph family, so the experiments sweep several families with
+// controllable structure:
+//
+//   * random digraphs (Erdos–Renyi)         — E1 correctness, E4 size sweep
+//   * directed ring / path                  — maximal p (path length), E2
+//   * layered DAGs with fixed depth         — exact control of p, E2
+//   * 2-D grid / torus meshes               — the router & terrain examples
+//   * star, complete, banded, geometric     — degenerate and dense shapes
+//
+// All generators take an explicit Rng so every experiment is reproducible
+// from a single seed.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/weight_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::graph {
+
+/// Weight range for generated finite edges, inclusive on both ends. Both
+/// bounds must be finite in the target field.
+struct WeightRange {
+  Weight lo = 1;
+  Weight hi = 15;
+};
+
+/// Erdos–Renyi digraph G(n, p): each ordered pair (i, j), i != j, gets an
+/// edge with probability `edge_probability`, with a uniform weight from
+/// `range`.
+WeightMatrix random_digraph(std::size_t n, int bits, double edge_probability,
+                            WeightRange range, util::Rng& rng);
+
+/// Like random_digraph but guaranteed so that every vertex can reach
+/// `destination`: a random spanning in-tree toward `destination` is laid
+/// down first, then random extra edges are added with `edge_probability`.
+WeightMatrix random_reachable_digraph(std::size_t n, int bits, double edge_probability,
+                                      WeightRange range, Vertex destination, util::Rng& rng);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0 with uniform random weights.
+/// The MCP from vertex (d+1) mod n to d has n-1 edges: the worst case p.
+WeightMatrix directed_ring(std::size_t n, int bits, WeightRange range, util::Rng& rng);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1 (no wrap edge).
+WeightMatrix directed_path(std::size_t n, int bits, WeightRange range, util::Rng& rng);
+
+/// Layered DAG: `layers` layers of `width` vertices each plus a final sink
+/// layer of one vertex (vertex n-1). Every vertex of layer k has `fan_out`
+/// random edges into layer k+1. MCPs to the sink have exactly `layers`
+/// edges, giving exact control over p for experiment E2. The total vertex
+/// count is layers * width + 1.
+WeightMatrix layered_dag(std::size_t layers, std::size_t width, std::size_t fan_out, int bits,
+                         WeightRange range, util::Rng& rng);
+
+/// 4-connected grid of `rows` x `cols` cells with bidirectional edges and
+/// independent random weights per direction. Vertex id = r * cols + c.
+WeightMatrix grid_mesh(std::size_t rows, std::size_t cols, int bits, WeightRange range,
+                       util::Rng& rng);
+
+/// grid_mesh plus wrap-around edges (torus).
+WeightMatrix torus_mesh(std::size_t rows, std::size_t cols, int bits, WeightRange range,
+                        util::Rng& rng);
+
+/// Star: every vertex has one edge to `center` and `center` one edge back.
+WeightMatrix star(std::size_t n, int bits, Vertex center, WeightRange range, util::Rng& rng);
+
+/// Complete digraph (every ordered pair, no self loops).
+WeightMatrix complete(std::size_t n, int bits, WeightRange range, util::Rng& rng);
+
+/// Banded digraph: edge i -> j exists iff 0 < |i - j| <= bandwidth.
+WeightMatrix banded(std::size_t n, int bits, std::size_t bandwidth, WeightRange range,
+                    util::Rng& rng);
+
+/// Random geometric digraph: n points in the unit square; edge i -> j iff
+/// dist(i, j) <= radius, weight proportional to the distance (scaled into
+/// `range`).
+WeightMatrix geometric(std::size_t n, int bits, double radius, WeightRange range,
+                       util::Rng& rng);
+
+}  // namespace ppa::graph

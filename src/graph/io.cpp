@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::graph {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw util::ParseError("malformed ppa-graph input: " + detail);
+}
+
+/// Reads the next non-comment token; returns false on clean EOF.
+bool next_token(std::istream& is, std::string& token) {
+  while (is >> token) {
+    if (token[0] != '#') return true;
+    std::string rest;
+    std::getline(is, rest);  // discard comment to end of line
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') malformed(what + " is not a non-negative integer: " + token);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > (std::uint64_t{1} << 53)) malformed(what + " is implausibly large: " + token);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const WeightMatrix& g) {
+  os << "ppa-graph 1\n";
+  os << "n " << g.size() << " h " << g.field().bits() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.from << ' ' << e.to << ' ' << e.weight << '\n';
+  }
+}
+
+std::string to_string(const WeightMatrix& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+WeightMatrix read_graph(std::istream& is) {
+  std::string token;
+  if (!next_token(is, token) || token != "ppa-graph") malformed("missing header");
+  if (!next_token(is, token) || token != "1") malformed("unsupported format version");
+  if (!next_token(is, token) || token != "n") malformed("missing problem line");
+  if (!next_token(is, token)) malformed("missing vertex count");
+  const auto n = static_cast<std::size_t>(parse_u64(token, "vertex count"));
+  if (n == 0) malformed("vertex count must be positive");
+  if (!next_token(is, token) || token != "h") malformed("missing word width marker");
+  if (!next_token(is, token)) malformed("missing word width");
+  const auto bits = static_cast<int>(parse_u64(token, "word width"));
+  if (!util::valid_word_bits(bits)) malformed("word width out of range [1,32]");
+
+  WeightMatrix g(n, bits);
+  while (next_token(is, token)) {
+    if (token != "e") malformed("expected edge line, got: " + token);
+    std::string from_tok;
+    std::string to_tok;
+    std::string w_tok;
+    if (!next_token(is, from_tok) || !next_token(is, to_tok) || !next_token(is, w_tok)) {
+      malformed("truncated edge line");
+    }
+    const auto from = static_cast<std::size_t>(parse_u64(from_tok, "edge source"));
+    const auto to = static_cast<std::size_t>(parse_u64(to_tok, "edge target"));
+    const auto weight = parse_u64(w_tok, "edge weight");
+    if (from >= n || to >= n) malformed("edge endpoint out of range");
+    if (weight >= g.infinity()) malformed("edge weight must be finite in the h-bit field");
+    g.set(from, to, static_cast<Weight>(weight));
+  }
+  return g;
+}
+
+WeightMatrix graph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+void save_graph(const std::string& path, const WeightMatrix& g) {
+  std::ofstream os(path);
+  if (!os) throw util::ParseError("cannot open for writing: " + path);
+  write_graph(os, g);
+  if (!os) throw util::ParseError("write failed: " + path);
+}
+
+WeightMatrix load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::ParseError("cannot open for reading: " + path);
+  return read_graph(is);
+}
+
+}  // namespace ppa::graph

@@ -1,0 +1,37 @@
+// Text serialization of weight matrices.
+//
+// Format (DIMACS-inspired, whitespace separated, '#' comments):
+//
+//   ppa-graph 1            header + format version
+//   n <vertices> h <bits>  problem line
+//   e <from> <to> <weight> one line per finite edge
+//
+// Weights must be finite in the h-bit field; absent pairs are infinity.
+// The writer emits edges in row-major order so serialization is canonical
+// (write(read(x)) == x byte-for-byte).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/weight_matrix.hpp"
+
+namespace ppa::graph {
+
+/// Writes the canonical text form.
+void write_graph(std::ostream& os, const WeightMatrix& g);
+
+/// Convenience: the canonical text form as a string.
+[[nodiscard]] std::string to_string(const WeightMatrix& g);
+
+/// Parses the text form; throws util::ParseError on malformed input.
+[[nodiscard]] WeightMatrix read_graph(std::istream& is);
+
+/// Convenience: parse from a string.
+[[nodiscard]] WeightMatrix graph_from_string(const std::string& text);
+
+/// File helpers; throw util::ParseError on I/O failure.
+void save_graph(const std::string& path, const WeightMatrix& g);
+[[nodiscard]] WeightMatrix load_graph(const std::string& path);
+
+}  // namespace ppa::graph

@@ -1,0 +1,87 @@
+#include "graph/path.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::graph {
+
+std::optional<std::vector<Vertex>> extract_path(const McpSolution& solution, Vertex source) {
+  const std::size_t n = solution.cost.size();
+  PPA_REQUIRE(source < n, "source out of range");
+  PPA_REQUIRE(solution.next.size() == n, "solution vectors disagree on size");
+
+  if (source == solution.destination) return std::vector<Vertex>{source};
+
+  std::vector<Vertex> path{source};
+  Vertex current = source;
+  // A simple path visits at most n vertices; anything longer is a cycle in
+  // the pointer data.
+  for (std::size_t hops = 0; hops < n; ++hops) {
+    const Vertex nxt = solution.next[current];
+    if (nxt >= n) return std::nullopt;
+    path.push_back(nxt);
+    if (nxt == solution.destination) return path;
+    current = nxt;
+  }
+  return std::nullopt;
+}
+
+Weight path_cost(const WeightMatrix& g, const std::vector<Vertex>& path) {
+  PPA_REQUIRE(!path.empty(), "a path has at least one vertex");
+  const auto& field = g.field();
+  Weight total = 0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const Weight w = g.at(path[k], path[k + 1]);
+    if (w == g.infinity()) return g.infinity();
+    total = field.add(total, w);
+  }
+  return total;
+}
+
+namespace {
+
+VerifyResult fail(Vertex v, const std::string& why) {
+  std::ostringstream os;
+  os << "vertex " << v << ": " << why;
+  return VerifyResult{false, os.str()};
+}
+
+}  // namespace
+
+VerifyResult verify_solution(const WeightMatrix& g, const McpSolution& solution,
+                             const std::vector<Weight>& reference_cost) {
+  const std::size_t n = g.size();
+  if (solution.cost.size() != n || solution.next.size() != n || reference_cost.size() != n) {
+    return VerifyResult{false, "size mismatch between graph, solution and reference"};
+  }
+  const Vertex d = solution.destination;
+  if (d >= n) return VerifyResult{false, "destination out of range"};
+
+  for (Vertex i = 0; i < n; ++i) {
+    if (solution.cost[i] != reference_cost[i]) {
+      std::ostringstream os;
+      os << "cost " << solution.cost[i] << " != reference " << reference_cost[i];
+      return fail(i, os.str());
+    }
+  }
+
+  if (solution.cost[d] != 0) return fail(d, "destination cost must be 0");
+
+  for (Vertex i = 0; i < n; ++i) {
+    if (i == d) continue;
+    const bool reachable = solution.cost[i] != g.infinity();
+    if (!reachable) continue;
+    const auto path = extract_path(solution, i);
+    if (!path) return fail(i, "finite cost but PTN chain does not reach the destination");
+    const Weight traced = path_cost(g, *path);
+    if (traced != solution.cost[i]) {
+      std::ostringstream os;
+      os << "traced path costs " << traced << " but SOW claims " << solution.cost[i];
+      return fail(i, os.str());
+    }
+  }
+  return VerifyResult{};
+}
+
+}  // namespace ppa::graph

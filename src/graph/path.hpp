@@ -1,0 +1,61 @@
+// Path reconstruction and verification from the algorithm's outputs.
+//
+// The PPA algorithm (and every baseline here) reports, for each source
+// vertex i, a cost SOW[i] and a successor pointer PTN[i]; the actual path
+// is recovered by chasing PTN to the destination. These helpers turn that
+// encoding into explicit vertex sequences and *prove* a solution correct
+// against the graph: costs must match the traced paths edge by edge, and
+// pointer chains must terminate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/weight_matrix.hpp"
+
+namespace ppa::graph {
+
+/// Single-destination shortest-path solution: cost[i] and next-hop ptn[i]
+/// for every source vertex i. For unreachable vertices cost[i] is the
+/// field's infinity and ptn[i] is meaningless (conventionally the vertex
+/// itself).
+struct McpSolution {
+  std::vector<Weight> cost;
+  std::vector<Vertex> next;
+  Vertex destination = 0;
+};
+
+/// Chases `next` pointers from `source` toward `solution.destination`.
+/// Returns the vertex sequence source..destination, or std::nullopt when
+/// the chain does not reach the destination within n steps (corrupt
+/// pointer data). NOTE: this is a pointer chase only — it cannot know the
+/// field's infinity, so callers must check cost[source] != infinity first
+/// (an unreachable vertex's conventional next == destination would
+/// otherwise "trace" a one-hop non-path). verify_solution and path_cost
+/// do validate edges and costs.
+[[nodiscard]] std::optional<std::vector<Vertex>> extract_path(const McpSolution& solution,
+                                                              Vertex source);
+
+/// Sum of edge weights along an explicit path; infinity if any edge is
+/// missing. A single-vertex path costs 0.
+[[nodiscard]] Weight path_cost(const WeightMatrix& g, const std::vector<Vertex>& path);
+
+/// Result of verifying a solution against the graph and a reference cost
+/// vector (typically from Dijkstra).
+struct VerifyResult {
+  bool ok = true;
+  std::string detail;  // empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Full structural verification of `solution` on `g`:
+///  1. cost[destination] == 0 (by convention; the DP never relaxes d).
+///  2. For every i with finite cost, extract_path succeeds and the traced
+///     path's edge-weight sum equals cost[i] in the saturating field.
+///  3. cost[] equals `reference_cost` exactly.
+/// Any violation is reported with the offending vertex.
+[[nodiscard]] VerifyResult verify_solution(const WeightMatrix& g, const McpSolution& solution,
+                                           const std::vector<Weight>& reference_cost);
+
+}  // namespace ppa::graph

@@ -1,0 +1,86 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace ppa::graph {
+
+std::vector<bool> reachable_to(const WeightMatrix& g, Vertex destination) {
+  const std::size_t n = g.size();
+  PPA_REQUIRE(destination < n, "destination out of range");
+  std::vector<bool> reachable(n, false);
+  reachable[destination] = true;
+  std::deque<Vertex> frontier{destination};
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    // Predecessors of v: vertices u with a finite edge u -> v.
+    for (Vertex u = 0; u < n; ++u) {
+      if (!reachable[u] && u != v && g.has_edge(u, v)) {
+        reachable[u] = true;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::size_t max_mcp_edges(const WeightMatrix& g, Vertex destination) {
+  const std::size_t n = g.size();
+  PPA_REQUIRE(destination < n, "destination out of range");
+  const auto& field = g.field();
+  const Weight inf = g.infinity();
+
+  // dist[i] = cost of the best path from i to destination using at most
+  // `round + 1` edges (round counts completed relaxations). This mirrors
+  // the machine DP: init with the 1-edge paths, relax synchronously.
+  std::vector<Weight> dist(n, inf);
+  for (Vertex i = 0; i < n; ++i) dist[i] = g.at(i, destination);
+  dist[destination] = 0;  // diagonal-is-zero convention
+
+  std::size_t rounds = 0;
+  for (std::size_t round = 1; round < n + 1; ++round) {
+    std::vector<Weight> next(dist);
+    bool changed = false;
+    for (Vertex i = 0; i < n; ++i) {
+      if (i == destination) continue;
+      Weight best = dist[i];
+      for (Vertex j = 0; j < n; ++j) {
+        const Weight w = (i == j) ? 0 : g.at(i, j);
+        if (w == inf || dist[j] == inf) continue;
+        best = std::min(best, field.add(w, dist[j]));
+      }
+      if (best != dist[i]) {
+        next[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    dist = std::move(next);
+    rounds = round;
+  }
+  // `rounds` completed relaxations after the 1-edge init means the longest
+  // minimal MCP has rounds + 1 edges — unless nothing ever changed, in
+  // which case every reachable vertex has a 1-edge path (p == 1), or none
+  // is reachable at all (p == 0).
+  if (rounds == 0) {
+    for (Vertex i = 0; i < n; ++i) {
+      if (i != destination && dist[i] != inf) return 1;
+    }
+    return 0;
+  }
+  return rounds + 1;
+}
+
+std::size_t reachable_count(const WeightMatrix& g, Vertex destination) {
+  const auto mask = reachable_to(g, destination);
+  return static_cast<std::size_t>(std::count(mask.begin(), mask.end(), true));
+}
+
+bool all_reach(const WeightMatrix& g, Vertex destination) {
+  return reachable_count(g, destination) == g.size();
+}
+
+}  // namespace ppa::graph

@@ -1,0 +1,39 @@
+// Structural graph properties the experiments need.
+//
+// The paper's complexity bound is O(p * h) where p is "the maximum MCP
+// length from any vertex i to vertex d" — a property of the (graph,
+// destination) pair. The E2 experiment sweeps p, so we must be able to
+// measure it exactly for arbitrary inputs; `max_mcp_edges` computes it with
+// a sequential Bellman–Ford layering that mirrors the machine DP.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/weight_matrix.hpp"
+
+namespace ppa::graph {
+
+/// reachable[i] == true iff a directed path i -> destination exists.
+/// (Computed by BFS on the reverse graph; the destination is reachable
+/// from itself.)
+[[nodiscard]] std::vector<bool> reachable_to(const WeightMatrix& g, Vertex destination);
+
+/// The paper's p: over all vertices i that can reach `destination`, the
+/// minimum edge count among i's minimum-cost paths, maximized over i.
+/// Returns 0 when no other vertex can reach the destination.
+///
+/// Computed as the number of rounds a synchronous Bellman–Ford relaxation
+/// (diagonal treated as weight 0, exactly like the machines) needs before
+/// the cost vector stops changing — which is also the iteration count the
+/// PPA do-while loop performs useful work for.
+[[nodiscard]] std::size_t max_mcp_edges(const WeightMatrix& g, Vertex destination);
+
+/// Number of vertices with a finite-cost path to the destination,
+/// including the destination itself.
+[[nodiscard]] std::size_t reachable_count(const WeightMatrix& g, Vertex destination);
+
+/// True iff every vertex can reach the destination.
+[[nodiscard]] bool all_reach(const WeightMatrix& g, Vertex destination);
+
+}  // namespace ppa::graph

@@ -1,0 +1,125 @@
+#include "graph/solution_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::graph {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw util::ParseError("malformed ppa-solution input: " + detail);
+}
+
+bool next_token(std::istream& is, std::string& token) {
+  while (is >> token) {
+    if (token[0] != '#') return true;
+    std::string rest;
+    std::getline(is, rest);
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') malformed(what + " is not a non-negative integer: " + token);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > (std::uint64_t{1} << 53)) malformed(what + " is implausibly large: " + token);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_solution(std::ostream& os, const McpSolution& solution, Weight infinity) {
+  PPA_REQUIRE(solution.cost.size() == solution.next.size(),
+              "solution vectors disagree on size");
+  os << "ppa-solution 1\n";
+  os << "n " << solution.cost.size() << " d " << solution.destination << '\n';
+  for (std::size_t i = 0; i < solution.cost.size(); ++i) {
+    os << "v " << i << ' ';
+    if (solution.cost[i] == infinity) {
+      os << "inf";
+    } else {
+      os << solution.cost[i];
+    }
+    os << ' ' << solution.next[i] << '\n';
+  }
+}
+
+std::string solution_to_string(const McpSolution& solution, Weight infinity) {
+  std::ostringstream os;
+  write_solution(os, solution, infinity);
+  return os.str();
+}
+
+McpSolution read_solution(std::istream& is, Weight infinity) {
+  std::string token;
+  if (!next_token(is, token) || token != "ppa-solution") malformed("missing header");
+  if (!next_token(is, token) || token != "1") malformed("unsupported format version");
+  if (!next_token(is, token) || token != "n") malformed("missing size line");
+  if (!next_token(is, token)) malformed("missing vertex count");
+  const auto n = static_cast<std::size_t>(parse_u64(token, "vertex count"));
+  if (n == 0) malformed("vertex count must be positive");
+  if (!next_token(is, token) || token != "d") malformed("missing destination marker");
+  if (!next_token(is, token)) malformed("missing destination");
+  const auto d = static_cast<Vertex>(parse_u64(token, "destination"));
+  if (d >= n) malformed("destination out of range");
+
+  McpSolution solution;
+  solution.destination = d;
+  solution.cost.assign(n, infinity);
+  solution.next.assign(n, d);
+  std::vector<bool> seen(n, false);
+
+  while (next_token(is, token)) {
+    if (token != "v") malformed("expected vertex line, got: " + token);
+    std::string idx_tok;
+    std::string cost_tok;
+    std::string next_tok;
+    if (!next_token(is, idx_tok) || !next_token(is, cost_tok) || !next_token(is, next_tok)) {
+      malformed("truncated vertex line");
+    }
+    const auto i = static_cast<std::size_t>(parse_u64(idx_tok, "vertex index"));
+    if (i >= n) malformed("vertex index out of range");
+    if (seen[i]) malformed("duplicate vertex line");
+    seen[i] = true;
+    if (cost_tok == "inf") {
+      solution.cost[i] = infinity;
+    } else {
+      const auto cost = parse_u64(cost_tok, "cost");
+      if (cost > infinity) malformed("cost exceeds the field's infinity");
+      solution.cost[i] = static_cast<Weight>(cost);
+    }
+    const auto nxt = static_cast<Vertex>(parse_u64(next_tok, "next pointer"));
+    if (nxt >= n) malformed("next pointer out of range");
+    solution.next[i] = nxt;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) malformed("missing vertex line for vertex " + std::to_string(i));
+  }
+  return solution;
+}
+
+McpSolution solution_from_string(const std::string& text, Weight infinity) {
+  std::istringstream is(text);
+  return read_solution(is, infinity);
+}
+
+void save_solution(const std::string& path, const McpSolution& solution, Weight infinity) {
+  std::ofstream os(path);
+  if (!os) throw util::ParseError("cannot open for writing: " + path);
+  write_solution(os, solution, infinity);
+  if (!os) throw util::ParseError("write failed: " + path);
+}
+
+McpSolution load_solution(const std::string& path, Weight infinity) {
+  std::ifstream is(path);
+  if (!is) throw util::ParseError("cannot open for reading: " + path);
+  return read_solution(is, infinity);
+}
+
+}  // namespace ppa::graph

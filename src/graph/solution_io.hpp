@@ -1,0 +1,35 @@
+// Text serialization of single-destination solutions.
+//
+// Format ('#' comments, whitespace separated):
+//
+//   ppa-solution 1
+//   n <vertices> d <destination>
+//   v <source> <cost|inf> <next>      one line per vertex
+//
+// Written by the CLI tool's `solve` command and consumed by `verify`, so
+// a solution can be checked independently of the run that produced it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/path.hpp"
+
+namespace ppa::graph {
+
+/// Writes the canonical text form. `infinity` is the field's infinity of
+/// the graph the solution belongs to (costs equal to it print as "inf").
+void write_solution(std::ostream& os, const McpSolution& solution, Weight infinity);
+
+[[nodiscard]] std::string solution_to_string(const McpSolution& solution, Weight infinity);
+
+/// Parses the text form; "inf" costs become `infinity`. Throws
+/// util::ParseError on malformed input.
+[[nodiscard]] McpSolution read_solution(std::istream& is, Weight infinity);
+
+[[nodiscard]] McpSolution solution_from_string(const std::string& text, Weight infinity);
+
+void save_solution(const std::string& path, const McpSolution& solution, Weight infinity);
+[[nodiscard]] McpSolution load_solution(const std::string& path, Weight infinity);
+
+}  // namespace ppa::graph

@@ -1,0 +1,86 @@
+#include "mcp/allpairs.hpp"
+
+#include <algorithm>
+
+#include "ppc/primitives.hpp"
+#include "util/check.hpp"
+
+namespace ppa::mcp {
+
+namespace {
+
+using ppc::Pbool;
+using ppc::Pint;
+using sim::Direction;
+using sim::Word;
+
+}  // namespace
+
+EccentricityResult eccentricity(sim::Machine& machine, const graph::WeightMatrix& graph,
+                                graph::Vertex destination, const Options& options) {
+  EccentricityResult out;
+  out.mcp = minimum_cost_path(machine, graph, destination, options);
+
+  // After the run the costs are resident in row d of the PEs' SOW
+  // registers; the Result copied them out but the machine state is
+  // unchanged. Rebuild that register view and reduce it on the machine:
+  // one OR-probe selected_max over the finite entries of row d. The
+  // candidate set is never empty ((d,d) == 0), and the OR-probe variant
+  // leaves the other rows' empty selections at a harmless 0 instead of a
+  // floating bus read.
+  const std::size_t n = graph.size();
+  const Word inf = graph.infinity();
+  ppc::Context ctx(machine);
+  std::vector<Word> cells(machine.pe_count(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[destination * n + i] = out.mcp.solution.cost[i];
+  }
+
+  const sim::StepCounter before = machine.steps();
+  const Pint SOW(ctx, cells);
+  const Pbool row_is_d = (ppc::row_of(ctx) == static_cast<Word>(destination));
+  const Pbool row_end = (ppc::col_of(ctx) == static_cast<Word>(n - 1));
+  const Pbool finite_in_d = row_is_d & !(SOW == inf);
+  const Pint row_max = ppc::selected_max_orprobe(SOW, Direction::West, row_end, finite_in_d);
+  out.eccentricity = row_max.at(destination, 0);
+  out.reduction_steps = machine.steps().since(before);
+  return out;
+}
+
+EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
+                                      graph::Vertex destination, const Options& options) {
+  sim::MachineConfig config;
+  config.n = graph.size();
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+  return eccentricity(machine, graph, destination, options);
+}
+
+AllPairsResult all_pairs(const graph::WeightMatrix& graph, const Options& options) {
+  const std::size_t n = graph.size();
+  sim::MachineConfig config;
+  config.n = n;
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+
+  AllPairsResult result;
+  result.n = n;
+  result.dist.assign(n * n, graph.infinity());
+  result.next.assign(n * n, 0);
+
+  for (graph::Vertex d = 0; d < n; ++d) {
+    const Result run = minimum_cost_path(machine, graph, d, options);
+    result.total_iterations += run.iterations;
+    for (graph::Vertex i = 0; i < n; ++i) {
+      result.dist[i * n + d] = run.solution.cost[i];
+      result.next[i * n + d] = run.solution.next[i];
+      if (run.solution.cost[i] != graph.infinity()) {
+        result.diameter = std::max(result.diameter, run.solution.cost[i]);
+      }
+    }
+  }
+  result.total_steps = machine.steps();
+  return result;
+}
+
+}  // namespace ppa::mcp

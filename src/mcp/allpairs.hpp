@@ -1,0 +1,60 @@
+// All-pairs minimum cost paths, eccentricity and diameter on the PPA.
+//
+// The single-destination algorithm solves one column of the all-pairs
+// problem per run; n runs on one (reused) machine give the full matrix in
+// O(n · p̄ · h) SIMD steps. On top of it:
+//
+//   * in_eccentricity(d) — the largest FINITE minimum cost into d,
+//     computed ON the machine with one O(h) selected_max over row d of
+//     SOW (candidates: finite entries; (d,d) = 0 keeps the candidate set
+//     non-empty even for isolated destinations);
+//   * diameter — the largest finite minimum cost over all ordered pairs,
+//     i.e. max over d of in_eccentricity(d).
+#pragma once
+
+#include <vector>
+
+#include "graph/weight_matrix.hpp"
+#include "mcp/mcp.hpp"
+
+namespace ppa::mcp {
+
+struct EccentricityResult {
+  Result mcp;                      // the underlying MCP run
+  graph::Weight eccentricity = 0;  // max finite cost into the destination
+  sim::StepCounter reduction_steps;  // the extra O(h) selected_max
+};
+
+/// Runs the MCP toward `destination` on `machine`, then reduces row d on
+/// the machine itself (one selected_max) to the in-eccentricity.
+[[nodiscard]] EccentricityResult eccentricity(sim::Machine& machine,
+                                              const graph::WeightMatrix& graph,
+                                              graph::Vertex destination,
+                                              const Options& options = {});
+
+/// Convenience one-shot with a fresh host-sequential machine.
+[[nodiscard]] EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
+                                                    graph::Vertex destination,
+                                                    const Options& options = {});
+
+struct AllPairsResult {
+  std::size_t n = 0;
+  std::vector<graph::Weight> dist;  // row-major; dist[i*n + j] = cost i -> j
+  std::vector<graph::Vertex> next;  // next[i*n + j] = successor of i toward j
+  std::size_t total_iterations = 0;
+  sim::StepCounter total_steps;
+  graph::Weight diameter = 0;  // max finite dist over all ordered pairs
+
+  [[nodiscard]] graph::Weight dist_at(graph::Vertex i, graph::Vertex j) const {
+    return dist[i * n + j];
+  }
+  [[nodiscard]] graph::Vertex next_at(graph::Vertex i, graph::Vertex j) const {
+    return next[i * n + j];
+  }
+};
+
+/// n MCP runs (one per destination) on a single reused machine.
+[[nodiscard]] AllPairsResult all_pairs(const graph::WeightMatrix& graph,
+                                       const Options& options = {});
+
+}  // namespace ppa::mcp

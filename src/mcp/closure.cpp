@@ -1,0 +1,118 @@
+#include "mcp/closure.hpp"
+
+#include "ppc/primitives.hpp"
+#include "util/check.hpp"
+
+namespace ppa::mcp {
+
+namespace {
+
+using ppc::Pbool;
+using ppc::Pint;
+using sim::Direction;
+using sim::Flag;
+using sim::Word;
+
+/// The boolean adjacency loaded into the PEs: hasEdge(i,j), diagonal true
+/// (the j == i term preserves R_i across iterations, mirroring the MCP's
+/// zero diagonal).
+std::vector<Flag> adjacency_flags(const graph::WeightMatrix& g) {
+  const std::size_t n = g.size();
+  std::vector<Flag> flags(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      flags[i * n + j] = (i == j || g.has_edge(i, j)) ? Flag{1} : Flag{0};
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+ReachabilityResult reachability(sim::Machine& machine, const graph::WeightMatrix& graph,
+                                graph::Vertex destination) {
+  const std::size_t n = graph.size();
+  PPA_REQUIRE(machine.n() == n, "machine side must equal the vertex count");
+  PPA_REQUIRE(destination < n, "destination out of range");
+
+  ppc::Context ctx(machine);
+  const sim::StepCounter at_entry = machine.steps();
+
+  const Pbool EDGE(ctx, adjacency_flags(graph));
+  const Pint ROW = ppc::row_of(ctx);
+  const Pint COL = ppc::col_of(ctx);
+  const Word d = static_cast<Word>(destination);
+  const Pbool row_is_d = (ROW == d);
+  const Pbool col_is_d = (COL == d);
+  const Pbool on_diagonal = (ROW == COL);
+  const Pbool row_end = (COL == static_cast<Word>(n - 1));
+
+  // Init: R[d][j] = hasEdge(j, d) — column d transposed into row d, the
+  // same two-bus-cycle pattern as the MCP init (and R[d][d] = true via
+  // the reflexive diagonal).
+  Pbool R(ctx, false);
+  const Pbool edges_into_d = ppc::broadcast(EDGE, Direction::East, col_is_d);
+  ppc::where(ctx, row_is_d, [&] { R = ppc::broadcast(edges_into_d, Direction::South, on_diagonal); });
+
+  ReachabilityResult result;
+  result.destination = destination;
+  result.init_steps = machine.steps().since(at_entry);
+
+  for (;;) {
+    PPA_REQUIRE(result.iterations < n + 2,
+                "reachability failed to converge within the iteration cap");
+    Pbool changed(ctx, false);
+    Pbool OLD(ctx, false);
+    Pbool NEW_R(ctx, false);
+
+    // cand(i,j) = hasEdge(i,j) AND R[d][j]; row-wide OR in ONE bus cycle.
+    const Pbool r_by_column = ppc::broadcast(R, Direction::South, row_is_d);
+    NEW_R.store_all(ppc::bus_or(EDGE & r_by_column, Direction::West, row_end));
+
+    ppc::where(ctx, row_is_d, [&] {
+      OLD = R;
+      R = ppc::broadcast(NEW_R, Direction::South, on_diagonal);
+      changed = (R != OLD);
+    });
+
+    ++result.iterations;
+    if (!ppc::any(changed)) break;
+  }
+
+  result.total_steps = machine.steps().since(at_entry);
+  result.reachable.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.reachable[i] = R.at(destination, i);
+  }
+  return result;
+}
+
+ReachabilityResult solve_reachability(const graph::WeightMatrix& graph,
+                                      graph::Vertex destination) {
+  sim::MachineConfig config;
+  config.n = graph.size();
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+  return reachability(machine, graph, destination);
+}
+
+ClosureResult transitive_closure(const graph::WeightMatrix& graph) {
+  const std::size_t n = graph.size();
+  sim::MachineConfig config;
+  config.n = n;
+  config.bits = graph.field().bits();
+  sim::Machine machine(config);
+
+  ClosureResult result;
+  result.n = n;
+  result.closed.assign(n * n, false);
+  for (graph::Vertex d = 0; d < n; ++d) {
+    const ReachabilityResult run = reachability(machine, graph, d);
+    result.total_iterations += run.iterations;
+    for (graph::Vertex i = 0; i < n; ++i) result.closed[i * n + d] = run.reachable[i];
+  }
+  result.total_steps = machine.steps();
+  return result;
+}
+
+}  // namespace ppa::mcp

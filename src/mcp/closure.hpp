@@ -1,0 +1,65 @@
+// Reachability and transitive closure on the PPA.
+//
+// The paper cites Wang & Chen's "Constant Time Algorithms for the
+// Transitive Closure ... on Processor Arrays with Reconfigurable Bus
+// System" [6] as the stronger-model comparison point. On the row/column-
+// only PPA the same problem is the MCP dynamic program over the BOOLEAN
+// semiring (OR-AND instead of min-plus) — and the row reduction collapses
+// from the O(h) bit-serial minimum to a SINGLE wired-OR bus cycle, so one
+// relaxation iteration costs O(1) SIMD steps and single-destination
+// reachability costs O(p) total:
+//
+//   R[d][j]  <- "edge j -> d exists"            (init, like SOW)
+//   iterate: cand(i,j) = hasEdge(i,j) AND R_j   (column broadcast)
+//            R_i <- OR_j cand(i,j)              (ONE bus_or cycle)
+//   until row d stops changing.
+//
+// The n-destination loop gives the full transitive closure in O(n·p)
+// steps on n^2 PEs — weaker than PARBS's O(1) on n^3 PEs, which is
+// exactly the "less powerful but hardware implementable" trade-off the
+// paper's concluding remarks describe.
+#pragma once
+
+#include <vector>
+
+#include "graph/weight_matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ppa::mcp {
+
+struct ReachabilityResult {
+  /// reachable[i] == true iff a directed path i -> destination exists
+  /// (the destination reaches itself).
+  std::vector<bool> reachable;
+  graph::Vertex destination = 0;
+  std::size_t iterations = 0;
+  sim::StepCounter init_steps;   // load + row-d initialization
+  sim::StepCounter total_steps;
+};
+
+/// Single-destination reachability on `machine`. Same preconditions as
+/// minimum_cost_path (the boolean DP still addresses the array with its
+/// h-bit words).
+[[nodiscard]] ReachabilityResult reachability(sim::Machine& machine,
+                                              const graph::WeightMatrix& graph,
+                                              graph::Vertex destination);
+
+/// Convenience one-shot with a fresh host-sequential machine.
+[[nodiscard]] ReachabilityResult solve_reachability(const graph::WeightMatrix& graph,
+                                                    graph::Vertex destination);
+
+struct ClosureResult {
+  std::size_t n = 0;
+  /// Row-major: closed[i*n + j] == true iff a path i -> j exists
+  /// (reflexive: the diagonal is true).
+  std::vector<bool> closed;
+  std::size_t total_iterations = 0;
+  sim::StepCounter total_steps;
+
+  [[nodiscard]] bool at(graph::Vertex i, graph::Vertex j) const { return closed[i * n + j]; }
+};
+
+/// Full transitive closure: n reachability runs on one reused machine.
+[[nodiscard]] ClosureResult transitive_closure(const graph::WeightMatrix& graph);
+
+}  // namespace ppa::mcp

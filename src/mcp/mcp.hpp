@@ -1,0 +1,115 @@
+// Minimum Cost Path on the Polymorphic Processor Array — the paper's
+// primary contribution (Section 3), statement for statement.
+//
+// Given an n-vertex weighted digraph loaded as the n x n weight matrix W
+// (PE (i,j) holds w_ij) and a destination vertex d, the algorithm computes
+// for every source vertex i:
+//
+//   SOW[d][i] — the cost of a minimum cost path i -> d, and
+//   PTN[d][i] — the vertex following i on such a path,
+//
+// in O(p * h) SIMD steps, where p is the maximum MCP edge count and h the
+// word width. Iteration k extends the candidate paths by one edge using a
+// column broadcast from row d, a bit-serial row minimum (pmin) and argmin
+// (selected_min), and a diagonal column broadcast back into row d; the loop
+// stops when no SOW in row d changes.
+//
+// Conventions (derived from the paper's own update rule — see DESIGN.md):
+//  * The diagonal of W is loaded as 0 regardless of the input matrix: the
+//    j == i term of the row minimum is then w_ii + SOW_id = SOW_id, which
+//    realizes "the minimum between its old value and the new candidates",
+//    and SOW[d][d] stays 0 (the empty path d -> d).
+//  * MIN_SOW is initialized to SOW after step 1 so the never-written
+//    diagonal element (d,d) stays inert in the convergence test (the paper
+//    leaves MIN_SOW's initial value unspecified).
+//  * Argmin ties resolve to the smallest next-hop index (selected_min over
+//    COL), so PTN is deterministic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/path.hpp"
+#include "graph/weight_matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ppa::mcp {
+
+/// Which row-minimum implementation the relaxation uses.
+enum class MinVariant {
+  Paper,    // pmin / selected_min: OR rounds + route to extreme + spread
+  OrProbe,  // pmin_orprobe: every PE reconstructs the minimum from the OR
+            // bits (GCN-style; saves the two routing broadcasts per min)
+};
+
+/// How the DP's broadcasts reach the whole array.
+enum class BroadcastScheme {
+  SingleRing,      // one bus cycle per broadcast; requires Ring buses
+                   // (the paper listing's reading — DESIGN.md §2)
+  TwoSidedLinear,  // each broadcast issued in both directions and combined
+                   // by driven-ness: works on LINEAR buses at 2x the
+                   // broadcast cycles. Forces the OrProbe minimum (the
+                   // paper min()'s routing step cannot reach a cluster's
+                   // extreme node on a linear bus when the extreme node
+                   // itself holds the unique minimum).
+};
+
+struct Options {
+  /// Hard iteration cap; 0 means automatic (n + 2, beyond which the DP
+  /// provably cannot still be changing — hitting it indicates a bug).
+  std::size_t max_iterations = 0;
+  MinVariant min_variant = MinVariant::Paper;
+  BroadcastScheme broadcast_scheme = BroadcastScheme::SingleRing;
+  /// Record per-iteration step counts and changed-vertex counts.
+  bool record_iterations = false;
+};
+
+struct IterationRecord {
+  std::size_t changed = 0;   // vertices whose SOW improved this iteration
+  sim::StepCounter steps;    // SIMD steps spent in this iteration
+};
+
+struct Result {
+  graph::McpSolution solution;
+  std::size_t iterations = 0;        // relaxation iterations executed
+  sim::StepCounter init_steps;       // step 1 (load + init)
+  sim::StepCounter total_steps;      // whole algorithm
+  std::vector<IterationRecord> iteration_trace;  // if record_iterations
+};
+
+/// Runs the paper's minimum_cost_path() on `machine`. Requirements:
+/// machine.n() == graph.size(), machine word width == graph word width,
+/// destination < n. The machine's step counter keeps accumulating (the
+/// per-call cost is reported in the Result).
+[[nodiscard]] Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
+                                       graph::Vertex destination, const Options& options = {});
+
+/// Convenience one-shot: builds a matching machine (Ring topology,
+/// host-sequential) and solves.
+[[nodiscard]] Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
+                           const Options& options = {});
+
+/// Single-SOURCE solution: cost[i] is the cheapest path source -> i, and
+/// prev[i] the vertex BEFORE i on such a path (predecessor tree). Chasing
+/// prev from any reachable i walks back to the source.
+struct SourceResult {
+  std::vector<graph::Weight> cost;
+  std::vector<graph::Vertex> prev;
+  graph::Vertex source = 0;
+  graph::Weight infinity = 0;  // the field's +inf, for reachability checks
+  std::size_t iterations = 0;
+  sim::StepCounter total_steps;
+};
+
+/// Minimum cost paths FROM `source` to every vertex: the same machine DP
+/// run toward `source` on the transposed weight matrix (a path i -> s in
+/// g^T is the reverse of a path s -> i in g, edge by edge).
+[[nodiscard]] SourceResult solve_from(const graph::WeightMatrix& graph, graph::Vertex source,
+                                      const Options& options = {});
+
+/// Walks the predecessor pointers of a SourceResult back from `target`;
+/// returns the source..target sequence, or nullopt when unreachable.
+[[nodiscard]] std::optional<std::vector<graph::Vertex>> extract_path_from(
+    const SourceResult& result, graph::Vertex target);
+
+}  // namespace ppa::mcp

@@ -1,0 +1,49 @@
+#include "ppc/context.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ppa::ppc {
+
+Context::Context(sim::Machine& machine) : machine_(machine) {
+  stack_.emplace_back(machine.pe_count(), Flag{1});
+}
+
+bool Context::mask_is_full() const noexcept {
+  const auto& top = stack_.back();
+  return std::all_of(top.begin(), top.end(), [](Flag f) { return f != 0; });
+}
+
+void Context::push_mask_and(std::span<const Flag> cond) {
+  PPA_REQUIRE(cond.size() == pe_count(), "where-condition must cover the whole array");
+  const auto& top = stack_.back();
+  std::vector<Flag> next(pe_count());
+  machine_.for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      next[pe] = static_cast<Flag>(top[pe] & (cond[pe] ? 1 : 0));
+    }
+  });
+  machine_.charge_alu();
+  stack_.push_back(std::move(next));
+}
+
+void Context::push_mask_and_not(std::span<const Flag> cond) {
+  PPA_REQUIRE(cond.size() == pe_count(), "where-condition must cover the whole array");
+  const auto& top = stack_.back();
+  std::vector<Flag> next(pe_count());
+  machine_.for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      next[pe] = static_cast<Flag>(top[pe] & (cond[pe] ? 0 : 1));
+    }
+  });
+  machine_.charge_alu();
+  stack_.push_back(std::move(next));
+}
+
+void Context::pop_mask() {
+  PPA_REQUIRE(stack_.size() > 1, "pop_mask without a matching where");
+  stack_.pop_back();
+}
+
+}  // namespace ppa::ppc

@@ -1,0 +1,56 @@
+// PPC execution context: a machine plus the activity-mask stack.
+//
+// Polymorphic Parallel C partitions the PEs with the `where/elsewhere`
+// control structure; nested wheres AND-compose. The mask gates *register
+// write-back only*: expressions and bus cycles are executed by the whole
+// physical array (the buses do not know about the program's mask — see
+// DESIGN.md §4.1; the paper's statement 10 broadcasts FROM row d INSIDE a
+// `where(ROW != d)` block, which only works under these semantics).
+//
+// Context is the object every Parallel variable holds a pointer to; it
+// provides the mask stack and forwards geometry/primitives to the Machine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace ppa::ppc {
+
+using sim::Flag;
+using sim::Word;
+
+class Context {
+ public:
+  explicit Context(sim::Machine& machine);
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] sim::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] const sim::Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] const util::HField& field() const noexcept { return machine_.field(); }
+  [[nodiscard]] std::size_t n() const noexcept { return machine_.n(); }
+  [[nodiscard]] std::size_t pe_count() const noexcept { return machine_.pe_count(); }
+
+  /// Current activity mask (1 = PE executes write-backs).
+  [[nodiscard]] std::span<const Flag> mask() const noexcept { return stack_.back(); }
+
+  /// True iff no `where` is active (every PE active).
+  [[nodiscard]] bool mask_is_full() const noexcept;
+
+  /// Pushes `current & cond` / `current & !cond`. Each costs one ALU step
+  /// (the hardware computes the new activity bit in every PE).
+  void push_mask_and(std::span<const Flag> cond);
+  void push_mask_and_not(std::span<const Flag> cond);
+  void pop_mask();
+
+  [[nodiscard]] std::size_t mask_depth() const noexcept { return stack_.size() - 1; }
+
+ private:
+  sim::Machine& machine_;
+  std::vector<std::vector<Flag>> stack_;  // stack_[0] = all ones
+};
+
+}  // namespace ppa::ppc

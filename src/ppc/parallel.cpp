@@ -1,0 +1,530 @@
+#include "ppc/parallel.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::ppc {
+
+/// Private-access backdoor for primitives.cpp: builds parallel values that
+/// carry bus-driven masks without charging a store instruction (the bus
+/// primitive itself already charged the cycle).
+class detail_access {
+ public:
+  static Pint raw_pint(Context& ctx, std::vector<Word> data, std::vector<Flag> driven) {
+    Pint p(&ctx);
+    p.data_ = std::move(data);
+    p.driven_ = std::move(driven);
+    PPA_ASSERT(p.data_.size() == ctx.pe_count(), "raw pint size mismatch");
+    return p;
+  }
+
+  static Pbool raw_pbool(Context& ctx, std::vector<Flag> data, std::vector<Flag> driven) {
+    Pbool p(&ctx);
+    p.data_ = std::move(data);
+    p.driven_ = std::move(driven);
+    PPA_ASSERT(p.data_.size() == ctx.pe_count(), "raw pbool size mismatch");
+    return p;
+  }
+};
+
+namespace {
+
+void check_same_context(const Context& a, const Context& b) {
+  PPA_REQUIRE(&a == &b, "parallel operands belong to different machines");
+}
+
+/// Elementwise AND of the operands' driven masks; empty when both are
+/// fully driven.
+std::vector<Flag> combine_driven(Context& ctx, std::span<const Flag> a,
+                                 std::span<const Flag> b) {
+  if (a.empty() && b.empty()) return {};
+  std::vector<Flag> out(ctx.pe_count(), Flag{1});
+  for (std::size_t pe = 0; pe < out.size(); ++pe) {
+    if (!a.empty()) out[pe] = static_cast<Flag>(out[pe] & a[pe]);
+    if (!b.empty()) out[pe] = static_cast<Flag>(out[pe] & b[pe]);
+  }
+  return out;
+}
+
+[[noreturn]] void fail_undriven(const Context& ctx, std::size_t pe) {
+  std::ostringstream os;
+  const std::size_t n = ctx.n();
+  os << "PE (" << pe / n << ", " << pe % n
+     << ") consumed an undriven bus value; with BusTopology::Linear this usually means a "
+        "broadcast relied on ring wrap-around (see DESIGN.md), or an empty candidate set "
+        "drove nothing onto the bus";
+  throw util::ContractError(os.str());
+}
+
+/// Enforces the machine's UndrivenPolicy for a masked store of `rhs_driven`
+/// (empty = fully driven, nothing to check).
+void check_store_driven(Context& ctx, std::span<const Flag> mask,
+                        std::span<const Flag> rhs_driven) {
+  if (rhs_driven.empty()) return;
+  if (ctx.machine().config().undriven != sim::UndrivenPolicy::Error) return;
+  for (std::size_t pe = 0; pe < mask.size(); ++pe) {
+    if (mask[pe] && !rhs_driven[pe]) fail_undriven(ctx, pe);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pint
+// ---------------------------------------------------------------------------
+
+Pint::Pint(Context& ctx, Word init) : ctx_(&ctx), data_(ctx.pe_count(), init) {
+  PPA_REQUIRE(ctx.field().representable(init), "initializer does not fit in the h-bit field");
+  ctx.machine().charge_alu();
+}
+
+Pint::Pint(Context& ctx, std::span<const Word> values)
+    : ctx_(&ctx), data_(values.begin(), values.end()) {
+  PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
+  for (const Word v : data_) {
+    PPA_REQUIRE(ctx.field().representable(v), "initializer value does not fit in the field");
+  }
+  ctx.machine().charge_alu();
+}
+
+Pint& Pint::operator=(const Pint& rhs) {
+  check_same_context(*ctx_, *rhs.ctx_);
+  Context& ctx = *ctx_;
+  const auto mask = ctx.mask();
+  check_store_driven(ctx, mask, rhs.driven_);
+  ctx.machine().charge_alu();
+  // Self-assignment is harmless: each PE rewrites its own value.
+  const auto& src = rhs.data_;
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      if (mask[pe]) data_[pe] = src[pe];
+    }
+  });
+  if (!driven_.empty()) {
+    // Written cells now hold defined values (undriven reads were rejected
+    // or zeroed above).
+    for (std::size_t pe = 0; pe < driven_.size(); ++pe) {
+      if (mask[pe]) driven_[pe] = 1;
+    }
+  }
+  return *this;
+}
+
+Pint& Pint::operator=(Pint&& rhs) { return *this = static_cast<const Pint&>(rhs); }
+
+void Pint::store_all(const Pint& rhs) {
+  check_same_context(*ctx_, *rhs.ctx_);
+  if (!rhs.driven_.empty() &&
+      ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
+    for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
+      if (!rhs.driven_[pe]) fail_undriven(*ctx_, pe);
+    }
+  }
+  ctx_->machine().charge_alu();
+  data_ = rhs.data_;
+  driven_.clear();
+}
+
+void Pint::store_all(Word value) {
+  PPA_REQUIRE(ctx_->field().representable(value), "value does not fit in the h-bit field");
+  ctx_->machine().charge_alu();
+  std::fill(data_.begin(), data_.end(), value);
+  driven_.clear();
+}
+
+Word Pint::at(std::size_t pe) const {
+  PPA_REQUIRE(pe < data_.size(), "PE index out of range");
+  return data_[pe];
+}
+
+Word Pint::at(std::size_t row, std::size_t col) const {
+  const std::size_t n = ctx_->n();
+  PPA_REQUIRE(row < n && col < n, "PE coordinates out of range");
+  return data_[row * n + col];
+}
+
+Pbool Pint::bit(int j) const {
+  PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
+  Context& ctx = *ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      out[pe] = static_cast<Flag>((data_[pe] >> j) & 1u);
+    }
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  std::vector<Flag>(driven_));
+}
+
+Pint Pint::or_bit(int j, const Pbool& flag) const {
+  PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
+  check_same_context(*ctx_, flag.context());
+  Context& ctx = *ctx_;
+  const auto fv = flag.values();
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      out[pe] = data_[pe] | (fv[pe] ? (Word{1} << j) : Word{0});
+    }
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out),
+                                 combine_driven(ctx, driven_, flag.driven_view()));
+}
+
+// ---------------------------------------------------------------------------
+// The operator bodies need the operands' driven masks; they are friends so
+// they touch the members directly rather than going through helpers.
+// ---------------------------------------------------------------------------
+
+Pint operator+(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  const auto& field = ctx.field();
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = field.add(a.data_[pe], b.data_[pe]);
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out),
+                                 combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pint operator+(const Pint& a, Word b) {
+  Context& ctx = *a.ctx_;
+  PPA_REQUIRE(ctx.field().representable(b), "scalar does not fit in the h-bit field");
+  const auto& field = ctx.field();
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = field.add(a.data_[pe], b);
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
+}
+
+Pint emin(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] < b.data_[pe] ? a.data_[pe] : b.data_[pe];
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out),
+                                 combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pint emax(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] > b.data_[pe] ? a.data_[pe] : b.data_[pe];
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out),
+                                 combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator==(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] == b.data_[pe] ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator!=(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] != b.data_[pe] ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator<(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] < b.data_[pe] ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator<=(const Pint& a, const Pint& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] <= b.data_[pe] ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator==(const Pint& a, Word b) {
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] == b ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
+}
+
+Pbool operator!=(const Pint& a, Word b) {
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] != b ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
+}
+
+Pbool operator<(const Pint& a, Word b) {
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = a.data_[pe] < b ? Flag{1} : Flag{0};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
+}
+
+Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
+  check_same_context(cond.context(), a.context());
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Word> out(ctx.pe_count());
+  const auto cv = cond.values();
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = cv[pe] ? a.data_[pe] : b.data_[pe];
+  });
+  ctx.machine().charge_alu();
+  // Driven-ness follows the SELECTED operand per element (a tainted
+  // condition taints everything).
+  std::vector<Flag> driven;
+  if (!a.driven_.empty() || !b.driven_.empty() || !cond.driven_view().empty()) {
+    driven.assign(ctx.pe_count(), Flag{1});
+    const auto cd = cond.driven_view();
+    bool any_undriven = false;
+    for (std::size_t pe = 0; pe < driven.size(); ++pe) {
+      const Flag chosen = cv[pe] ? (a.driven_.empty() ? Flag{1} : a.driven_[pe])
+                                 : (b.driven_.empty() ? Flag{1} : b.driven_[pe]);
+      const Flag cond_ok = cd.empty() ? Flag{1} : cd[pe];
+      driven[pe] = static_cast<Flag>(chosen & cond_ok);
+      any_undriven |= (driven[pe] == 0);
+    }
+    if (!any_undriven) driven.clear();
+  }
+  return detail_access::raw_pint(ctx, std::move(out), std::move(driven));
+}
+
+// ---------------------------------------------------------------------------
+// Pbool
+// ---------------------------------------------------------------------------
+
+Pbool::Pbool(Context& ctx, bool init)
+    : ctx_(&ctx), data_(ctx.pe_count(), init ? Flag{1} : Flag{0}) {
+  ctx.machine().charge_alu();
+}
+
+Pbool::Pbool(Context& ctx, std::span<const Flag> values)
+    : ctx_(&ctx), data_(values.begin(), values.end()) {
+  PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
+  for (Flag& f : data_) f = f ? Flag{1} : Flag{0};
+  ctx.machine().charge_alu();
+}
+
+Pbool& Pbool::operator=(const Pbool& rhs) {
+  check_same_context(*ctx_, *rhs.ctx_);
+  Context& ctx = *ctx_;
+  const auto mask = ctx.mask();
+  check_store_driven(ctx, mask, rhs.driven_);
+  ctx.machine().charge_alu();
+  const auto& src = rhs.data_;
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      if (mask[pe]) data_[pe] = src[pe];
+    }
+  });
+  if (!driven_.empty()) {
+    for (std::size_t pe = 0; pe < driven_.size(); ++pe) {
+      if (mask[pe]) driven_[pe] = 1;
+    }
+  }
+  return *this;
+}
+
+Pbool& Pbool::operator=(Pbool&& rhs) { return *this = static_cast<const Pbool&>(rhs); }
+
+void Pbool::store_all(const Pbool& rhs) {
+  check_same_context(*ctx_, *rhs.ctx_);
+  if (!rhs.driven_.empty() &&
+      ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
+    for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
+      if (!rhs.driven_[pe]) fail_undriven(*ctx_, pe);
+    }
+  }
+  ctx_->machine().charge_alu();
+  data_ = rhs.data_;
+  driven_.clear();
+}
+
+void Pbool::store_all(bool value) {
+  ctx_->machine().charge_alu();
+  std::fill(data_.begin(), data_.end(), value ? Flag{1} : Flag{0});
+  driven_.clear();
+}
+
+bool Pbool::at(std::size_t pe) const {
+  PPA_REQUIRE(pe < data_.size(), "PE index out of range");
+  return data_[pe] != 0;
+}
+
+bool Pbool::at(std::size_t row, std::size_t col) const {
+  const std::size_t n = ctx_->n();
+  PPA_REQUIRE(row < n && col < n, "PE coordinates out of range");
+  return data_[row * n + col] != 0;
+}
+
+std::size_t Pbool::count() const noexcept {
+  std::size_t c = 0;
+  for (const Flag f : data_) c += (f != 0);
+  return c;
+}
+
+Pbool operator!(const Pbool& a) {
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = a.data_[pe] ? Flag{0} : Flag{1};
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out), std::vector<Flag>(a.driven_));
+}
+
+Pbool operator&(const Pbool& a, const Pbool& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = static_cast<Flag>(a.data_[pe] & b.data_[pe]);
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator|(const Pbool& a, const Pbool& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = static_cast<Flag>(a.data_[pe] | b.data_[pe]);
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator^(const Pbool& a, const Pbool& b) {
+  check_same_context(*a.ctx_, *b.ctx_);
+  Context& ctx = *a.ctx_;
+  std::vector<Flag> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe)
+      out[pe] = static_cast<Flag>(a.data_[pe] ^ b.data_[pe]);
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pbool(ctx, std::move(out),
+                                  combine_driven(ctx, a.driven_, b.driven_));
+}
+
+Pbool operator==(const Pbool& a, const Pbool& b) { return !(a ^ b); }
+Pbool operator!=(const Pbool& a, const Pbool& b) { return a ^ b; }
+
+Pint Pbool::to_pint() const {
+  Context& ctx = *ctx_;
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = data_[pe] ? 1u : 0u;
+  });
+  ctx.machine().charge_alu();
+  return detail_access::raw_pint(ctx, std::move(out), std::vector<Flag>(driven_));
+}
+
+// ---------------------------------------------------------------------------
+// Coordinate constants
+// ---------------------------------------------------------------------------
+
+Pint row_of(Context& ctx) {
+  return Pint(ctx, ctx.machine().row_index());
+}
+
+Pint col_of(Context& ctx) {
+  return Pint(ctx, ctx.machine().col_index());
+}
+
+Pbool driven_mask(const Pint& value) {
+  Context& ctx = value.context();
+  ctx.machine().charge_alu();
+  const auto d = value.driven_view();
+  std::vector<Flag> bits(ctx.pe_count(), Flag{1});
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
+    if (!d.empty()) bits[pe] = d[pe] ? Flag{1} : Flag{0};
+  }
+  return detail_access::raw_pbool(ctx, std::move(bits), {});
+}
+
+Pbool driven_mask(const Pbool& value) {
+  Context& ctx = value.context();
+  ctx.machine().charge_alu();
+  const auto d = value.driven_view();
+  std::vector<Flag> bits(ctx.pe_count(), Flag{1});
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
+    if (!d.empty()) bits[pe] = d[pe] ? Flag{1} : Flag{0};
+  }
+  return detail_access::raw_pbool(ctx, std::move(bits), {});
+}
+
+namespace detail {
+
+Pint make_bus_pint(Context& ctx, std::vector<Word> values, std::vector<Flag> driven) {
+  return detail_access::raw_pint(ctx, std::move(values), std::move(driven));
+}
+
+Pbool make_bus_pbool(Context& ctx, std::vector<Flag> values, std::vector<Flag> driven) {
+  return detail_access::raw_pbool(ctx, std::move(values), std::move(driven));
+}
+
+}  // namespace detail
+
+}  // namespace ppa::ppc

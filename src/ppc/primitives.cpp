@@ -1,0 +1,280 @@
+#include "ppc/primitives.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ppa::ppc {
+
+namespace {
+
+void require_injectable(const Pint& src, const char* what) {
+  PPA_REQUIRE(src.fully_driven(),
+              std::string(what) + ": values injected on a bus must be fully driven — store "
+                                  "the previous bus result into a variable first");
+}
+
+void require_injectable(const Pbool& src, const char* what) {
+  PPA_REQUIRE(src.fully_driven(),
+              std::string(what) + ": values injected on a bus must be fully driven — store "
+                                  "the previous bus result into a variable first");
+}
+
+void require_same(const Context& a, const Context& b) {
+  PPA_REQUIRE(&a == &b, "operands belong to different machines");
+}
+
+}  // namespace
+
+Pint shift(const Pint& src, sim::Direction dir, Word fill) {
+  require_injectable(src, "shift");
+  Context& ctx = src.context();
+  PPA_REQUIRE(ctx.field().representable(fill), "shift fill value does not fit in the field");
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().shift(src.values(), dir, fill, out);
+  return detail::make_bus_pint(ctx, std::move(out), {});
+}
+
+Pbool shift(const Pbool& src, sim::Direction dir, bool fill) {
+  require_injectable(src, "shift");
+  Context& ctx = src.context();
+  // Route the flags through the word links: a logical is a 1-bit register.
+  std::vector<Word> in(ctx.pe_count());
+  const auto sv = src.values();
+  for (std::size_t pe = 0; pe < in.size(); ++pe) in[pe] = sv[pe];
+  std::vector<Word> out(ctx.pe_count());
+  ctx.machine().shift(in, dir, fill ? 1u : 0u, out);
+  std::vector<Flag> bits(ctx.pe_count());
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) bits[pe] = out[pe] ? Flag{1} : Flag{0};
+  return detail::make_bus_pbool(ctx, std::move(bits), {});
+}
+
+Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
+  require_same(src.context(), open.context());
+  Context& ctx = src.context();
+  sim::BusResult bus = ctx.machine().broadcast(src.values(), dir, open.values());
+  if (!src.fully_driven()) {
+    // The taint flags ride the same physical cycle (no extra step): a
+    // receiver is driven only if its driver's own value was.
+    std::vector<sim::Word> taint_lane(ctx.pe_count());
+    const auto sd = src.driven_view();
+    for (std::size_t pe = 0; pe < taint_lane.size(); ++pe) taint_lane[pe] = sd[pe];
+    const sim::BusResult taint_bus = sim::bus_broadcast(
+        ctx.machine().n(), ctx.machine().config().topology, dir, taint_lane, open.values());
+    for (std::size_t pe = 0; pe < bus.driven.size(); ++pe) {
+      bus.driven[pe] = static_cast<Flag>(bus.driven[pe] & (taint_bus.values[pe] ? 1 : 0));
+    }
+  }
+  const bool all_driven =
+      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
+  return detail::make_bus_pint(ctx, std::move(bus.values),
+                               all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+}
+
+Pint two_sided_broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
+  const Pint forward = broadcast(src, dir, open);
+  const Pint backward = broadcast(src, sim::opposite(dir), open);
+  return select(driven_mask(forward), forward, backward);
+}
+
+Pbool broadcast(const Pbool& src, sim::Direction dir, const Pbool& open) {
+  require_injectable(src, "broadcast");
+  require_same(src.context(), open.context());
+  Context& ctx = src.context();
+  std::vector<Word> lane(ctx.pe_count());
+  const auto sv = src.values();
+  for (std::size_t pe = 0; pe < lane.size(); ++pe) lane[pe] = sv[pe];
+  sim::BusResult bus = ctx.machine().broadcast(lane, dir, open.values());
+  const bool all_driven =
+      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
+  std::vector<Flag> bits(ctx.pe_count());
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
+    bits[pe] = bus.values[pe] ? Flag{1} : Flag{0};
+  }
+  return detail::make_bus_pbool(ctx, std::move(bits),
+                                all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+}
+
+Pbool bus_or(const Pbool& src, sim::Direction dir, const Pbool& open) {
+  require_injectable(src, "bus_or");
+  require_same(src.context(), open.context());
+  Context& ctx = src.context();
+  sim::BusResult bus = ctx.machine().wired_or(src.values(), dir, open.values());
+  const bool all_driven =
+      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
+  std::vector<Flag> bits(ctx.pe_count());
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
+    bits[pe] = bus.values[pe] ? Flag{1} : Flag{0};
+  }
+  return detail::make_bus_pbool(ctx, std::move(bits),
+                                all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+}
+
+bool any(const Pbool& flags) {
+  return flags.context().machine().global_or(flags.values());
+}
+
+namespace {
+
+/// The shared MSB-first elimination loop of min()/selected_min(): after it
+/// runs, `enable` is 1 exactly on the PEs holding the minimum src value
+/// among the initially enabled PEs of each cluster. Paper listing,
+/// statements 8–10. `or_probe` (when non-null) additionally reconstructs
+/// the minimum value from the wired-OR results.
+void eliminate_non_minima(const Pint& src, sim::Direction orientation, const Pbool& L,
+                          Pbool& enable, Pint* or_probe) {
+  Context& ctx = src.context();
+  const int h = ctx.field().bits();
+  const Pbool k_false(ctx, false);
+  for (int j = h - 1; j >= 0; --j) {
+    const Pbool bit_j = src.bit(j);
+    // "if at least one 0 is found, all the values having 1 at that
+    // position are excluded from the following comparisons"
+    const Pbool some_zero = bus_or((!bit_j) & enable, orientation, L);
+    where(ctx, some_zero & bit_j, [&] { enable = k_false; });
+    if (or_probe != nullptr) {
+      // Bit j of the cluster minimum is 1 iff NO enabled candidate had a 0
+      // there. (On an empty candidate set every round reads 0, so the
+      // reconstruction yields all ones — the field's infinity.)
+      *or_probe = or_probe->or_bit(j, !some_zero);
+    }
+  }
+}
+
+/// Statements 11–13: route the surviving minimum to the cluster's extreme
+/// node and broadcast it back to the whole cluster.
+Pint route_and_spread(const Pint& src, sim::Direction orientation, const Pbool& L,
+                      const Pbool& enable) {
+  Context& ctx = src.context();
+  Pint result(src);
+  where(ctx, L, [&] {
+    result = broadcast(result, sim::opposite(orientation), enable);
+  });
+  return broadcast(result, orientation, L);
+}
+
+}  // namespace
+
+Pint pmin(const Pint& src, sim::Direction orientation, const Pbool& L) {
+  require_injectable(src, "pmin");
+  require_same(src.context(), L.context());
+  Pbool enable(src.context(), true);
+  eliminate_non_minima(src, orientation, L, enable, nullptr);
+  return route_and_spread(src, orientation, L, enable);
+}
+
+Pint selected_min(const Pint& src, sim::Direction orientation, const Pbool& L,
+                  const Pbool& selected) {
+  require_injectable(src, "selected_min");
+  require_same(src.context(), L.context());
+  require_same(src.context(), selected.context());
+  Pbool enable(selected);
+  eliminate_non_minima(src, orientation, L, enable, nullptr);
+  return route_and_spread(src, orientation, L, enable);
+}
+
+Pint pmin_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L) {
+  require_injectable(src, "pmin_orprobe");
+  require_same(src.context(), L.context());
+  Context& ctx = src.context();
+  Pbool enable(ctx, true);
+  Pint reconstructed(ctx, 0);
+  eliminate_non_minima(src, orientation, L, enable, &reconstructed);
+  return reconstructed;
+}
+
+Pint selected_min_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L,
+                          const Pbool& selected) {
+  require_injectable(src, "selected_min_orprobe");
+  require_same(src.context(), L.context());
+  require_same(src.context(), selected.context());
+  Context& ctx = src.context();
+  Pbool enable(selected);
+  Pint reconstructed(ctx, 0);
+  eliminate_non_minima(src, orientation, L, enable, &reconstructed);
+  return reconstructed;
+}
+
+namespace {
+
+/// Mirror of eliminate_non_minima for the MAXIMUM: a candidate survives
+/// round j unless some enabled candidate has a 1 where it has a 0. The
+/// probe reconstructs bit j of the maximum as "some enabled candidate has
+/// a 1 there" — an empty candidate set yields 0.
+void eliminate_non_maxima(const Pint& src, sim::Direction orientation, const Pbool& L,
+                          Pbool& enable, Pint* or_probe) {
+  Context& ctx = src.context();
+  const int h = ctx.field().bits();
+  const Pbool k_false(ctx, false);
+  for (int j = h - 1; j >= 0; --j) {
+    const Pbool bit_j = src.bit(j);
+    const Pbool some_one = bus_or(bit_j & enable, orientation, L);
+    where(ctx, some_one & !bit_j, [&] { enable = k_false; });
+    if (or_probe != nullptr) *or_probe = or_probe->or_bit(j, some_one);
+  }
+}
+
+}  // namespace
+
+Pint pmax(const Pint& src, sim::Direction orientation, const Pbool& L) {
+  require_injectable(src, "pmax");
+  require_same(src.context(), L.context());
+  Pbool enable(src.context(), true);
+  eliminate_non_maxima(src, orientation, L, enable, nullptr);
+  return route_and_spread(src, orientation, L, enable);
+}
+
+Pint selected_max(const Pint& src, sim::Direction orientation, const Pbool& L,
+                  const Pbool& selected) {
+  require_injectable(src, "selected_max");
+  require_same(src.context(), L.context());
+  require_same(src.context(), selected.context());
+  Pbool enable(selected);
+  eliminate_non_maxima(src, orientation, L, enable, nullptr);
+  return route_and_spread(src, orientation, L, enable);
+}
+
+Pint pmax_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L) {
+  require_injectable(src, "pmax_orprobe");
+  require_same(src.context(), L.context());
+  Context& ctx = src.context();
+  Pbool enable(ctx, true);
+  Pint reconstructed(ctx, 0);
+  eliminate_non_maxima(src, orientation, L, enable, &reconstructed);
+  return reconstructed;
+}
+
+Pint selected_max_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L,
+                          const Pbool& selected) {
+  require_injectable(src, "selected_max_orprobe");
+  require_same(src.context(), L.context());
+  require_same(src.context(), selected.context());
+  Context& ctx = src.context();
+  Pbool enable(selected);
+  Pint reconstructed(ctx, 0);
+  eliminate_non_maxima(src, orientation, L, enable, &reconstructed);
+  return reconstructed;
+}
+
+Pbool has_upstream(const Pbool& flags, sim::Direction dir) {
+  Context& ctx = flags.context();
+  PPA_REQUIRE(ctx.machine().config().topology == sim::BusTopology::Linear,
+              "has_upstream needs a Linear machine (on a Ring every PE has upstream flags "
+              "whenever the line has any)");
+  // Flagged PEs open their switch and drive; a PE reads a driven line iff
+  // some flag lies strictly upstream. The broadcast payload is irrelevant.
+  const Pint probe = broadcast(Pint(ctx, 1), dir, flags);
+  const Pbool driven = driven_mask(probe);
+  return driven;
+}
+
+Pbool first_in_line(const Pbool& flags, sim::Direction dir) {
+  return flags & !has_upstream(flags, dir);
+}
+
+Pint nearest_upstream(const Pint& payload, const Pbool& flags, sim::Direction dir) {
+  return broadcast(payload, dir, flags);
+}
+
+}  // namespace ppa::ppc

@@ -1,0 +1,137 @@
+// PPC communication and combination primitives.
+//
+// These are the paper's Section-2/3 primitives:
+//
+//   shift(src, dir)            — nearest-neighbour move.
+//   broadcast(src, dir, L)     — segmented bus broadcast: L partitions each
+//                                row/column bus into clusters; every PE
+//                                receives the value of "the extreme node of
+//                                the cluster the processor belongs to".
+//   bus_or(src, dir, L)        — cluster-wide wired-OR (the paper's
+//                                `or(...)` inside min()); one bus cycle.
+//   any(flags)                 — the controller's global-OR response line,
+//                                used for "while (at least one SOW in row d
+//                                has changed)".
+//   pmin / selected_min        — the paper's bit-serial minimum / argmin
+//                                (Section 3, second listing): h wired-OR
+//                                rounds MSB-first, then the surviving
+//                                minimum is routed to the cluster's extreme
+//                                node and broadcast back. O(h) bus cycles.
+//   pmin_orprobe               — GCN-style variant that *reconstructs* the
+//                                minimum from the OR bits instead of
+//                                routing it at the end (every PE already
+//                                learns each bit of the minimum); used by
+//                                the GCN baseline and the ablation bench.
+//
+// Injection precondition for shift and bus_or: values injected must be
+// fully driven (store a received bus value into a variable first).
+// broadcast additionally accepts tainted sources and propagates the taint
+// to the receivers — needed by two_sided_broadcast chains on Linear
+// machines.
+#pragma once
+
+#include "ppc/parallel.hpp"
+#include "ppc/where.hpp"
+
+namespace ppa::ppc {
+
+/// Nearest-neighbour move along `dir`; array-edge PEs receive `fill`.
+[[nodiscard]] Pint shift(const Pint& src, sim::Direction dir, Word fill = 0);
+
+/// Nearest-neighbour move of a parallel logical (one Shift step).
+[[nodiscard]] Pbool shift(const Pbool& src, sim::Direction dir, bool fill = false);
+
+/// Segmented bus broadcast; `open` is the parallel Open/Short setting
+/// (1 = Open = inject & segment). The result carries per-PE driven flags;
+/// consuming an undriven element triggers the machine's UndrivenPolicy.
+/// A tainted src may be injected: a driver that is itself a floating read
+/// taints everything it drives (the taint flags ride the same bus cycle).
+[[nodiscard]] Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open);
+
+/// Two broadcasts — `dir` and its opposite — combined by per-PE
+/// driven-ness. On a Linear machine this reaches both sides of every Open
+/// node (the PPA's way to emulate the Ring reach at 2x the bus cycles);
+/// only the drivers' own positions (and open-free lines) stay undriven.
+/// On a Ring machine the second cycle is redundant but harmless.
+[[nodiscard]] Pint two_sided_broadcast(const Pint& src, sim::Direction dir, const Pbool& open);
+
+/// Segmented broadcast of a parallel logical (one bus cycle on a 1-bit
+/// lane). Same driver/cluster semantics as the word broadcast.
+[[nodiscard]] Pbool broadcast(const Pbool& src, sim::Direction dir, const Pbool& open);
+
+/// Cluster-wide wired-OR of parallel logicals, one bus cycle.
+[[nodiscard]] Pbool bus_or(const Pbool& src, sim::Direction dir, const Pbool& open);
+
+/// Controller global-OR over all PEs (one GlobalOr step).
+[[nodiscard]] bool any(const Pbool& flags);
+
+/// Bit-serial cluster minimum (paper's min()). Every PE of a cluster
+/// receives the minimum of src over the cluster's members. O(h) bus
+/// cycles. Clusters are defined by `L` (Open nodes) along `orientation`.
+[[nodiscard]] Pint pmin(const Pint& src, sim::Direction orientation, const Pbool& L);
+
+/// Bit-serial cluster minimum restricted to PEs with selected != 0
+/// (paper's selected_min()). Used with src = COL it returns the smallest
+/// column index among the selected PEs — the deterministic argmin.
+/// Clusters whose selected set is empty produce an undriven result in
+/// those PEs; it must not be consumed there (mask it off).
+[[nodiscard]] Pint selected_min(const Pint& src, sim::Direction orientation, const Pbool& L,
+                                const Pbool& selected);
+
+/// OR-probe minimum: same O(h) wired-OR rounds, but each PE reconstructs
+/// the minimum locally from the OR results (bit j of the minimum is the
+/// complement of "some enabled candidate has 0 at j"). No final routing
+/// step; an empty candidate set yields the field's infinity.
+[[nodiscard]] Pint pmin_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L);
+
+/// OR-probe argmin restricted to `selected`; empty selections yield
+/// infinity (never undriven), which callers can detect and mask.
+[[nodiscard]] Pint selected_min_orprobe(const Pint& src, sim::Direction orientation,
+                                        const Pbool& L, const Pbool& selected);
+
+/// Bit-serial cluster MAXIMUM — the mirror image of pmin (keep the
+/// candidates holding a 1 whenever some enabled candidate holds a 1,
+/// MSB first). Same O(h) cost. Used by the eccentricity/diameter
+/// extension (DESIGN.md §7).
+[[nodiscard]] Pint pmax(const Pint& src, sim::Direction orientation, const Pbool& L);
+
+/// pmax restricted to `selected` candidates. Clusters whose selected set
+/// is empty produce an undriven result in those PEs (mask it off).
+[[nodiscard]] Pint selected_max(const Pint& src, sim::Direction orientation, const Pbool& L,
+                                const Pbool& selected);
+
+/// OR-probe maximum: reconstructs the maximum locally from the OR bits;
+/// an empty candidate set yields 0 (never undriven).
+[[nodiscard]] Pint pmax_orprobe(const Pint& src, sim::Direction orientation, const Pbool& L);
+
+/// OR-probe maximum over the `selected` candidates; empty selections
+/// yield 0.
+[[nodiscard]] Pint selected_max_orprobe(const Pint& src, sim::Direction orientation,
+                                        const Pbool& L, const Pbool& selected);
+
+// ---------------------------------------------------------------------------
+// Priority-resolution idioms (classic reconfigurable-mesh building blocks,
+// cf. the paper's reference [1], Miller et al.). They exploit the LINEAR
+// bus reading: a PE whose upstream stub has no Open node reads a floating
+// line, so "is my input driven?" answers "does any flag precede me?" in
+// ONE bus cycle. They therefore require a Linear machine.
+// ---------------------------------------------------------------------------
+
+/// has_upstream(flags, dir)[pe] == true iff some PE strictly upstream of
+/// `pe` on its line (against the data direction `dir`) has its flag set.
+/// One broadcast cycle + one ALU step. Linear topology only.
+[[nodiscard]] Pbool has_upstream(const Pbool& flags, sim::Direction dir);
+
+/// The per-line leader: the first flagged PE in flow order (e.g. with
+/// dir == East, the westernmost flag of each row). flags & !has_upstream.
+/// Linear topology only.
+[[nodiscard]] Pbool first_in_line(const Pbool& flags, sim::Direction dir);
+
+/// Each PE receives the payload of the nearest flagged PE strictly
+/// upstream of it; PEs with no flagged predecessor get an undriven
+/// element (mask or detect via driven_mask). One bus cycle. Works on both
+/// topologies; on a Ring the "nearest upstream" wraps.
+[[nodiscard]] Pint nearest_upstream(const Pint& payload, const Pbool& flags,
+                                    sim::Direction dir);
+
+}  // namespace ppa::ppc

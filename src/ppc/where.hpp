@@ -1,0 +1,66 @@
+// The PPC `where / elsewhere` control structure.
+//
+//   where (expression) <group 1>; elsewhere <group 2>;
+//
+// partitions the PEs: those satisfying the expression execute group 1,
+// the rest group 2 (paper Section 2). Nested wheres AND-compose with the
+// enclosing mask. In this eDSL:
+//
+//   where(ctx, cond, [&] { ... });                    // where only
+//   where_else(ctx, cond, [&] { ... }, [&] { ... });  // where + elsewhere
+//
+// or RAII style when a lambda is inconvenient:
+//
+//   { WhereGuard g(ctx, cond);  SOW = W; }
+//
+// Exceptions propagate and still pop the mask (RAII).
+#pragma once
+
+#include <utility>
+
+#include "ppc/parallel.hpp"
+
+namespace ppa::ppc {
+
+/// RAII mask scope: pushes `current & cond` (or `current & !cond`).
+class WhereGuard {
+ public:
+  enum class Polarity { Where, Elsewhere };
+
+  WhereGuard(Context& ctx, const Pbool& cond, Polarity polarity = Polarity::Where)
+      : ctx_(ctx) {
+    if (polarity == Polarity::Where) {
+      ctx.push_mask_and(cond.values());
+    } else {
+      ctx.push_mask_and_not(cond.values());
+    }
+  }
+
+  ~WhereGuard() { ctx_.pop_mask(); }
+
+  WhereGuard(const WhereGuard&) = delete;
+  WhereGuard& operator=(const WhereGuard&) = delete;
+
+ private:
+  Context& ctx_;
+};
+
+template <typename Body>
+void where(Context& ctx, const Pbool& cond, Body&& body) {
+  const WhereGuard guard(ctx, cond);
+  std::forward<Body>(body)();
+}
+
+template <typename Then, typename Else>
+void where_else(Context& ctx, const Pbool& cond, Then&& then_body, Else&& else_body) {
+  {
+    const WhereGuard guard(ctx, cond);
+    std::forward<Then>(then_body)();
+  }
+  {
+    const WhereGuard guard(ctx, cond, WhereGuard::Polarity::Elsewhere);
+    std::forward<Else>(else_body)();
+  }
+}
+
+}  // namespace ppa::ppc

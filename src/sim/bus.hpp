@@ -1,0 +1,67 @@
+// The reconfigurable bus engine.
+//
+// Each of the n rows (and each of the n columns) carries one bus. Under a
+// given global direction, every PE whose switch is *Short* passes the
+// signal through; every PE whose switch is *Open* breaks the bus at its
+// position and drives the segment on its downstream side. A PE always
+// *reads* its upstream port, so the value a PE receives is the value
+// injected by the nearest Open PE strictly upstream of it ("the extreme
+// node of the cluster the processor belongs to", paper Section 2).
+//
+// Topology: the MCP algorithm broadcasts from row d to *all* rows and from
+// the diagonal to row d, which for interior d only reaches every PE if the
+// bus wraps around — so Ring is the default; Linear is provided (with
+// explicit undriven-segment reporting) to document exactly which steps of
+// the algorithm rely on the wrap (tests/sim_bus_test.cpp).
+//
+// The wired-OR cycle models an open-drain response line on the same
+// segments: every PE of a cluster can pull the line (a Short switch passes
+// the line through the PE, and its input tap still sees it), so the whole
+// cluster computes the OR of its members' bits in one bus cycle. Cluster
+// membership of PE x is {driver(x)} ∪ {Short PEs driven by driver(x)};
+// a downstream Open PE reads the segment but injects only into its own.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/geometry.hpp"
+
+namespace ppa::sim {
+
+/// Per-PE machine word (the h-bit field lives in the low bits).
+using Word = std::uint32_t;
+/// Per-PE flag (0 or 1). uint8_t, not bool, so spans and vectors are sane.
+using Flag = std::uint8_t;
+
+/// How the row/column buses terminate.
+enum class BusTopology { Ring, Linear };
+
+/// Result of one bus cycle over the whole array.
+struct BusResult {
+  std::vector<Word> values;  // value received at each PE (0 where undriven)
+  std::vector<Flag> driven;  // 1 iff the PE's upstream port was driven
+  std::size_t max_segment = 0;  // longest driven segment, in switch hops
+};
+
+/// One broadcast bus cycle: PEs with open[pe] == 1 drive their src value
+/// downstream in `dir`; every PE receives from its nearest upstream driver.
+/// `n` is the array side; all spans have n*n elements.
+[[nodiscard]] BusResult bus_broadcast(std::size_t n, BusTopology topology, Direction dir,
+                                      std::span<const Word> src, std::span<const Flag> open);
+
+/// One wired-OR bus cycle. The open-collector line needs no driver: the
+/// Open switches split each line into electrically separate segments, and
+/// every PE reads the segment it pulls — an Open PE pulls (and reads) its
+/// DOWNSTREAM segment, a Short PE the segment it sits on. Consequently a
+/// wired-OR read is never floating (`driven` is all ones): a segment
+/// nobody pulls simply reads 0. Segment membership of PE x is
+/// {driver(x)} ∪ {Short PEs with the same driver}, where driver(x) is the
+/// nearest Open PE at or upstream of x; on a Linear bus the PEs upstream
+/// of the first Open switch form a head segment of their own.
+/// src values must be 0/1.
+[[nodiscard]] BusResult bus_wired_or(std::size_t n, BusTopology topology, Direction dir,
+                                     std::span<const Flag> src, std::span<const Flag> open);
+
+}  // namespace ppa::sim

@@ -1,0 +1,109 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ppa::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), field_(config.bits) {
+  PPA_REQUIRE(config.n >= 1, "array side must be positive");
+  // The array must be addressable by its own words: ROW and COL constants
+  // (and selected_min over COL) live in the h-bit field.
+  PPA_REQUIRE(config.n - 1 <= field_.max_finite(),
+              "array side does not fit in the h-bit word field");
+  const std::size_t count = pe_count();
+  row_index_.resize(count);
+  col_index_.resize(count);
+  for (std::size_t pe = 0; pe < count; ++pe) {
+    row_index_[pe] = static_cast<Word>(pe / config.n);
+    col_index_[pe] = static_cast<Word>(pe % config.n);
+  }
+  if (config.host_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config.host_threads);
+  }
+}
+
+void Machine::shift(std::span<const Word> src, Direction dir, Word fill,
+                    std::span<Word> dst) {
+  PPA_REQUIRE(src.size() == pe_count() && dst.size() == pe_count(),
+              "shift operands must cover the whole array");
+  PPA_REQUIRE(src.data() != dst.data(), "shift source and destination must not alias");
+  const std::size_t side = config_.n;
+  steps_.charge(StepCategory::Shift);
+  if (trace_ != nullptr) trace_->on_event(TraceEvent{StepCategory::Shift, dir, 0, 0});
+  for_each_pe([&](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) {
+      const std::size_t r = pe / side;
+      const std::size_t c = pe % side;
+      // Receiving from the upstream neighbour: data moving East arrives
+      // from the West, etc.
+      switch (dir) {
+        case Direction::East:
+          dst[pe] = (c == 0) ? fill : src[pe - 1];
+          break;
+        case Direction::West:
+          dst[pe] = (c + 1 == side) ? fill : src[pe + 1];
+          break;
+        case Direction::South:
+          dst[pe] = (r == 0) ? fill : src[pe - side];
+          break;
+        case Direction::North:
+          dst[pe] = (r + 1 == side) ? fill : src[pe + side];
+          break;
+      }
+    }
+  });
+}
+
+namespace {
+
+std::size_t count_open(std::span<const Flag> open) {
+  std::size_t total = 0;
+  for (const Flag f : open) total += (f != 0);
+  return total;
+}
+
+}  // namespace
+
+BusResult Machine::broadcast(std::span<const Word> src, Direction dir,
+                             std::span<const Flag> open) {
+  BusResult result = bus_broadcast(config_.n, config_.topology, dir, src, open);
+  steps_.charge_bus(StepCategory::BusBroadcast, result.max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(
+        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), result.max_segment});
+  }
+  return result;
+}
+
+BusResult Machine::wired_or(std::span<const Flag> src, Direction dir,
+                            std::span<const Flag> open) {
+  BusResult result = bus_wired_or(config_.n, config_.topology, dir, src, open);
+  steps_.charge_bus(StepCategory::BusOr, result.max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(
+        TraceEvent{StepCategory::BusOr, dir, count_open(open), result.max_segment});
+  }
+  return result;
+}
+
+bool Machine::global_or(std::span<const Flag> flags) {
+  PPA_REQUIRE(flags.size() == pe_count(), "global_or operand must cover the whole array");
+  steps_.charge(StepCategory::GlobalOr);
+  if (trace_ != nullptr) {
+    trace_->on_event(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0});
+  }
+  return std::any_of(flags.begin(), flags.end(), [](Flag f) { return f != 0; });
+}
+
+void Machine::for_each_pe(const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool_) {
+    pool_->parallel_for(pe_count(), body);
+  } else {
+    body(0, pe_count());
+  }
+}
+
+}  // namespace ppa::sim

@@ -1,0 +1,112 @@
+// The Polymorphic Processor Array machine.
+//
+// A Machine is an n x n SIMD array with:
+//   * an h-bit word field (util::HField) shared by every PE,
+//   * the two segmented bus systems (sim/bus.hpp),
+//   * nearest-neighbour shift links,
+//   * a controller "global OR" response line for loop tests,
+//   * a StepCounter charging one step per issued SIMD instruction.
+//
+// The Machine works on raw per-PE vectors; the masked-SIMD programming
+// model (parallel variables, where/elsewhere) lives one layer up in
+// ppa::ppc. This split mirrors the real system: the array executes whatever
+// the controller issues, and activity masking is a property of the
+// *program*, applied at register write-back.
+//
+// Host execution can be parallelized over a thread pool (config
+// host_threads). Every primitive computes each PE's result independently,
+// so results are identical for any thread count.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/bus.hpp"
+#include "sim/step_counter.hpp"
+#include "sim/trace.hpp"
+#include "util/saturating.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppa::sim {
+
+/// What a program-level read of an undriven bus input does (only reachable
+/// with Linear topology or an all-Short line).
+enum class UndrivenPolicy {
+  Error,     // throw ContractError — the default; the MCP algorithm never
+             // legitimately consumes a floating bus
+  ReadZero,  // the PE reads 0 (a pulled-down line); useful in tests
+};
+
+struct MachineConfig {
+  std::size_t n = 8;        // array side; the graph's vertex count
+  int bits = 16;            // word width h
+  BusTopology topology = BusTopology::Ring;
+  UndrivenPolicy undriven = UndrivenPolicy::Error;
+  std::size_t host_threads = 1;  // 0 or 1 = run host-sequential
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::size_t pe_count() const noexcept { return config_.n * config_.n; }
+  [[nodiscard]] const util::HField& field() const noexcept { return field_; }
+
+  [[nodiscard]] StepCounter& steps() noexcept { return steps_; }
+  [[nodiscard]] const StepCounter& steps() const noexcept { return steps_; }
+
+  /// Per-PE row / column index constants (the paper's ROW and COL).
+  [[nodiscard]] std::span<const Word> row_index() const noexcept { return row_index_; }
+  [[nodiscard]] std::span<const Word> col_index() const noexcept { return col_index_; }
+
+  /// Attaches / detaches an instruction observer (nullptr = off). The
+  /// sink is not owned and must outlive its attachment.
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+  [[nodiscard]] TraceSink* trace() const noexcept { return trace_; }
+
+  /// Charges `instructions` elementwise SIMD instructions. Called by the
+  /// ppc layer once per parallel operation (NOT per PE).
+  void charge_alu(std::uint64_t instructions = 1) noexcept {
+    steps_.charge(StepCategory::Alu, instructions);
+    if (trace_ != nullptr) {
+      for (std::uint64_t i = 0; i < instructions; ++i) {
+        trace_->on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0});
+      }
+    }
+  }
+
+  /// Nearest-neighbour move: every PE receives its upstream neighbour's
+  /// src value ("sends data to its nearest neighbor along dir"); array-edge
+  /// PEs receive `fill`. dst must not alias src. One Shift step.
+  void shift(std::span<const Word> src, Direction dir, Word fill, std::span<Word> dst);
+
+  /// One broadcast bus cycle (see bus.hpp). One BusBroadcast step.
+  [[nodiscard]] BusResult broadcast(std::span<const Word> src, Direction dir,
+                                    std::span<const Flag> open);
+
+  /// One wired-OR bus cycle. One BusOr step.
+  [[nodiscard]] BusResult wired_or(std::span<const Flag> src, Direction dir,
+                                   std::span<const Flag> open);
+
+  /// Controller response line: OR over all PEs' flags. One GlobalOr step.
+  [[nodiscard]] bool global_or(std::span<const Flag> flags);
+
+  /// Splits [0, pe_count) over the host pool; `body(begin, end)` must only
+  /// write indices it owns. Charges nothing (callers charge per SIMD
+  /// instruction, not per sweep).
+  void for_each_pe(const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  MachineConfig config_;
+  util::HField field_;
+  StepCounter steps_;
+  std::vector<Word> row_index_;
+  std::vector<Word> col_index_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when host-sequential
+  TraceSink* trace_ = nullptr;              // not owned
+};
+
+}  // namespace ppa::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace ppa::sim {
+
+std::size_t RecordingTrace::count(StepCategory category) const noexcept {
+  std::size_t total = 0;
+  for (const auto& event : events_) total += (event.category == category);
+  return total;
+}
+
+std::string to_string(const TraceEvent& event) {
+  std::ostringstream os;
+  os << name_of(event.category);
+  switch (event.category) {
+    case StepCategory::Shift:
+      os << " dir=" << name_of(event.direction);
+      break;
+    case StepCategory::BusBroadcast:
+    case StepCategory::BusOr:
+      os << " dir=" << name_of(event.direction) << " open=" << event.open_count
+         << " seg=" << event.max_segment;
+      break;
+    case StepCategory::Alu:
+    case StepCategory::GlobalOr:
+    case StepCategory::kCount:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ppa::sim

@@ -1,0 +1,55 @@
+// Instruction tracing.
+//
+// A TraceSink attached to a Machine observes every issued SIMD instruction
+// — category, data-movement direction, how many switch boxes were Open and
+// the longest bus segment driven. Used by debugging tools and by the
+// ppc_tour example; the step counters stay the source of truth for costs
+// (tracing never changes them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/step_counter.hpp"
+
+namespace ppa::sim {
+
+struct TraceEvent {
+  StepCategory category = StepCategory::Alu;
+  /// Meaningful for Shift / BusBroadcast / BusOr; North otherwise.
+  Direction direction = Direction::North;
+  /// Number of Open switch boxes (bus cycles only).
+  std::size_t open_count = 0;
+  /// Longest driven segment in switch hops (bus cycles only).
+  std::size_t max_segment = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Observer interface; implementations must not call back into the
+/// machine they observe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Stores every event; convenient in tests and small demos.
+class RecordingTrace final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t count(StepCategory category) const noexcept;
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// One-line rendering, e.g. "bus_bcast dir=South open=4 seg=8".
+[[nodiscard]] std::string to_string(const TraceEvent& event);
+
+}  // namespace ppa::sim

@@ -1,0 +1,52 @@
+// Bit-level helpers shared by the bit-serial bus primitives and the
+// saturating h-bit arithmetic.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+
+/// Number of value bits this repo supports for the PPA word size `h`.
+/// The paper's algorithms are parameterized on h; 1..32 covers every
+/// experiment (E3 sweeps h in {4..32}).
+inline constexpr int kMaxWordBits = 32;
+
+/// True iff `h` is a legal PPA word width.
+constexpr bool valid_word_bits(int h) noexcept { return h >= 1 && h <= kMaxWordBits; }
+
+/// All-ones mask of the low `h` bits (h in [1, 32]).
+constexpr std::uint32_t low_mask(int h) noexcept {
+  return (h >= 32) ? 0xFFFFFFFFu : ((std::uint32_t{1} << h) - 1u);
+}
+
+/// Value of bit `j` of `x` (0 = LSB), as 0/1.
+constexpr std::uint32_t bit_of(std::uint32_t x, int j) noexcept {
+  return (x >> j) & 1u;
+}
+
+/// `x` with bit `j` set to `value`.
+constexpr std::uint32_t with_bit(std::uint32_t x, int j, bool value) noexcept {
+  const std::uint32_t m = std::uint32_t{1} << j;
+  return value ? (x | m) : (x & ~m);
+}
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Number of bits needed to represent `x` (0 needs 1 bit).
+constexpr int bit_width_of(std::uint64_t x) noexcept {
+  return x == 0 ? 1 : static_cast<int>(std::bit_width(x));
+}
+
+}  // namespace ppa::util

@@ -1,0 +1,75 @@
+// Runtime contract checking for the PPA reproduction.
+//
+// Two severities:
+//   PPA_REQUIRE(cond, msg)  — precondition on a public API; always on;
+//                             throws ppa::util::ContractError.
+//   PPA_ASSERT(cond, msg)   — internal invariant; compiled out when
+//                             NDEBUG && PPA_NO_INTERNAL_ASSERTS.
+//
+// Simulator code favours checked failure over undefined behaviour: a SIMD
+// machine model that silently reads an undriven bus would make every
+// experiment downstream of it meaningless.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ppa::util {
+
+/// Thrown when a public-API precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal simulator invariant breaks (a bug in this repo,
+/// not in the caller's usage).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown by parsers / loaders on malformed input data.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_contract(std::string_view expr, std::string_view file, int line,
+                                       std::string_view msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+[[noreturn]] inline void fail_internal(std::string_view expr, std::string_view file, int line,
+                                       std::string_view msg) {
+  std::ostringstream os;
+  os << "internal invariant broken: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ppa::util
+
+#define PPA_REQUIRE(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond)) ::ppa::util::detail::fail_contract(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#if defined(NDEBUG) && defined(PPA_NO_INTERNAL_ASSERTS)
+#define PPA_ASSERT(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define PPA_ASSERT(cond, msg)                                                   \
+  do {                                                                          \
+    if (!(cond)) ::ppa::util::detail::fail_internal(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+#endif

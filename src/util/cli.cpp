@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_[name] = Spec{help, default_value, /*is_bool=*/false};
+  return *this;
+}
+
+CliParser& CliParser::bool_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, "false", /*is_bool=*/true};
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto spec = specs_.find(name);
+    if (spec == specs_.end()) {
+      std::cerr << "unknown flag --" << name << "\n" << usage();
+      return false;
+    }
+    if (spec->second.is_bool) {
+      values_[name] = inline_value.value_or("true");
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else if (i + 1 < argc) {
+      values_[name] = argv[++i];
+    } else {
+      std::cerr << "flag --" << name << " needs a value\n" << usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.count(name) > 0 ||
+         (specs_.count(name) > 0 && !specs_.at(name).default_value.empty());
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  PPA_REQUIRE(specs_.count(name) > 0, "flag was never registered: " + name);
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  return specs_.at(name).default_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string raw = get_string(name);
+  PPA_REQUIRE(!raw.empty(), "flag --" + name + " has no value");
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  PPA_REQUIRE(end != nullptr && *end == '\0', "flag --" + name + " is not an integer: " + raw);
+  return value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string raw = get_string(name);
+  PPA_REQUIRE(!raw.empty(), "flag --" + name + " has no value");
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  PPA_REQUIRE(end != nullptr && *end == '\0', "flag --" + name + " is not a number: " + raw);
+  return value;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string raw = get_string(name);
+  return raw == "true" || raw == "1" || raw == "yes" || raw == "on";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_bool) os << " <value>";
+    os << "\n      " << spec.help;
+    if (!spec.default_value.empty() && spec.default_value != "false") {
+      os << " (default: " << spec.default_value << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ppa::util

@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms plus
+// positional arguments, with typed accessors and a generated usage string.
+// Deliberately tiny: the examples only need a handful of options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppa::util {
+
+/// Declarative flag set with typed lookup.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag. `default_value` empty string means "no default";
+  /// boolean flags default to false.
+  CliParser& flag(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  CliParser& bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on a
+  /// malformed/unknown flag.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+  };
+
+  std::string description_;
+  std::string program_name_ = "program";
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppa::util

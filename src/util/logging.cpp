@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ppa::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_io_mutex;
+
+double seconds_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "E";
+    case LogLevel::Info: return "I";
+    case LogLevel::Debug: return "D";
+    case LogLevel::Quiet: break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > g_level.load() || level == LogLevel::Quiet) return;
+  const std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[%s %9.3fs] %s\n", level_tag(level), seconds_since_start(),
+               message.c_str());
+}
+
+}  // namespace ppa::util

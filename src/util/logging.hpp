@@ -1,0 +1,48 @@
+// Lightweight leveled logging for the examples and experiment harnesses.
+//
+// Deliberately minimal: a global level, timestamps relative to process
+// start, single-line records. Tests set the level to Quiet so assertion
+// output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ppa::util {
+
+enum class LogLevel : int { Quiet = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Sets / reads the process-wide log threshold.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one record to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+
+}  // namespace ppa::util

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace ppa::util {
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t bound,
+                                                    std::size_t count) {
+  PPA_REQUIRE(count <= bound, "cannot sample more distinct values than the range holds");
+  std::vector<std::size_t> indices(bound);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(bound - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace ppa::util

@@ -1,0 +1,140 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be bit-reproducible across runs, platforms and host
+// thread counts, so we ship our own small generators instead of relying on
+// std::default_random_engine (unspecified) or std::uniform_int_distribution
+// (implementation-defined sequences).
+//
+//   SplitMix64 — seeding / stateless hashing.
+//   Xoshiro256StarStar — main generator (Blackman & Vigna), 2^256-1 period.
+//
+// Distribution helpers use rejection sampling (unbiased) and Lemire-style
+// bounded generation for the hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+
+/// splitmix64 step; also usable as a mixing hash.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mixer for combining seeds with stream ids.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+/// xoshiro256** 1.0 — the repo's main PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64, as recommended
+  /// by the xoshiro authors.
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  /// Derives an independent generator for a named parallel stream. Streams
+  /// with distinct ids are statistically independent, so per-PE or per-test
+  /// randomness does not depend on iteration order.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) const noexcept {
+    Rng child(0);
+    child.state_ = state_;
+    // Perturb with the stream id, then scramble through a few outputs.
+    child.state_[0] ^= mix64(stream_id + 1);
+    child.state_[2] ^= mix64(~stream_id);
+    for (int i = 0; i < 8; ++i) (void)child.next();
+    return child;
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound) — modulo with rejection below the
+  /// threshold 2^64 mod bound, which keeps the result exactly uniform.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    PPA_ASSERT(bound > 0, "Rng::below requires bound > 0");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t draw = next();
+      if (draw >= threshold) return draw % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    PPA_ASSERT(lo <= hi, "Rng::between requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? next() : below(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  constexpr bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Produces `count` distinct values in [0, bound), in random order.
+/// Reservoir-free: uses partial Fisher–Yates over an index vector.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t bound,
+                                                    std::size_t count);
+
+}  // namespace ppa::util

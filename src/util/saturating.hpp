@@ -1,0 +1,64 @@
+// Saturating h-bit unsigned arithmetic — the PPA number world.
+//
+// The paper represents edge weights and path costs as h-bit integers where
+// MAXINT = 2^h - 1 plays the role of +infinity ("if no edge exists from
+// vertex i to vertex j, then w_ij = MAXINT, that is an infinite value").
+// For the dynamic program to be sound inside that representation, addition
+// must saturate: inf + w == inf, and any genuine cost that would exceed
+// MAXINT is indistinguishable from "unreachable" — exactly as on the real
+// machine. HField bundles the width with the operations so a width can
+// never silently leak between machines configured differently.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ppa::util {
+
+/// Arithmetic over unsigned integers of `bits()` bits with MAXINT == +inf.
+class HField {
+ public:
+  explicit constexpr HField(int bits) : bits_(bits) {
+    PPA_REQUIRE(valid_word_bits(bits), "word width must be in [1, 32]");
+  }
+
+  [[nodiscard]] constexpr int bits() const noexcept { return bits_; }
+
+  /// The saturation value, used as +infinity.
+  [[nodiscard]] constexpr std::uint32_t infinity() const noexcept { return low_mask(bits_); }
+
+  /// Largest representable *finite* value.
+  [[nodiscard]] constexpr std::uint32_t max_finite() const noexcept { return infinity() - 1u; }
+
+  [[nodiscard]] constexpr bool is_infinite(std::uint32_t x) const noexcept {
+    return x == infinity();
+  }
+
+  /// True iff x fits in the field at all.
+  [[nodiscard]] constexpr bool representable(std::uint64_t x) const noexcept {
+    return x <= infinity();
+  }
+
+  /// Saturating addition: inf absorbs, and finite sums clamp to inf.
+  [[nodiscard]] constexpr std::uint32_t add(std::uint32_t a, std::uint32_t b) const noexcept {
+    const std::uint64_t wide = std::uint64_t{a} + std::uint64_t{b};
+    const std::uint64_t inf = infinity();
+    return static_cast<std::uint32_t>(wide >= inf ? inf : wide);
+  }
+
+  /// Clamp an arbitrary 64-bit value into the field (everything >= inf
+  /// becomes inf).
+  [[nodiscard]] constexpr std::uint32_t clamp(std::uint64_t x) const noexcept {
+    const std::uint64_t inf = infinity();
+    return static_cast<std::uint32_t>(x >= inf ? inf : x);
+  }
+
+  friend constexpr bool operator==(const HField&, const HField&) = default;
+
+ private:
+  int bits_;
+};
+
+}  // namespace ppa::util

@@ -1,0 +1,123 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+
+namespace {
+
+std::string cell_to_string(const Cell& cell) {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<std::int64_t>(&cell)) return std::to_string(*integer);
+  return format_number(std::get<double>(cell));
+}
+
+}  // namespace
+
+std::string format_number(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  char buffer[64];
+  const double magnitude = std::fabs(value);
+  if (value == std::floor(value) && magnitude < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else if (magnitude >= 1e7 || (magnitude > 0 && magnitude < 1e-3)) {
+    std::snprintf(buffer, sizeof buffer, "%.4g", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  }
+  return buffer;
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  PPA_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  PPA_REQUIRE(cells.size() == columns_.size(), "row width must match the column count");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& values) {
+  std::vector<Cell> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.emplace_back(v);
+  add_row(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  PPA_REQUIRE(row < rows_.size() && col < columns_.size(), "table index out of range");
+  return rows_[row][col];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(cell_to_string(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule_width += widths[c] + (c ? 2 : 0);
+  os << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rendered) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cell_to_string(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text() << '\n'; }
+
+}  // namespace ppa::util

@@ -1,0 +1,58 @@
+// Plain-text and CSV table emission for the experiment harnesses.
+//
+// Every bench binary prints the same rows the paper's claims imply, in two
+// formats: an aligned human-readable table on stdout and (optionally) CSV
+// for downstream plotting. Keeping formatting here keeps the bench code
+// about *what* is measured, not about column widths.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ppa::util {
+
+/// One table cell: text, integer or floating point.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned results table with a title and named columns.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Convenience for the common all-numeric row.
+  void add_numeric_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders the aligned text form, e.g. for stdout.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (header row first).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes `to_text()` to the stream followed by a blank line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a double compactly (fixed for small magnitudes, scientific for
+/// large), used by Table and by log lines that report measurements.
+[[nodiscard]] std::string format_number(double value);
+
+/// CSV-escapes a single field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace ppa::util

@@ -1,0 +1,81 @@
+#include "analysis/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::analysis {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, FlatLine) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);  // SS_tot == 0 convention
+}
+
+TEST(FitLinear, NoisyLineHasGoodButImperfectR2) {
+  util::Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(7.0 + 0.5 * i + (rng.uniform() - 0.5) * 4.0);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 7.0, 2.0);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLinear, QuadraticDataFitsPoorlyAtSmallScale) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -10; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i) * i);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  // Symmetric parabola: slope ~0, poor linear explanation.
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+  EXPECT_LT(fit.r_squared, 0.1);
+}
+
+TEST(FitLinear, Contracts) {
+  EXPECT_THROW((void)fit_linear({1}, {2}), util::ContractError);
+  EXPECT_THROW((void)fit_linear({1, 2}, {1}), util::ContractError);
+  EXPECT_THROW((void)fit_linear({3, 3, 3}, {1, 2, 3}), util::ContractError);
+}
+
+TEST(Series, AccumulatesAndFits) {
+  Series s{"test", {}, {}};
+  s.add(0, 1);
+  s.add(1, 3);
+  s.add(2, 5);
+  const LinearFit fit = s.fit();
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(SpreadRatio, Basics) {
+  EXPECT_DOUBLE_EQ(spread_ratio({5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(spread_ratio({2, 8}), 4.0);
+  EXPECT_THROW((void)spread_ratio({}), util::ContractError);
+  EXPECT_THROW((void)spread_ratio({0, 1}), util::ContractError);
+}
+
+}  // namespace
+}  // namespace ppa::analysis

@@ -1,0 +1,65 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::analysis {
+namespace {
+
+TEST(Summarize, KnownSample) {
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Summarize, SingleValue) {
+  const Summary s = summarize({42});
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Summarize, OddMedian) {
+  EXPECT_DOUBLE_EQ(summarize({3, 1, 2}).median, 2.0);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({9, 1, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_THROW((void)summarize({}), util::ContractError);
+  EXPECT_THROW((void)mean_of({}), util::ContractError);
+  EXPECT_THROW((void)geometric_mean({}), util::ContractError);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4, 9}), 6.0);
+  EXPECT_NEAR(geometric_mean({1, 10, 100}), 10.0, 1e-9);
+  EXPECT_THROW((void)geometric_mean({1, 0}), util::ContractError);
+  EXPECT_THROW((void)geometric_mean({-1}), util::ContractError);
+}
+
+TEST(Summarize, LargeRandomSampleIsSane) {
+  util::Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 10000; ++i) sample.push_back(rng.uniform());
+  const Summary s = summarize(sample);
+  EXPECT_NEAR(s.mean, 0.5, 0.02);
+  EXPECT_NEAR(s.stddev, 0.2887, 0.02);  // sqrt(1/12)
+  EXPECT_NEAR(s.median, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace ppa::analysis

@@ -1,0 +1,70 @@
+#include "baseline/gcn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::baseline::gcn {
+namespace {
+
+using graph::Vertex;
+
+TEST(GcnMcp, TinyGraph) {
+  const auto g = test::tiny_graph();
+  const auto r = solve(g, 3);
+  EXPECT_EQ(r.solution.cost, (std::vector<graph::Weight>{5, 3, 1, 0}));
+  test::expect_solves(g, r.solution, "gcn-tiny");
+}
+
+TEST(GcnMcp, RandomGraphsMatchDijkstra) {
+  util::Rng rng(23);
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t n = 2 + rng.below(14);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 12, 0.3, {1, 20}, rng);
+    test::expect_solves(g, solve(g, d).solution, "gcn t=" + std::to_string(t));
+  }
+}
+
+TEST(GcnMcp, IdenticalOutputsToPpa) {
+  util::Rng rng(24);
+  const auto g = graph::random_reachable_digraph(15, 16, 0.2, {1, 25}, 6, rng);
+  const auto gcn_result = solve(g, 6);
+  const auto ppa_result = mcp::solve(g, 6);
+  EXPECT_EQ(gcn_result.solution.cost, ppa_result.solution.cost);
+  EXPECT_EQ(gcn_result.solution.next, ppa_result.solution.next);
+  EXPECT_EQ(gcn_result.iterations, ppa_result.iterations);
+}
+
+TEST(GcnMcp, SameWiredOrCyclesNoRoutingBroadcasts) {
+  // The parity claim, measurably: identical O(h) wired-OR cycles per
+  // iteration; the GCN saves the PPA min()'s routing broadcasts (only the
+  // two DP broadcasts per iteration and the init remain).
+  util::Rng rng(25);
+  const auto g = graph::random_reachable_digraph(12, 16, 0.2, {1, 25}, 3, rng);
+  const auto gcn_result = solve(g, 3);
+  const auto ppa_result = mcp::solve(g, 3);
+  EXPECT_EQ(gcn_result.total_steps.count(sim::StepCategory::BusOr),
+            ppa_result.total_steps.count(sim::StepCategory::BusOr));
+  EXPECT_LT(gcn_result.total_steps.count(sim::StepCategory::BusBroadcast),
+            ppa_result.total_steps.count(sim::StepCategory::BusBroadcast));
+  // Exactly 3 DP broadcasts per iteration (statements 10, 16 and 18 — the
+  // PTN broadcast is issued every iteration, its store is what's masked)
+  // + 2 in the init transpose.
+  EXPECT_EQ(gcn_result.total_steps.count(sim::StepCategory::BusBroadcast),
+            3 * gcn_result.iterations + 2);
+}
+
+TEST(GcnMcp, BusOrCyclesPerIterationEqualTwoH) {
+  // min + selected_min = 2h wired-OR cycles per relaxation iteration.
+  util::Rng rng(26);
+  const auto g = graph::complete(10, 16, {1, 9}, rng);
+  const auto r = solve(g, 0);
+  EXPECT_EQ(r.total_steps.count(sim::StepCategory::BusOr), 2u * 16u * r.iterations);
+}
+
+}  // namespace
+}  // namespace ppa::baseline::gcn

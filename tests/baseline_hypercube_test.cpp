@@ -1,0 +1,103 @@
+#include "baseline/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::baseline::hypercube {
+namespace {
+
+using graph::Vertex;
+
+TEST(HypercubeMachine, ExchangeSwapsPartners) {
+  Machine m(3, 8);  // 8 PEs
+  std::vector<Word> reg{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto d0 = m.exchange(reg, 0);
+  EXPECT_EQ(d0, (std::vector<Word>{1, 0, 3, 2, 5, 4, 7, 6}));
+  const auto d2 = m.exchange(reg, 2);
+  EXPECT_EQ(d2, (std::vector<Word>{4, 5, 6, 7, 0, 1, 2, 3}));
+  EXPECT_EQ(m.steps().count(sim::StepCategory::Shift), 2u);
+}
+
+TEST(HypercubeMachine, Contracts) {
+  Machine m(2, 8);
+  std::vector<Word> reg(4, 0);
+  EXPECT_THROW((void)m.exchange(reg, 2), util::ContractError);
+  EXPECT_THROW((void)m.exchange(std::vector<Word>(3, 0), 0), util::ContractError);
+  EXPECT_THROW(Machine(-1, 8), util::ContractError);
+}
+
+TEST(HypercubeMachine, GlobalOr) {
+  Machine m(2, 8);
+  std::vector<Word> flags(4, 0);
+  EXPECT_FALSE(m.global_or(flags));
+  flags[2] = 1;
+  EXPECT_TRUE(m.global_or(flags));
+}
+
+TEST(HypercubeMcp, TinyGraph) {
+  const auto g = test::tiny_graph();
+  const auto r = minimum_cost_path(g, 3);
+  EXPECT_EQ(r.solution.cost, (std::vector<graph::Weight>{5, 3, 1, 0}));
+  test::expect_solves(g, r.solution, "hypercube-tiny");
+}
+
+TEST(HypercubeMcp, NonPowerOfTwoSizesArePadded) {
+  util::Rng rng(18);
+  for (const std::size_t n : {3u, 5u, 6u, 7u, 9u, 12u, 17u}) {
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 20}, rng);
+    const Vertex d = rng.below(n);
+    const auto r = minimum_cost_path(g, d);
+    test::expect_solves(g, r.solution, "hypercube n=" + std::to_string(n));
+  }
+}
+
+TEST(HypercubeMcp, SingleVertex) {
+  const graph::WeightMatrix g(1, 8);
+  const auto r = minimum_cost_path(g, 0);
+  EXPECT_EQ(r.solution.cost, std::vector<graph::Weight>{0});
+  EXPECT_EQ(r.log_side, 0);
+}
+
+TEST(HypercubeMcp, RoutesPerIterationAreLogarithmic) {
+  // Per iteration: 2 routes/dim for the (value,index) all-reduce plus
+  // 2 routes/dim for each of the two transposes = 6*log2(N) routes.
+  util::Rng rng(19);
+  const auto routes_per_iteration = [&](std::size_t n) {
+    const auto g = graph::complete(n, 16, {1, 9}, rng);
+    const auto r = minimum_cost_path(g, 0);
+    return static_cast<double>(r.total_steps.count(sim::StepCategory::Shift)) /
+           static_cast<double>(r.iterations);
+  };
+  EXPECT_DOUBLE_EQ(routes_per_iteration(8), 6.0 * 3);
+  EXPECT_DOUBLE_EQ(routes_per_iteration(16), 6.0 * 4);
+  EXPECT_DOUBLE_EQ(routes_per_iteration(32), 6.0 * 5);
+}
+
+TEST(HypercubeMcp, MatchesPpaIterationStructure) {
+  util::Rng rng(20);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 3 + rng.below(12);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_reachable_digraph(n, 16, 0.25, {1, 15}, d, rng);
+    const auto r = minimum_cost_path(g, d);
+    const auto bf = bellman_ford_to(g, d);
+    EXPECT_EQ(r.iterations, bf.rounds + 1);
+    EXPECT_EQ(r.solution.cost, bf.solution.cost);
+  }
+}
+
+TEST(HypercubeMcp, ZeroWeightsAndSaturation) {
+  graph::WeightMatrix g(3, 4);
+  g.set(0, 1, 10);
+  g.set(1, 2, 10);
+  const auto r = minimum_cost_path(g, 2);
+  EXPECT_EQ(r.solution.cost[0], g.infinity());
+  EXPECT_EQ(r.solution.cost[1], 10u);
+}
+
+}  // namespace
+}  // namespace ppa::baseline::hypercube

@@ -1,0 +1,92 @@
+#include "baseline/mesh_mcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::baseline {
+namespace {
+
+using graph::Vertex;
+
+TEST(MeshMcp, TinyGraph) {
+  const auto g = test::tiny_graph();
+  const auto r = mesh_solve(g, 3);
+  EXPECT_EQ(r.solution.cost, (std::vector<graph::Weight>{5, 3, 1, 0}));
+  test::expect_solves(g, r.solution, "mesh-tiny");
+}
+
+TEST(MeshMcp, RandomGraphsMatchDijkstra) {
+  util::Rng rng(14);
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t n = 2 + rng.below(12);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 12, 0.3, {1, 20}, rng);
+    const auto r = mesh_solve(g, d);
+    test::expect_solves(g, r.solution, "mesh t=" + std::to_string(t));
+  }
+}
+
+TEST(MeshMcp, SingleVertexAndEdgeless) {
+  EXPECT_EQ(mesh_solve(graph::WeightMatrix(1, 8), 0).solution.cost,
+            std::vector<graph::Weight>{0});
+  const graph::WeightMatrix empty(4, 8);
+  const auto r = mesh_solve(empty, 1);
+  EXPECT_EQ(r.solution.cost[0], empty.infinity());
+  EXPECT_EQ(r.solution.cost[1], 0u);
+}
+
+TEST(MeshMcp, SameIterationCountAsPpa) {
+  util::Rng rng(15);
+  for (int t = 0; t < 5; ++t) {
+    const std::size_t n = 3 + rng.below(10);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_reachable_digraph(n, 16, 0.2, {1, 15}, d, rng);
+    const auto mesh = mesh_solve(g, d);
+    const auto ppa_result = mcp::solve(g, d);
+    EXPECT_EQ(mesh.iterations, ppa_result.iterations);
+    EXPECT_EQ(mesh.solution.cost, ppa_result.solution.cost);
+  }
+}
+
+TEST(MeshMcp, UsesOnlyShiftAndAluAndGlobalOr) {
+  const auto g = test::tiny_graph();
+  const auto r = mesh_solve(g, 3);
+  EXPECT_EQ(r.total_steps.count(sim::StepCategory::BusBroadcast), 0u);
+  EXPECT_EQ(r.total_steps.count(sim::StepCategory::BusOr), 0u);
+  EXPECT_GT(r.total_steps.count(sim::StepCategory::Shift), 0u);
+}
+
+TEST(MeshMcp, PerIterationCostGrowsLinearlyWithN) {
+  // The point of the comparison: the mesh pays Θ(n) per iteration.
+  util::Rng rng(16);
+  const auto per_iteration = [&](std::size_t n) {
+    const auto g = graph::complete(n, 16, {1, 9}, rng);
+    const auto r = mesh_solve(g, 0);
+    return static_cast<double>(r.total_steps.total() - r.init_steps.total()) /
+           static_cast<double>(r.iterations);
+  };
+  const double c8 = per_iteration(8);
+  const double c16 = per_iteration(16);
+  const double c32 = per_iteration(32);
+  // Ratios approach 2 as n doubles (affine in n).
+  EXPECT_GT(c16 / c8, 1.6);
+  EXPECT_GT(c32 / c16, 1.7);
+  EXPECT_LT(c32 / c16, 2.3);
+}
+
+TEST(MeshMcp, PpaBeatsMeshOnSteps) {
+  // The headline: for moderate n, the reconfigurable buses win.
+  util::Rng rng(17);
+  const auto g = graph::complete(24, 16, {1, 9}, rng);
+  const auto mesh = mesh_solve(g, 0);
+  const auto ppa_result = mcp::solve(g, 0);
+  EXPECT_LT(ppa_result.total_steps.total(), mesh.total_steps.total());
+}
+
+}  // namespace
+}  // namespace ppa::baseline

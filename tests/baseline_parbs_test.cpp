@@ -1,0 +1,132 @@
+#include "baseline/parbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ppa::baseline::parbs {
+namespace {
+
+TEST(SwitchConfig, FuseGroupsPorts) {
+  const auto straight = SwitchConfig::fuse({Port::West, Port::East});
+  EXPECT_EQ(straight.group[static_cast<std::size_t>(Port::West)],
+            straight.group[static_cast<std::size_t>(Port::East)]);
+  EXPECT_NE(straight.group[static_cast<std::size_t>(Port::North)],
+            straight.group[static_cast<std::size_t>(Port::South)]);
+  EXPECT_THROW((void)SwitchConfig::fuse({Port::North}), util::ContractError);
+}
+
+TEST(Components, AllSeparateMeansOnlyWiresConnect) {
+  Machine m(2, 2);
+  const std::vector<SwitchConfig> configs(4, SwitchConfig::all_separate());
+  const auto labels = m.components(configs);
+  // (0,0).East is wired to (0,1).West even with separate ports.
+  EXPECT_EQ(labels[m.node_of(0, Port::East)], labels[m.node_of(1, Port::West)]);
+  // But (0,0).East is NOT connected to (0,0).West.
+  EXPECT_NE(labels[m.node_of(0, Port::East)], labels[m.node_of(0, Port::West)]);
+  // Vertical wire.
+  EXPECT_EQ(labels[m.node_of(0, Port::South)], labels[m.node_of(2, Port::North)]);
+}
+
+TEST(Components, StraightRowBusSpansTheRow) {
+  Machine m(1, 5);
+  std::vector<SwitchConfig> configs(5, SwitchConfig::fuse({Port::West, Port::East}));
+  const auto labels = m.components(configs);
+  for (std::size_t pe = 0; pe < 5; ++pe) {
+    EXPECT_EQ(labels[m.node_of(pe, Port::West)], labels[m.node_of(0, Port::West)]);
+    EXPECT_EQ(labels[m.node_of(pe, Port::East)], labels[m.node_of(0, Port::West)]);
+  }
+}
+
+TEST(Components, LShapedBus) {
+  // (0,0) fuses {W,S}: a bus entering (0,0) from the West turns down to
+  // (1,0) — a shape no row/column sub-bus can take.
+  Machine m(2, 2);
+  std::vector<SwitchConfig> configs(4, SwitchConfig::all_separate());
+  configs[0] = SwitchConfig::fuse({Port::West, Port::South});
+  const auto labels = m.components(configs);
+  EXPECT_EQ(labels[m.node_of(0, Port::West)], labels[m.node_of(2, Port::North)]);
+  EXPECT_NE(labels[m.node_of(0, Port::West)], labels[m.node_of(0, Port::East)]);
+}
+
+TEST(ReachableFrom, FollowsTheBus) {
+  Machine m(1, 4);
+  std::vector<SwitchConfig> configs(4, SwitchConfig::fuse({Port::West, Port::East}));
+  configs[2] = SwitchConfig::all_separate();  // break between columns 1|2... at PE 2
+  const auto reach = m.reachable_from(configs, 0, Port::East);
+  EXPECT_TRUE(reach[m.node_of(1, Port::West)]);
+  EXPECT_TRUE(reach[m.node_of(1, Port::East)]);
+  EXPECT_TRUE(reach[m.node_of(2, Port::West)]);   // the wire reaches PE 2's port
+  EXPECT_FALSE(reach[m.node_of(2, Port::East)]);  // but not through its open switch
+  EXPECT_FALSE(reach[m.node_of(3, Port::West)]);
+}
+
+TEST(ComponentOr, PullsPropagatePerBus) {
+  Machine m(1, 4);
+  const std::vector<SwitchConfig> configs(4, SwitchConfig::fuse({Port::West, Port::East}));
+  std::vector<bool> pulls(16, false);
+  pulls[m.node_of(3, Port::West)] = true;
+  const auto heard = m.component_or(configs, pulls);
+  EXPECT_TRUE(heard[m.node_of(0, Port::East)]);
+  EXPECT_TRUE(heard[m.node_of(0, Port::West)]);  // same fused group
+  // North/South stubs are separate buses: silent.
+  EXPECT_FALSE(heard[m.node_of(0, Port::North)]);
+}
+
+TEST(CountOnes, HandCases) {
+  EXPECT_EQ(count_ones(std::vector<bool>{false}).count, 0u);
+  EXPECT_EQ(count_ones(std::vector<bool>{true}).count, 1u);
+  EXPECT_EQ(count_ones(std::vector<bool>{true, false, true, true}).count, 3u);
+  EXPECT_TRUE(count_ones(std::vector<bool>{true, false, true, true}).parity);
+  EXPECT_FALSE(count_ones(std::vector<bool>{true, true}).parity);
+}
+
+TEST(CountOnes, AllOnesAndAllZeros) {
+  for (const std::size_t n : {1u, 2u, 5u, 16u}) {
+    EXPECT_EQ(count_ones(std::vector<bool>(n, true)).count, n) << n;
+    EXPECT_EQ(count_ones(std::vector<bool>(n, false)).count, 0u) << n;
+  }
+}
+
+class CountOnesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CountOnesSweep, MatchesPopcount) {
+  util::Rng rng(GetParam());
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 1 + rng.below(24);
+    std::vector<bool> bits(n);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bits[i] = rng.chance(0.5);
+      expected += bits[i];
+    }
+    const auto result = count_ones(bits);
+    EXPECT_EQ(result.count, expected);
+    EXPECT_EQ(result.parity, (expected % 2) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountOnesSweep, ::testing::Range<std::uint64_t>(1, 5));
+
+TEST(CountOnes, ConstantBusStepsRegardlessOfN) {
+  const auto small = count_ones(std::vector<bool>{true, false});
+  const auto large = count_ones(std::vector<bool>(32, true));
+  EXPECT_EQ(small.steps.count(sim::StepCategory::BusBroadcast),
+            large.steps.count(sim::StepCategory::BusBroadcast));
+  EXPECT_EQ(small.steps.total(), large.steps.total());
+  EXPECT_EQ(small.steps.count(sim::StepCategory::BusBroadcast), 1u);
+}
+
+TEST(Machine, Contracts) {
+  EXPECT_THROW(Machine(0, 3), util::ContractError);
+  Machine m(2, 2);
+  const std::vector<SwitchConfig> wrong_size(3);
+  EXPECT_THROW((void)m.components(wrong_size), util::ContractError);
+  const std::vector<SwitchConfig> ok(4);
+  EXPECT_THROW((void)m.reachable_from(ok, 9, Port::West), util::ContractError);
+  EXPECT_THROW((void)m.component_or(ok, std::vector<bool>(7)), util::ContractError);
+  EXPECT_THROW((void)count_ones(std::vector<bool>{}), util::ContractError);
+}
+
+}  // namespace
+}  // namespace ppa::baseline::parbs

@@ -1,0 +1,128 @@
+#include "baseline/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::baseline {
+namespace {
+
+using graph::Vertex;
+using graph::WeightMatrix;
+
+TEST(Dijkstra, TinyGraph) {
+  const auto g = test::tiny_graph();
+  const auto s = dijkstra_to(g, 3);
+  EXPECT_EQ(s.cost, (std::vector<graph::Weight>{5, 3, 1, 0}));
+  EXPECT_EQ(s.next, (std::vector<Vertex>{1, 3, 3, 3}));
+}
+
+TEST(Dijkstra, SelfConsistentPaths) {
+  util::Rng rng(3);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 3 + rng.below(15);
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 40}, rng);
+    const Vertex d = rng.below(n);
+    const auto s = dijkstra_to(g, d);
+    const auto verdict = graph::verify_solution(g, s, s.cost);
+    EXPECT_TRUE(verdict.ok) << verdict.detail;
+  }
+}
+
+TEST(Dijkstra, UnreachableAndContracts) {
+  WeightMatrix g(3, 8);
+  g.set(0, 1, 1);
+  const auto s = dijkstra_to(g, 1);
+  EXPECT_EQ(s.cost[2], g.infinity());
+  EXPECT_THROW((void)dijkstra_to(g, 3), util::ContractError);
+}
+
+TEST(Dijkstra, SaturationTreatedAsUnreachable) {
+  WeightMatrix g(3, 4);  // infinity = 15
+  g.set(0, 1, 10);
+  g.set(1, 2, 10);
+  const auto s = dijkstra_to(g, 2);
+  EXPECT_EQ(s.cost[0], g.infinity());
+  EXPECT_EQ(s.cost[1], 10u);
+}
+
+TEST(BellmanFord, MatchesDijkstraEverywhere) {
+  util::Rng rng(5);
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t n = 2 + rng.below(18);
+    const auto g = graph::random_digraph(n, 12, 0.25, {0, 20}, rng);
+    const Vertex d = rng.below(n);
+    const auto bf = bellman_ford_to(g, d);
+    const auto dj = dijkstra_to(g, d);
+    EXPECT_EQ(bf.solution.cost, dj.cost);
+    const auto verdict = graph::verify_solution(g, bf.solution, dj.cost);
+    EXPECT_TRUE(verdict.ok) << verdict.detail;
+  }
+}
+
+TEST(BellmanFord, RoundsMatchGraphDepth) {
+  util::Rng rng(8);
+  const auto ring = graph::directed_ring(9, 16, {1, 4}, rng);
+  // p = 8 edges; after the 1-edge init, 7 improving rounds happen.
+  EXPECT_EQ(bellman_ford_to(ring, 0).rounds, 7u);
+
+  const auto star_graph = graph::star(7, 16, 0, {1, 4}, rng);
+  EXPECT_EQ(bellman_ford_to(star_graph, 0).rounds, 0u);  // init already optimal
+}
+
+TEST(BellmanFord, RoundsConsistentWithMaxMcpEdges) {
+  util::Rng rng(12);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 3 + rng.below(12);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_reachable_digraph(n, 16, 0.1, {1, 9}, d, rng);
+    const auto bf = bellman_ford_to(g, d);
+    const std::size_t p = graph::max_mcp_edges(g, d);
+    // p edges needs p-1 improvements beyond the 1-edge init.
+    EXPECT_EQ(bf.rounds, p == 0 ? 0 : p - 1);
+  }
+}
+
+TEST(FloydWarshall, MatchesDijkstraForEveryDestination) {
+  util::Rng rng(9);
+  const auto g = graph::random_digraph(12, 16, 0.25, {1, 30}, rng);
+  const auto ap = floyd_warshall(g);
+  for (Vertex d = 0; d < 12; ++d) {
+    const auto slice = ap.toward(d);
+    const auto dj = dijkstra_to(g, d);
+    EXPECT_EQ(slice.cost, dj.cost) << "destination " << d;
+    const auto verdict = graph::verify_solution(g, slice, dj.cost);
+    EXPECT_TRUE(verdict.ok) << verdict.detail;
+  }
+}
+
+TEST(FloydWarshall, DiagonalIsZero) {
+  util::Rng rng(2);
+  const auto g = graph::random_digraph(8, 16, 0.3, {1, 9}, rng);
+  const auto ap = floyd_warshall(g);
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_EQ(ap.dist_at(v, v), 0u);
+    EXPECT_EQ(ap.next_at(v, v), v);
+  }
+}
+
+TEST(FloydWarshall, SaturatingComposition) {
+  WeightMatrix g(4, 4);  // infinity = 15
+  g.set(0, 1, 7);
+  g.set(1, 2, 7);
+  g.set(2, 3, 7);
+  const auto ap = floyd_warshall(g);
+  EXPECT_EQ(ap.dist_at(0, 2), 14u);
+  EXPECT_EQ(ap.dist_at(0, 3), g.infinity());  // 21 saturates
+}
+
+TEST(AllPairs, TowardContracts) {
+  const auto ap = floyd_warshall(WeightMatrix(3, 8));
+  EXPECT_THROW((void)ap.toward(3), util::ContractError);
+}
+
+}  // namespace
+}  // namespace ppa::baseline

@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::graph {
+namespace {
+
+TEST(GraphIo, RoundTripsRandomGraphs) {
+  util::Rng rng(31);
+  for (int t = 0; t < 10; ++t) {
+    const auto g = random_digraph(4 + rng.below(20), 12, 0.3, {1, 50}, rng);
+    EXPECT_EQ(graph_from_string(to_string(g)), g);
+  }
+}
+
+TEST(GraphIo, CanonicalForm) {
+  util::Rng rng(31);
+  const auto g = random_digraph(8, 8, 0.4, {1, 9}, rng);
+  const std::string once = to_string(g);
+  EXPECT_EQ(to_string(graph_from_string(once)), once);
+}
+
+TEST(GraphIo, EmptyGraphSerializes) {
+  const WeightMatrix g(3, 16);
+  const auto back = graph_from_string(to_string(g));
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphIo, CommentsAndWhitespaceIgnored) {
+  const auto g = graph_from_string(
+      "# a comment line\n"
+      "ppa-graph 1\n"
+      "n 3 h 8   # trailing comment\n"
+      "e 0 1 5\n"
+      "# another\n"
+      "e 2 0 7\n");
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.at(0, 1), 5u);
+  EXPECT_EQ(g.at(2, 0), 7u);
+}
+
+TEST(GraphIo, RejectsMalformedInputs) {
+  EXPECT_THROW((void)graph_from_string(""), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("wrong-header 1"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 2\nn 3 h 8\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 0 h 8\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 3 h 40\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 3 h 8\ne 0 1\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 3 h 8\ne 0 5 1\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 3 h 8\ne 0 1 255\n"),
+               util::ParseError);  // weight == infinity
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn 3 h 8\nx 0 1 2\n"), util::ParseError);
+  EXPECT_THROW((void)graph_from_string("ppa-graph 1\nn -3 h 8\n"), util::ParseError);
+}
+
+TEST(GraphIo, FileSaveAndLoad) {
+  util::Rng rng(77);
+  const auto g = random_digraph(10, 10, 0.3, {1, 100}, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppa_io_test_graph.txt").string();
+  save_graph(path, g);
+  EXPECT_EQ(load_graph(path), g);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, FileErrorsThrow) {
+  EXPECT_THROW((void)load_graph("/nonexistent/dir/x.g"), util::ParseError);
+  const WeightMatrix g(2, 8);
+  EXPECT_THROW(save_graph("/nonexistent/dir/x.g", g), util::ParseError);
+}
+
+}  // namespace
+}  // namespace ppa::graph

@@ -1,0 +1,148 @@
+#include "graph/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ppa::graph {
+namespace {
+
+WeightMatrix line_graph() {
+  // 0 -(1)-> 1 -(2)-> 2 -(3)-> 3
+  WeightMatrix g(4, 8);
+  g.set(0, 1, 1);
+  g.set(1, 2, 2);
+  g.set(2, 3, 3);
+  return g;
+}
+
+McpSolution line_solution() {
+  McpSolution s;
+  s.destination = 3;
+  s.cost = {6, 5, 3, 0};
+  s.next = {1, 2, 3, 3};
+  return s;
+}
+
+TEST(ExtractPath, FollowsPointers) {
+  const auto s = line_solution();
+  const auto path = extract_path(s, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(ExtractPath, DestinationIsTrivial) {
+  const auto s = line_solution();
+  const auto path = extract_path(s, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, std::vector<Vertex>{3});
+}
+
+TEST(ExtractPath, DetectsPointerCycle) {
+  McpSolution s;
+  s.destination = 2;
+  s.cost = {1, 1, 0};
+  s.next = {1, 0, 2};  // 0 <-> 1 cycle never reaching 2
+  EXPECT_FALSE(extract_path(s, 0).has_value());
+}
+
+TEST(ExtractPath, DetectsCorruptIndex) {
+  McpSolution s;
+  s.destination = 1;
+  s.cost = {1, 0};
+  s.next = {9, 1};
+  EXPECT_FALSE(extract_path(s, 0).has_value());
+}
+
+TEST(ExtractPath, ContractViolations) {
+  const auto s = line_solution();
+  EXPECT_THROW((void)extract_path(s, 9), util::ContractError);
+  McpSolution bad = s;
+  bad.next.pop_back();
+  EXPECT_THROW((void)extract_path(bad, 0), util::ContractError);
+}
+
+TEST(PathCost, SumsEdges) {
+  const auto g = line_graph();
+  EXPECT_EQ(path_cost(g, {0, 1, 2, 3}), 6u);
+  EXPECT_EQ(path_cost(g, {2, 3}), 3u);
+  EXPECT_EQ(path_cost(g, {1}), 0u);
+}
+
+TEST(PathCost, MissingEdgeIsInfinite) {
+  const auto g = line_graph();
+  EXPECT_EQ(path_cost(g, {0, 2}), g.infinity());
+  EXPECT_EQ(path_cost(g, {3, 0}), g.infinity());
+}
+
+TEST(PathCost, SaturatesInTheField) {
+  WeightMatrix g(3, 4);  // infinity = 15
+  g.set(0, 1, 10);
+  g.set(1, 2, 10);
+  EXPECT_EQ(path_cost(g, {0, 1, 2}), g.infinity());
+}
+
+TEST(PathCost, RejectsEmptyPath) {
+  const auto g = line_graph();
+  EXPECT_THROW((void)path_cost(g, {}), util::ContractError);
+}
+
+TEST(VerifySolution, AcceptsCorrect) {
+  const auto g = line_graph();
+  const auto s = line_solution();
+  const auto verdict = verify_solution(g, s, s.cost);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+  EXPECT_TRUE(static_cast<bool>(verdict));
+}
+
+TEST(VerifySolution, RejectsCostMismatchWithReference) {
+  const auto g = line_graph();
+  auto s = line_solution();
+  auto reference = s.cost;
+  reference[0] = 7;
+  const auto verdict = verify_solution(g, s, reference);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.detail.find("vertex 0"), std::string::npos);
+}
+
+TEST(VerifySolution, RejectsNonzeroDestinationCost) {
+  const auto g = line_graph();
+  auto s = line_solution();
+  s.cost[3] = 1;
+  EXPECT_FALSE(verify_solution(g, s, s.cost).ok);
+}
+
+TEST(VerifySolution, RejectsBrokenPointerChain) {
+  const auto g = line_graph();
+  auto s = line_solution();
+  s.next[1] = 0;  // 0 -> 1 -> 0 cycle, but costs claim finite
+  EXPECT_FALSE(verify_solution(g, s, s.cost).ok);
+}
+
+TEST(VerifySolution, RejectsCostInconsistentWithTracedPath) {
+  const auto g = line_graph();
+  auto s = line_solution();
+  s.cost[0] = 5;  // path 0->1->2->3 actually costs 6
+  auto reference = s.cost;
+  EXPECT_FALSE(verify_solution(g, s, reference).ok);
+}
+
+TEST(VerifySolution, UnreachableVerticesAreSkipped) {
+  WeightMatrix g(3, 8);
+  g.set(0, 2, 4);
+  McpSolution s;
+  s.destination = 2;
+  s.cost = {4, g.infinity(), 0};
+  s.next = {2, 2, 2};
+  EXPECT_TRUE(verify_solution(g, s, s.cost).ok);
+}
+
+TEST(VerifySolution, RejectsSizeMismatch) {
+  const auto g = line_graph();
+  auto s = line_solution();
+  s.cost.pop_back();
+  EXPECT_FALSE(verify_solution(g, s, {0, 0, 0, 0}).ok);
+}
+
+}  // namespace
+}  // namespace ppa::graph

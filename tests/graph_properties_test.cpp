@@ -1,0 +1,109 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::graph {
+namespace {
+
+TEST(ReachableTo, DirectedPath) {
+  util::Rng rng(1);
+  const auto g = directed_path(5, 8, {1, 3}, rng);
+  const auto mask = reachable_to(g, 4);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_TRUE(mask[v]);
+  const auto mask0 = reachable_to(g, 0);
+  EXPECT_TRUE(mask0[0]);
+  for (Vertex v = 1; v < 5; ++v) EXPECT_FALSE(mask0[v]);
+}
+
+TEST(ReachableTo, DisconnectedComponents) {
+  WeightMatrix g(4, 8);
+  g.set(0, 1, 1);
+  g.set(2, 3, 1);
+  const auto mask = reachable_to(g, 1);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_FALSE(mask[3]);
+  EXPECT_EQ(reachable_count(g, 1), 2u);
+  EXPECT_FALSE(all_reach(g, 1));
+}
+
+TEST(ReachableTo, ContractChecks) {
+  const WeightMatrix g(3, 8);
+  EXPECT_THROW((void)reachable_to(g, 3), util::ContractError);
+  EXPECT_THROW((void)max_mcp_edges(g, 3), util::ContractError);
+}
+
+TEST(MaxMcpEdges, IsolatedDestination) {
+  const WeightMatrix g(4, 8);
+  EXPECT_EQ(max_mcp_edges(g, 0), 0u);
+}
+
+TEST(MaxMcpEdges, SingleEdge) {
+  WeightMatrix g(3, 8);
+  g.set(1, 0, 5);
+  EXPECT_EQ(max_mcp_edges(g, 0), 1u);
+}
+
+TEST(MaxMcpEdges, RingIsWorstCase) {
+  util::Rng rng(3);
+  for (const std::size_t n : {3u, 5u, 9u, 16u}) {
+    const auto g = directed_ring(n, 16, {1, 4}, rng);
+    EXPECT_EQ(max_mcp_edges(g, 0), n - 1) << "n=" << n;
+  }
+}
+
+TEST(MaxMcpEdges, PathDepthByDestination) {
+  util::Rng rng(3);
+  const auto g = directed_path(7, 8, {1, 3}, rng);
+  EXPECT_EQ(max_mcp_edges(g, 6), 6u);
+  EXPECT_EQ(max_mcp_edges(g, 3), 3u);
+  EXPECT_EQ(max_mcp_edges(g, 0), 0u);  // nothing reaches 0
+}
+
+TEST(MaxMcpEdges, ShortcutShortensP) {
+  // Ring 0->1->2->3->0 with a shortcut 1->0 that is CHEAPER than going
+  // around: p to 0 becomes small.
+  WeightMatrix g(4, 8);
+  g.set(0, 1, 1);
+  g.set(1, 2, 1);
+  g.set(2, 3, 1);
+  g.set(3, 0, 1);
+  g.set(1, 0, 1);
+  g.set(2, 0, 1);
+  // MCPs to 0: 1->0 (1 edge), 2->0 (1 edge), 3->0 (1 edge).
+  EXPECT_EQ(max_mcp_edges(g, 0), 1u);
+}
+
+TEST(MaxMcpEdges, PrefersCheaperLongerPath) {
+  // 0 -> d direct costs 10; 0 -> 1 -> d costs 2: the MCP has 2 edges.
+  WeightMatrix g(3, 8);
+  g.set(0, 2, 10);
+  g.set(0, 1, 1);
+  g.set(1, 2, 1);
+  EXPECT_EQ(max_mcp_edges(g, 2), 2u);
+}
+
+TEST(MaxMcpEdges, LayeredDagMatchesDepth) {
+  util::Rng rng(9);
+  for (const std::size_t layers : {1u, 2u, 4u, 7u}) {
+    const auto g = layered_dag(layers, 3, 2, 12, {1, 5}, rng);
+    EXPECT_EQ(max_mcp_edges(g, g.size() - 1), layers);
+  }
+}
+
+TEST(MaxMcpEdges, BoundedByNMinus1) {
+  util::Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 4 + rng.below(12);
+    const auto g = random_digraph(n, 12, 0.3, {1, 9}, rng);
+    EXPECT_LE(max_mcp_edges(g, rng.below(n)), n - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ppa::graph

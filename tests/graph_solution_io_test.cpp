@@ -1,0 +1,96 @@
+#include "graph/solution_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::graph {
+namespace {
+
+McpSolution sample_solution(Weight infinity) {
+  McpSolution s;
+  s.destination = 2;
+  s.cost = {5, 3, 0, infinity};
+  s.next = {1, 2, 2, 2};
+  return s;
+}
+
+TEST(SolutionIo, RoundTrip) {
+  const Weight inf = 255;
+  const auto s = sample_solution(inf);
+  const auto back = solution_from_string(solution_to_string(s, inf), inf);
+  EXPECT_EQ(back.destination, s.destination);
+  EXPECT_EQ(back.cost, s.cost);
+  EXPECT_EQ(back.next, s.next);
+}
+
+TEST(SolutionIo, InfinityRendersAsInf) {
+  const Weight inf = 255;
+  const std::string text = solution_to_string(sample_solution(inf), inf);
+  EXPECT_NE(text.find("v 3 inf 2"), std::string::npos);
+  EXPECT_NE(text.find("n 4 d 2"), std::string::npos);
+}
+
+TEST(SolutionIo, RoundTripsRealSolverOutput) {
+  util::Rng rng(61);
+  const auto g = random_digraph(12, 16, 0.3, {1, 25}, rng);
+  const auto s = baseline::dijkstra_to(g, 7);
+  const auto back = solution_from_string(solution_to_string(s, g.infinity()), g.infinity());
+  EXPECT_EQ(back.cost, s.cost);
+  EXPECT_EQ(back.next, s.next);
+  // The reloaded solution still verifies.
+  const auto verdict = verify_solution(g, back, s.cost);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+TEST(SolutionIo, RejectsMalformedInputs) {
+  const Weight inf = 255;
+  EXPECT_THROW((void)solution_from_string("", inf), util::ParseError);
+  EXPECT_THROW((void)solution_from_string("wrong 1", inf), util::ParseError);
+  EXPECT_THROW((void)solution_from_string("ppa-solution 2\nn 2 d 0\n", inf), util::ParseError);
+  EXPECT_THROW((void)solution_from_string("ppa-solution 1\nn 0 d 0\n", inf), util::ParseError);
+  EXPECT_THROW((void)solution_from_string("ppa-solution 1\nn 2 d 5\n", inf), util::ParseError);
+  // missing vertex line
+  EXPECT_THROW((void)solution_from_string("ppa-solution 1\nn 2 d 0\nv 0 1 0\n", inf),
+               util::ParseError);
+  // duplicate vertex line
+  EXPECT_THROW((void)solution_from_string(
+                   "ppa-solution 1\nn 2 d 0\nv 0 1 0\nv 0 2 0\n", inf),
+               util::ParseError);
+  // cost above infinity
+  EXPECT_THROW((void)solution_from_string(
+                   "ppa-solution 1\nn 2 d 0\nv 0 999 0\nv 1 0 1\n", inf),
+               util::ParseError);
+  // next pointer out of range
+  EXPECT_THROW((void)solution_from_string(
+                   "ppa-solution 1\nn 2 d 0\nv 0 1 7\nv 1 0 1\n", inf),
+               util::ParseError);
+}
+
+TEST(SolutionIo, CommentsIgnored) {
+  const Weight inf = 255;
+  const auto s = solution_from_string(
+      "# produced by test\nppa-solution 1\nn 2 d 1\nv 0 4 1 # best\nv 1 0 1\n", inf);
+  EXPECT_EQ(s.cost[0], 4u);
+}
+
+TEST(SolutionIo, FileHelpers) {
+  const Weight inf = 65535;
+  const auto s = sample_solution(inf);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppa_solution_io_test.txt").string();
+  save_solution(path, s, inf);
+  const auto back = load_solution(path, inf);
+  EXPECT_EQ(back.cost, s.cost);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_solution("/nonexistent/x", inf), util::ParseError);
+}
+
+}  // namespace
+}  // namespace ppa::graph

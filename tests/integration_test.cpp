@@ -1,0 +1,115 @@
+// End-to-end: generate → serialize → reload → solve on every machine
+// model → cross-verify all of them, plus the E1-style randomized campaign
+// in miniature.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/gcn.hpp"
+#include "baseline/hypercube.hpp"
+#include "baseline/mesh_mcp.hpp"
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa {
+namespace {
+
+using graph::Vertex;
+
+TEST(Integration, FullPipelineOnAllMachines) {
+  util::Rng rng(2026);
+  const auto generated = graph::random_reachable_digraph(18, 16, 0.12, {1, 40}, 7, rng);
+
+  // Serialize and reload — the solvers consume the reloaded copy.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppa_integration_graph.txt").string();
+  graph::save_graph(path, generated);
+  const auto g = graph::load_graph(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(g, generated);
+
+  const auto reference = baseline::dijkstra_to(g, 7);
+
+  const auto ppa_result = mcp::solve(g, 7);
+  const auto mesh_result = baseline::mesh_solve(g, 7);
+  const auto hc_result = baseline::hypercube::minimum_cost_path(g, 7);
+  const auto gcn_result = baseline::gcn::solve(g, 7);
+  const auto bf_result = baseline::bellman_ford_to(g, 7);
+  const auto fw_result = baseline::floyd_warshall(g).toward(7);
+
+  for (const auto& [name, solution] :
+       std::initializer_list<std::pair<const char*, const graph::McpSolution&>>{
+           {"ppa", ppa_result.solution},
+           {"mesh", mesh_result.solution},
+           {"hypercube", hc_result.solution},
+           {"gcn", gcn_result.solution},
+           {"bellman-ford", bf_result.solution},
+           {"floyd-warshall", fw_result}}) {
+    const auto verdict = graph::verify_solution(g, solution, reference.cost);
+    EXPECT_TRUE(verdict.ok) << name << ": " << verdict.detail;
+  }
+
+  // All parallel models run the same synchronous DP.
+  EXPECT_EQ(ppa_result.iterations, mesh_result.iterations);
+  EXPECT_EQ(ppa_result.iterations, hc_result.iterations);
+  EXPECT_EQ(ppa_result.iterations, gcn_result.iterations);
+
+  // And the communication hierarchy shows in the unit-cost step totals.
+  EXPECT_LT(ppa_result.total_steps.total(), mesh_result.total_steps.total());
+}
+
+TEST(Integration, RandomizedCampaignAllModelsAllFamilies) {
+  util::Rng rng(31337);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 4 + rng.below(14);
+    const Vertex d = rng.below(n);
+    graph::WeightMatrix g = [&]() -> graph::WeightMatrix {
+      switch (t % 3) {
+        case 0: return graph::random_digraph(n, 14, 0.3, {1, 20}, rng);
+        case 1: return graph::banded(n, 14, 2, {1, 20}, rng);
+        default: return graph::directed_ring(n, 14, {1, 20}, rng);
+      }
+    }();
+    const auto reference = baseline::dijkstra_to(g, d);
+    const auto check = [&](const char* name, const graph::McpSolution& s) {
+      const auto verdict = graph::verify_solution(g, s, reference.cost);
+      EXPECT_TRUE(verdict.ok) << name << " t=" << t << ": " << verdict.detail;
+    };
+    check("ppa", mcp::solve(g, d).solution);
+    check("mesh", baseline::mesh_solve(g, d).solution);
+    check("hypercube", baseline::hypercube::minimum_cost_path(g, d).solution);
+    check("gcn", baseline::gcn::solve(g, d).solution);
+  }
+}
+
+TEST(Integration, StepCountsReproducibleRunToRun) {
+  util::Rng rng(77);
+  const auto g = graph::random_digraph(12, 16, 0.25, {1, 25}, rng);
+  const auto a = mcp::solve(g, 3);
+  const auto b = mcp::solve(g, 3);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.solution.cost, b.solution.cost);
+  EXPECT_EQ(a.solution.next, b.solution.next);
+}
+
+TEST(Integration, PBoundHoldsAcrossCampaign) {
+  // total iterations == bellman rounds + 1 <= p + 1 <= n.
+  util::Rng rng(99);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 3 + rng.below(16);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_reachable_digraph(n, 16, 0.1, {1, 9}, d, rng);
+    const std::size_t p = graph::max_mcp_edges(g, d);
+    const auto r = mcp::solve(g, d);
+    EXPECT_LE(r.iterations, p + 1);
+    EXPECT_LE(p, n - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,117 @@
+// All-pairs, eccentricity and diameter on the PPA vs Floyd–Warshall.
+#include "mcp/allpairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using graph::Vertex;
+using graph::WeightMatrix;
+
+TEST(AllPairs, MatchesFloydWarshall) {
+  util::Rng rng(41);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t n = 3 + rng.below(10);
+    const auto g = graph::random_digraph(n, 16, 0.25, {1, 20}, rng);
+    const auto machine_result = all_pairs(g);
+    const auto host = baseline::floyd_warshall(g);
+    ASSERT_EQ(machine_result.n, n);
+    for (Vertex i = 0; i < n; ++i) {
+      for (Vertex j = 0; j < n; ++j) {
+        EXPECT_EQ(machine_result.dist_at(i, j), host.dist_at(i, j))
+            << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(AllPairs, DiameterIsMaxFiniteEntry) {
+  util::Rng rng(43);
+  const auto g = graph::random_digraph(9, 16, 0.3, {1, 15}, rng);
+  const auto machine_result = all_pairs(g);
+  graph::Weight expected = 0;
+  for (const auto dist : machine_result.dist) {
+    if (dist != g.infinity()) expected = std::max(expected, dist);
+  }
+  EXPECT_EQ(machine_result.diameter, expected);
+}
+
+TEST(AllPairs, PathsAreValid) {
+  util::Rng rng(44);
+  const auto g = graph::random_digraph(8, 16, 0.3, {1, 15}, rng);
+  const auto machine_result = all_pairs(g);
+  for (Vertex d = 0; d < 8; ++d) {
+    graph::McpSolution slice;
+    slice.destination = d;
+    slice.cost.resize(8);
+    slice.next.resize(8);
+    for (Vertex i = 0; i < 8; ++i) {
+      slice.cost[i] = machine_result.dist_at(i, d);
+      slice.next[i] = machine_result.next_at(i, d);
+    }
+    test::expect_solves(g, slice, "all-pairs d=" + std::to_string(d));
+  }
+}
+
+TEST(Eccentricity, HandGraph) {
+  // Path 0 -> 1 -> 2 with weights 2, 3: costs into 2 are {5, 3, 0}.
+  WeightMatrix g(3, 8);
+  g.set(0, 1, 2);
+  g.set(1, 2, 3);
+  const auto r = solve_eccentricity(g, 2);
+  EXPECT_EQ(r.eccentricity, 5u);
+  EXPECT_GT(r.reduction_steps.total(), 0u);
+  EXPECT_EQ(r.reduction_steps.count(sim::StepCategory::BusOr),
+            static_cast<std::uint64_t>(g.field().bits()));
+}
+
+TEST(Eccentricity, IgnoresUnreachableSources) {
+  WeightMatrix g(4, 8);
+  g.set(0, 1, 7);
+  // vertices 2, 3 cannot reach 1.
+  const auto r = solve_eccentricity(g, 1);
+  EXPECT_EQ(r.eccentricity, 7u);
+}
+
+TEST(Eccentricity, IsolatedDestinationIsZero) {
+  const WeightMatrix g(4, 8);
+  const auto r = solve_eccentricity(g, 2);
+  EXPECT_EQ(r.eccentricity, 0u);  // only (d,d) = 0 is finite
+}
+
+TEST(Eccentricity, MatchesHostMaxOverDijkstra) {
+  util::Rng rng(45);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 3 + rng.below(12);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 20}, rng);
+    const auto machine_result = solve_eccentricity(g, d);
+    const auto host = baseline::dijkstra_to(g, d);
+    graph::Weight expected = 0;
+    for (const auto cost : host.cost) {
+      if (cost != g.infinity()) expected = std::max(expected, cost);
+    }
+    EXPECT_EQ(machine_result.eccentricity, expected) << "n=" << n << " d=" << d;
+  }
+}
+
+TEST(AllPairs, AccumulatedStepsConsistent) {
+  util::Rng rng(46);
+  const auto g = graph::random_digraph(6, 16, 0.4, {1, 9}, rng);
+  const auto machine_result = all_pairs(g);
+  // n runs, each >= init + 1 iteration; the reused machine accumulated
+  // everything.
+  EXPECT_GE(machine_result.total_iterations, g.size());
+  EXPECT_GT(machine_result.total_steps.total(), 0u);
+  EXPECT_EQ(machine_result.total_steps.count(sim::StepCategory::GlobalOr),
+            machine_result.total_iterations);
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -1,0 +1,132 @@
+// Reachability / transitive closure on the PPA vs host-computed ground
+// truth, plus the O(1)-per-iteration cost property that distinguishes the
+// boolean DP from the min-plus DP.
+#include "mcp/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using graph::Vertex;
+using graph::WeightMatrix;
+
+TEST(Reachability, HandGraph) {
+  WeightMatrix g(5, 8);
+  g.set(0, 1, 1);
+  g.set(1, 2, 1);
+  g.set(3, 4, 1);
+  const auto r = solve_reachability(g, 2);
+  EXPECT_EQ(r.reachable, (std::vector<bool>{true, true, true, false, false}));
+  EXPECT_EQ(r.destination, 2u);
+}
+
+TEST(Reachability, SingleVertexAndEdgeless) {
+  const auto one = solve_reachability(WeightMatrix(1, 8), 0);
+  EXPECT_EQ(one.reachable, std::vector<bool>{true});
+
+  const auto empty = solve_reachability(WeightMatrix(4, 8), 2);
+  EXPECT_EQ(empty.reachable, (std::vector<bool>{false, false, true, false}));
+  EXPECT_EQ(empty.iterations, 1u);
+}
+
+class ReachabilitySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReachabilitySeeds, MatchesHostBfs) {
+  util::Rng rng(GetParam());
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 3 + rng.below(16);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 16, 0.15, {1, 9}, rng);
+    const auto machine_result = solve_reachability(g, d);
+    const auto host = graph::reachable_to(g, d);
+    for (Vertex i = 0; i < n; ++i) {
+      EXPECT_EQ(machine_result.reachable[i], host[i]) << "n=" << n << " d=" << d << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilitySeeds, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(Reachability, PerIterationCostIsConstantInHAndN) {
+  // The boolean DP replaces the O(h) bit-serial minimum with ONE wired-OR
+  // cycle: per-iteration cost is independent of both h and n.
+  const auto per_iteration = [](std::size_t n, int bits) {
+    util::Rng rng(7);
+    const auto g = graph::directed_ring(n, bits, {1, 3}, rng);
+    const auto r = solve_reachability(g, 0);
+    EXPECT_EQ(r.iterations, n - 1);  // ring: one vertex settles per round
+    return static_cast<double>(r.total_steps.total() - r.init_steps.total()) /
+           static_cast<double>(r.iterations);
+  };
+  const double base = per_iteration(8, 8);
+  EXPECT_DOUBLE_EQ(per_iteration(8, 32), base);   // h-independent
+  EXPECT_DOUBLE_EQ(per_iteration(24, 16), per_iteration(48, 16));  // n-independent
+}
+
+TEST(Reachability, ExactlyOneBusOrPerIteration) {
+  util::Rng rng(3);
+  const auto g = graph::random_digraph(10, 16, 0.2, {1, 9}, rng);
+  const auto r = solve_reachability(g, 4);
+  EXPECT_EQ(r.total_steps.count(sim::StepCategory::BusOr), r.iterations);
+}
+
+TEST(Reachability, Contracts) {
+  const WeightMatrix g(4, 8);
+  EXPECT_THROW((void)solve_reachability(g, 4), util::ContractError);
+  sim::MachineConfig cfg;
+  cfg.n = 5;
+  cfg.bits = 8;
+  sim::Machine machine(cfg);
+  EXPECT_THROW((void)reachability(machine, g, 0), util::ContractError);
+}
+
+TEST(TransitiveClosure, MatchesHostForEveryPair) {
+  util::Rng rng(11);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t n = 4 + rng.below(10);
+    const auto g = graph::random_digraph(n, 16, 0.2, {1, 9}, rng);
+    const auto tc = transitive_closure(g);
+    ASSERT_EQ(tc.n, n);
+    for (Vertex d = 0; d < n; ++d) {
+      const auto host = graph::reachable_to(g, d);
+      for (Vertex i = 0; i < n; ++i) {
+        EXPECT_EQ(tc.at(i, d), host[i]) << "i=" << i << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(TransitiveClosure, ReflexiveAndIdempotentShape) {
+  util::Rng rng(13);
+  const auto g = graph::random_digraph(8, 16, 0.25, {1, 9}, rng);
+  const auto tc = transitive_closure(g);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_TRUE(tc.at(v, v));
+  // Transitivity: i->j and j->k imply i->k.
+  for (Vertex i = 0; i < 8; ++i) {
+    for (Vertex j = 0; j < 8; ++j) {
+      if (!tc.at(i, j)) continue;
+      for (Vertex k = 0; k < 8; ++k) {
+        if (tc.at(j, k)) {
+          EXPECT_TRUE(tc.at(i, k)) << i << "->" << j << "->" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(TransitiveClosure, StronglyConnectedGraphIsAllOnes) {
+  util::Rng rng(17);
+  const auto g = graph::directed_ring(7, 16, {1, 3}, rng);
+  const auto tc = transitive_closure(g);
+  for (Vertex i = 0; i < 7; ++i) {
+    for (Vertex j = 0; j < 7; ++j) EXPECT_TRUE(tc.at(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -1,0 +1,166 @@
+// Property tests: the PPA MCP must agree with Dijkstra on every graph we
+// can generate — swept over sizes, word widths, densities, destinations,
+// graph families, bus topologies irrelevant (Ring is required), and seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using graph::Vertex;
+using graph::WeightMatrix;
+
+struct SweepCase {
+  std::size_t n;
+  int bits;
+  double density;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+    return os << "n" << c.n << "_h" << c.bits << "_d" << static_cast<int>(c.density * 100)
+              << "_s" << c.seed;
+  }
+};
+
+class McpRandomSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(McpRandomSweep, AgreesWithDijkstraOnRandomDigraphs) {
+  const SweepCase c = GetParam();
+  util::Rng rng(c.seed);
+  const auto max_w = std::min<graph::Weight>(
+      50, util::HField(c.bits).max_finite());
+  const auto g = graph::random_digraph(c.n, c.bits, c.density,
+                                       {1, std::max<graph::Weight>(1, max_w)}, rng);
+  for (int pick = 0; pick < 3; ++pick) {
+    const Vertex d = rng.below(c.n);
+    const Result r = solve(g, d);
+    test::expect_solves(g, r.solution, "random d=" + std::to_string(d));
+  }
+}
+
+TEST_P(McpRandomSweep, AgreesOnReachableDigraphs) {
+  const SweepCase c = GetParam();
+  util::Rng rng(c.seed ^ 0x5555);
+  const Vertex d = rng.below(c.n);
+  const auto max_w = std::min<graph::Weight>(30, util::HField(c.bits).max_finite());
+  const auto g = graph::random_reachable_digraph(c.n, c.bits, c.density,
+                                                 {1, std::max<graph::Weight>(1, max_w)}, d, rng);
+  const Result r = solve(g, d);
+  test::expect_solves(g, r.solution, "reachable");
+  // Everything reaches d, so every cost must be finite.
+  for (Vertex i = 0; i < c.n; ++i) {
+    EXPECT_NE(r.solution.cost[i], g.infinity()) << "vertex " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, McpRandomSweep,
+    ::testing::Values(SweepCase{2, 8, 0.5, 1}, SweepCase{3, 8, 0.4, 2}, SweepCase{4, 6, 0.5, 3},
+                      SweepCase{6, 8, 0.3, 4}, SweepCase{8, 10, 0.25, 5},
+                      SweepCase{10, 12, 0.2, 6}, SweepCase{12, 16, 0.15, 7},
+                      SweepCase{16, 16, 0.15, 8}, SweepCase{16, 8, 0.6, 9},
+                      SweepCase{20, 20, 0.1, 10}, SweepCase{24, 16, 0.12, 11},
+                      SweepCase{32, 24, 0.08, 12}, SweepCase{9, 32, 0.3, 13},
+                      SweepCase{7, 5, 0.5, 14}));
+
+class McpFamilySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McpFamilySweep, Ring) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.below(14);
+  const auto g = graph::directed_ring(n, 16, {1, 9}, rng);
+  const Vertex d = rng.below(n);
+  test::expect_solves(g, solve(g, d).solution, "ring");
+}
+
+TEST_P(McpFamilySweep, Star) {
+  util::Rng rng(GetParam() + 100);
+  const std::size_t n = 4 + rng.below(12);
+  const Vertex center = rng.below(n);
+  const auto g = graph::star(n, 16, center, {1, 9}, rng);
+  test::expect_solves(g, solve(g, center).solution, "star-to-center");
+  const Vertex spoke = (center + 1) % n;
+  test::expect_solves(g, solve(g, spoke).solution, "star-to-spoke");
+}
+
+TEST_P(McpFamilySweep, Grid) {
+  util::Rng rng(GetParam() + 200);
+  const auto g = graph::grid_mesh(3, 4, 16, {1, 9}, rng);
+  const Vertex d = rng.below(g.size());
+  test::expect_solves(g, solve(g, d).solution, "grid");
+}
+
+TEST_P(McpFamilySweep, LayeredDag) {
+  util::Rng rng(GetParam() + 300);
+  const std::size_t layers = 2 + rng.below(4);
+  const auto g = graph::layered_dag(layers, 3, 2, 16, {1, 9}, rng);
+  test::expect_solves(g, solve(g, g.size() - 1).solution, "dag");
+}
+
+TEST_P(McpFamilySweep, Banded) {
+  util::Rng rng(GetParam() + 400);
+  const std::size_t n = 6 + rng.below(10);
+  const auto g = graph::banded(n, 16, 2, {1, 9}, rng);
+  const Vertex d = rng.below(n);
+  test::expect_solves(g, solve(g, d).solution, "banded");
+}
+
+TEST_P(McpFamilySweep, Geometric) {
+  util::Rng rng(GetParam() + 500);
+  const auto g = graph::geometric(14, 16, 0.45, {5, 60}, rng);
+  const Vertex d = rng.below(g.size());
+  test::expect_solves(g, solve(g, d).solution, "geometric");
+}
+
+TEST_P(McpFamilySweep, Complete) {
+  util::Rng rng(GetParam() + 600);
+  const std::size_t n = 3 + rng.below(10);
+  const auto g = graph::complete(n, 16, {1, 9}, rng);
+  const Vertex d = rng.below(n);
+  test::expect_solves(g, solve(g, d).solution, "complete");
+}
+
+TEST_P(McpFamilySweep, ZeroWeightsAllowed) {
+  util::Rng rng(GetParam() + 700);
+  const std::size_t n = 4 + rng.below(10);
+  const auto g = graph::random_digraph(n, 16, 0.3, {0, 4}, rng);
+  const Vertex d = rng.below(n);
+  test::expect_solves(g, solve(g, d).solution, "zero-weights");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McpFamilySweep, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(McpProperty, IterationsNeverExceedVertexCount) {
+  util::Rng rng(99);
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t n = 2 + rng.below(20);
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 9}, rng);
+    const Vertex d = rng.below(n);
+    const Result r = solve(g, d);
+    EXPECT_LE(r.iterations, n + 1);
+  }
+}
+
+TEST(McpProperty, StepsScaleWithIterationsTimesH) {
+  // For a fixed n, total steps are (iterations x per-iteration-cost) +
+  // init; per-iteration cost is affine in h.
+  util::Rng rng(7);
+  const auto g16 = graph::directed_ring(12, 16, {1, 3}, rng);
+  const auto g32 = g16.with_bits(32);
+  const Result r16 = solve(g16, 0);
+  const Result r32 = solve(g32, 0);
+  ASSERT_EQ(r16.iterations, r32.iterations);
+  EXPECT_EQ(r32.total_steps.count(sim::StepCategory::BusOr),
+            2 * r16.total_steps.count(sim::StepCategory::BusOr));
+}
+
+}  // namespace
+}  // namespace ppa::mcp

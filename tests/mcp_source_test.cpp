@@ -1,0 +1,75 @@
+// solve_from — the single-source convenience wrapper.
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using graph::Vertex;
+
+TEST(SolveFrom, TinyGraph) {
+  // tiny_graph toward 3: costs {5,3,1,0}. FROM 2: 2->3 (1), 2->0 (1),
+  // 2->0->1 (3), 2 itself 0.
+  const auto g = test::tiny_graph();
+  const SourceResult r = solve_from(g, 2);
+  EXPECT_EQ(r.cost, (std::vector<graph::Weight>{1, 3, 0, 1}));
+  EXPECT_EQ(r.source, 2u);
+  const auto to1 = extract_path_from(r, 1);
+  ASSERT_TRUE(to1.has_value());
+  EXPECT_EQ(*to1, (std::vector<Vertex>{2, 0, 1}));
+  const auto to_self = extract_path_from(r, 2);
+  ASSERT_TRUE(to_self.has_value());
+  EXPECT_EQ(*to_self, std::vector<Vertex>{2});
+}
+
+TEST(SolveFrom, UnreachableTargets) {
+  graph::WeightMatrix g(4, 8);
+  g.set(0, 1, 2);
+  const SourceResult r = solve_from(g, 0);
+  EXPECT_EQ(r.cost[1], 2u);
+  EXPECT_EQ(r.cost[2], g.infinity());
+  EXPECT_FALSE(extract_path_from(r, 2).has_value());
+}
+
+TEST(SolveFrom, MatchesDijkstraOnReverseGraph) {
+  util::Rng rng(81);
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t n = 3 + rng.below(14);
+    const Vertex s = rng.below(n);
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 20}, rng);
+    const SourceResult from = solve_from(g, s);
+    // Dijkstra toward s on g^T computes the same quantities.
+    const auto reference = baseline::dijkstra_to(g.transposed(), s);
+    EXPECT_EQ(from.cost, reference.cost) << "seed t=" << t;
+  }
+}
+
+TEST(SolveFrom, PathsTraceForwardAtClaimedCost) {
+  util::Rng rng(82);
+  const auto g = graph::random_reachable_digraph(12, 16, 0.25, {1, 15}, 0, rng).transposed();
+  // ^ transposing a "all reach 0" graph gives "0 reaches all".
+  const SourceResult r = solve_from(g, 0);
+  for (Vertex target = 0; target < 12; ++target) {
+    ASSERT_NE(r.cost[target], g.infinity()) << "target " << target;
+    const auto path = extract_path_from(r, target);
+    ASSERT_TRUE(path.has_value()) << "target " << target;
+    EXPECT_EQ(path->front(), 0u);
+    EXPECT_EQ(path->back(), target);
+    EXPECT_EQ(graph::path_cost(g, *path), r.cost[target]);
+  }
+}
+
+TEST(SolveFrom, ContractChecks) {
+  const auto g = test::tiny_graph();
+  EXPECT_THROW((void)solve_from(g, 4), util::ContractError);
+  const SourceResult r = solve_from(g, 0);
+  EXPECT_THROW((void)extract_path_from(r, 9), util::ContractError);
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -1,0 +1,256 @@
+// Masked-SIMD semantics of the PPC layer: parallel variables, where /
+// elsewhere, operator evaluation, and step charging.
+#include "ppc/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppc/primitives.hpp"
+#include "ppc/where.hpp"
+#include "util/check.hpp"
+
+namespace ppa::ppc {
+namespace {
+
+sim::MachineConfig config_of(std::size_t n, int bits = 8) {
+  sim::MachineConfig c;
+  c.n = n;
+  c.bits = bits;
+  return c;
+}
+
+TEST(Parallel, DeclarationFillsEveryPe) {
+  sim::Machine m(config_of(3));
+  Context ctx(m);
+  const Pint x(ctx, 7);
+  for (std::size_t pe = 0; pe < 9; ++pe) EXPECT_EQ(x.at(pe), 7u);
+  const Pbool b(ctx, true);
+  EXPECT_EQ(b.count(), 9u);
+}
+
+TEST(Parallel, DeclarationRejectsUnrepresentable) {
+  sim::Machine m(config_of(3, 4));
+  Context ctx(m);
+  EXPECT_NO_THROW(Pint(ctx, 15));
+  EXPECT_THROW(Pint(ctx, 16), util::ContractError);
+}
+
+TEST(Parallel, RowColConstants) {
+  sim::Machine m(config_of(3));
+  Context ctx(m);
+  const Pint r = row_of(ctx);
+  const Pint c = col_of(ctx);
+  EXPECT_EQ(r.at(2, 1), 2u);
+  EXPECT_EQ(c.at(2, 1), 1u);
+}
+
+TEST(Parallel, MaskedAssignmentOnlyWritesActivePes) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  Pint x(ctx, 0);
+  const Pint fives(ctx, 5);
+  const Pbool top_row = (row_of(ctx) == Word{0});
+  where(ctx, top_row, [&] { x = fives; });
+  EXPECT_EQ(x.at(0, 0), 5u);
+  EXPECT_EQ(x.at(0, 1), 5u);
+  EXPECT_EQ(x.at(1, 0), 0u);
+  EXPECT_EQ(x.at(1, 1), 0u);
+}
+
+TEST(Parallel, WhereElsePartitions) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  Pint x(ctx, 0);
+  const Pbool diag = (row_of(ctx) == col_of(ctx));
+  where_else(
+      ctx, diag, [&] { x = Pint(ctx, 1); }, [&] { x = Pint(ctx, 2); });
+  EXPECT_EQ(x.at(0, 0), 1u);
+  EXPECT_EQ(x.at(1, 1), 1u);
+  EXPECT_EQ(x.at(0, 1), 2u);
+  EXPECT_EQ(x.at(1, 0), 2u);
+}
+
+TEST(Parallel, NestedWheresAndCompose) {
+  sim::Machine m(config_of(3));
+  Context ctx(m);
+  Pint x(ctx, 0);
+  const Pbool row0 = (row_of(ctx) == Word{0});
+  const Pbool col0 = (col_of(ctx) == Word{0});
+  where(ctx, row0, [&] {
+    where(ctx, col0, [&] { x = Pint(ctx, 9); });
+  });
+  EXPECT_EQ(x.at(0, 0), 9u);
+  EXPECT_EQ(x.at(0, 1), 0u);
+  EXPECT_EQ(x.at(1, 0), 0u);
+  EXPECT_EQ(ctx.mask_depth(), 0u);
+}
+
+TEST(Parallel, MaskRestoredAfterException) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  const Pbool cond(ctx, true);
+  EXPECT_THROW(where(ctx, cond, [&] { throw std::runtime_error("x"); }), std::runtime_error);
+  EXPECT_EQ(ctx.mask_depth(), 0u);
+  EXPECT_TRUE(ctx.mask_is_full());
+}
+
+TEST(Parallel, ExpressionsEvaluateUnmasked) {
+  // Operators run on every PE; only stores are masked.
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  Pint x(ctx, 3);
+  Pint y(ctx, 0);
+  const Pbool nothing(ctx, false);
+  where(ctx, nothing, [&] { y = x + Word{1}; });
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(y.at(pe), 0u);  // no store happened
+  const Pint z = x + Word{1};  // outside any where: plain expression
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(z.at(pe), 4u);
+}
+
+TEST(Parallel, SaturatingAdd) {
+  sim::Machine m(config_of(2, 4));  // infinity = 15
+  Context ctx(m);
+  const Pint a(ctx, 9);
+  const Pint b(ctx, 9);
+  const Pint s = a + b;
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(s.at(pe), 15u);
+  const Pint inf(ctx, 15);
+  const Pint t = inf + Word{1};
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(t.at(pe), 15u);
+}
+
+TEST(Parallel, ComparisonsAndLogic) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  const Pint r = row_of(ctx);
+  const Pint c = col_of(ctx);
+  EXPECT_EQ((r == c).count(), 2u);
+  EXPECT_EQ((r != c).count(), 2u);
+  EXPECT_EQ((r < c).count(), 1u);   // only (0,1)
+  EXPECT_EQ((r <= c).count(), 3u);
+  EXPECT_EQ((r < Word{1}).count(), 2u);  // row 0
+  const Pbool a = (r == Word{0});
+  const Pbool b = (c == Word{0});
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  EXPECT_EQ((!a).count(), 2u);
+  EXPECT_EQ((a == b).count(), 2u);
+  EXPECT_EQ((a != b).count(), 2u);
+}
+
+TEST(Parallel, EminEmaxSelect) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  const Pint r = row_of(ctx);
+  const Pint c = col_of(ctx);
+  const Pint lo = emin(r, c);
+  const Pint hi = emax(r, c);
+  EXPECT_EQ(lo.at(0, 1), 0u);
+  EXPECT_EQ(hi.at(0, 1), 1u);
+  const Pint sel = select(r == c, Pint(ctx, 8), Pint(ctx, 9));
+  EXPECT_EQ(sel.at(0, 0), 8u);
+  EXPECT_EQ(sel.at(0, 1), 9u);
+}
+
+TEST(Parallel, BitPlanesRoundTrip) {
+  sim::Machine m(config_of(2, 8));
+  Context ctx(m);
+  const Pint x(ctx, 0b10110101);
+  EXPECT_EQ(x.bit(0).count(), 4u);
+  EXPECT_TRUE(x.bit(7).at(0));
+  EXPECT_FALSE(x.bit(6).at(0));
+  EXPECT_THROW((void)x.bit(8), util::ContractError);
+  EXPECT_THROW((void)x.bit(-1), util::ContractError);
+
+  // Reassemble the value from its planes with or_bit.
+  Pint rebuilt(ctx, 0);
+  for (int j = 0; j < 8; ++j) rebuilt = rebuilt.or_bit(j, x.bit(j));
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(rebuilt.at(pe), x.at(pe));
+}
+
+TEST(Parallel, ToPintAndBack) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  const Pbool diag = (row_of(ctx) == col_of(ctx));
+  const Pint as_int = diag.to_pint();
+  EXPECT_EQ(as_int.at(0, 0), 1u);
+  EXPECT_EQ(as_int.at(0, 1), 0u);
+}
+
+TEST(Parallel, StoreAllIgnoresMask) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  Pint x(ctx, 0);
+  const Pbool nothing(ctx, false);
+  where(ctx, nothing, [&] { x.store_all(6); });
+  for (std::size_t pe = 0; pe < 4; ++pe) EXPECT_EQ(x.at(pe), 6u);
+}
+
+TEST(Parallel, CrossMachineOperandsRejected) {
+  sim::Machine m1(config_of(2));
+  sim::Machine m2(config_of(2));
+  Context c1(m1);
+  Context c2(m2);
+  const Pint a(c1, 1);
+  const Pint b(c2, 1);
+  EXPECT_THROW((void)(a + b), util::ContractError);
+  Pint x(c1, 0);
+  EXPECT_THROW(x = b, util::ContractError);
+}
+
+TEST(Parallel, EveryOperationChargesSteps) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  const auto base = m.steps().total();
+  const Pint a(ctx, 1);                 // +1 store
+  const Pint b(ctx, 2);                 // +1
+  const Pint c = a + b;                 // +1
+  const Pbool eq = (a == b);            // +1
+  (void)c;
+  (void)eq;
+  EXPECT_EQ(m.steps().total() - base, 4u);
+}
+
+TEST(Parallel, PopWithoutPushRejected) {
+  sim::Machine m(config_of(2));
+  Context ctx(m);
+  EXPECT_THROW(ctx.pop_mask(), util::ContractError);
+}
+
+TEST(Parallel, UndrivenConsumptionThrowsUnderErrorPolicy) {
+  auto cfg = config_of(4);
+  cfg.topology = sim::BusTopology::Linear;
+  sim::Machine m(cfg);
+  Context ctx(m);
+  const Pint src = row_of(ctx);
+  // Open only in row 0 at column 1: columns 0..1 of row 0 float, and every
+  // other row floats entirely.
+  const Pbool open = (row_of(ctx) == Word{0}) & (col_of(ctx) == Word{1});
+  const Pint received = broadcast(src, sim::Direction::East, open);
+  EXPECT_FALSE(received.fully_driven());
+  Pint sink(ctx, 0);
+  EXPECT_THROW(sink = received, util::ContractError);
+  // Masking the store to driven PEs only is fine.
+  const Pbool safe = (row_of(ctx) == Word{0}) & !(col_of(ctx) < Word{2});
+  EXPECT_NO_THROW(where(ctx, safe, [&] { sink = received; }));
+  EXPECT_EQ(sink.at(0, 2), 0u);  // value injected by row 0's driver
+}
+
+TEST(Parallel, UndrivenReadZeroPolicyStoresZero) {
+  auto cfg = config_of(4);
+  cfg.topology = sim::BusTopology::Linear;
+  cfg.undriven = sim::UndrivenPolicy::ReadZero;
+  sim::Machine m(cfg);
+  Context ctx(m);
+  const Pint src(ctx, 9);
+  const Pbool open = (row_of(ctx) == Word{0}) & (col_of(ctx) == Word{1});
+  const Pint received = broadcast(src, sim::Direction::East, open);
+  Pint sink(ctx, 7);
+  EXPECT_NO_THROW(sink = received);
+  EXPECT_EQ(sink.at(0, 0), 0u);  // floating read becomes 0
+  EXPECT_EQ(sink.at(0, 2), 9u);
+  EXPECT_EQ(sink.at(3, 3), 0u);
+}
+
+}  // namespace
+}  // namespace ppa::ppc

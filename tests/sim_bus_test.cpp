@@ -1,0 +1,270 @@
+// Pins down the segmented-bus semantics of DESIGN.md §2/§4: driver
+// resolution, ring wrap-around, linear floating segments, wired-OR cluster
+// membership and segment-length reporting.
+#include "sim/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ppa::sim {
+namespace {
+
+constexpr std::size_t kN = 4;
+
+std::vector<Word> iota_words() {
+  std::vector<Word> v(kN * kN);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<Word>(i);
+  return v;
+}
+
+std::vector<Flag> open_none() { return std::vector<Flag>(kN * kN, 0); }
+
+std::vector<Flag> open_at(std::initializer_list<std::size_t> pes) {
+  auto v = open_none();
+  for (const std::size_t pe : pes) v[pe] = 1;
+  return v;
+}
+
+// Row 0 occupies PEs 0..3; column 0 occupies PEs {0, 4, 8, 12}.
+
+TEST(BusBroadcast, EastSingleOpenRingReachesWholeRow) {
+  const auto src = iota_words();
+  const auto open = open_at({1});  // row 0, column 1 open
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::East, src, open);
+  // Every PE of row 0 receives the value injected at column 1 (ring wrap
+  // carries it past the row end back to columns 0 and 1).
+  for (std::size_t c = 0; c < kN; ++c) {
+    EXPECT_EQ(r.values[c], 1u) << "column " << c;
+    EXPECT_EQ(r.driven[c], 1);
+  }
+  // Other rows have no open node: floating.
+  for (std::size_t pe = kN; pe < kN * kN; ++pe) EXPECT_EQ(r.driven[pe], 0);
+  EXPECT_EQ(r.max_segment, kN);
+}
+
+TEST(BusBroadcast, EastTwoOpensSegmentTheRow) {
+  const auto src = iota_words();
+  const auto open = open_at({1, 3});
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::East, src, open);
+  // driver(c) = nearest open strictly west (wrapping): c0 <- 3, c1 <- 3,
+  // c2 <- 1, c3 <- 1.
+  EXPECT_EQ(r.values[0], 3u);
+  EXPECT_EQ(r.values[1], 3u);
+  EXPECT_EQ(r.values[2], 1u);
+  EXPECT_EQ(r.values[3], 1u);
+  EXPECT_EQ(r.max_segment, 2u);
+}
+
+TEST(BusBroadcast, WestReversesUpstream) {
+  const auto src = iota_words();
+  const auto open = open_at({1, 3});
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::West, src, open);
+  // Data flows toward decreasing columns; driver = nearest open strictly
+  // east (wrapping): c0 <- 1, c1 <- 3, c2 <- 3, c3 <- 1.
+  EXPECT_EQ(r.values[0], 1u);
+  EXPECT_EQ(r.values[1], 3u);
+  EXPECT_EQ(r.values[2], 3u);
+  EXPECT_EQ(r.values[3], 1u);
+}
+
+TEST(BusBroadcast, SouthRunsDownColumns) {
+  const auto src = iota_words();
+  const auto open = open_at({4});  // column 0, row 1
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::South, src, open);
+  for (std::size_t row = 0; row < kN; ++row) {
+    EXPECT_EQ(r.values[row * kN], 4u) << "row " << row;
+    EXPECT_EQ(r.driven[row * kN], 1);
+  }
+  EXPECT_EQ(r.driven[1], 0);  // other columns float
+}
+
+TEST(BusBroadcast, NorthRunsUpColumns) {
+  const auto src = iota_words();
+  const auto open = open_at({4, 12});  // column 0, rows 1 and 3
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::North, src, open);
+  // Upstream of a PE is the PE below it. row0 <- row1(4), row3 <- wrap from
+  // row1? walk: drivers are the nearest open strictly below (wrapping).
+  EXPECT_EQ(r.values[0 * kN], 4u);
+  EXPECT_EQ(r.values[1 * kN], 12u);
+  EXPECT_EQ(r.values[2 * kN], 12u);
+  EXPECT_EQ(r.values[3 * kN], 4u);
+}
+
+TEST(BusBroadcast, OpenNodeReceivesFromUpstreamNotItself) {
+  const auto src = iota_words();
+  const auto open = open_at({1, 2});
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::East, src, open);
+  EXPECT_EQ(r.values[2], 1u);  // the open node at column 2 reads column 1's injection
+  EXPECT_EQ(r.values[1], 2u);  // and vice versa around the ring
+}
+
+TEST(BusBroadcast, SingleOpenNodeReceivesItselfAfterFullWrap) {
+  const auto src = iota_words();
+  const auto open = open_at({2});
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::East, src, open);
+  EXPECT_EQ(r.values[2], 2u);
+}
+
+TEST(BusBroadcast, LinearFloatsUpstreamOfFirstOpen) {
+  const auto src = iota_words();
+  const auto open = open_at({1});
+  const auto r = bus_broadcast(kN, BusTopology::Linear, Direction::East, src, open);
+  EXPECT_EQ(r.driven[0], 0);  // west of the driver: floating
+  EXPECT_EQ(r.driven[1], 0);  // the open node itself reads a floating stub
+  EXPECT_EQ(r.driven[2], 1);
+  EXPECT_EQ(r.driven[3], 1);
+  EXPECT_EQ(r.values[2], 1u);
+  EXPECT_EQ(r.values[3], 1u);
+}
+
+TEST(BusBroadcast, LinearWestFloatsMirrored) {
+  const auto src = iota_words();
+  const auto open = open_at({2});
+  const auto r = bus_broadcast(kN, BusTopology::Linear, Direction::West, src, open);
+  EXPECT_EQ(r.driven[3], 0);
+  EXPECT_EQ(r.driven[2], 0);
+  EXPECT_EQ(r.values[1], 2u);
+  EXPECT_EQ(r.values[0], 2u);
+}
+
+TEST(BusBroadcast, AllShortLineFloatsEntirely) {
+  const auto src = iota_words();
+  const auto open = open_none();
+  for (const auto topology : {BusTopology::Ring, BusTopology::Linear}) {
+    const auto r = bus_broadcast(kN, topology, Direction::East, src, open);
+    for (std::size_t pe = 0; pe < kN * kN; ++pe) {
+      EXPECT_EQ(r.driven[pe], 0);
+      EXPECT_EQ(r.values[pe], 0u);
+    }
+    EXPECT_EQ(r.max_segment, 0u);
+  }
+}
+
+TEST(BusBroadcast, AllOpenEveryoneHearsTheirUpstreamNeighbour) {
+  const auto src = iota_words();
+  std::vector<Flag> open(kN * kN, 1);
+  const auto r = bus_broadcast(kN, BusTopology::Ring, Direction::East, src, open);
+  for (std::size_t c = 0; c < kN; ++c) {
+    EXPECT_EQ(r.values[c], (c + kN - 1) % kN);
+  }
+  EXPECT_EQ(r.max_segment, 1u);
+}
+
+TEST(BusBroadcast, RejectsMalformedOperands) {
+  const std::vector<Word> short_src(3);
+  const std::vector<Flag> open(kN * kN, 0);
+  EXPECT_THROW((void)bus_broadcast(kN, BusTopology::Ring, Direction::East, short_src, open),
+               util::ContractError);
+  EXPECT_THROW((void)bus_broadcast(0, BusTopology::Ring, Direction::East, {}, {}),
+               util::ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// Wired-OR
+// ---------------------------------------------------------------------------
+
+std::vector<Flag> bits_at(std::initializer_list<std::size_t> pes) {
+  std::vector<Flag> v(kN * kN, 0);
+  for (const std::size_t pe : pes) v[pe] = 1;
+  return v;
+}
+
+TEST(BusWiredOr, SingleClusterOrsWholeLine) {
+  const auto open = open_at({3});  // row 0 single open at column 3
+  const auto src = bits_at({1});   // one short member pulls the line
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::West, src, open);
+  for (std::size_t c = 0; c < kN; ++c) EXPECT_EQ(r.values[c], 1u) << c;
+  EXPECT_EQ(r.max_segment, kN);
+}
+
+TEST(BusWiredOr, ZeroWhenNobodyPulls) {
+  const auto open = open_at({3});
+  const auto src = bits_at({});
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::West, src, open);
+  for (std::size_t c = 0; c < kN; ++c) {
+    EXPECT_EQ(r.values[c], 0u);
+    EXPECT_EQ(r.driven[c], 1);
+  }
+}
+
+TEST(BusWiredOr, OpenNodeReadsTheSegmentItPulls) {
+  // Two opens split row 0 (ring, East) into segments {3, 0} and {1, 2}.
+  // The open node at column 3 pulls: ITS segment — itself and the short
+  // node wrapping behind it at column 0 — sees 1; segment {1, 2} sees 0.
+  const auto open = open_at({1, 3});
+  const auto src = bits_at({3});
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::East, src, open);
+  EXPECT_EQ(r.values[0], 1u);
+  EXPECT_EQ(r.values[1], 0u);
+  EXPECT_EQ(r.values[2], 0u);
+  EXPECT_EQ(r.values[3], 1u);
+}
+
+TEST(BusWiredOr, ShortNodePullIsConfinedToItsSegment) {
+  // Opens at columns 1 and 3 (ring, East): segments {1, 2} and {3, 0}.
+  // A pull by the short node at column 2 is seen exactly by segment
+  // {1, 2}.
+  const auto open = open_at({1, 3});
+  const auto src = bits_at({2});
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::East, src, open);
+  EXPECT_EQ(r.values[1], 1u);
+  EXPECT_EQ(r.values[2], 1u);
+  EXPECT_EQ(r.values[0], 0u);
+  EXPECT_EQ(r.values[3], 0u);
+}
+
+TEST(BusWiredOr, LinearHeadSegmentIsItsOwnOrLine) {
+  // Linear bus, open at column 2: the head piece {0, 1} is electrically
+  // separate but still a functioning or-line; the tail segment {2, 3}
+  // reads only its own pulls. Open-collector reads never float.
+  const auto open = open_at({2});
+  const auto src = bits_at({0, 1});
+  const auto r = bus_wired_or(kN, BusTopology::Linear, Direction::East, src, open);
+  for (std::size_t c = 0; c < kN; ++c) EXPECT_EQ(r.driven[c], 1);
+  EXPECT_EQ(r.values[0], 1u);
+  EXPECT_EQ(r.values[1], 1u);
+  EXPECT_EQ(r.values[2], 0u);
+  EXPECT_EQ(r.values[3], 0u);
+}
+
+TEST(BusWiredOr, AllShortLineIsOneSegment) {
+  // No Open switch: the whole (ring or linear) line is one or-segment.
+  const auto open = open_none();
+  const auto src = bits_at({1});
+  for (const auto topology : {BusTopology::Ring, BusTopology::Linear}) {
+    const auto r = bus_wired_or(kN, topology, Direction::East, src, open);
+    for (std::size_t c = 0; c < kN; ++c) {
+      EXPECT_EQ(r.values[c], 1u);
+      EXPECT_EQ(r.driven[c], 1);
+    }
+    // Other rows have no pull: read 0, still driven.
+    EXPECT_EQ(r.values[kN], 0u);
+    EXPECT_EQ(r.driven[kN], 1);
+  }
+}
+
+TEST(BusWiredOr, ColumnsAreIndependent) {
+  // Open every diagonal PE; pull in column 2 only.
+  const auto open = open_at({0, 5, 10, 15});
+  const auto src = bits_at({2});
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::South, src, open);
+  for (std::size_t row = 0; row < kN; ++row) {
+    EXPECT_EQ(r.values[row * kN + 2], 1u) << "col2 row " << row;
+    EXPECT_EQ(r.values[row * kN + 0], 0u);
+    EXPECT_EQ(r.values[row * kN + 1], 0u);
+    EXPECT_EQ(r.values[row * kN + 3], 0u);
+  }
+}
+
+TEST(BusWiredOr, MaxSegmentReflectsClusterSizes) {
+  const auto open = open_at({0, 1});  // segments of size 1 and 3 in row 0
+  const auto src = bits_at({});
+  const auto r = bus_wired_or(kN, BusTopology::Ring, Direction::East, src, open);
+  // Rows 1..3 have no Open switch: each is one whole-line segment of 4,
+  // which dominates row 0's {1, 3} split.
+  EXPECT_EQ(r.max_segment, 4u);
+}
+
+}  // namespace
+}  // namespace ppa::sim

@@ -1,0 +1,88 @@
+#include "sim/step_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppa::sim {
+namespace {
+
+TEST(StepCounter, StartsEmpty) {
+  const StepCounter c;
+  EXPECT_EQ(c.total(), 0u);
+  for (const auto cat : {StepCategory::Alu, StepCategory::Shift, StepCategory::BusBroadcast,
+                         StepCategory::BusOr, StepCategory::GlobalOr}) {
+    EXPECT_EQ(c.count(cat), 0u);
+  }
+}
+
+TEST(StepCounter, ChargeAccumulates) {
+  StepCounter c;
+  c.charge(StepCategory::Alu, 3);
+  c.charge(StepCategory::Alu);
+  c.charge(StepCategory::Shift, 2);
+  EXPECT_EQ(c.count(StepCategory::Alu), 4u);
+  EXPECT_EQ(c.count(StepCategory::Shift), 2u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(StepCounter, BusDelayModels) {
+  StepCounter c;
+  // One bus cycle spanning 8 hops: Unit=1, Log=1+3=4, Linear=8.
+  c.charge_bus(StepCategory::BusBroadcast, 8);
+  EXPECT_EQ(c.total_under(BusDelayModel::Unit), 1u);
+  EXPECT_EQ(c.total_under(BusDelayModel::Log), 4u);
+  EXPECT_EQ(c.total_under(BusDelayModel::Linear), 8u);
+}
+
+TEST(StepCounter, BusDelayDegenerateSegment) {
+  StepCounter c;
+  c.charge_bus(StepCategory::BusOr, 0);  // floating line still costs a cycle
+  c.charge_bus(StepCategory::BusOr, 1);
+  EXPECT_EQ(c.total_under(BusDelayModel::Unit), 2u);
+  EXPECT_EQ(c.total_under(BusDelayModel::Log), 2u);
+  EXPECT_EQ(c.total_under(BusDelayModel::Linear), 2u);
+}
+
+TEST(StepCounter, NonBusCategoriesCostOneUnderEveryModel) {
+  StepCounter c;
+  c.charge(StepCategory::Alu, 10);
+  EXPECT_EQ(c.total_under(BusDelayModel::Linear), 10u);
+}
+
+TEST(StepCounter, SinceComputesDeltas) {
+  StepCounter c;
+  c.charge(StepCategory::Alu, 5);
+  const StepCounter snapshot = c;
+  c.charge(StepCategory::Alu, 2);
+  c.charge_bus(StepCategory::BusBroadcast, 16);
+  const StepCounter delta = c.since(snapshot);
+  EXPECT_EQ(delta.count(StepCategory::Alu), 2u);
+  EXPECT_EQ(delta.count(StepCategory::BusBroadcast), 1u);
+  EXPECT_EQ(delta.total_under(BusDelayModel::Linear), 2u + 16u);
+}
+
+TEST(StepCounter, ResetClearsEverything) {
+  StepCounter c;
+  c.charge_bus(StepCategory::BusOr, 32);
+  c.reset();
+  EXPECT_EQ(c, StepCounter{});
+  EXPECT_EQ(c.total_under(BusDelayModel::Linear), 0u);
+}
+
+TEST(StepCounter, SummaryMentionsNonZeroCategories) {
+  StepCounter c;
+  c.charge(StepCategory::Shift, 3);
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("shift=3"), std::string::npos);
+  EXPECT_EQ(s.find("bus_or"), std::string::npos);
+}
+
+TEST(StepCategoryNames, AllDistinct) {
+  EXPECT_STREQ(name_of(StepCategory::Alu), "alu");
+  EXPECT_STREQ(name_of(StepCategory::Shift), "shift");
+  EXPECT_STREQ(name_of(StepCategory::BusBroadcast), "bus_bcast");
+  EXPECT_STREQ(name_of(StepCategory::BusOr), "bus_or");
+  EXPECT_STREQ(name_of(StepCategory::GlobalOr), "global_or");
+}
+
+}  // namespace
+}  // namespace ppa::sim

@@ -1,0 +1,99 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mcp/mcp.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::sim {
+namespace {
+
+MachineConfig config_of(std::size_t n, int bits = 8) {
+  MachineConfig c;
+  c.n = n;
+  c.bits = bits;
+  return c;
+}
+
+TEST(Trace, RecordsEveryPrimitive) {
+  Machine m(config_of(3));
+  RecordingTrace trace;
+  m.set_trace(&trace);
+
+  std::vector<Word> src(9, 1);
+  std::vector<Word> dst(9);
+  m.shift(src, Direction::South, 0, dst);
+  std::vector<Flag> open(9, 0);
+  open[4] = 1;
+  (void)m.broadcast(src, Direction::East, open);
+  std::vector<Flag> bits(9, 0);
+  (void)m.wired_or(bits, Direction::West, open);
+  (void)m.global_or(bits);
+  m.charge_alu(2);
+
+  ASSERT_EQ(trace.events().size(), 6u);
+  EXPECT_EQ(trace.count(StepCategory::Shift), 1u);
+  EXPECT_EQ(trace.count(StepCategory::BusBroadcast), 1u);
+  EXPECT_EQ(trace.count(StepCategory::BusOr), 1u);
+  EXPECT_EQ(trace.count(StepCategory::GlobalOr), 1u);
+  EXPECT_EQ(trace.count(StepCategory::Alu), 2u);
+
+  const TraceEvent& bcast = trace.events()[1];
+  EXPECT_EQ(bcast.direction, Direction::East);
+  EXPECT_EQ(bcast.open_count, 1u);
+  EXPECT_EQ(bcast.max_segment, 3u);  // row 1's single open drives the whole row
+}
+
+TEST(Trace, EventCountsMatchStepCounters) {
+  util::Rng rng(5);
+  const auto g = graph::random_digraph(8, 8, 0.3, {1, 9}, rng);
+  MachineConfig cfg = config_of(8, 8);
+  Machine machine(cfg);
+  RecordingTrace trace;
+  machine.set_trace(&trace);
+  const auto result = mcp::minimum_cost_path(machine, g, 2);
+
+  EXPECT_EQ(trace.count(StepCategory::Alu), result.total_steps.count(StepCategory::Alu));
+  EXPECT_EQ(trace.count(StepCategory::BusBroadcast),
+            result.total_steps.count(StepCategory::BusBroadcast));
+  EXPECT_EQ(trace.count(StepCategory::BusOr), result.total_steps.count(StepCategory::BusOr));
+  EXPECT_EQ(trace.count(StepCategory::GlobalOr),
+            result.total_steps.count(StepCategory::GlobalOr));
+  EXPECT_EQ(trace.events().size(), result.total_steps.total());
+}
+
+TEST(Trace, DetachStopsRecording) {
+  Machine m(config_of(2));
+  RecordingTrace trace;
+  m.set_trace(&trace);
+  m.charge_alu();
+  m.set_trace(nullptr);
+  m.charge_alu();
+  EXPECT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(m.trace(), nullptr);
+}
+
+TEST(Trace, ClearResets) {
+  RecordingTrace trace;
+  trace.on_event(TraceEvent{StepCategory::Shift, Direction::East, 0, 0});
+  EXPECT_EQ(trace.events().size(), 1u);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, ToStringFormats) {
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::Alu, Direction::North, 0, 0}), "alu");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::Shift, Direction::East, 0, 0}),
+            "shift dir=East");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::BusBroadcast, Direction::South, 4, 8}),
+            "bus_bcast dir=South open=4 seg=8");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::BusOr, Direction::West, 2, 3}),
+            "bus_or dir=West open=2 seg=3");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0}),
+            "global_or");
+}
+
+}  // namespace
+}  // namespace ppa::sim

@@ -1,0 +1,63 @@
+# End-to-end test of the ppa_mcp CLI: gen -> info -> solve (all four
+# machine models) -> verify, plus the closure subcommand. Invoked by ctest
+# with -DTOOL=<path to the binary> -DWORKDIR=<scratch dir>.
+if(NOT DEFINED TOOL OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "TOOL and WORKDIR must be defined")
+endif()
+
+set(graph_file "${WORKDIR}/tool_test_graph.txt")
+set(solution_file "${WORKDIR}/tool_test_solution.txt")
+
+function(run_tool)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} failed (rc=${rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+run_tool(gen --family reachable --n 14 --seed 9 --dest 3 --out ${graph_file})
+run_tool(info --graph ${graph_file} --dest 3)
+if(NOT last_output MATCHES "reachable 14/14")
+  message(FATAL_ERROR "info did not report full reachability: ${last_output}")
+endif()
+
+foreach(model ppa gcn mesh hypercube)
+  run_tool(solve --graph ${graph_file} --dest 3 --model ${model} --out ${solution_file})
+  run_tool(verify --graph ${graph_file} --solution ${solution_file})
+  if(NOT last_output MATCHES "OK")
+    message(FATAL_ERROR "verify failed for model ${model}: ${last_output}")
+  endif()
+endforeach()
+
+run_tool(closure --graph ${graph_file})
+if(NOT last_output MATCHES "transitive closure of 14 vertices")
+  message(FATAL_ERROR "closure output unexpected: ${last_output}")
+endif()
+
+run_tool(allpairs --graph ${graph_file})
+if(NOT last_output MATCHES "diameter")
+  message(FATAL_ERROR "allpairs output unexpected: ${last_output}")
+endif()
+
+run_tool(eccentricity --graph ${graph_file})
+if(NOT last_output MATCHES "in-radius")
+  message(FATAL_ERROR "eccentricity output unexpected: ${last_output}")
+endif()
+
+# A deliberately corrupted solution must FAIL verification.
+run_tool(solve --graph ${graph_file} --dest 3 --out ${solution_file})
+file(READ ${solution_file} solution_text)
+string(REGEX REPLACE "v 0 ([0-9]+)" "v 0 1" solution_text "${solution_text}")
+file(WRITE ${solution_file} "${solution_text}")
+execute_process(COMMAND ${TOOL} verify --graph ${graph_file} --solution ${solution_file}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "verify accepted a corrupted solution")
+endif()
+
+file(REMOVE ${graph_file} ${solution_file})
+message(STATUS "tool round trip OK")

@@ -1,0 +1,46 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppa::util {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(PPA_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsContractErrorWithContext) {
+  try {
+    PPA_REQUIRE(false, "the caller did a bad thing");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violated"), std::string::npos);
+    EXPECT_NE(what.find("the caller did a bad thing"), std::string::npos);
+    EXPECT_NE(what.find("util_check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, AssertThrowsInternalError) {
+  EXPECT_THROW(PPA_ASSERT(false, "invariant broke"), InternalError);
+  EXPECT_NO_THROW(PPA_ASSERT(true, "fine"));
+}
+
+TEST(Check, ExceptionHierarchy) {
+  // Contract and internal errors are logic errors; parse errors are
+  // runtime errors — callers can catch by intent.
+  EXPECT_THROW(throw ContractError("x"), std::logic_error);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
+  EXPECT_THROW(throw ParseError("x"), std::runtime_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  PPA_REQUIRE(++evaluations > 0, "side effect");
+  EXPECT_EQ(evaluations, 1);
+  PPA_ASSERT(++evaluations > 0, "side effect");
+  EXPECT_EQ(evaluations, 2);
+}
+
+}  // namespace
+}  // namespace ppa::util

@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(Cli, ParsesSeparateValueForm) {
+  CliParser cli("test");
+  cli.flag("n", "size", "8");
+  const auto argv = argv_of({"prog", "--n", "32"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 32);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli("test");
+  cli.flag("seed", "rng seed", "1");
+  const auto argv = argv_of({"prog", "--seed=99"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 99);
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.flag("p", "probability", "0.25");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("p"), 0.25);
+}
+
+TEST(Cli, BoolFlagForms) {
+  CliParser cli("test");
+  cli.bool_flag("verbose", "talk more");
+  cli.bool_flag("quiet", "talk less");
+  const auto argv = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.get_bool("quiet"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("test");
+  cli.flag("n", "size", "4");
+  const auto argv = argv_of({"prog", "input.g", "--n", "5", "output.g"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.g");
+  EXPECT_EQ(cli.positional()[1], "output.g");
+}
+
+TEST(Cli, UnknownFlagFailsParse) {
+  CliParser cli("test");
+  const auto argv = argv_of({"prog", "--nope", "1"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, MissingValueFailsParse) {
+  CliParser cli("test");
+  cli.flag("n", "size");
+  const auto argv = argv_of({"prog", "--n"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser cli("test");
+  cli.flag("n", "size", "4");
+  const auto argv = argv_of({"prog", "--help"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, TypedAccessorErrors) {
+  CliParser cli("test");
+  cli.flag("word", "a word", "hello");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_int("word"), ContractError);
+  EXPECT_THROW((void)cli.get_double("word"), ContractError);
+  EXPECT_THROW((void)cli.get_string("unregistered"), ContractError);
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  CliParser cli("my tool");
+  cli.flag("n", "array side", "8");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("default: 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppa::util

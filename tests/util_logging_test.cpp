@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppa::util {
+namespace {
+
+// Keep the previous level so tests do not leak configuration.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::Info;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (const auto level :
+       {LogLevel::Quiet, LogLevel::Error, LogLevel::Info, LogLevel::Debug}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, QuietSuppressesEverything) {
+  set_log_level(LogLevel::Quiet);
+  // Nothing to assert on stderr portably; the contract is "does not
+  // crash and does not throw".
+  EXPECT_NO_THROW(log_line(LogLevel::Error, "suppressed"));
+  EXPECT_NO_THROW(log_line(LogLevel::Info, "suppressed"));
+}
+
+TEST_F(LoggingTest, StreamHelpersEmitAtTheirLevel) {
+  set_log_level(LogLevel::Quiet);
+  EXPECT_NO_THROW(log_info() << "value " << 42);
+  EXPECT_NO_THROW(log_error() << "oops");
+  EXPECT_NO_THROW(log_debug() << "detail");
+}
+
+TEST_F(LoggingTest, ThresholdFilters) {
+  set_log_level(LogLevel::Error);
+  EXPECT_NO_THROW(log_line(LogLevel::Debug, "filtered out"));
+  EXPECT_NO_THROW(log_line(LogLevel::Error, "emitted"));
+}
+
+}  // namespace
+}  // namespace ppa::util

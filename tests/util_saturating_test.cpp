@@ -1,0 +1,94 @@
+#include "util/saturating.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ppa::util {
+namespace {
+
+TEST(HField, RejectsInvalidWidths) {
+  EXPECT_THROW(HField(0), ContractError);
+  EXPECT_THROW(HField(33), ContractError);
+  EXPECT_NO_THROW(HField(1));
+  EXPECT_NO_THROW(HField(32));
+}
+
+TEST(HField, InfinityAndMaxFinite) {
+  const HField f8(8);
+  EXPECT_EQ(f8.infinity(), 255u);
+  EXPECT_EQ(f8.max_finite(), 254u);
+  EXPECT_TRUE(f8.is_infinite(255));
+  EXPECT_FALSE(f8.is_infinite(254));
+
+  const HField f32(32);
+  EXPECT_EQ(f32.infinity(), 0xFFFFFFFFu);
+}
+
+TEST(HField, Representable) {
+  const HField f4(4);
+  EXPECT_TRUE(f4.representable(0));
+  EXPECT_TRUE(f4.representable(15));
+  EXPECT_FALSE(f4.representable(16));
+}
+
+TEST(HField, AddSaturates) {
+  const HField f(8);
+  EXPECT_EQ(f.add(100, 100), 200u);
+  EXPECT_EQ(f.add(200, 54), 254u);
+  EXPECT_EQ(f.add(200, 55), 255u);   // exactly infinity
+  EXPECT_EQ(f.add(200, 200), 255u);  // beyond — clamps
+}
+
+TEST(HField, InfinityAbsorbs) {
+  const HField f(12);
+  EXPECT_EQ(f.add(f.infinity(), 0), f.infinity());
+  EXPECT_EQ(f.add(0, f.infinity()), f.infinity());
+  EXPECT_EQ(f.add(f.infinity(), f.infinity()), f.infinity());
+  EXPECT_EQ(f.add(f.infinity(), 5), f.infinity());
+}
+
+TEST(HField, Clamp) {
+  const HField f(8);
+  EXPECT_EQ(f.clamp(0), 0u);
+  EXPECT_EQ(f.clamp(254), 254u);
+  EXPECT_EQ(f.clamp(255), 255u);
+  EXPECT_EQ(f.clamp(1ULL << 40), 255u);
+}
+
+class HFieldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HFieldSweep, AlgebraicProperties) {
+  const int h = GetParam();
+  const HField f(h);
+  Rng rng(static_cast<std::uint64_t>(h) * 7919);
+  const auto draw = [&] { return static_cast<std::uint32_t>(rng.below(f.infinity() + 1ull)); };
+
+  for (int i = 0; i < 300; ++i) {
+    const std::uint32_t a = draw();
+    const std::uint32_t b = draw();
+    const std::uint32_t c = draw();
+    // Commutativity.
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    // Associativity (saturating add is associative for the clamp-to-top
+    // monoid).
+    EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+    // Identity.
+    EXPECT_EQ(f.add(a, 0), a);
+    // Monotonicity.
+    EXPECT_LE(f.add(a, b), f.infinity());
+    EXPECT_GE(f.add(a, b), std::max(a, b) == f.infinity() ? f.infinity() : 0u);
+    // Result always representable.
+    EXPECT_TRUE(f.representable(f.add(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HFieldSweep, ::testing::Values(1, 2, 4, 8, 12, 16, 24, 31, 32));
+
+TEST(HField, Equality) {
+  EXPECT_EQ(HField(8), HField(8));
+  EXPECT_NE(HField(8), HField(9));
+}
+
+}  // namespace
+}  // namespace ppa::util

@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ppa::util {
+namespace {
+
+TEST(FormatNumber, Integers) {
+  EXPECT_EQ(format_number(0), "0");
+  EXPECT_EQ(format_number(42), "42");
+  EXPECT_EQ(format_number(-17), "-17");
+  EXPECT_EQ(format_number(1000000), "1000000");
+}
+
+TEST(FormatNumber, Fractions) {
+  EXPECT_EQ(format_number(1.5), "1.5000");
+  EXPECT_EQ(format_number(0.25), "0.2500");
+}
+
+TEST(FormatNumber, ExtremeMagnitudesUseScientific) {
+  // Integer-valued doubles print exactly; fractional large/small magnitudes
+  // switch to %.4g.
+  EXPECT_EQ(format_number(1.23456e9), "1234560000");
+  EXPECT_EQ(format_number(1234567890.123), "1.235e+09");
+  EXPECT_EQ(format_number(0.000123), "0.000123");
+}
+
+TEST(FormatNumber, NonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table("t", {}), ContractError);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{std::int64_t{1}}}), ContractError);
+}
+
+TEST(Table, StoresAndReadsBack) {
+  Table t("demo", {"name", "count", "ratio"});
+  t.add_row({Cell{std::string{"x"}}, Cell{std::int64_t{3}}, Cell{1.5}});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "x");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 1)), 3);
+  EXPECT_THROW((void)t.at(1, 0), ContractError);
+}
+
+TEST(Table, NumericRowConvenience) {
+  Table t("nums", {"x", "y"});
+  t.add_numeric_row({1.0, 2.0});
+  t.add_numeric_row({3.0, 4.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(std::get<double>(t.at(1, 1)), 4.0);
+}
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t("demo", {"col", "value"});
+  t.add_row({Cell{std::string{"short"}}, Cell{std::int64_t{1}}});
+  t.add_row({Cell{std::string{"a-much-longer-cell"}}, Cell{std::int64_t{22}}});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-cell"), std::string::npos);
+  // Header row and rule line are present.
+  EXPECT_NE(text.find("col"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t("demo", {"a", "b"});
+  t.add_row({Cell{std::string{"x,y"}}, Cell{2.5}});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\n\"x,y\",2.5000\n");
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t("demo", {"a"});
+  t.add_row({Cell{std::int64_t{1}}});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace ppa::util

@@ -1,0 +1,261 @@
+// ppa_mcp — command-line driver for the library.
+//
+//   ppa_mcp gen    --family random --n 16 --seed 1 --out graph.txt [...]
+//   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
+//                  [--model ppa|gcn|mesh|hypercube] [--trace]
+//   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
+//   ppa_mcp info   --graph graph.txt [--dest 0]
+//   ppa_mcp closure --graph graph.txt
+//   ppa_mcp allpairs --graph graph.txt
+//   ppa_mcp eccentricity --graph graph.txt
+//
+// Everything the subcommands do is library functionality; the tool only
+// parses flags and moves files, so it stays thin and fully covered by the
+// library's test suite (plus the tool-level integration test).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baseline/gcn.hpp"
+#include "baseline/hypercube.hpp"
+#include "baseline/mesh_mcp.hpp"
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "graph/solution_io.hpp"
+#include "mcp/allpairs.hpp"
+#include "mcp/closure.hpp"
+#include "mcp/mcp.hpp"
+#include "util/cli.hpp"
+
+using namespace ppa;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ppa_mcp <gen|solve|verify|info|closure|allpairs|eccentricity> [flags]\n"
+               "run `ppa_mcp <subcommand> --help` for the flag list\n");
+  return 2;
+}
+
+int cmd_gen(int argc, const char* const* argv) {
+  util::CliParser cli("generate a workload graph");
+  cli.flag("family", "random|reachable|ring|grid|banded|geometric|complete", "random");
+  cli.flag("n", "vertex count (grid: side^2)", "16");
+  cli.flag("bits", "word width h", "16");
+  cli.flag("seed", "RNG seed", "1");
+  cli.flag("density", "edge probability (random families)", "0.25");
+  cli.flag("dest", "destination guaranteed reachable (family=reachable)", "0");
+  cli.flag("w-lo", "minimum edge weight", "1");
+  cli.flag("w-hi", "maximum edge weight", "20");
+  cli.flag("out", "output graph file", "graph.txt");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto bits = static_cast<int>(cli.get_int("bits"));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const graph::WeightRange range{static_cast<graph::Weight>(cli.get_int("w-lo")),
+                                 static_cast<graph::Weight>(cli.get_int("w-hi"))};
+  const std::string family = cli.get_string("family");
+
+  graph::WeightMatrix g = [&]() -> graph::WeightMatrix {
+    if (family == "reachable") {
+      return graph::random_reachable_digraph(
+          n, bits, cli.get_double("density"), range,
+          static_cast<graph::Vertex>(cli.get_int("dest")), rng);
+    }
+    if (family == "ring") return graph::directed_ring(n, bits, range, rng);
+    if (family == "grid") {
+      const auto side = static_cast<std::size_t>(cli.get_int("n"));
+      return graph::grid_mesh(side, side, bits, range, rng);
+    }
+    if (family == "banded") return graph::banded(n, bits, 3, range, rng);
+    if (family == "geometric") return graph::geometric(n, bits, 0.4, range, rng);
+    if (family == "complete") return graph::complete(n, bits, range, rng);
+    return graph::random_digraph(n, bits, cli.get_double("density"), range, rng);
+  }();
+
+  graph::save_graph(cli.get_string("out"), g);
+  std::printf("wrote %s: %zu vertices, %zu edges, h = %d\n", cli.get_string("out").c_str(),
+              g.size(), g.edge_count(), g.field().bits());
+  return 0;
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  util::CliParser cli("solve MCP on a machine model");
+  cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("dest", "destination vertex", "0");
+  cli.flag("model", "ppa|gcn|mesh|hypercube", "ppa");
+  cli.flag("out", "output solution file", "solution.txt");
+  cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  const auto d = static_cast<graph::Vertex>(cli.get_int("dest"));
+  const std::string model = cli.get_string("model");
+
+  graph::McpSolution solution;
+  std::size_t iterations = 0;
+  sim::StepCounter steps;
+  if (model == "gcn") {
+    const auto r = baseline::gcn::solve(g, d);
+    solution = r.solution;
+    iterations = r.iterations;
+    steps = r.total_steps;
+  } else if (model == "mesh") {
+    const auto r = baseline::mesh_solve(g, d);
+    solution = r.solution;
+    iterations = r.iterations;
+    steps = r.total_steps;
+  } else if (model == "hypercube") {
+    const auto r = baseline::hypercube::minimum_cost_path(g, d);
+    solution = r.solution;
+    iterations = r.iterations;
+    steps = r.total_steps;
+  } else if (model == "ppa") {
+    mcp::Options options;
+    options.record_iterations = cli.get_bool("trace");
+    const auto r = mcp::solve(g, d, options);
+    solution = r.solution;
+    iterations = r.iterations;
+    steps = r.total_steps;
+    if (cli.get_bool("trace")) {
+      for (std::size_t k = 0; k < r.iteration_trace.size(); ++k) {
+        std::printf("iteration %zu: %zu improved, %llu steps\n", k + 1,
+                    r.iteration_trace[k].changed,
+                    static_cast<unsigned long long>(r.iteration_trace[k].steps.total()));
+      }
+    }
+  } else {
+    std::fprintf(stderr, "unknown model: %s\n", model.c_str());
+    return 2;
+  }
+
+  graph::save_solution(cli.get_string("out"), solution, g.infinity());
+  std::printf("model=%s iterations=%zu %s\n", model.c_str(), iterations,
+              steps.summary().c_str());
+  std::printf("wrote %s\n", cli.get_string("out").c_str());
+  return 0;
+}
+
+int cmd_verify(int argc, const char* const* argv) {
+  util::CliParser cli("verify a solution file against a graph");
+  cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("solution", "input solution file", "solution.txt");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  const auto solution = graph::load_solution(cli.get_string("solution"), g.infinity());
+  const auto reference = baseline::dijkstra_to(g, solution.destination);
+  const auto verdict = graph::verify_solution(g, solution, reference.cost);
+  if (verdict.ok) {
+    std::printf("OK: solution is exact (destination %zu)\n", solution.destination);
+    return 0;
+  }
+  std::printf("FAIL: %s\n", verdict.detail.c_str());
+  return 1;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  util::CliParser cli("print structural properties of a graph");
+  cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("dest", "destination for p / reachability (-1 = all)", "-1");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  std::printf("vertices: %zu\nedges: %zu\nword width h: %d (infinity = %u)\n", g.size(),
+              g.edge_count(), g.field().bits(), g.infinity());
+  const auto report = [&](graph::Vertex d) {
+    std::printf("destination %zu: reachable %zu/%zu, max MCP length p = %zu\n", d,
+                graph::reachable_count(g, d), g.size(), graph::max_mcp_edges(g, d));
+  };
+  const std::int64_t dest = cli.get_int("dest");
+  if (dest >= 0) {
+    report(static_cast<graph::Vertex>(dest));
+  } else {
+    for (graph::Vertex d = 0; d < g.size(); ++d) report(d);
+  }
+  return 0;
+}
+
+int cmd_allpairs(int argc, const char* const* argv) {
+  util::CliParser cli("all-pairs minimum cost paths + diameter on the PPA");
+  cli.flag("graph", "input graph file", "graph.txt");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  const auto ap = mcp::all_pairs(g);
+  std::printf("all-pairs over %zu vertices: %zu total iterations, %s\n", ap.n,
+              ap.total_iterations, ap.total_steps.summary().c_str());
+  std::printf("diameter (max finite cost over ordered pairs): %u\n\n", ap.diameter);
+  for (graph::Vertex i = 0; i < ap.n; ++i) {
+    std::string line;
+    for (graph::Vertex j = 0; j < ap.n; ++j) {
+      char cell[12];
+      if (ap.dist_at(i, j) == g.infinity()) {
+        std::snprintf(cell, sizeof cell, "    .");
+      } else {
+        std::snprintf(cell, sizeof cell, "%5u", ap.dist_at(i, j));
+      }
+      line += cell;
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_eccentricity(int argc, const char* const* argv) {
+  util::CliParser cli("per-destination in-eccentricities on the PPA");
+  cli.flag("graph", "input graph file", "graph.txt");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  graph::Weight radius = g.infinity();
+  graph::Weight diameter = 0;
+  for (graph::Vertex d = 0; d < g.size(); ++d) {
+    const auto r = mcp::solve_eccentricity(g, d);
+    std::printf("destination %zu: in-eccentricity %u (%zu iterations)\n", d,
+                r.eccentricity, r.mcp.iterations);
+    radius = std::min(radius, r.eccentricity);
+    diameter = std::max(diameter, r.eccentricity);
+  }
+  std::printf("in-radius %u, diameter %u\n", radius, diameter);
+  return 0;
+}
+
+int cmd_closure(int argc, const char* const* argv) {
+  util::CliParser cli("transitive closure on the PPA (boolean DP)");
+  cli.flag("graph", "input graph file", "graph.txt");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto g = graph::load_graph(cli.get_string("graph"));
+  const auto closure = mcp::transitive_closure(g);
+  std::printf("transitive closure of %zu vertices (%zu total iterations, %s)\n", closure.n,
+              closure.total_iterations, closure.total_steps.summary().c_str());
+  for (graph::Vertex i = 0; i < closure.n; ++i) {
+    std::string line;
+    for (graph::Vertex j = 0; j < closure.n; ++j) line += closure.at(i, j) ? '1' : '.';
+    std::printf("  %s\n", line.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string subcommand = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (subcommand == "gen") return cmd_gen(sub_argc, sub_argv);
+  if (subcommand == "solve") return cmd_solve(sub_argc, sub_argv);
+  if (subcommand == "verify") return cmd_verify(sub_argc, sub_argv);
+  if (subcommand == "info") return cmd_info(sub_argc, sub_argv);
+  if (subcommand == "closure") return cmd_closure(sub_argc, sub_argv);
+  if (subcommand == "allpairs") return cmd_allpairs(sub_argc, sub_argv);
+  if (subcommand == "eccentricity") return cmd_eccentricity(sub_argc, sub_argv);
+  return usage();
+}
