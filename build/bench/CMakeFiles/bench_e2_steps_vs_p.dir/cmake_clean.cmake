@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_steps_vs_p.dir/bench_e2_steps_vs_p.cpp.o"
+  "CMakeFiles/bench_e2_steps_vs_p.dir/bench_e2_steps_vs_p.cpp.o.d"
+  "bench_e2_steps_vs_p"
+  "bench_e2_steps_vs_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_steps_vs_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_steps_vs_p.
+# This may be replaced when dependencies are built.

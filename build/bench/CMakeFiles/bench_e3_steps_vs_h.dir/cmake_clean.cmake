@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_steps_vs_h.dir/bench_e3_steps_vs_h.cpp.o"
+  "CMakeFiles/bench_e3_steps_vs_h.dir/bench_e3_steps_vs_h.cpp.o.d"
+  "bench_e3_steps_vs_h"
+  "bench_e3_steps_vs_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_steps_vs_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

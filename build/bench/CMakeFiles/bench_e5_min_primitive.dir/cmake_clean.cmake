@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_min_primitive.dir/bench_e5_min_primitive.cpp.o"
+  "CMakeFiles/bench_e5_min_primitive.dir/bench_e5_min_primitive.cpp.o.d"
+  "bench_e5_min_primitive"
+  "bench_e5_min_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_min_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_min_primitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distance_transform.cpp" "examples/CMakeFiles/distance_transform.dir/distance_transform.cpp.o" "gcc" "examples/CMakeFiles/distance_transform.dir/distance_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/ppa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcp/CMakeFiles/ppa_mcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppc/CMakeFiles/ppa_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_transform.dir/distance_transform.cpp.o"
+  "CMakeFiles/distance_transform.dir/distance_transform.cpp.o.d"
+  "distance_transform"
+  "distance_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

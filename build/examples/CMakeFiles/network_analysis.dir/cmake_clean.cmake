@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_analysis.dir/network_analysis.cpp.o"
+  "CMakeFiles/network_analysis.dir/network_analysis.cpp.o.d"
+  "network_analysis"
+  "network_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

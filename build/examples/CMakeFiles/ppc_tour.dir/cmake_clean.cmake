@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_tour.dir/ppc_tour.cpp.o"
+  "CMakeFiles/ppc_tour.dir/ppc_tour.cpp.o.d"
+  "ppc_tour"
+  "ppc_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_nav.dir/terrain_nav.cpp.o"
+  "CMakeFiles/terrain_nav.dir/terrain_nav.cpp.o.d"
+  "terrain_nav"
+  "terrain_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

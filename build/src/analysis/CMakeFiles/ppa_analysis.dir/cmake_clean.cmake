@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_analysis.dir/fit.cpp.o"
+  "CMakeFiles/ppa_analysis.dir/fit.cpp.o.d"
+  "CMakeFiles/ppa_analysis.dir/stats.cpp.o"
+  "CMakeFiles/ppa_analysis.dir/stats.cpp.o.d"
+  "libppa_analysis.a"
+  "libppa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_baseline.dir/gcn.cpp.o"
+  "CMakeFiles/ppa_baseline.dir/gcn.cpp.o.d"
+  "CMakeFiles/ppa_baseline.dir/hypercube.cpp.o"
+  "CMakeFiles/ppa_baseline.dir/hypercube.cpp.o.d"
+  "CMakeFiles/ppa_baseline.dir/mesh_mcp.cpp.o"
+  "CMakeFiles/ppa_baseline.dir/mesh_mcp.cpp.o.d"
+  "CMakeFiles/ppa_baseline.dir/parbs.cpp.o"
+  "CMakeFiles/ppa_baseline.dir/parbs.cpp.o.d"
+  "CMakeFiles/ppa_baseline.dir/sequential.cpp.o"
+  "CMakeFiles/ppa_baseline.dir/sequential.cpp.o.d"
+  "libppa_baseline.a"
+  "libppa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/ppa_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/ppa_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/path.cpp" "src/graph/CMakeFiles/ppa_graph.dir/path.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/path.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/ppa_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/properties.cpp.o.d"
+  "/root/repo/src/graph/solution_io.cpp" "src/graph/CMakeFiles/ppa_graph.dir/solution_io.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/solution_io.cpp.o.d"
+  "/root/repo/src/graph/weight_matrix.cpp" "src/graph/CMakeFiles/ppa_graph.dir/weight_matrix.cpp.o" "gcc" "src/graph/CMakeFiles/ppa_graph.dir/weight_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

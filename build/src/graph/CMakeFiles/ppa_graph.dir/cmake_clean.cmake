@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_graph.dir/generators.cpp.o"
+  "CMakeFiles/ppa_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ppa_graph.dir/io.cpp.o"
+  "CMakeFiles/ppa_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ppa_graph.dir/path.cpp.o"
+  "CMakeFiles/ppa_graph.dir/path.cpp.o.d"
+  "CMakeFiles/ppa_graph.dir/properties.cpp.o"
+  "CMakeFiles/ppa_graph.dir/properties.cpp.o.d"
+  "CMakeFiles/ppa_graph.dir/solution_io.cpp.o"
+  "CMakeFiles/ppa_graph.dir/solution_io.cpp.o.d"
+  "CMakeFiles/ppa_graph.dir/weight_matrix.cpp.o"
+  "CMakeFiles/ppa_graph.dir/weight_matrix.cpp.o.d"
+  "libppa_graph.a"
+  "libppa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_mcp.dir/allpairs.cpp.o"
+  "CMakeFiles/ppa_mcp.dir/allpairs.cpp.o.d"
+  "CMakeFiles/ppa_mcp.dir/closure.cpp.o"
+  "CMakeFiles/ppa_mcp.dir/closure.cpp.o.d"
+  "CMakeFiles/ppa_mcp.dir/mcp.cpp.o"
+  "CMakeFiles/ppa_mcp.dir/mcp.cpp.o.d"
+  "libppa_mcp.a"
+  "libppa_mcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_mcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppc/context.cpp" "src/ppc/CMakeFiles/ppa_ppc.dir/context.cpp.o" "gcc" "src/ppc/CMakeFiles/ppa_ppc.dir/context.cpp.o.d"
+  "/root/repo/src/ppc/parallel.cpp" "src/ppc/CMakeFiles/ppa_ppc.dir/parallel.cpp.o" "gcc" "src/ppc/CMakeFiles/ppa_ppc.dir/parallel.cpp.o.d"
+  "/root/repo/src/ppc/primitives.cpp" "src/ppc/CMakeFiles/ppa_ppc.dir/primitives.cpp.o" "gcc" "src/ppc/CMakeFiles/ppa_ppc.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_ppc.dir/context.cpp.o"
+  "CMakeFiles/ppa_ppc.dir/context.cpp.o.d"
+  "CMakeFiles/ppa_ppc.dir/parallel.cpp.o"
+  "CMakeFiles/ppa_ppc.dir/parallel.cpp.o.d"
+  "CMakeFiles/ppa_ppc.dir/primitives.cpp.o"
+  "CMakeFiles/ppa_ppc.dir/primitives.cpp.o.d"
+  "libppa_ppc.a"
+  "libppa_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_sim.dir/bus.cpp.o"
+  "CMakeFiles/ppa_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/ppa_sim.dir/machine.cpp.o"
+  "CMakeFiles/ppa_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ppa_sim.dir/step_counter.cpp.o"
+  "CMakeFiles/ppa_sim.dir/step_counter.cpp.o.d"
+  "CMakeFiles/ppa_sim.dir/trace.cpp.o"
+  "CMakeFiles/ppa_sim.dir/trace.cpp.o.d"
+  "libppa_sim.a"
+  "libppa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

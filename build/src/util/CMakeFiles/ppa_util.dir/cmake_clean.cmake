@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_util.dir/cli.cpp.o"
+  "CMakeFiles/ppa_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ppa_util.dir/logging.cpp.o"
+  "CMakeFiles/ppa_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ppa_util.dir/rng.cpp.o"
+  "CMakeFiles/ppa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ppa_util.dir/table.cpp.o"
+  "CMakeFiles/ppa_util.dir/table.cpp.o.d"
+  "CMakeFiles/ppa_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ppa_util.dir/thread_pool.cpp.o.d"
+  "libppa_util.a"
+  "libppa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

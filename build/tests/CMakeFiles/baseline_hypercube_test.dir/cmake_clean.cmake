@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_hypercube_test.dir/baseline_hypercube_test.cpp.o"
+  "CMakeFiles/baseline_hypercube_test.dir/baseline_hypercube_test.cpp.o.d"
+  "baseline_hypercube_test"
+  "baseline_hypercube_test.pdb"
+  "baseline_hypercube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_hypercube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_parbs_test.dir/baseline_parbs_test.cpp.o"
+  "CMakeFiles/baseline_parbs_test.dir/baseline_parbs_test.cpp.o.d"
+  "baseline_parbs_test"
+  "baseline_parbs_test.pdb"
+  "baseline_parbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_parbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

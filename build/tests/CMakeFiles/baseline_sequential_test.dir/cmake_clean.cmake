@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sequential_test.dir/baseline_sequential_test.cpp.o"
+  "CMakeFiles/baseline_sequential_test.dir/baseline_sequential_test.cpp.o.d"
+  "baseline_sequential_test"
+  "baseline_sequential_test.pdb"
+  "baseline_sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_path_test.dir/graph_path_test.cpp.o"
+  "CMakeFiles/graph_path_test.dir/graph_path_test.cpp.o.d"
+  "graph_path_test"
+  "graph_path_test.pdb"
+  "graph_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_properties_test.dir/graph_properties_test.cpp.o"
+  "CMakeFiles/graph_properties_test.dir/graph_properties_test.cpp.o.d"
+  "graph_properties_test"
+  "graph_properties_test.pdb"
+  "graph_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

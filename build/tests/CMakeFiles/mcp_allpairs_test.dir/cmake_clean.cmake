@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcp_allpairs_test.dir/mcp_allpairs_test.cpp.o"
+  "CMakeFiles/mcp_allpairs_test.dir/mcp_allpairs_test.cpp.o.d"
+  "mcp_allpairs_test"
+  "mcp_allpairs_test.pdb"
+  "mcp_allpairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcp_allpairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

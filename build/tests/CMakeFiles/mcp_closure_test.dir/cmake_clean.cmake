@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcp_closure_test.dir/mcp_closure_test.cpp.o"
+  "CMakeFiles/mcp_closure_test.dir/mcp_closure_test.cpp.o.d"
+  "mcp_closure_test"
+  "mcp_closure_test.pdb"
+  "mcp_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcp_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcp_metamorphic_test.dir/mcp_metamorphic_test.cpp.o"
+  "CMakeFiles/mcp_metamorphic_test.dir/mcp_metamorphic_test.cpp.o.d"
+  "mcp_metamorphic_test"
+  "mcp_metamorphic_test.pdb"
+  "mcp_metamorphic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcp_metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

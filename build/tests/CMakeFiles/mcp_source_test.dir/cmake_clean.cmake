@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcp_source_test.dir/mcp_source_test.cpp.o"
+  "CMakeFiles/mcp_source_test.dir/mcp_source_test.cpp.o.d"
+  "mcp_source_test"
+  "mcp_source_test.pdb"
+  "mcp_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcp_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_minmax_test.dir/ppc_minmax_test.cpp.o"
+  "CMakeFiles/ppc_minmax_test.dir/ppc_minmax_test.cpp.o.d"
+  "ppc_minmax_test"
+  "ppc_minmax_test.pdb"
+  "ppc_minmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_minmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_parallel_test.dir/ppc_parallel_test.cpp.o"
+  "CMakeFiles/ppc_parallel_test.dir/ppc_parallel_test.cpp.o.d"
+  "ppc_parallel_test"
+  "ppc_parallel_test.pdb"
+  "ppc_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

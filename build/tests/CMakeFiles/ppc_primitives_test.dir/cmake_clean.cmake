@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_primitives_test.dir/ppc_primitives_test.cpp.o"
+  "CMakeFiles/ppc_primitives_test.dir/ppc_primitives_test.cpp.o.d"
+  "ppc_primitives_test"
+  "ppc_primitives_test.pdb"
+  "ppc_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_priority_test.dir/ppc_priority_test.cpp.o"
+  "CMakeFiles/ppc_priority_test.dir/ppc_priority_test.cpp.o.d"
+  "ppc_priority_test"
+  "ppc_priority_test.pdb"
+  "ppc_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_program_fuzz_test.dir/ppc_program_fuzz_test.cpp.o"
+  "CMakeFiles/ppc_program_fuzz_test.dir/ppc_program_fuzz_test.cpp.o.d"
+  "ppc_program_fuzz_test"
+  "ppc_program_fuzz_test.pdb"
+  "ppc_program_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_program_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_step_counter_test.dir/sim_step_counter_test.cpp.o"
+  "CMakeFiles/sim_step_counter_test.dir/sim_step_counter_test.cpp.o.d"
+  "sim_step_counter_test"
+  "sim_step_counter_test.pdb"
+  "sim_step_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_step_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_saturating_test.cpp" "tests/CMakeFiles/util_saturating_test.dir/util_saturating_test.cpp.o" "gcc" "tests/CMakeFiles/util_saturating_test.dir/util_saturating_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/ppa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcp/CMakeFiles/ppa_mcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppc/CMakeFiles/ppa_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_saturating_test.dir/util_saturating_test.cpp.o"
+  "CMakeFiles/util_saturating_test.dir/util_saturating_test.cpp.o.d"
+  "util_saturating_test"
+  "util_saturating_test.pdb"
+  "util_saturating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_saturating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_mcp_tool.dir/ppa_mcp.cpp.o"
+  "CMakeFiles/ppa_mcp_tool.dir/ppa_mcp.cpp.o.d"
+  "ppa_mcp"
+  "ppa_mcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_mcp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
