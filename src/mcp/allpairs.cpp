@@ -4,6 +4,7 @@
 
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ppa::mcp {
 
@@ -57,29 +58,58 @@ EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
 }
 
 AllPairsResult all_pairs(const graph::WeightMatrix& graph, const Options& options) {
+  return all_pairs(graph, AllPairsOptions{options, 1});
+}
+
+AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions& options) {
   const std::size_t n = graph.size();
   sim::MachineConfig config;
   config.n = n;
   config.bits = graph.field().bits();
-  sim::Machine machine(config);
 
   AllPairsResult result;
   result.n = n;
   result.dist.assign(n * n, graph.infinity());
   result.next.assign(n * n, 0);
 
-  for (graph::Vertex d = 0; d < n; ++d) {
-    const Result run = minimum_cost_path(machine, graph, d, options);
-    result.total_iterations += run.iterations;
-    for (graph::Vertex i = 0; i < n; ++i) {
-      result.dist[i * n + d] = run.solution.cost[i];
-      result.next[i * n + d] = run.solution.next[i];
-      if (run.solution.cost[i] != graph.infinity()) {
-        result.diameter = std::max(result.diameter, run.solution.cost[i]);
+  // Each destination is an independent problem; a worker runs a contiguous
+  // chunk of destinations on its own simulated machine and records each
+  // run's step delta separately. Workers write disjoint columns of
+  // dist/next and disjoint slots of the per-destination arrays, so no
+  // synchronization is needed beyond the pool's join.
+  std::vector<sim::StepCounter> per_destination(n);
+  std::vector<std::size_t> iterations(n, 0);
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    sim::Machine machine(config);
+    for (std::size_t d = begin; d < end; ++d) {
+      const sim::StepCounter before = machine.steps();
+      const Result run = minimum_cost_path(machine, graph, d, options.mcp);
+      per_destination[d] = machine.steps().since(before);
+      iterations[d] = run.iterations;
+      for (graph::Vertex i = 0; i < n; ++i) {
+        result.dist[i * n + d] = run.solution.cost[i];
+        result.next[i * n + d] = run.solution.next[i];
       }
     }
+  };
+
+  if (options.workers > 1 && n > 1) {
+    util::ThreadPool pool(std::min(options.workers, n));
+    pool.parallel_for(n, run_range);
+  } else {
+    run_range(0, n);
   }
-  result.total_steps = machine.steps();
+
+  // Deterministic reduction: merge in destination order, whatever the
+  // thread count was. StepCounter::merge is a component-wise sum, so even
+  // the order only matters in principle — it is fixed here anyway.
+  for (graph::Vertex d = 0; d < n; ++d) {
+    result.total_steps.merge(per_destination[d]);
+    result.total_iterations += iterations[d];
+  }
+  for (const graph::Weight w : result.dist) {
+    if (w != graph.infinity()) result.diameter = std::max(result.diameter, w);
+  }
   return result;
 }
 

@@ -57,4 +57,20 @@ struct AllPairsResult {
 [[nodiscard]] AllPairsResult all_pairs(const graph::WeightMatrix& graph,
                                        const Options& options = {});
 
+/// Knobs for the coarse-grained parallel all-pairs driver. The destinations
+/// are independent single-destination problems, so they can run on separate
+/// simulated machines concurrently — this parallelism is a HOST artifact:
+/// results, step counts and iteration totals are bit-identical for every
+/// `workers` value (each destination's steps are counted on its own machine
+/// and merged in destination order).
+struct AllPairsOptions {
+  Options mcp;              // forwarded to every minimum_cost_path run
+  std::size_t workers = 1;  // host threads; 0 or 1 = sequential
+};
+
+/// All-pairs with `options.workers` destinations in flight at once, one
+/// simulated Machine per worker chunk.
+[[nodiscard]] AllPairsResult all_pairs(const graph::WeightMatrix& graph,
+                                       const AllPairsOptions& options);
+
 }  // namespace ppa::mcp

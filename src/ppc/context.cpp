@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ppc/flag_sweep.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
@@ -18,11 +19,14 @@ bool Context::mask_is_full() const noexcept {
 void Context::push_mask_and(std::span<const Flag> cond) {
   PPA_REQUIRE(cond.size() == pe_count(), "where-condition must cover the whole array");
   const auto& top = stack_.back();
-  std::vector<Flag> next(pe_count());
-  machine_.for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) {
-      next[pe] = static_cast<Flag>(top[pe] & (cond[pe] ? 1 : 0));
-    }
+  std::vector<Flag> next = acquire_flags();
+  // Raw pointers: keeps the sweep at real loads/stores even when the
+  // vector/span operator[] calls don't inline (unoptimized builds).
+  const Flag* pt = top.data();
+  const Flag* pc = cond.data();
+  Flag* pn = next.data();
+  machine_.for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::mask_and_cond(pt, pc, pn, /*negate=*/false, begin, end);
   });
   machine_.charge_alu();
   stack_.push_back(std::move(next));
@@ -31,11 +35,12 @@ void Context::push_mask_and(std::span<const Flag> cond) {
 void Context::push_mask_and_not(std::span<const Flag> cond) {
   PPA_REQUIRE(cond.size() == pe_count(), "where-condition must cover the whole array");
   const auto& top = stack_.back();
-  std::vector<Flag> next(pe_count());
-  machine_.for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) {
-      next[pe] = static_cast<Flag>(top[pe] & (cond[pe] ? 0 : 1));
-    }
+  std::vector<Flag> next = acquire_flags();
+  const Flag* pt = top.data();
+  const Flag* pc = cond.data();
+  Flag* pn = next.data();
+  machine_.for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::mask_and_cond(pt, pc, pn, /*negate=*/true, begin, end);
   });
   machine_.charge_alu();
   stack_.push_back(std::move(next));
@@ -43,7 +48,45 @@ void Context::push_mask_and_not(std::span<const Flag> cond) {
 
 void Context::pop_mask() {
   PPA_REQUIRE(stack_.size() > 1, "pop_mask without a matching where");
+  release_flags(std::move(stack_.back()));
   stack_.pop_back();
+}
+
+std::vector<Word> Context::acquire_words() {
+  if (!free_words_.empty()) {
+    std::vector<Word> buffer = std::move(free_words_.back());
+    free_words_.pop_back();
+    buffer.resize(pe_count());
+    return buffer;
+  }
+  return std::vector<Word>(pe_count());
+}
+
+std::vector<Flag> Context::acquire_flags() {
+  if (!free_flags_.empty()) {
+    std::vector<Flag> buffer = std::move(free_flags_.back());
+    free_flags_.pop_back();
+    buffer.resize(pe_count());
+    return buffer;
+  }
+  return std::vector<Flag>(pe_count());
+}
+
+void Context::release_words(std::vector<Word>&& buffer) noexcept {
+  if (buffer.capacity() < pe_count()) return;  // moved-from husk or wrong size
+  try {
+    free_words_.push_back(std::move(buffer));
+  } catch (...) {
+    // Out of memory growing the free-list: just let the buffer die.
+  }
+}
+
+void Context::release_flags(std::vector<Flag>&& buffer) noexcept {
+  if (buffer.capacity() < pe_count()) return;
+  try {
+    free_flags_.push_back(std::move(buffer));
+  } catch (...) {
+  }
 }
 
 }  // namespace ppa::ppc

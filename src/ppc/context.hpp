@@ -48,9 +48,31 @@ class Context {
 
   [[nodiscard]] std::size_t mask_depth() const noexcept { return stack_.size() - 1; }
 
+  // -------------------------------------------------------------------------
+  // Register arena. Parallel temporaries (every SIMD operator's result, mask
+  // pushes, primitive scratch lanes) draw pe_count-sized buffers from these
+  // free-lists instead of hitting the allocator once per operation; Pint /
+  // Pbool destructors hand the buffers back. Single-threaded by design: the
+  // controller issues instructions sequentially, so the arena needs no locks
+  // (host data-parallelism happens inside a single instruction).
+  // -------------------------------------------------------------------------
+
+  /// A pe_count-sized Word buffer with unspecified contents.
+  [[nodiscard]] std::vector<Word> acquire_words();
+  /// A pe_count-sized Flag buffer with unspecified contents.
+  [[nodiscard]] std::vector<Flag> acquire_flags();
+
+  /// Return a buffer to the arena. Accepts any vector: too-small ones
+  /// (e.g. moved-from husks) are simply dropped. Never throws — a failed
+  /// recycle just frees the buffer.
+  void release_words(std::vector<Word>&& buffer) noexcept;
+  void release_flags(std::vector<Flag>&& buffer) noexcept;
+
  private:
   sim::Machine& machine_;
   std::vector<std::vector<Flag>> stack_;  // stack_[0] = all ones
+  std::vector<std::vector<Word>> free_words_;
+  std::vector<std::vector<Flag>> free_flags_;
 };
 
 }  // namespace ppa::ppc

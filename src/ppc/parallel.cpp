@@ -1,7 +1,9 @@
 #include "ppc/parallel.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "ppc/flag_sweep.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
@@ -39,11 +41,28 @@ void check_same_context(const Context& a, const Context& b) {
 std::vector<Flag> combine_driven(Context& ctx, std::span<const Flag> a,
                                  std::span<const Flag> b) {
   if (a.empty() && b.empty()) return {};
-  std::vector<Flag> out(ctx.pe_count(), Flag{1});
-  for (std::size_t pe = 0; pe < out.size(); ++pe) {
-    if (!a.empty()) out[pe] = static_cast<Flag>(out[pe] & a[pe]);
-    if (!b.empty()) out[pe] = static_cast<Flag>(out[pe] & b[pe]);
+  std::vector<Flag> out = ctx.acquire_flags();
+  // Raw pointers: the elementwise sweeps below are the simulator's hot
+  // path and must stay cheap even in unoptimized builds, where the
+  // vector/span operator[] calls don't inline.
+  const Flag* pa = a.empty() ? nullptr : a.data();
+  const Flag* pb = b.empty() ? nullptr : b.data();
+  Flag* po = out.data();
+  const std::size_t count = out.size();
+  for (std::size_t pe = 0; pe < count; ++pe) {
+    Flag f = 1;
+    if (pa != nullptr) f = static_cast<Flag>(f & pa[pe]);
+    if (pb != nullptr) f = static_cast<Flag>(f & pb[pe]);
+    po[pe] = f;
   }
+  return out;
+}
+
+/// Arena-backed clone of a driven mask; empty in, empty out.
+std::vector<Flag> copy_driven(Context& ctx, std::span<const Flag> driven) {
+  if (driven.empty()) return {};
+  std::vector<Flag> out = ctx.acquire_flags();
+  std::copy(driven.begin(), driven.end(), out.begin());
   return out;
 }
 
@@ -74,18 +93,38 @@ void check_store_driven(Context& ctx, std::span<const Flag> mask,
 // Pint
 // ---------------------------------------------------------------------------
 
-Pint::Pint(Context& ctx, Word init) : ctx_(&ctx), data_(ctx.pe_count(), init) {
+Pint::Pint(Context& ctx, Word init) : ctx_(&ctx), data_(ctx.acquire_words()) {
   PPA_REQUIRE(ctx.field().representable(init), "initializer does not fit in the h-bit field");
+  std::fill(data_.begin(), data_.end(), init);
   ctx.machine().charge_alu();
 }
 
 Pint::Pint(Context& ctx, std::span<const Word> values)
-    : ctx_(&ctx), data_(values.begin(), values.end()) {
+    : ctx_(&ctx), data_(ctx.acquire_words()) {
   PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
-  for (const Word v : data_) {
+  for (const Word v : values) {
     PPA_REQUIRE(ctx.field().representable(v), "initializer value does not fit in the field");
   }
+  std::copy(values.begin(), values.end(), data_.begin());
   ctx.machine().charge_alu();
+}
+
+Pint::Pint(const Pint& other) : ctx_(other.ctx_) {
+  data_ = ctx_->acquire_words();
+  data_.resize(other.data_.size());  // no-op except for moved-from shells
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  if (!other.driven_.empty()) {
+    driven_ = ctx_->acquire_flags();
+    driven_.resize(other.driven_.size());
+    std::copy(other.driven_.begin(), other.driven_.end(), driven_.begin());
+  }
+}
+
+Pint::~Pint() {
+  if (ctx_ != nullptr) {
+    ctx_->release_words(std::move(data_));
+    ctx_->release_flags(std::move(driven_));
+  }
 }
 
 Pint& Pint::operator=(const Pint& rhs) {
@@ -95,17 +134,20 @@ Pint& Pint::operator=(const Pint& rhs) {
   check_store_driven(ctx, mask, rhs.driven_);
   ctx.machine().charge_alu();
   // Self-assignment is harmless: each PE rewrites its own value.
-  const auto& src = rhs.data_;
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  const Flag* pm = mask.data();
+  const Word* ps = rhs.data_.data();
+  Word* pd = data_.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe) {
-      if (mask[pe]) data_[pe] = src[pe];
+      if (pm[pe]) pd[pe] = ps[pe];
     }
   });
   if (!driven_.empty()) {
     // Written cells now hold defined values (undriven reads were rejected
     // or zeroed above).
+    Flag* pv = driven_.data();
     for (std::size_t pe = 0; pe < driven_.size(); ++pe) {
-      if (mask[pe]) driven_[pe] = 1;
+      if (pm[pe]) pv[pe] = 1;
     }
   }
   return *this;
@@ -147,26 +189,29 @@ Word Pint::at(std::size_t row, std::size_t col) const {
 Pbool Pint::bit(int j) const {
   PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
   Context& ctx = *ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* ps = data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe) {
-      out[pe] = static_cast<Flag>((data_[pe] >> j) & 1u);
+      po[pe] = static_cast<Flag>((ps[pe] >> j) & 1u);
     }
   });
   ctx.machine().charge_alu();
-  return detail_access::raw_pbool(ctx, std::move(out),
-                                  std::vector<Flag>(driven_));
+  return detail_access::raw_pbool(ctx, std::move(out), copy_driven(ctx, driven_));
 }
 
 Pint Pint::or_bit(int j, const Pbool& flag) const {
   PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
   check_same_context(*ctx_, flag.context());
   Context& ctx = *ctx_;
-  const auto fv = flag.values();
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Word> out = ctx.acquire_words();
+  const Flag* pf = flag.values().data();
+  const Word* ps = data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe) {
-      out[pe] = data_[pe] | (fv[pe] ? (Word{1} << j) : Word{0});
+      po[pe] = ps[pe] | (pf[pe] ? (Word{1} << j) : Word{0});
     }
   });
   ctx.machine().charge_alu();
@@ -183,9 +228,12 @@ Pint operator+(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
   const auto& field = ctx.field();
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = field.add(a.data_[pe], b.data_[pe]);
+  std::vector<Word> out = ctx.acquire_words();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=, &field](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = field.add(pa[pe], pb[pe]);
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pint(ctx, std::move(out),
@@ -196,9 +244,11 @@ Pint operator+(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
   PPA_REQUIRE(ctx.field().representable(b), "scalar does not fit in the h-bit field");
   const auto& field = ctx.field();
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = field.add(a.data_[pe], b);
+  std::vector<Word> out = ctx.acquire_words();
+  const Word* pa = a.data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=, &field](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = field.add(pa[pe], b);
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pint(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
@@ -207,10 +257,13 @@ Pint operator+(const Pint& a, Word b) {
 Pint emin(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Word> out = ctx.acquire_words();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] < b.data_[pe] ? a.data_[pe] : b.data_[pe];
+      po[pe] = pa[pe] < pb[pe] ? pa[pe] : pb[pe];
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pint(ctx, std::move(out),
@@ -220,10 +273,13 @@ Pint emin(const Pint& a, const Pint& b) {
 Pint emax(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Word> out = ctx.acquire_words();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] > b.data_[pe] ? a.data_[pe] : b.data_[pe];
+      po[pe] = pa[pe] > pb[pe] ? pa[pe] : pb[pe];
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pint(ctx, std::move(out),
@@ -233,10 +289,13 @@ Pint emax(const Pint& a, const Pint& b) {
 Pbool operator==(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] == b.data_[pe] ? Flag{1} : Flag{0};
+      po[pe] = pa[pe] == pb[pe] ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -246,10 +305,13 @@ Pbool operator==(const Pint& a, const Pint& b) {
 Pbool operator!=(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] != b.data_[pe] ? Flag{1} : Flag{0};
+      po[pe] = pa[pe] != pb[pe] ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -259,10 +321,13 @@ Pbool operator!=(const Pint& a, const Pint& b) {
 Pbool operator<(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] < b.data_[pe] ? Flag{1} : Flag{0};
+      po[pe] = pa[pe] < pb[pe] ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -272,10 +337,13 @@ Pbool operator<(const Pint& a, const Pint& b) {
 Pbool operator<=(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
     for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] <= b.data_[pe] ? Flag{1} : Flag{0};
+      po[pe] = pa[pe] <= pb[pe] ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -284,10 +352,11 @@ Pbool operator<=(const Pint& a, const Pint& b) {
 
 Pbool operator==(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] == b ? Flag{1} : Flag{0};
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = pa[pe] == b ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
@@ -295,10 +364,11 @@ Pbool operator==(const Pint& a, Word b) {
 
 Pbool operator!=(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] != b ? Flag{1} : Flag{0};
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = pa[pe] != b ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
@@ -306,10 +376,11 @@ Pbool operator!=(const Pint& a, Word b) {
 
 Pbool operator<(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = a.data_[pe] < b ? Flag{1} : Flag{0};
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Word* pa = a.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = pa[pe] < b ? Flag{1} : Flag{0};
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
@@ -319,28 +390,38 @@ Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
   check_same_context(cond.context(), a.context());
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Word> out(ctx.pe_count());
+  std::vector<Word> out = ctx.acquire_words();
   const auto cv = cond.values();
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = cv[pe] ? a.data_[pe] : b.data_[pe];
+  const Flag* pc = cv.data();
+  const Word* pa = a.data_.data();
+  const Word* pb = b.data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = pc[pe] ? pa[pe] : pb[pe];
   });
   ctx.machine().charge_alu();
   // Driven-ness follows the SELECTED operand per element (a tainted
   // condition taints everything).
   std::vector<Flag> driven;
   if (!a.driven_.empty() || !b.driven_.empty() || !cond.driven_view().empty()) {
-    driven.assign(ctx.pe_count(), Flag{1});
+    driven = ctx.acquire_flags();
     const auto cd = cond.driven_view();
+    const Flag* pad = a.driven_.empty() ? nullptr : a.driven_.data();
+    const Flag* pbd = b.driven_.empty() ? nullptr : b.driven_.data();
+    const Flag* pcd = cd.empty() ? nullptr : cd.data();
+    Flag* pdv = driven.data();
     bool any_undriven = false;
     for (std::size_t pe = 0; pe < driven.size(); ++pe) {
-      const Flag chosen = cv[pe] ? (a.driven_.empty() ? Flag{1} : a.driven_[pe])
-                                 : (b.driven_.empty() ? Flag{1} : b.driven_[pe]);
-      const Flag cond_ok = cd.empty() ? Flag{1} : cd[pe];
-      driven[pe] = static_cast<Flag>(chosen & cond_ok);
-      any_undriven |= (driven[pe] == 0);
+      const Flag chosen = pc[pe] ? (pad == nullptr ? Flag{1} : pad[pe])
+                                 : (pbd == nullptr ? Flag{1} : pbd[pe]);
+      const Flag cond_ok = pcd == nullptr ? Flag{1} : pcd[pe];
+      pdv[pe] = static_cast<Flag>(chosen & cond_ok);
+      any_undriven |= (pdv[pe] == 0);
     }
-    if (!any_undriven) driven.clear();
+    if (!any_undriven) {
+      ctx.release_flags(std::move(driven));
+      driven = {};
+    }
   }
   return detail_access::raw_pint(ctx, std::move(out), std::move(driven));
 }
@@ -349,16 +430,36 @@ Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
 // Pbool
 // ---------------------------------------------------------------------------
 
-Pbool::Pbool(Context& ctx, bool init)
-    : ctx_(&ctx), data_(ctx.pe_count(), init ? Flag{1} : Flag{0}) {
+Pbool::Pbool(Context& ctx, bool init) : ctx_(&ctx), data_(ctx.acquire_flags()) {
+  std::fill(data_.begin(), data_.end(), init ? Flag{1} : Flag{0});
   ctx.machine().charge_alu();
 }
 
 Pbool::Pbool(Context& ctx, std::span<const Flag> values)
-    : ctx_(&ctx), data_(values.begin(), values.end()) {
+    : ctx_(&ctx), data_(ctx.acquire_flags()) {
   PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
-  for (Flag& f : data_) f = f ? Flag{1} : Flag{0};
+  for (std::size_t pe = 0; pe < data_.size(); ++pe) {
+    data_[pe] = values[pe] ? Flag{1} : Flag{0};
+  }
   ctx.machine().charge_alu();
+}
+
+Pbool::Pbool(const Pbool& other) : ctx_(other.ctx_) {
+  data_ = ctx_->acquire_flags();
+  data_.resize(other.data_.size());
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  if (!other.driven_.empty()) {
+    driven_ = ctx_->acquire_flags();
+    driven_.resize(other.driven_.size());
+    std::copy(other.driven_.begin(), other.driven_.end(), driven_.begin());
+  }
+}
+
+Pbool::~Pbool() {
+  if (ctx_ != nullptr) {
+    ctx_->release_flags(std::move(data_));
+    ctx_->release_flags(std::move(driven_));
+  }
 }
 
 Pbool& Pbool::operator=(const Pbool& rhs) {
@@ -367,15 +468,16 @@ Pbool& Pbool::operator=(const Pbool& rhs) {
   const auto mask = ctx.mask();
   check_store_driven(ctx, mask, rhs.driven_);
   ctx.machine().charge_alu();
-  const auto& src = rhs.data_;
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) {
-      if (mask[pe]) data_[pe] = src[pe];
-    }
+  const Flag* pm = mask.data();
+  const Flag* ps = rhs.data_.data();
+  Flag* pd = data_.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::masked_assign_flags(pm, ps, pd, begin, end);
   });
   if (!driven_.empty()) {
+    Flag* pv = driven_.data();
     for (std::size_t pe = 0; pe < driven_.size(); ++pe) {
-      if (mask[pe]) driven_[pe] = 1;
+      if (pm[pe]) pv[pe] = 1;
     }
   }
   return *this;
@@ -421,21 +523,25 @@ std::size_t Pbool::count() const noexcept {
 
 Pbool operator!(const Pbool& a) {
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = a.data_[pe] ? Flag{0} : Flag{1};
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Flag* pa = a.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::not_flags(pa, po, begin, end);
   });
   ctx.machine().charge_alu();
-  return detail_access::raw_pbool(ctx, std::move(out), std::vector<Flag>(a.driven_));
+  return detail_access::raw_pbool(ctx, std::move(out), copy_driven(ctx, a.driven_));
 }
 
 Pbool operator&(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = static_cast<Flag>(a.data_[pe] & b.data_[pe]);
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Flag* pa = a.data_.data();
+  const Flag* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::and_flags(pa, pb, po, begin, end);
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -445,10 +551,12 @@ Pbool operator&(const Pbool& a, const Pbool& b) {
 Pbool operator|(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = static_cast<Flag>(a.data_[pe] | b.data_[pe]);
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Flag* pa = a.data_.data();
+  const Flag* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::or_flags(pa, pb, po, begin, end);
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -458,10 +566,12 @@ Pbool operator|(const Pbool& a, const Pbool& b) {
 Pbool operator^(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
-  std::vector<Flag> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe)
-      out[pe] = static_cast<Flag>(a.data_[pe] ^ b.data_[pe]);
+  std::vector<Flag> out = ctx.acquire_flags();
+  const Flag* pa = a.data_.data();
+  const Flag* pb = b.data_.data();
+  Flag* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    flag_sweep::xor_flags(pa, pb, po, begin, end);
   });
   ctx.machine().charge_alu();
   return detail_access::raw_pbool(ctx, std::move(out),
@@ -473,12 +583,14 @@ Pbool operator!=(const Pbool& a, const Pbool& b) { return a ^ b; }
 
 Pint Pbool::to_pint() const {
   Context& ctx = *ctx_;
-  std::vector<Word> out(ctx.pe_count());
-  ctx.machine().for_each_pe([&](std::size_t begin, std::size_t end) {
-    for (std::size_t pe = begin; pe < end; ++pe) out[pe] = data_[pe] ? 1u : 0u;
+  std::vector<Word> out = ctx.acquire_words();
+  const Flag* ps = data_.data();
+  Word* po = out.data();
+  ctx.machine().for_each_pe([=](std::size_t begin, std::size_t end) {
+    for (std::size_t pe = begin; pe < end; ++pe) po[pe] = ps[pe] ? 1u : 0u;
   });
   ctx.machine().charge_alu();
-  return detail_access::raw_pint(ctx, std::move(out), std::vector<Flag>(driven_));
+  return detail_access::raw_pint(ctx, std::move(out), copy_driven(ctx, driven_));
 }
 
 // ---------------------------------------------------------------------------
@@ -493,26 +605,29 @@ Pint col_of(Context& ctx) {
   return Pint(ctx, ctx.machine().col_index());
 }
 
-Pbool driven_mask(const Pint& value) {
-  Context& ctx = value.context();
+namespace {
+
+Pbool driven_mask_impl(Context& ctx, std::span<const Flag> d) {
   ctx.machine().charge_alu();
-  const auto d = value.driven_view();
-  std::vector<Flag> bits(ctx.pe_count(), Flag{1});
-  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
-    if (!d.empty()) bits[pe] = d[pe] ? Flag{1} : Flag{0};
+  std::vector<Flag> bits = ctx.acquire_flags();
+  if (d.empty()) {
+    std::fill(bits.begin(), bits.end(), Flag{1});
+  } else {
+    const Flag* pd = d.data();
+    Flag* po = bits.data();
+    for (std::size_t pe = 0; pe < bits.size(); ++pe) po[pe] = pd[pe] ? Flag{1} : Flag{0};
   }
   return detail_access::raw_pbool(ctx, std::move(bits), {});
 }
 
+}  // namespace
+
+Pbool driven_mask(const Pint& value) {
+  return driven_mask_impl(value.context(), value.driven_view());
+}
+
 Pbool driven_mask(const Pbool& value) {
-  Context& ctx = value.context();
-  ctx.machine().charge_alu();
-  const auto d = value.driven_view();
-  std::vector<Flag> bits(ctx.pe_count(), Flag{1});
-  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
-    if (!d.empty()) bits[pe] = d[pe] ? Flag{1} : Flag{0};
-  }
-  return detail_access::raw_pbool(ctx, std::move(bits), {});
+  return driven_mask_impl(value.context(), value.driven_view());
 }
 
 namespace detail {

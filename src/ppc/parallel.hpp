@@ -45,9 +45,15 @@ class Pint {
   /// be representable in the field.
   Pint(Context& ctx, std::span<const Word> values);
 
-  /// Clone — a fresh register unmasked-copied from `other`.
-  Pint(const Pint& other) = default;
+  /// Clone — a fresh register unmasked-copied from `other` (buffer drawn
+  /// from the context's register arena; charges nothing, like the old
+  /// memberwise copy).
+  Pint(const Pint& other);
   Pint(Pint&& other) noexcept = default;
+
+  /// Hands the registers back to the context's arena. Moved-from shells
+  /// (empty buffers) release nothing.
+  ~Pint();
 
   /// MASKED store (see header comment). Charges one ALU step.
   Pint& operator=(const Pint& rhs);
@@ -113,8 +119,9 @@ class Pbool {
  public:
   Pbool(Context& ctx, bool init);
   Pbool(Context& ctx, std::span<const Flag> values);
-  Pbool(const Pbool& other) = default;
+  Pbool(const Pbool& other);
   Pbool(Pbool&& other) noexcept = default;
+  ~Pbool();
 
   /// MASKED store. Charges one ALU step.
   Pbool& operator=(const Pbool& rhs);

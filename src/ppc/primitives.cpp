@@ -31,7 +31,7 @@ Pint shift(const Pint& src, sim::Direction dir, Word fill) {
   require_injectable(src, "shift");
   Context& ctx = src.context();
   PPA_REQUIRE(ctx.field().representable(fill), "shift fill value does not fit in the field");
-  std::vector<Word> out(ctx.pe_count());
+  std::vector<Word> out = ctx.acquire_words();
   ctx.machine().shift(src.values(), dir, fill, out);
   return detail::make_bus_pint(ctx, std::move(out), {});
 }
@@ -40,36 +40,44 @@ Pbool shift(const Pbool& src, sim::Direction dir, bool fill) {
   require_injectable(src, "shift");
   Context& ctx = src.context();
   // Route the flags through the word links: a logical is a 1-bit register.
-  std::vector<Word> in(ctx.pe_count());
+  std::vector<Word> in = ctx.acquire_words();
   const auto sv = src.values();
   for (std::size_t pe = 0; pe < in.size(); ++pe) in[pe] = sv[pe];
-  std::vector<Word> out(ctx.pe_count());
+  std::vector<Word> out = ctx.acquire_words();
   ctx.machine().shift(in, dir, fill ? 1u : 0u, out);
-  std::vector<Flag> bits(ctx.pe_count());
+  std::vector<Flag> bits = ctx.acquire_flags();
   for (std::size_t pe = 0; pe < bits.size(); ++pe) bits[pe] = out[pe] ? Flag{1} : Flag{0};
+  ctx.release_words(std::move(in));
+  ctx.release_words(std::move(out));
   return detail::make_bus_pbool(ctx, std::move(bits), {});
 }
 
 Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
   require_same(src.context(), open.context());
   Context& ctx = src.context();
-  sim::BusResult bus = ctx.machine().broadcast(src.values(), dir, open.values());
+  std::vector<Word> values = ctx.acquire_words();
+  std::vector<Flag> driven = ctx.acquire_flags();
+  ctx.machine().broadcast_into(src.values(), dir, open.values(), values, driven);
   if (!src.fully_driven()) {
     // The taint flags ride the same physical cycle (no extra step): a
     // receiver is driven only if its driver's own value was.
-    std::vector<sim::Word> taint_lane(ctx.pe_count());
-    const auto sd = src.driven_view();
-    for (std::size_t pe = 0; pe < taint_lane.size(); ++pe) taint_lane[pe] = sd[pe];
-    const sim::BusResult taint_bus = sim::bus_broadcast(
-        ctx.machine().n(), ctx.machine().config().topology, dir, taint_lane, open.values());
-    for (std::size_t pe = 0; pe < bus.driven.size(); ++pe) {
-      bus.driven[pe] = static_cast<Flag>(bus.driven[pe] & (taint_bus.values[pe] ? 1 : 0));
+    std::vector<Flag> taint = ctx.acquire_flags();
+    std::vector<Flag> taint_driven = ctx.acquire_flags();
+    sim::bus_broadcast_into(ctx.machine().n(), ctx.machine().config().topology, dir,
+                            src.driven_view(), open.values(), taint, taint_driven);
+    for (std::size_t pe = 0; pe < driven.size(); ++pe) {
+      driven[pe] = static_cast<Flag>(driven[pe] & (taint[pe] ? 1 : 0));
     }
+    ctx.release_flags(std::move(taint));
+    ctx.release_flags(std::move(taint_driven));
   }
   const bool all_driven =
-      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
-  return detail::make_bus_pint(ctx, std::move(bus.values),
-                               all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+      std::all_of(driven.begin(), driven.end(), [](Flag f) { return f != 0; });
+  if (all_driven) {
+    ctx.release_flags(std::move(driven));
+    driven = {};
+  }
+  return detail::make_bus_pint(ctx, std::move(values), std::move(driven));
 }
 
 Pint two_sided_broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
@@ -82,33 +90,27 @@ Pbool broadcast(const Pbool& src, sim::Direction dir, const Pbool& open) {
   require_injectable(src, "broadcast");
   require_same(src.context(), open.context());
   Context& ctx = src.context();
-  std::vector<Word> lane(ctx.pe_count());
-  const auto sv = src.values();
-  for (std::size_t pe = 0; pe < lane.size(); ++pe) lane[pe] = sv[pe];
-  sim::BusResult bus = ctx.machine().broadcast(lane, dir, open.values());
+  // Flag-lane cycle: the received bits are the drivers' 0/1 flags verbatim.
+  std::vector<Flag> bits = ctx.acquire_flags();
+  std::vector<Flag> driven = ctx.acquire_flags();
+  ctx.machine().broadcast_into(src.values(), dir, open.values(), bits, driven);
   const bool all_driven =
-      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
-  std::vector<Flag> bits(ctx.pe_count());
-  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
-    bits[pe] = bus.values[pe] ? Flag{1} : Flag{0};
+      std::all_of(driven.begin(), driven.end(), [](Flag f) { return f != 0; });
+  if (all_driven) {
+    ctx.release_flags(std::move(driven));
+    driven = {};
   }
-  return detail::make_bus_pbool(ctx, std::move(bits),
-                                all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+  return detail::make_bus_pbool(ctx, std::move(bits), std::move(driven));
 }
 
 Pbool bus_or(const Pbool& src, sim::Direction dir, const Pbool& open) {
   require_injectable(src, "bus_or");
   require_same(src.context(), open.context());
   Context& ctx = src.context();
-  sim::BusResult bus = ctx.machine().wired_or(src.values(), dir, open.values());
-  const bool all_driven =
-      std::all_of(bus.driven.begin(), bus.driven.end(), [](Flag f) { return f != 0; });
-  std::vector<Flag> bits(ctx.pe_count());
-  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
-    bits[pe] = bus.values[pe] ? Flag{1} : Flag{0};
-  }
-  return detail::make_bus_pbool(ctx, std::move(bits),
-                                all_driven ? std::vector<Flag>{} : std::move(bus.driven));
+  // An open-collector read never floats, so the result is fully driven.
+  std::vector<Flag> bits = ctx.acquire_flags();
+  ctx.machine().wired_or_into(src.values(), dir, open.values(), bits);
+  return detail::make_bus_pbool(ctx, std::move(bits), {});
 }
 
 bool any(const Pbool& flags) {

@@ -9,33 +9,27 @@ namespace ppa::sim {
 
 namespace {
 
-constexpr std::size_t kNoDriver = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
-/// Maps (line, position-in-flow-order) to a PE id. For row buses the line
-/// is a row and positions run along columns; for column buses vice versa.
-/// `reversed` flips the flow order (West / North).
-struct LineMap {
-  std::size_t n;
-  Axis axis;
-  bool reversed;
-
-  [[nodiscard]] std::size_t pe(std::size_t line, std::size_t k) const noexcept {
-    const std::size_t q = reversed ? n - 1 - k : k;
-    return axis == Axis::Row ? line * n + q : q * n + line;
-  }
+/// One line of the array as a strided walk in flow order: position k lives
+/// at element base + k*stride. Row lines are contiguous (stride ±1), column
+/// lines stride by ±n; West/North flow is the same memory walked backward.
+/// This replaces the per-access (line, k) -> PE index map of the reference
+/// engine with pointer arithmetic the compiler strength-reduces.
+struct LineWalk {
+  std::size_t base;
+  std::ptrdiff_t stride;
 };
 
-LineMap line_map(std::size_t n, Direction dir) noexcept {
-  return LineMap{n, axis_of(dir), dir == Direction::West || dir == Direction::North};
-}
-
-/// Index (in flow order) of the last Open position on a line, or kNoDriver.
-std::size_t last_open(const LineMap& map, std::size_t line, std::span<const Flag> open) {
-  std::size_t result = kNoDriver;
-  for (std::size_t k = 0; k < map.n; ++k) {
-    if (open[map.pe(line, k)]) result = k;
+LineWalk line_walk(std::size_t n, Direction dir, std::size_t line) noexcept {
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  switch (dir) {
+    case Direction::East: return {line * n, 1};
+    case Direction::West: return {line * n + (n - 1), -1};
+    case Direction::South: return {line, sn};
+    case Direction::North: return {line + (n - 1) * n, -sn};
   }
-  return result;
+  return {0, 1};  // unreachable
 }
 
 void check_sizes(std::size_t n, std::size_t src_size, std::size_t open_size) {
@@ -44,114 +38,192 @@ void check_sizes(std::size_t n, std::size_t src_size, std::size_t open_size) {
               "bus operands must cover the whole array");
 }
 
+void check_out_sizes(std::size_t n, std::size_t values_size, std::size_t driven_size) {
+  PPA_REQUIRE(values_size == n * n && driven_size == n * n,
+              "bus output buffers must cover the whole array");
+}
+
+/// Broadcast over every line in O(n) per line: one forward scan resolves
+/// every interior cluster (each position past an Open node reads the most
+/// recent one), then the Ring wrap is settled by revisiting only the
+/// prefix up to the first Open node — the positions whose driver is the
+/// LAST Open node of the line. Lane type T is Word for registers and Flag
+/// for parallel logicals (which ride the same switches as 1-bit lanes).
+template <typename T>
+std::size_t broadcast_lines(std::size_t n, BusTopology topology, Direction dir,
+                            const T* src, const Flag* open, T* values, Flag* driven) {
+  std::size_t max_segment = 0;
+  for (std::size_t line = 0; line < n; ++line) {
+    const LineWalk walk = line_walk(n, dir, line);
+    bool have_driver = false;
+    T cur{};
+    std::size_t first_open = kNone;
+    std::size_t last_open = kNone;
+    std::size_t run = 0;
+
+    auto p = static_cast<std::ptrdiff_t>(walk.base);
+    for (std::size_t k = 0; k < n; ++k, p += walk.stride) {
+      if (have_driver) {
+        values[p] = cur;
+        driven[p] = 1;
+        ++run;
+      }
+      if (open[p]) {
+        // A cluster ends at (and includes) its next Open node downstream.
+        max_segment = std::max(max_segment, run);
+        run = 0;
+        have_driver = true;
+        cur = src[p];
+        last_open = k;
+        if (first_open == kNone) first_open = k;
+      }
+    }
+
+    p = static_cast<std::ptrdiff_t>(walk.base);
+    if (!have_driver) {
+      // No Open switch: the whole line floats (broadcast needs a driver).
+      for (std::size_t k = 0; k < n; ++k, p += walk.stride) {
+        values[p] = T{};
+        driven[p] = 0;
+      }
+    } else if (topology == BusTopology::Ring) {
+      // Wrap cluster: positions after the last Open node (already written
+      // with its value by the forward scan) plus the prefix through the
+      // first Open node, which reads the wrapped signal.
+      for (std::size_t k = 0; k <= first_open; ++k, p += walk.stride) {
+        values[p] = cur;
+        driven[p] = 1;
+      }
+      max_segment = std::max(max_segment, n - last_open + first_open);
+    } else {
+      // Linear: the head stub up to and including the first Open node
+      // floats; the tail run past the last Open node ends at the wall.
+      for (std::size_t k = 0; k <= first_open; ++k, p += walk.stride) {
+        values[p] = T{};
+        driven[p] = 0;
+      }
+      max_segment = std::max(max_segment, run);
+    }
+  }
+  return max_segment;
+}
+
+/// Wired-OR over every line in O(n) per line. Segments are the contiguous
+/// intervals [Open_i, Open_{i+1}) in flow order; one forward scan
+/// accumulates each segment's OR and writes it back over the interval as
+/// soon as the segment closes (intervals are disjoint, so the write-backs
+/// also total O(n)). The head stub before the first Open node joins the
+/// last segment on a Ring (the wrap) and forms its own segment on a
+/// Linear bus. T is the output lane type (the 0/1 result widens to Word
+/// for the BusResult API).
+template <typename T>
+std::size_t wired_or_lines(std::size_t n, BusTopology topology, Direction dir,
+                           const Flag* src, const Flag* open, T* values) {
+  std::size_t max_segment = 0;
+  for (std::size_t line = 0; line < n; ++line) {
+    const LineWalk walk = line_walk(n, dir, line);
+    const auto at = [&](std::size_t k) {
+      return static_cast<std::ptrdiff_t>(walk.base) + static_cast<std::ptrdiff_t>(k) * walk.stride;
+    };
+    const auto write_back = [&](std::size_t begin, std::size_t end, Flag value) {
+      auto p = at(begin);
+      for (std::size_t k = begin; k < end; ++k, p += walk.stride) {
+        values[p] = static_cast<T>(value);
+      }
+    };
+
+    std::size_t first_open = kNone;
+    std::size_t seg_start = 0;  // start of the segment currently accumulating
+    Flag acc = 0;
+    Flag head_acc = 0;  // OR of the positions before the first Open node
+
+    auto p = at(0);
+    for (std::size_t k = 0; k < n; ++k, p += walk.stride) {
+      if (open[p]) {
+        if (first_open == kNone) {
+          first_open = k;
+          head_acc = acc;
+        } else {
+          write_back(seg_start, k, acc);
+          max_segment = std::max(max_segment, k - seg_start);
+        }
+        seg_start = k;
+        acc = 0;
+      }
+      // An Open node pulls (and reads) its DOWNSTREAM segment, so its own
+      // bit joins the segment it just started.
+      acc = static_cast<Flag>(acc | (src[p] != 0 ? 1 : 0));
+    }
+
+    if (first_open == kNone) {
+      // No Open switch: one unsegmented line (a Ring loop or the Linear
+      // head segment covering everything).
+      write_back(0, n, acc);
+      max_segment = std::max(max_segment, n);
+    } else if (topology == BusTopology::Ring) {
+      const auto wrap = static_cast<Flag>(acc | head_acc);
+      write_back(seg_start, n, wrap);
+      write_back(0, first_open, wrap);
+      max_segment = std::max(max_segment, n - seg_start + first_open);
+    } else {
+      write_back(seg_start, n, acc);
+      max_segment = std::max(max_segment, n - seg_start);
+      write_back(0, first_open, head_acc);
+      max_segment = std::max(max_segment, first_open);
+    }
+  }
+  return max_segment;
+}
+
 }  // namespace
+
+std::size_t bus_broadcast_into(std::size_t n, BusTopology topology, Direction dir,
+                               std::span<const Word> src, std::span<const Flag> open,
+                               std::span<Word> values, std::span<Flag> driven) {
+  check_sizes(n, src.size(), open.size());
+  check_out_sizes(n, values.size(), driven.size());
+  return broadcast_lines(n, topology, dir, src.data(), open.data(), values.data(),
+                         driven.data());
+}
+
+std::size_t bus_broadcast_into(std::size_t n, BusTopology topology, Direction dir,
+                               std::span<const Flag> src, std::span<const Flag> open,
+                               std::span<Flag> values, std::span<Flag> driven) {
+  check_sizes(n, src.size(), open.size());
+  check_out_sizes(n, values.size(), driven.size());
+  return broadcast_lines(n, topology, dir, src.data(), open.data(), values.data(),
+                         driven.data());
+}
+
+std::size_t bus_wired_or_into(std::size_t n, BusTopology topology, Direction dir,
+                              std::span<const Flag> src, std::span<const Flag> open,
+                              std::span<Flag> values) {
+  check_sizes(n, src.size(), open.size());
+  PPA_REQUIRE(values.size() == n * n, "bus output buffers must cover the whole array");
+  return wired_or_lines(n, topology, dir, src.data(), open.data(), values.data());
+}
 
 BusResult bus_broadcast(std::size_t n, BusTopology topology, Direction dir,
                         std::span<const Word> src, std::span<const Flag> open) {
   check_sizes(n, src.size(), open.size());
-  const LineMap map = line_map(n, dir);
   BusResult result;
-  result.values.assign(n * n, 0);
-  result.driven.assign(n * n, 0);
-
-  for (std::size_t line = 0; line < n; ++line) {
-    const std::size_t s = last_open(map, line, open);
-    if (s == kNoDriver) continue;  // floating bus: whole line undriven
-
-    std::size_t run = 0;
-    if (topology == BusTopology::Ring) {
-      // Walk downstream starting just past the last Open node; every
-      // position reads the most recent Open node passed ("cur").
-      std::size_t cur = s;
-      Word cur_value = src[map.pe(line, cur)];
-      for (std::size_t step = 1; step <= n; ++step) {
-        const std::size_t k = (s + step) % n;
-        const std::size_t p = map.pe(line, k);
-        result.values[p] = cur_value;
-        result.driven[p] = 1;
-        ++run;
-        if (open[p]) {
-          result.max_segment = std::max(result.max_segment, run);
-          run = 0;
-          cur = k;
-          cur_value = src[p];
-        }
-      }
-      result.max_segment = std::max(result.max_segment, run);
-    } else {
-      // Linear: positions at or before the first Open node float.
-      bool have_driver = false;
-      Word cur_value = 0;
-      for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t p = map.pe(line, k);
-        if (have_driver) {
-          result.values[p] = cur_value;
-          result.driven[p] = 1;
-          ++run;
-        }
-        if (open[p]) {
-          result.max_segment = std::max(result.max_segment, run);
-          run = 0;
-          have_driver = true;
-          cur_value = src[p];
-        }
-      }
-      result.max_segment = std::max(result.max_segment, run);
-    }
-  }
+  result.values.resize(n * n);
+  result.driven.resize(n * n);
+  result.max_segment =
+      broadcast_lines(n, topology, dir, src.data(), open.data(), result.values.data(),
+                      result.driven.data());
   return result;
 }
 
 BusResult bus_wired_or(std::size_t n, BusTopology topology, Direction dir,
                        std::span<const Flag> src, std::span<const Flag> open) {
   check_sizes(n, src.size(), open.size());
-  const LineMap map = line_map(n, dir);
   BusResult result;
-  result.values.assign(n * n, 0);
+  result.values.resize(n * n);
   // An open-collector read never floats: a segment nobody pulls reads 0.
   result.driven.assign(n * n, 1);
-
-  // Per-line scratch, reused across lines. Segment key per position: an
-  // Open PE keys its own (downstream) segment, a Short PE the segment it
-  // sits on. Key n is the Linear head segment (upstream of every Open
-  // switch, or the whole line when there is none).
-  const std::size_t kHead = n;
-  std::vector<std::size_t> key(n, kHead);
-  std::vector<Flag> acc(n + 1, 0);
-  std::vector<std::size_t> members(n + 1, 0);
-
-  for (std::size_t line = 0; line < n; ++line) {
-    const std::size_t s = last_open(map, line, open);
-
-    if (topology == BusTopology::Ring && s != kNoDriver) {
-      std::size_t cur = s;
-      for (std::size_t step = 1; step <= n; ++step) {
-        const std::size_t k = (s + step) % n;
-        if (open[map.pe(line, k)]) cur = k;
-        key[k] = cur;
-      }
-    } else {
-      // Linear — or a Ring with no Open switch at all, which is a single
-      // unsegmented loop and behaves like one head segment.
-      std::size_t cur = kHead;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (open[map.pe(line, k)]) cur = k;
-        key[k] = cur;
-      }
-    }
-
-    std::fill(acc.begin(), acc.end(), Flag{0});
-    std::fill(members.begin(), members.end(), std::size_t{0});
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t p = map.pe(line, k);
-      if (src[p] != 0) acc[key[k]] = 1;
-      ++members[key[k]];
-    }
-    for (std::size_t k = 0; k < n; ++k) {
-      result.values[map.pe(line, k)] = acc[key[k]];
-      result.max_segment = std::max(result.max_segment, members[key[k]]);
-    }
-  }
+  result.max_segment =
+      wired_or_lines(n, topology, dir, src.data(), open.data(), result.values.data());
   return result;
 }
 

@@ -51,6 +51,28 @@ struct BusResult {
 [[nodiscard]] BusResult bus_broadcast(std::size_t n, BusTopology topology, Direction dir,
                                       std::span<const Word> src, std::span<const Flag> open);
 
+// ---------------------------------------------------------------------------
+// Allocation-free variants: the caller supplies the n*n output buffers
+// (the ppc layer feeds them from its register arena so a bus cycle costs no
+// heap traffic). Each returns the longest driven segment (BusResult's
+// max_segment). Every output element is written. The Flag overloads route
+// parallel logicals over the same switches as 1-bit lanes.
+// ---------------------------------------------------------------------------
+
+std::size_t bus_broadcast_into(std::size_t n, BusTopology topology, Direction dir,
+                               std::span<const Word> src, std::span<const Flag> open,
+                               std::span<Word> values, std::span<Flag> driven);
+
+std::size_t bus_broadcast_into(std::size_t n, BusTopology topology, Direction dir,
+                               std::span<const Flag> src, std::span<const Flag> open,
+                               std::span<Flag> values, std::span<Flag> driven);
+
+/// Wired-OR writes no driven flags: an open-collector read never floats
+/// (see bus_wired_or below), so the result is implicitly all-driven.
+std::size_t bus_wired_or_into(std::size_t n, BusTopology topology, Direction dir,
+                              std::span<const Flag> src, std::span<const Flag> open,
+                              std::span<Flag> values);
+
 /// One wired-OR bus cycle. The open-collector line needs no driver: the
 /// Open switches split each line into electrically separate segments, and
 /// every PE reads the segment it pulls — an Open PE pulls (and reads) its

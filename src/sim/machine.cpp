@@ -89,6 +89,43 @@ BusResult Machine::wired_or(std::span<const Flag> src, Direction dir,
   return result;
 }
 
+std::size_t Machine::broadcast_into(std::span<const Word> src, Direction dir,
+                                    std::span<const Flag> open, std::span<Word> values,
+                                    std::span<Flag> driven) {
+  const std::size_t max_segment =
+      bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
+  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(
+        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), max_segment});
+  }
+  return max_segment;
+}
+
+std::size_t Machine::broadcast_into(std::span<const Flag> src, Direction dir,
+                                    std::span<const Flag> open, std::span<Flag> values,
+                                    std::span<Flag> driven) {
+  const std::size_t max_segment =
+      bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
+  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(
+        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), max_segment});
+  }
+  return max_segment;
+}
+
+std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
+                                   std::span<const Flag> open, std::span<Flag> values) {
+  const std::size_t max_segment =
+      bus_wired_or_into(config_.n, config_.topology, dir, src, open, values);
+  steps_.charge_bus(StepCategory::BusOr, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(TraceEvent{StepCategory::BusOr, dir, count_open(open), max_segment});
+  }
+  return max_segment;
+}
+
 bool Machine::global_or(std::span<const Flag> flags) {
   PPA_REQUIRE(flags.size() == pe_count(), "global_or operand must cover the whole array");
   steps_.charge(StepCategory::GlobalOr);
@@ -96,14 +133,6 @@ bool Machine::global_or(std::span<const Flag> flags) {
     trace_->on_event(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0});
   }
   return std::any_of(flags.begin(), flags.end(), [](Flag f) { return f != 0; });
-}
-
-void Machine::for_each_pe(const std::function<void(std::size_t, std::size_t)>& body) {
-  if (pool_) {
-    pool_->parallel_for(pe_count(), body);
-  } else {
-    body(0, pe_count());
-  }
 }
 
 }  // namespace ppa::sim

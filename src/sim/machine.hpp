@@ -68,13 +68,12 @@ class Machine {
   [[nodiscard]] TraceSink* trace() const noexcept { return trace_; }
 
   /// Charges `instructions` elementwise SIMD instructions. Called by the
-  /// ppc layer once per parallel operation (NOT per PE).
+  /// ppc layer once per parallel operation (NOT per PE). A bulk charge
+  /// emits ONE trace event carrying the instruction count.
   void charge_alu(std::uint64_t instructions = 1) noexcept {
     steps_.charge(StepCategory::Alu, instructions);
-    if (trace_ != nullptr) {
-      for (std::uint64_t i = 0; i < instructions; ++i) {
-        trace_->on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0});
-      }
+    if (trace_ != nullptr && instructions > 0) {
+      trace_->on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, instructions});
     }
   }
 
@@ -91,13 +90,33 @@ class Machine {
   [[nodiscard]] BusResult wired_or(std::span<const Flag> src, Direction dir,
                                    std::span<const Flag> open);
 
+  // Allocation-free bus cycles: same charging and tracing as the BusResult
+  // variants, but the caller provides the n*n output buffers (the ppc
+  // layer's register arena). Each returns the cycle's max_segment.
+  std::size_t broadcast_into(std::span<const Word> src, Direction dir,
+                             std::span<const Flag> open, std::span<Word> values,
+                             std::span<Flag> driven);
+  std::size_t broadcast_into(std::span<const Flag> src, Direction dir,
+                             std::span<const Flag> open, std::span<Flag> values,
+                             std::span<Flag> driven);
+  std::size_t wired_or_into(std::span<const Flag> src, Direction dir,
+                            std::span<const Flag> open, std::span<Flag> values);
+
   /// Controller response line: OR over all PEs' flags. One GlobalOr step.
   [[nodiscard]] bool global_or(std::span<const Flag> flags);
 
   /// Splits [0, pe_count) over the host pool; `body(begin, end)` must only
   /// write indices it owns. Charges nothing (callers charge per SIMD
-  /// instruction, not per sweep).
-  void for_each_pe(const std::function<void(std::size_t, std::size_t)>& body);
+  /// instruction, not per sweep). A template so the host-sequential path
+  /// is a direct, inlinable call — no std::function on the hot path.
+  template <typename Body>
+  void for_each_pe(Body&& body) {
+    if (pool_) {
+      pool_->parallel_for(pe_count(), body);
+    } else {
+      body(std::size_t{0}, pe_count());
+    }
+  }
 
  private:
   MachineConfig config_;

@@ -58,6 +58,14 @@ StepCounter StepCounter::since(const StepCounter& baseline) const noexcept {
   return delta;
 }
 
+void StepCounter::merge(const StepCounter& other) noexcept {
+  for (std::size_t i = 0; i < kCategories; ++i) {
+    counts_[i] += other.counts_[i];
+    log_extra_[i] += other.log_extra_[i];
+    linear_extra_[i] += other.linear_extra_[i];
+  }
+}
+
 void StepCounter::reset() noexcept {
   counts_.fill(0);
   log_extra_.fill(0);

@@ -59,6 +59,12 @@ class StepCounter {
   /// Steps elapsed since `baseline` (component-wise difference).
   [[nodiscard]] StepCounter since(const StepCounter& baseline) const noexcept;
 
+  /// Component-wise accumulation of another counter, e.g. folding the
+  /// per-destination counters of a threaded all-pairs run back into one
+  /// total. Addition is commutative, so the merged total is independent of
+  /// how runs were distributed over host threads.
+  void merge(const StepCounter& other) noexcept;
+
   void reset() noexcept;
 
   /// One-line human-readable summary.

@@ -4,9 +4,17 @@
 
 namespace ppa::sim {
 
-std::size_t RecordingTrace::count(StepCategory category) const noexcept {
-  std::size_t total = 0;
-  for (const auto& event : events_) total += (event.category == category);
+std::uint64_t RecordingTrace::count(StepCategory category) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& event : events_) {
+    if (event.category == category) total += event.count;
+  }
+  return total;
+}
+
+std::uint64_t RecordingTrace::instruction_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& event : events_) total += event.count;
   return total;
 }
 
@@ -27,6 +35,7 @@ std::string to_string(const TraceEvent& event) {
     case StepCategory::kCount:
       break;
   }
+  if (event.count != 1) os << " x" << event.count;
   return os.str();
 }
 

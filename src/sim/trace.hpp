@@ -24,6 +24,10 @@ struct TraceEvent {
   std::size_t open_count = 0;
   /// Longest driven segment in switch hops (bus cycles only).
   std::size_t max_segment = 0;
+  /// How many identical instructions this event stands for. Bulk ALU
+  /// charges emit ONE event with count > 1 instead of one event per
+  /// instruction, so tracing stays O(events) off the hot path.
+  std::uint64_t count = 1;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -42,7 +46,13 @@ class RecordingTrace final : public TraceSink {
   void on_event(const TraceEvent& event) override { events_.push_back(event); }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] std::size_t count(StepCategory category) const noexcept;
+
+  /// Total instructions recorded for `category` (bulk events weighted by
+  /// their count).
+  [[nodiscard]] std::uint64_t count(StepCategory category) const noexcept;
+
+  /// Total instructions over all events (the traced StepCounter::total()).
+  [[nodiscard]] std::uint64_t instruction_count() const noexcept;
   void clear() noexcept { events_.clear(); }
 
  private:

@@ -1,0 +1,64 @@
+// The threaded all-pairs driver is host parallelism only: solutions, step
+// counts and iteration totals must be bit-identical to the sequential
+// driver for EVERY worker count (the paper's cost model counts SIMD steps,
+// which cannot depend on how the host scheduled the destination runs).
+#include "mcp/allpairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using graph::Vertex;
+
+void expect_identical(const AllPairsResult& got, const AllPairsResult& want,
+                      std::size_t workers) {
+  ASSERT_EQ(got.n, want.n) << "workers=" << workers;
+  EXPECT_EQ(got.dist, want.dist) << "workers=" << workers;
+  EXPECT_EQ(got.next, want.next) << "workers=" << workers;
+  EXPECT_EQ(got.total_iterations, want.total_iterations) << "workers=" << workers;
+  EXPECT_EQ(got.total_steps, want.total_steps) << "workers=" << workers;
+  EXPECT_EQ(got.diameter, want.diameter) << "workers=" << workers;
+}
+
+TEST(AllPairsParallel, BitIdenticalForEveryWorkerCount) {
+  util::Rng rng(77);
+  const auto g = graph::random_digraph(12, 16, 0.3, {1, 20}, rng);
+  const auto sequential = all_pairs(g);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    AllPairsOptions options;
+    options.workers = workers;
+    const auto threaded = all_pairs(g, options);
+    expect_identical(threaded, sequential, workers);
+  }
+}
+
+TEST(AllPairsParallel, MoreWorkersThanDestinations) {
+  util::Rng rng(78);
+  const auto g = graph::random_digraph(3, 16, 0.5, {1, 9}, rng);
+  AllPairsOptions options;
+  options.workers = 16;  // clamped to n inside the driver
+  const auto threaded = all_pairs(g, options);
+  expect_identical(threaded, all_pairs(g), options.workers);
+}
+
+TEST(AllPairsParallel, ThreadedMatchesFloydWarshall) {
+  util::Rng rng(79);
+  const auto g = graph::random_digraph(10, 16, 0.25, {1, 15}, rng);
+  AllPairsOptions options;
+  options.workers = 4;
+  const auto threaded = all_pairs(g, options);
+  const auto host = baseline::floyd_warshall(g);
+  for (Vertex i = 0; i < 10; ++i) {
+    for (Vertex j = 0; j < 10; ++j) {
+      EXPECT_EQ(threaded.dist_at(i, j), host.dist_at(i, j)) << "pair " << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "sim/bus.hpp"
+#include "sim/bus_reference.hpp"
 #include "util/rng.hpp"
 
 namespace ppa::sim {
@@ -127,6 +128,49 @@ TEST_P(BusFuzz, WiredOrMatchesBruteForce) {
         ASSERT_EQ(got.driven[pes[k]], 1);
       }
     }
+  }
+}
+
+// The production engine resolves clusters with a prefix/suffix scan; the
+// retained naive per-position walk (bus_reference.cpp) must agree with it
+// on values, driven flags AND max_segment for every randomized pattern —
+// including the all-Open / all-Short extremes the densities above rarely
+// hit.
+TEST_P(BusFuzz, ScanMatchesNaiveReference) {
+  const auto [n, seed, density] = GetParam();
+  util::Rng rng(seed ^ 0xBEEF);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Word> src(n * n);
+    std::vector<Flag> bits(n * n);
+    std::vector<Flag> open(n * n);
+    // Rounds 0/1 pin the extremes; later rounds are random at `density`.
+    for (std::size_t pe = 0; pe < n * n; ++pe) {
+      src[pe] = static_cast<Word>(rng.below(1000));
+      bits[pe] = rng.chance(0.3) ? Flag{1} : Flag{0};
+      if (round == 0) {
+        open[pe] = 0;
+      } else if (round == 1) {
+        open[pe] = 1;
+      } else {
+        open[pe] = rng.chance(density) ? Flag{1} : Flag{0};
+      }
+    }
+    const auto topology = rng.chance(0.5) ? BusTopology::Ring : BusTopology::Linear;
+    const auto dir = static_cast<Direction>(rng.below(4));
+
+    const BusResult got = bus_broadcast(n, topology, dir, src, open);
+    const BusResult want = reference::bus_broadcast(n, topology, dir, src, open);
+    ASSERT_EQ(got.values, want.values)
+        << "n=" << n << " dir=" << name_of(dir) << " round=" << round;
+    ASSERT_EQ(got.driven, want.driven);
+    ASSERT_EQ(got.max_segment, want.max_segment);
+
+    const BusResult got_or = bus_wired_or(n, topology, dir, bits, open);
+    const BusResult want_or = reference::bus_wired_or(n, topology, dir, bits, open);
+    ASSERT_EQ(got_or.values, want_or.values)
+        << "n=" << n << " dir=" << name_of(dir) << " round=" << round;
+    ASSERT_EQ(got_or.driven, want_or.driven);
+    ASSERT_EQ(got_or.max_segment, want_or.max_segment);
   }
 }
 

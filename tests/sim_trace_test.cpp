@@ -33,7 +33,10 @@ TEST(Trace, RecordsEveryPrimitive) {
   (void)m.global_or(bits);
   m.charge_alu(2);
 
-  ASSERT_EQ(trace.events().size(), 6u);
+  // The two ALU instructions arrive as ONE bulk event with count 2.
+  ASSERT_EQ(trace.events().size(), 5u);
+  EXPECT_EQ(trace.events()[4].count, 2u);
+  EXPECT_EQ(trace.instruction_count(), 6u);
   EXPECT_EQ(trace.count(StepCategory::Shift), 1u);
   EXPECT_EQ(trace.count(StepCategory::BusBroadcast), 1u);
   EXPECT_EQ(trace.count(StepCategory::BusOr), 1u);
@@ -61,7 +64,7 @@ TEST(Trace, EventCountsMatchStepCounters) {
   EXPECT_EQ(trace.count(StepCategory::BusOr), result.total_steps.count(StepCategory::BusOr));
   EXPECT_EQ(trace.count(StepCategory::GlobalOr),
             result.total_steps.count(StepCategory::GlobalOr));
-  EXPECT_EQ(trace.events().size(), result.total_steps.total());
+  EXPECT_EQ(trace.instruction_count(), result.total_steps.total());
 }
 
 TEST(Trace, DetachStopsRecording) {
@@ -93,6 +96,7 @@ TEST(Trace, ToStringFormats) {
             "bus_or dir=West open=2 seg=3");
   EXPECT_EQ(to_string(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0}),
             "global_or");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, 3}), "alu x3");
 }
 
 }  // namespace

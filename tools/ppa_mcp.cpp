@@ -184,10 +184,19 @@ int cmd_info(int argc, const char* const* argv) {
 int cmd_allpairs(int argc, const char* const* argv) {
   util::CliParser cli("all-pairs minimum cost paths + diameter on the PPA");
   cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("workers", "host threads for independent destination runs (results identical)",
+           "1");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
-  const auto ap = mcp::all_pairs(g);
+  mcp::AllPairsOptions options;
+  const std::int64_t workers = cli.get_int("workers");
+  if (workers < 1) {
+    std::fprintf(stderr, "error: --workers must be >= 1\n");
+    return 2;
+  }
+  options.workers = static_cast<std::size_t>(workers);
+  const auto ap = mcp::all_pairs(g, options);
   std::printf("all-pairs over %zu vertices: %zu total iterations, %s\n", ap.n,
               ap.total_iterations, ap.total_steps.summary().c_str());
   std::printf("diameter (max finite cost over ordered pairs): %u\n\n", ap.diameter);
