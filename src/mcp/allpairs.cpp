@@ -53,6 +53,7 @@ EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
   sim::MachineConfig config;
   config.n = graph.size();
   config.bits = graph.field().bits();
+  config.backend = options.backend;
   sim::Machine machine(config);
   return eccentricity(machine, graph, destination, options);
 }
@@ -66,6 +67,7 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
   sim::MachineConfig config;
   config.n = n;
   config.bits = graph.field().bits();
+  config.backend = options.mcp.backend;
 
   AllPairsResult result;
   result.n = n;

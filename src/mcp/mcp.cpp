@@ -180,6 +180,7 @@ Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
   sim::MachineConfig config;
   config.n = graph.size();
   config.bits = graph.field().bits();
+  config.backend = options.backend;
   sim::Machine machine(config);
   return minimum_cost_path(machine, graph, destination, options);
 }

@@ -62,6 +62,12 @@ struct Options {
   BroadcastScheme broadcast_scheme = BroadcastScheme::SingleRing;
   /// Record per-iteration step counts and changed-vertex counts.
   bool record_iterations = false;
+  /// Host execution backend for the machines the convenience entry points
+  /// (solve / solve_from / all_pairs / solve_eccentricity) construct.
+  /// Results and step counts are bit-identical across backends; only
+  /// wall-clock differs. minimum_cost_path(machine, ...) ignores this and
+  /// uses the caller's machine as configured.
+  sim::ExecBackend backend = sim::ExecBackend::Words;
 };
 
 struct IterationRecord {

@@ -3,15 +3,26 @@
 #include <algorithm>
 
 #include "ppc/flag_sweep.hpp"
+#include "ppc/plane_ops.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
 
 Context::Context(sim::Machine& machine) : machine_(machine) {
-  stack_.emplace_back(machine.pe_count(), Flag{1});
+  if (bitplane()) {
+    full_.resize(geometry().plane_words());
+    sim::plane_fill_full(geometry(), full_.data());
+    plane_stack_.push_back(full_);
+  } else {
+    stack_.emplace_back(machine.pe_count(), Flag{1});
+  }
 }
 
 bool Context::mask_is_full() const noexcept {
+  if (bitplane()) {
+    return plane_ops::equal(plane_stack_.back().data(), full_.data(),
+                            geometry().plane_words());
+  }
   const auto& top = stack_.back();
   return std::all_of(top.begin(), top.end(), [](Flag f) { return f != 0; });
 }
@@ -47,9 +58,31 @@ void Context::push_mask_and_not(std::span<const Flag> cond) {
 }
 
 void Context::pop_mask() {
+  if (bitplane()) {
+    PPA_REQUIRE(plane_stack_.size() > 1, "pop_mask without a matching where");
+    release_flag_plane(std::move(plane_stack_.back()));
+    plane_stack_.pop_back();
+    return;
+  }
   PPA_REQUIRE(stack_.size() > 1, "pop_mask without a matching where");
   release_flags(std::move(stack_.back()));
   stack_.pop_back();
+}
+
+void Context::push_mask_and_plane(const sim::PlaneWord* cond) {
+  std::vector<sim::PlaneWord> next = acquire_flag_plane();
+  plane_ops::op_and(plane_stack_.back().data(), cond, next.data(),
+                    geometry().plane_words());
+  machine_.charge_alu();
+  plane_stack_.push_back(std::move(next));
+}
+
+void Context::push_mask_and_not_plane(const sim::PlaneWord* cond) {
+  std::vector<sim::PlaneWord> next = acquire_flag_plane();
+  plane_ops::op_andnot(plane_stack_.back().data(), cond, next.data(),
+                       geometry().plane_words());
+  machine_.charge_alu();
+  plane_stack_.push_back(std::move(next));
 }
 
 std::vector<Word> Context::acquire_words() {
@@ -85,6 +118,46 @@ void Context::release_flags(std::vector<Flag>&& buffer) noexcept {
   if (buffer.capacity() < pe_count()) return;
   try {
     free_flags_.push_back(std::move(buffer));
+  } catch (...) {
+  }
+}
+
+std::vector<sim::PlaneWord> Context::acquire_value_planes() {
+  const std::size_t words =
+      geometry().plane_words() * static_cast<std::size_t>(field().bits());
+  if (!free_value_planes_.empty()) {
+    std::vector<sim::PlaneWord> buffer = std::move(free_value_planes_.back());
+    free_value_planes_.pop_back();
+    buffer.resize(words);
+    return buffer;
+  }
+  return std::vector<sim::PlaneWord>(words);
+}
+
+std::vector<sim::PlaneWord> Context::acquire_flag_plane() {
+  if (!free_flag_planes_.empty()) {
+    std::vector<sim::PlaneWord> buffer = std::move(free_flag_planes_.back());
+    free_flag_planes_.pop_back();
+    buffer.resize(geometry().plane_words());
+    return buffer;
+  }
+  return std::vector<sim::PlaneWord>(geometry().plane_words());
+}
+
+void Context::release_value_planes(std::vector<sim::PlaneWord>&& buffer) noexcept {
+  const std::size_t words =
+      geometry().plane_words() * static_cast<std::size_t>(field().bits());
+  if (buffer.capacity() < words) return;
+  try {
+    free_value_planes_.push_back(std::move(buffer));
+  } catch (...) {
+  }
+}
+
+void Context::release_flag_plane(std::vector<sim::PlaneWord>&& buffer) noexcept {
+  if (buffer.capacity() < geometry().plane_words()) return;
+  try {
+    free_flag_planes_.push_back(std::move(buffer));
   } catch (...) {
   }
 }

@@ -34,6 +34,17 @@ class Context {
   [[nodiscard]] std::size_t n() const noexcept { return machine_.n(); }
   [[nodiscard]] std::size_t pe_count() const noexcept { return machine_.pe_count(); }
 
+  /// True when the machine runs the bit-plane backend; every parallel
+  /// operation dispatches on this once, up front.
+  [[nodiscard]] bool bitplane() const noexcept {
+    return machine_.config().backend == sim::ExecBackend::BitPlane;
+  }
+  [[nodiscard]] const sim::PlaneGeometry& geometry() const noexcept {
+    return machine_.plane_geometry();
+  }
+  /// The all-PEs mask plane (1 on every PE, 0 on pads).
+  [[nodiscard]] const sim::PlaneWord* full_plane() const noexcept { return full_.data(); }
+
   /// Current activity mask (1 = PE executes write-backs).
   [[nodiscard]] std::span<const Flag> mask() const noexcept { return stack_.back(); }
 
@@ -45,6 +56,14 @@ class Context {
   void push_mask_and(std::span<const Flag> cond);
   void push_mask_and_not(std::span<const Flag> cond);
   void pop_mask();
+
+  /// Bit-plane twins of the mask stack (used when bitplane() is true; the
+  /// two stacks never mix — a Context runs one backend for its lifetime).
+  [[nodiscard]] const sim::PlaneWord* mask_plane() const noexcept {
+    return plane_stack_.back().data();
+  }
+  void push_mask_and_plane(const sim::PlaneWord* cond);
+  void push_mask_and_not_plane(const sim::PlaneWord* cond);
 
   [[nodiscard]] std::size_t mask_depth() const noexcept { return stack_.size() - 1; }
 
@@ -68,11 +87,24 @@ class Context {
   void release_words(std::vector<Word>&& buffer) noexcept;
   void release_flags(std::vector<Flag>&& buffer) noexcept;
 
+  /// Plane arenas: an h-plane value buffer (h * plane_words words) and a
+  /// single-plane flag buffer (plane_words words), both with unspecified
+  /// contents.
+  [[nodiscard]] std::vector<sim::PlaneWord> acquire_value_planes();
+  [[nodiscard]] std::vector<sim::PlaneWord> acquire_flag_plane();
+  void release_value_planes(std::vector<sim::PlaneWord>&& buffer) noexcept;
+  void release_flag_plane(std::vector<sim::PlaneWord>&& buffer) noexcept;
+
  private:
   sim::Machine& machine_;
   std::vector<std::vector<Flag>> stack_;  // stack_[0] = all ones
   std::vector<std::vector<Word>> free_words_;
   std::vector<std::vector<Flag>> free_flags_;
+  // Bit-plane state (empty planes when running the Word backend).
+  std::vector<sim::PlaneWord> full_;
+  std::vector<std::vector<sim::PlaneWord>> plane_stack_;  // plane_stack_[0] = full_
+  std::vector<std::vector<sim::PlaneWord>> free_value_planes_;
+  std::vector<std::vector<sim::PlaneWord>> free_flag_planes_;
 };
 
 }  // namespace ppa::ppc

@@ -4,9 +4,12 @@
 #include <sstream>
 
 #include "ppc/flag_sweep.hpp"
+#include "ppc/plane_ops.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
+
+using sim::PlaneWord;
 
 /// Private-access backdoor for primitives.cpp: builds parallel values that
 /// carry bus-driven masks without charging a store instruction (the bus
@@ -26,6 +29,27 @@ class detail_access {
     p.data_ = std::move(data);
     p.driven_ = std::move(driven);
     PPA_ASSERT(p.data_.size() == ctx.pe_count(), "raw pbool size mismatch");
+    return p;
+  }
+
+  static Pint raw_pint_planes(Context& ctx, std::vector<PlaneWord> planes,
+                              std::vector<PlaneWord> driven) {
+    Pint p(&ctx);
+    p.planes_ = std::move(planes);
+    p.driven_plane_ = std::move(driven);
+    PPA_ASSERT(p.planes_.size() == ctx.geometry().plane_words() *
+                                       static_cast<std::size_t>(ctx.field().bits()),
+               "raw pint plane size mismatch");
+    return p;
+  }
+
+  static Pbool raw_pbool_plane(Context& ctx, std::vector<PlaneWord> plane,
+                               std::vector<PlaneWord> driven) {
+    Pbool p(&ctx);
+    p.plane_ = std::move(plane);
+    p.driven_plane_ = std::move(driven);
+    PPA_ASSERT(p.plane_.size() == ctx.geometry().plane_words(),
+               "raw pbool plane size mismatch");
     return p;
   }
 };
@@ -66,6 +90,28 @@ std::vector<Flag> copy_driven(Context& ctx, std::span<const Flag> driven) {
   return out;
 }
 
+/// Plane twin of combine_driven: AND of the driven planes (full stands in
+/// for an empty side); {} only when both sides are fully driven. Like the
+/// word version, an all-ones result is NOT collapsed — the taint structure
+/// stays observable.
+std::vector<PlaneWord> combine_driven_planes(Context& ctx, std::span<const PlaneWord> a,
+                                             std::span<const PlaneWord> b) {
+  if (a.empty() && b.empty()) return {};
+  std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+  const PlaneWord* pa = a.empty() ? ctx.full_plane() : a.data();
+  const PlaneWord* pb = b.empty() ? ctx.full_plane() : b.data();
+  plane_ops::op_and(pa, pb, out.data(), ctx.geometry().plane_words());
+  return out;
+}
+
+std::vector<PlaneWord> copy_driven_plane(Context& ctx,
+                                         std::span<const PlaneWord> driven) {
+  if (driven.empty()) return {};
+  std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+  plane_ops::op_copy(driven.data(), out.data(), ctx.geometry().plane_words());
+  return out;
+}
+
 [[noreturn]] void fail_undriven(const Context& ctx, std::size_t pe) {
   std::ostringstream os;
   const std::size_t n = ctx.n();
@@ -87,29 +133,79 @@ void check_store_driven(Context& ctx, std::span<const Flag> mask,
   }
 }
 
+/// PE index of the lowest set bit of `bits` within word `word` of a plane
+/// (row-major word order == PE order, so the first hit is the lowest PE).
+std::size_t plane_pe_of(const sim::PlaneGeometry& g, std::size_t word, PlaneWord bits) {
+  const std::size_t row = word / g.row_words;
+  const std::size_t col = (word % g.row_words) * sim::kLanesPerWord +
+                          static_cast<std::size_t>(__builtin_ctzll(bits));
+  return row * g.n + col;
+}
+
+void check_store_driven_plane(Context& ctx, const PlaneWord* mask,
+                              std::span<const PlaneWord> rhs_driven) {
+  if (rhs_driven.empty()) return;
+  if (ctx.machine().config().undriven != sim::UndrivenPolicy::Error) return;
+  const std::size_t pw = ctx.geometry().plane_words();
+  const PlaneWord* pd = rhs_driven.data();
+  for (std::size_t i = 0; i < pw; ++i) {
+    const PlaneWord bad = mask[i] & ~pd[i];
+    if (bad != 0) fail_undriven(ctx, plane_pe_of(ctx.geometry(), i, bad));
+  }
+}
+
+/// store_all's unmasked variant of the check: every PE must be driven.
+void check_store_all_driven_plane(Context& ctx, std::span<const PlaneWord> rhs_driven) {
+  check_store_driven_plane(ctx, ctx.full_plane(), rhs_driven);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Pint
 // ---------------------------------------------------------------------------
 
-Pint::Pint(Context& ctx, Word init) : ctx_(&ctx), data_(ctx.acquire_words()) {
+Pint::Pint(Context& ctx, Word init) : ctx_(&ctx) {
   PPA_REQUIRE(ctx.field().representable(init), "initializer does not fit in the h-bit field");
-  std::fill(data_.begin(), data_.end(), init);
+  if (ctx.bitplane()) {
+    planes_ = ctx.acquire_value_planes();
+    plane_ops::fill_scalar(init, ctx.field().bits(), ctx.geometry().plane_words(),
+                           ctx.full_plane(), planes_.data());
+  } else {
+    data_ = ctx.acquire_words();
+    std::fill(data_.begin(), data_.end(), init);
+  }
   ctx.machine().charge_alu();
 }
 
-Pint::Pint(Context& ctx, std::span<const Word> values)
-    : ctx_(&ctx), data_(ctx.acquire_words()) {
+Pint::Pint(Context& ctx, std::span<const Word> values) : ctx_(&ctx) {
   PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
   for (const Word v : values) {
     PPA_REQUIRE(ctx.field().representable(v), "initializer value does not fit in the field");
   }
-  std::copy(values.begin(), values.end(), data_.begin());
+  if (ctx.bitplane()) {
+    planes_ = ctx.acquire_value_planes();
+    sim::pack_words(ctx.geometry(), values, ctx.field().bits(), planes_.data());
+  } else {
+    data_ = ctx.acquire_words();
+    std::copy(values.begin(), values.end(), data_.begin());
+  }
   ctx.machine().charge_alu();
 }
 
 Pint::Pint(const Pint& other) : ctx_(other.ctx_) {
+  if (ctx_->bitplane()) {
+    planes_ = ctx_->acquire_value_planes();
+    planes_.resize(other.planes_.size());  // no-op except for moved-from shells
+    std::copy(other.planes_.begin(), other.planes_.end(), planes_.begin());
+    if (!other.driven_plane_.empty()) {
+      driven_plane_ = ctx_->acquire_flag_plane();
+      driven_plane_.resize(other.driven_plane_.size());
+      std::copy(other.driven_plane_.begin(), other.driven_plane_.end(),
+                driven_plane_.begin());
+    }
+    return;
+  }
   data_ = ctx_->acquire_words();
   data_.resize(other.data_.size());  // no-op except for moved-from shells
   std::copy(other.data_.begin(), other.data_.end(), data_.begin());
@@ -124,12 +220,29 @@ Pint::~Pint() {
   if (ctx_ != nullptr) {
     ctx_->release_words(std::move(data_));
     ctx_->release_flags(std::move(driven_));
+    ctx_->release_value_planes(std::move(planes_));
+    ctx_->release_flag_plane(std::move(driven_plane_));
   }
 }
 
 Pint& Pint::operator=(const Pint& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
   Context& ctx = *ctx_;
+  if (ctx.bitplane()) {
+    const PlaneWord* pm = ctx.mask_plane();
+    check_store_driven_plane(ctx, pm, rhs.driven_plane_);
+    ctx.machine().charge_alu();
+    const std::size_t pw = ctx.geometry().plane_words();
+    const int h = ctx.field().bits();
+    for (int j = 0; j < h; ++j) {
+      plane_ops::masked_assign(pm, rhs.planes_.data() + static_cast<std::size_t>(j) * pw,
+                               planes_.data() + static_cast<std::size_t>(j) * pw, pw);
+    }
+    if (!driven_plane_.empty()) {
+      plane_ops::op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
+    }
+    return *this;
+  }
   const auto mask = ctx.mask();
   check_store_driven(ctx, mask, rhs.driven_);
   ctx.machine().charge_alu();
@@ -157,6 +270,15 @@ Pint& Pint::operator=(Pint&& rhs) { return *this = static_cast<const Pint&>(rhs)
 
 void Pint::store_all(const Pint& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
+  if (ctx_->bitplane()) {
+    if (ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
+      check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
+    }
+    ctx_->machine().charge_alu();
+    planes_ = rhs.planes_;
+    driven_plane_.clear();
+    return;
+  }
   if (!rhs.driven_.empty() &&
       ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
     for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
@@ -171,24 +293,53 @@ void Pint::store_all(const Pint& rhs) {
 void Pint::store_all(Word value) {
   PPA_REQUIRE(ctx_->field().representable(value), "value does not fit in the h-bit field");
   ctx_->machine().charge_alu();
+  if (ctx_->bitplane()) {
+    plane_ops::fill_scalar(value, ctx_->field().bits(), ctx_->geometry().plane_words(),
+                           ctx_->full_plane(), planes_.data());
+    driven_plane_.clear();
+    return;
+  }
   std::fill(data_.begin(), data_.end(), value);
   driven_.clear();
 }
 
 Word Pint::at(std::size_t pe) const {
-  PPA_REQUIRE(pe < data_.size(), "PE index out of range");
+  PPA_REQUIRE(pe < ctx_->pe_count(), "PE index out of range");
+  if (ctx_->bitplane()) {
+    const auto& g = ctx_->geometry();
+    const std::size_t pw = g.plane_words();
+    const std::size_t row = pe / g.n;
+    const std::size_t col = pe % g.n;
+    Word v = 0;
+    const int h = ctx_->field().bits();
+    for (int j = 0; j < h; ++j) {
+      if (sim::plane_get(g, planes_.data() + static_cast<std::size_t>(j) * pw, row, col)) {
+        v |= Word{1} << j;
+      }
+    }
+    return v;
+  }
   return data_[pe];
 }
 
 Word Pint::at(std::size_t row, std::size_t col) const {
   const std::size_t n = ctx_->n();
   PPA_REQUIRE(row < n && col < n, "PE coordinates out of range");
-  return data_[row * n + col];
+  return at(row * n + col);
 }
 
 Pbool Pint::bit(int j) const {
   PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
   Context& ctx = *ctx_;
+  if (ctx.bitplane()) {
+    // The plane IS the representation: extraction is a straight copy.
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    plane_ops::op_copy(planes_.data() + static_cast<std::size_t>(j) * pw, out.data(), pw);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(ctx, std::move(out),
+                                          copy_driven_plane(ctx, driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* ps = data_.data();
   Flag* po = out.data();
@@ -205,6 +356,17 @@ Pint Pint::or_bit(int j, const Pbool& flag) const {
   PPA_REQUIRE(j >= 0 && j < ctx_->field().bits(), "bit plane index out of range");
   check_same_context(*ctx_, flag.context());
   Context& ctx = *ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    const int h = ctx.field().bits();
+    std::vector<PlaneWord> out = ctx.acquire_value_planes();
+    plane_ops::op_copy(planes_.data(), out.data(), static_cast<std::size_t>(h) * pw);
+    PlaneWord* oj = out.data() + static_cast<std::size_t>(j) * pw;
+    plane_ops::op_or(oj, flag.plane_view().data(), oj, pw);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(
+        ctx, std::move(out), combine_driven_planes(ctx, driven_plane_, flag.driven_plane_view()));
+  }
   std::vector<Word> out = ctx.acquire_words();
   const Flag* pf = flag.values().data();
   const Word* ps = data_.data();
@@ -227,6 +389,19 @@ Pint Pint::or_bit(int j, const Pbool& flag) const {
 Pint operator+(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> out = ctx.acquire_value_planes();
+    std::vector<PlaneWord> carry = ctx.acquire_flag_plane();
+    std::vector<PlaneWord> ones = ctx.acquire_flag_plane();
+    plane_ops::add_sat(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
+                       ctx.full_plane(), carry.data(), ones.data(), out.data());
+    ctx.release_flag_plane(std::move(carry));
+    ctx.release_flag_plane(std::move(ones));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   const auto& field = ctx.field();
   std::vector<Word> out = ctx.acquire_words();
   const Word* pa = a.data_.data();
@@ -243,6 +418,23 @@ Pint operator+(const Pint& a, const Pint& b) {
 Pint operator+(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
   PPA_REQUIRE(ctx.field().representable(b), "scalar does not fit in the h-bit field");
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    const int h = ctx.field().bits();
+    std::vector<PlaneWord> scalar = ctx.acquire_value_planes();
+    plane_ops::fill_scalar(b, h, pw, ctx.full_plane(), scalar.data());
+    std::vector<PlaneWord> out = ctx.acquire_value_planes();
+    std::vector<PlaneWord> carry = ctx.acquire_flag_plane();
+    std::vector<PlaneWord> ones = ctx.acquire_flag_plane();
+    plane_ops::add_sat(a.planes_.data(), scalar.data(), h, pw, ctx.full_plane(),
+                       carry.data(), ones.data(), out.data());
+    ctx.release_value_planes(std::move(scalar));
+    ctx.release_flag_plane(std::move(carry));
+    ctx.release_flag_plane(std::move(ones));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(ctx, std::move(out),
+                                          copy_driven_plane(ctx, a.driven_plane_));
+  }
   const auto& field = ctx.field();
   std::vector<Word> out = ctx.acquire_words();
   const Word* pa = a.data_.data();
@@ -254,9 +446,41 @@ Pint operator+(const Pint& a, Word b) {
   return detail_access::raw_pint(ctx, std::move(out), combine_driven(ctx, a.driven_, {}));
 }
 
+namespace {
+
+/// Shared plane body of emin/emax: out = choose ? a : b per plane, where
+/// `choose` was computed by a compare. Returns the blended planes.
+std::vector<PlaneWord> blend_planes(Context& ctx, const PlaneWord* choose,
+                                    std::span<const PlaneWord> a,
+                                    std::span<const PlaneWord> b) {
+  const std::size_t pw = ctx.geometry().plane_words();
+  const int h = ctx.field().bits();
+  std::vector<PlaneWord> out = ctx.acquire_value_planes();
+  for (int j = 0; j < h; ++j) {
+    const std::size_t off = static_cast<std::size_t>(j) * pw;
+    plane_ops::blend(choose, a.data() + off, b.data() + off, out.data() + off, pw);
+  }
+  return out;
+}
+
+}  // namespace
+
 Pint emin(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> lt = ctx.acquire_flag_plane();
+    std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
+    plane_ops::compare_lt(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
+                          ctx.full_plane(), lt.data(), eq.data());
+    std::vector<PlaneWord> out = blend_planes(ctx, lt.data(), a.planes_, b.planes_);
+    ctx.release_flag_plane(std::move(lt));
+    ctx.release_flag_plane(std::move(eq));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Word> out = ctx.acquire_words();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -273,6 +497,20 @@ Pint emin(const Pint& a, const Pint& b) {
 Pint emax(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> gt = ctx.acquire_flag_plane();
+    std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
+    // a > b  <=>  b < a.
+    plane_ops::compare_lt(b.planes_.data(), a.planes_.data(), ctx.field().bits(), pw,
+                          ctx.full_plane(), gt.data(), eq.data());
+    std::vector<PlaneWord> out = blend_planes(ctx, gt.data(), a.planes_, b.planes_);
+    ctx.release_flag_plane(std::move(gt));
+    ctx.release_flag_plane(std::move(eq));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Word> out = ctx.acquire_words();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -286,9 +524,52 @@ Pint emax(const Pint& a, const Pint& b) {
                                  combine_driven(ctx, a.driven_, b.driven_));
 }
 
+namespace {
+
+/// Plane bodies of the Pint comparisons; `kind` selects the output.
+enum class CompareKind { Eq, Ne, Lt, Le };
+
+std::vector<PlaneWord> compare_planes(Context& ctx, std::span<const PlaneWord> a,
+                                      std::span<const PlaneWord> b, CompareKind kind) {
+  const std::size_t pw = ctx.geometry().plane_words();
+  const int h = ctx.field().bits();
+  std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+  if (kind == CompareKind::Eq || kind == CompareKind::Ne) {
+    plane_ops::compare_eq(a.data(), b.data(), h, pw, ctx.full_plane(), out.data());
+    if (kind == CompareKind::Ne) {
+      plane_ops::op_andnot(ctx.full_plane(), out.data(), out.data(), pw);
+    }
+    return out;
+  }
+  std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
+  plane_ops::compare_lt(a.data(), b.data(), h, pw, ctx.full_plane(), out.data(), eq.data());
+  if (kind == CompareKind::Le) {
+    plane_ops::op_or(out.data(), eq.data(), out.data(), pw);
+  }
+  ctx.release_flag_plane(std::move(eq));
+  return out;
+}
+
+/// Materializes a scalar's planes so the vector compare bodies can be
+/// reused for the Pint-vs-scalar comparisons.
+std::vector<PlaneWord> scalar_planes(Context& ctx, Word value) {
+  std::vector<PlaneWord> out = ctx.acquire_value_planes();
+  plane_ops::fill_scalar(value, ctx.field().bits(), ctx.geometry().plane_words(),
+                         ctx.full_plane(), out.data());
+  return out;
+}
+
+}  // namespace
+
 Pbool operator==(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, b.planes_, CompareKind::Eq);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -305,6 +586,12 @@ Pbool operator==(const Pint& a, const Pint& b) {
 Pbool operator!=(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, b.planes_, CompareKind::Ne);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -321,6 +608,12 @@ Pbool operator!=(const Pint& a, const Pint& b) {
 Pbool operator<(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, b.planes_, CompareKind::Lt);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -337,6 +630,12 @@ Pbool operator<(const Pint& a, const Pint& b) {
 Pbool operator<=(const Pint& a, const Pint& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, b.planes_, CompareKind::Le);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   const Word* pb = b.data_.data();
@@ -352,6 +651,14 @@ Pbool operator<=(const Pint& a, const Pint& b) {
 
 Pbool operator==(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> bp = scalar_planes(ctx, b);
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, bp, CompareKind::Eq);
+    ctx.release_value_planes(std::move(bp));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(ctx, std::move(out),
+                                          copy_driven_plane(ctx, a.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   Flag* po = out.data();
@@ -364,6 +671,14 @@ Pbool operator==(const Pint& a, Word b) {
 
 Pbool operator!=(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> bp = scalar_planes(ctx, b);
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, bp, CompareKind::Ne);
+    ctx.release_value_planes(std::move(bp));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(ctx, std::move(out),
+                                          copy_driven_plane(ctx, a.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   Flag* po = out.data();
@@ -376,6 +691,14 @@ Pbool operator!=(const Pint& a, Word b) {
 
 Pbool operator<(const Pint& a, Word b) {
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> bp = scalar_planes(ctx, b);
+    std::vector<PlaneWord> out = compare_planes(ctx, a.planes_, bp, CompareKind::Lt);
+    ctx.release_value_planes(std::move(bp));
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(ctx, std::move(out),
+                                          copy_driven_plane(ctx, a.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Word* pa = a.data_.data();
   Flag* po = out.data();
@@ -390,6 +713,34 @@ Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
   check_same_context(cond.context(), a.context());
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> out =
+        blend_planes(ctx, cond.plane_view().data(), a.planes_, b.planes_);
+    ctx.machine().charge_alu();
+    // Driven-ness follows the SELECTED operand per element (a tainted
+    // condition taints everything).
+    std::vector<PlaneWord> driven;
+    const auto cd = cond.driven_plane_view();
+    if (!a.driven_plane_.empty() || !b.driven_plane_.empty() || !cd.empty()) {
+      driven = ctx.acquire_flag_plane();
+      const PlaneWord* pc = cond.plane_view().data();
+      const PlaneWord* pad =
+          a.driven_plane_.empty() ? ctx.full_plane() : a.driven_plane_.data();
+      const PlaneWord* pbd =
+          b.driven_plane_.empty() ? ctx.full_plane() : b.driven_plane_.data();
+      const PlaneWord* pcd = cd.empty() ? ctx.full_plane() : cd.data();
+      PlaneWord* pdv = driven.data();
+      for (std::size_t i = 0; i < pw; ++i) {
+        pdv[i] = ((pc[i] & pad[i]) | (pbd[i] & ~pc[i])) & pcd[i];
+      }
+      if (plane_ops::equal(pdv, ctx.full_plane(), pw)) {
+        ctx.release_flag_plane(std::move(driven));
+        driven = {};
+      }
+    }
+    return detail_access::raw_pint_planes(ctx, std::move(out), std::move(driven));
+  }
   std::vector<Word> out = ctx.acquire_words();
   const auto cv = cond.values();
   const Flag* pc = cv.data();
@@ -430,21 +781,48 @@ Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
 // Pbool
 // ---------------------------------------------------------------------------
 
-Pbool::Pbool(Context& ctx, bool init) : ctx_(&ctx), data_(ctx.acquire_flags()) {
-  std::fill(data_.begin(), data_.end(), init ? Flag{1} : Flag{0});
+Pbool::Pbool(Context& ctx, bool init) : ctx_(&ctx) {
+  if (ctx.bitplane()) {
+    plane_ = ctx.acquire_flag_plane();
+    if (init) {
+      plane_ops::op_copy(ctx.full_plane(), plane_.data(), plane_.size());
+    } else {
+      plane_ops::op_zero(plane_.data(), plane_.size());
+    }
+  } else {
+    data_ = ctx.acquire_flags();
+    std::fill(data_.begin(), data_.end(), init ? Flag{1} : Flag{0});
+  }
   ctx.machine().charge_alu();
 }
 
-Pbool::Pbool(Context& ctx, std::span<const Flag> values)
-    : ctx_(&ctx), data_(ctx.acquire_flags()) {
+Pbool::Pbool(Context& ctx, std::span<const Flag> values) : ctx_(&ctx) {
   PPA_REQUIRE(values.size() == ctx.pe_count(), "initializer must cover the whole array");
-  for (std::size_t pe = 0; pe < data_.size(); ++pe) {
-    data_[pe] = values[pe] ? Flag{1} : Flag{0};
+  if (ctx.bitplane()) {
+    plane_ = ctx.acquire_flag_plane();
+    sim::pack_flags(ctx.geometry(), values, plane_.data());
+  } else {
+    data_ = ctx.acquire_flags();
+    for (std::size_t pe = 0; pe < data_.size(); ++pe) {
+      data_[pe] = values[pe] ? Flag{1} : Flag{0};
+    }
   }
   ctx.machine().charge_alu();
 }
 
 Pbool::Pbool(const Pbool& other) : ctx_(other.ctx_) {
+  if (ctx_->bitplane()) {
+    plane_ = ctx_->acquire_flag_plane();
+    plane_.resize(other.plane_.size());
+    std::copy(other.plane_.begin(), other.plane_.end(), plane_.begin());
+    if (!other.driven_plane_.empty()) {
+      driven_plane_ = ctx_->acquire_flag_plane();
+      driven_plane_.resize(other.driven_plane_.size());
+      std::copy(other.driven_plane_.begin(), other.driven_plane_.end(),
+                driven_plane_.begin());
+    }
+    return;
+  }
   data_ = ctx_->acquire_flags();
   data_.resize(other.data_.size());
   std::copy(other.data_.begin(), other.data_.end(), data_.begin());
@@ -459,12 +837,25 @@ Pbool::~Pbool() {
   if (ctx_ != nullptr) {
     ctx_->release_flags(std::move(data_));
     ctx_->release_flags(std::move(driven_));
+    ctx_->release_flag_plane(std::move(plane_));
+    ctx_->release_flag_plane(std::move(driven_plane_));
   }
 }
 
 Pbool& Pbool::operator=(const Pbool& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
   Context& ctx = *ctx_;
+  if (ctx.bitplane()) {
+    const PlaneWord* pm = ctx.mask_plane();
+    check_store_driven_plane(ctx, pm, rhs.driven_plane_);
+    ctx.machine().charge_alu();
+    const std::size_t pw = ctx.geometry().plane_words();
+    plane_ops::masked_assign(pm, rhs.plane_.data(), plane_.data(), pw);
+    if (!driven_plane_.empty()) {
+      plane_ops::op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
+    }
+    return *this;
+  }
   const auto mask = ctx.mask();
   check_store_driven(ctx, mask, rhs.driven_);
   ctx.machine().charge_alu();
@@ -487,6 +878,15 @@ Pbool& Pbool::operator=(Pbool&& rhs) { return *this = static_cast<const Pbool&>(
 
 void Pbool::store_all(const Pbool& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
+  if (ctx_->bitplane()) {
+    if (ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
+      check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
+    }
+    ctx_->machine().charge_alu();
+    plane_ = rhs.plane_;
+    driven_plane_.clear();
+    return;
+  }
   if (!rhs.driven_.empty() &&
       ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
     for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
@@ -500,22 +900,38 @@ void Pbool::store_all(const Pbool& rhs) {
 
 void Pbool::store_all(bool value) {
   ctx_->machine().charge_alu();
+  if (ctx_->bitplane()) {
+    if (value) {
+      plane_ops::op_copy(ctx_->full_plane(), plane_.data(), plane_.size());
+    } else {
+      plane_ops::op_zero(plane_.data(), plane_.size());
+    }
+    driven_plane_.clear();
+    return;
+  }
   std::fill(data_.begin(), data_.end(), value ? Flag{1} : Flag{0});
   driven_.clear();
 }
 
 bool Pbool::at(std::size_t pe) const {
-  PPA_REQUIRE(pe < data_.size(), "PE index out of range");
+  PPA_REQUIRE(pe < ctx_->pe_count(), "PE index out of range");
+  if (ctx_->bitplane()) {
+    const auto& g = ctx_->geometry();
+    return sim::plane_get(g, plane_.data(), pe / g.n, pe % g.n);
+  }
   return data_[pe] != 0;
 }
 
 bool Pbool::at(std::size_t row, std::size_t col) const {
   const std::size_t n = ctx_->n();
   PPA_REQUIRE(row < n && col < n, "PE coordinates out of range");
-  return data_[row * n + col] != 0;
+  return at(row * n + col);
 }
 
 std::size_t Pbool::count() const noexcept {
+  if (ctx_->bitplane()) {
+    return sim::plane_popcount(ctx_->geometry(), plane_.data());
+  }
   std::size_t c = 0;
   for (const Flag f : data_) c += (f != 0);
   return c;
@@ -523,6 +939,13 @@ std::size_t Pbool::count() const noexcept {
 
 Pbool operator!(const Pbool& a) {
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    plane_ops::op_andnot(ctx.full_plane(), a.plane_.data(), out.data(), out.size());
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(ctx, std::move(out),
+                                          copy_driven_plane(ctx, a.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Flag* pa = a.data_.data();
   Flag* po = out.data();
@@ -536,6 +959,13 @@ Pbool operator!(const Pbool& a) {
 Pbool operator&(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    plane_ops::op_and(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Flag* pa = a.data_.data();
   const Flag* pb = b.data_.data();
@@ -551,6 +981,13 @@ Pbool operator&(const Pbool& a, const Pbool& b) {
 Pbool operator|(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    plane_ops::op_or(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Flag* pa = a.data_.data();
   const Flag* pb = b.data_.data();
@@ -566,6 +1003,13 @@ Pbool operator|(const Pbool& a, const Pbool& b) {
 Pbool operator^(const Pbool& a, const Pbool& b) {
   check_same_context(*a.ctx_, *b.ctx_);
   Context& ctx = *a.ctx_;
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    plane_ops::op_xor(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.machine().charge_alu();
+    return detail_access::raw_pbool_plane(
+        ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
+  }
   std::vector<Flag> out = ctx.acquire_flags();
   const Flag* pa = a.data_.data();
   const Flag* pb = b.data_.data();
@@ -583,6 +1027,15 @@ Pbool operator!=(const Pbool& a, const Pbool& b) { return a ^ b; }
 
 Pint Pbool::to_pint() const {
   Context& ctx = *ctx_;
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> out = ctx.acquire_value_planes();
+    plane_ops::op_zero(out.data(), out.size());
+    plane_ops::op_copy(plane_.data(), out.data(), pw);
+    ctx.machine().charge_alu();
+    return detail_access::raw_pint_planes(ctx, std::move(out),
+                                          copy_driven_plane(ctx, driven_plane_));
+  }
   std::vector<Word> out = ctx.acquire_words();
   const Flag* ps = data_.data();
   Word* po = out.data();
@@ -620,14 +1073,25 @@ Pbool driven_mask_impl(Context& ctx, std::span<const Flag> d) {
   return detail_access::raw_pbool(ctx, std::move(bits), {});
 }
 
+Pbool driven_mask_plane_impl(Context& ctx, std::span<const PlaneWord> d) {
+  ctx.machine().charge_alu();
+  std::vector<PlaneWord> bits = ctx.acquire_flag_plane();
+  plane_ops::op_copy(d.empty() ? ctx.full_plane() : d.data(), bits.data(), bits.size());
+  return detail_access::raw_pbool_plane(ctx, std::move(bits), {});
+}
+
 }  // namespace
 
 Pbool driven_mask(const Pint& value) {
-  return driven_mask_impl(value.context(), value.driven_view());
+  Context& ctx = value.context();
+  if (ctx.bitplane()) return driven_mask_plane_impl(ctx, value.driven_plane_view());
+  return driven_mask_impl(ctx, value.driven_view());
 }
 
 Pbool driven_mask(const Pbool& value) {
-  return driven_mask_impl(value.context(), value.driven_view());
+  Context& ctx = value.context();
+  if (ctx.bitplane()) return driven_mask_plane_impl(ctx, value.driven_plane_view());
+  return driven_mask_impl(ctx, value.driven_view());
 }
 
 namespace detail {
@@ -638,6 +1102,16 @@ Pint make_bus_pint(Context& ctx, std::vector<Word> values, std::vector<Flag> dri
 
 Pbool make_bus_pbool(Context& ctx, std::vector<Flag> values, std::vector<Flag> driven) {
   return detail_access::raw_pbool(ctx, std::move(values), std::move(driven));
+}
+
+Pint make_bus_pint_planes(Context& ctx, std::vector<PlaneWord> planes,
+                          std::vector<PlaneWord> driven) {
+  return detail_access::raw_pint_planes(ctx, std::move(planes), std::move(driven));
+}
+
+Pbool make_bus_pbool_plane(Context& ctx, std::vector<PlaneWord> plane,
+                           std::vector<PlaneWord> driven) {
+  return detail_access::raw_pbool_plane(ctx, std::move(plane), std::move(driven));
 }
 
 }  // namespace detail

@@ -64,15 +64,28 @@ class Pint {
   void store_all(Word value);
 
   [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+
+  /// Word-backend storage view (empty under the BitPlane backend — use
+  /// at() / planes_view() there).
   [[nodiscard]] std::span<const Word> values() const noexcept { return data_; }
   [[nodiscard]] Word at(std::size_t pe) const;
   [[nodiscard]] Word at(std::size_t row, std::size_t col) const;
 
+  /// BitPlane-backend storage: h contiguous planes (empty under Word).
+  [[nodiscard]] std::span<const sim::PlaneWord> planes_view() const noexcept {
+    return planes_;
+  }
+
   /// True when no element is a floating-bus read.
-  [[nodiscard]] bool fully_driven() const noexcept { return driven_.empty(); }
+  [[nodiscard]] bool fully_driven() const noexcept {
+    return driven_.empty() && driven_plane_.empty();
+  }
 
   /// Per-PE driven flags; empty span when fully driven.
   [[nodiscard]] std::span<const Flag> driven_view() const noexcept { return driven_; }
+  [[nodiscard]] std::span<const sim::PlaneWord> driven_plane_view() const noexcept {
+    return driven_plane_;
+  }
 
   /// The j-th bit plane as a parallel logical — the paper's bit(x, j).
   [[nodiscard]] Pbool bit(int j) const;
@@ -108,9 +121,15 @@ class Pint {
   explicit Pint(Context* ctx) : ctx_(ctx) {}
 
   Context* ctx_;
+  // Exactly one representation is populated, fixed by the machine's
+  // ExecBackend: per-PE words (data_/driven_) or h bit planes
+  // (planes_/driven_plane_). Programs cannot observe which.
   std::vector<Word> data_;
   // Empty = every element driven; otherwise one flag per PE.
   std::vector<Flag> driven_;
+  std::vector<sim::PlaneWord> planes_;
+  // Empty = every element driven; otherwise one bit per PE.
+  std::vector<sim::PlaneWord> driven_plane_;
 };
 
 /// Parallel logical (one flag per PE); doubles as the Open/Short switch
@@ -131,13 +150,26 @@ class Pbool {
   void store_all(bool value);
 
   [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+
+  /// Word-backend storage view (empty under the BitPlane backend).
   [[nodiscard]] std::span<const Flag> values() const noexcept { return data_; }
   [[nodiscard]] bool at(std::size_t pe) const;
   [[nodiscard]] bool at(std::size_t row, std::size_t col) const;
-  [[nodiscard]] bool fully_driven() const noexcept { return driven_.empty(); }
+
+  /// BitPlane-backend storage: one plane (empty under Word).
+  [[nodiscard]] std::span<const sim::PlaneWord> plane_view() const noexcept {
+    return plane_;
+  }
+
+  [[nodiscard]] bool fully_driven() const noexcept {
+    return driven_.empty() && driven_plane_.empty();
+  }
 
   /// Per-PE driven flags; empty span when fully driven.
   [[nodiscard]] std::span<const Flag> driven_view() const noexcept { return driven_; }
+  [[nodiscard]] std::span<const sim::PlaneWord> driven_plane_view() const noexcept {
+    return driven_plane_;
+  }
 
   /// Number of PEs whose flag is set (host introspection, no step charge).
   [[nodiscard]] std::size_t count() const noexcept;
@@ -160,8 +192,11 @@ class Pbool {
   explicit Pbool(Context* ctx) : ctx_(ctx) {}
 
   Context* ctx_;
+  // One representation populated, per the machine's ExecBackend.
   std::vector<Flag> data_;
   std::vector<Flag> driven_;
+  std::vector<sim::PlaneWord> plane_;
+  std::vector<sim::PlaneWord> driven_plane_;
 };
 
 /// ROW and COL — the coordinate constants every PPC program can read.
@@ -179,6 +214,11 @@ namespace detail {
 /// read. Exposed for primitives.cpp only.
 Pint make_bus_pint(Context& ctx, std::vector<Word> values, std::vector<Flag> driven);
 Pbool make_bus_pbool(Context& ctx, std::vector<Flag> values, std::vector<Flag> driven);
+/// BitPlane-backend twins.
+Pint make_bus_pint_planes(Context& ctx, std::vector<sim::PlaneWord> planes,
+                          std::vector<sim::PlaneWord> driven);
+Pbool make_bus_pbool_plane(Context& ctx, std::vector<sim::PlaneWord> plane,
+                           std::vector<sim::PlaneWord> driven);
 }  // namespace detail
 
 }  // namespace ppa::ppc

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "ppc/plane_ops.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
+
+using sim::PlaneWord;
 
 namespace {
 
@@ -31,6 +34,13 @@ Pint shift(const Pint& src, sim::Direction dir, Word fill) {
   require_injectable(src, "shift");
   Context& ctx = src.context();
   PPA_REQUIRE(ctx.field().representable(fill), "shift fill value does not fit in the field");
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_value_planes();
+    // Bit j of the scalar fill feeds plane j's edge lanes.
+    ctx.machine().shift_planes(src.planes_view().data(), ctx.field().bits(), dir, fill,
+                               out.data());
+    return detail::make_bus_pint_planes(ctx, std::move(out), {});
+  }
   std::vector<Word> out = ctx.acquire_words();
   ctx.machine().shift(src.values(), dir, fill, out);
   return detail::make_bus_pint(ctx, std::move(out), {});
@@ -39,6 +49,12 @@ Pint shift(const Pint& src, sim::Direction dir, Word fill) {
 Pbool shift(const Pbool& src, sim::Direction dir, bool fill) {
   require_injectable(src, "shift");
   Context& ctx = src.context();
+  if (ctx.bitplane()) {
+    std::vector<PlaneWord> out = ctx.acquire_flag_plane();
+    ctx.machine().shift_planes(src.plane_view().data(), 1, dir, fill ? 1u : 0u,
+                               out.data());
+    return detail::make_bus_pbool_plane(ctx, std::move(out), {});
+  }
   // Route the flags through the word links: a logical is a 1-bit register.
   std::vector<Word> in = ctx.acquire_words();
   const auto sv = src.values();
@@ -55,6 +71,32 @@ Pbool shift(const Pbool& src, sim::Direction dir, bool fill) {
 Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
   require_same(src.context(), open.context());
   Context& ctx = src.context();
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> values = ctx.acquire_value_planes();
+    std::vector<PlaneWord> driven = ctx.acquire_flag_plane();
+    ctx.machine().broadcast_planes_into(src.planes_view().data(), ctx.field().bits(), dir,
+                                        open.plane_view().data(), values.data(),
+                                        driven.data());
+    if (!src.fully_driven()) {
+      // The taint flags ride the same physical cycle (no extra step): a
+      // receiver is driven only if its driver's own value was.
+      std::vector<PlaneWord> taint = ctx.acquire_flag_plane();
+      std::vector<PlaneWord> taint_driven = ctx.acquire_flag_plane();
+      sim::plane_broadcast_into(ctx.geometry(), ctx.machine().config().topology, dir,
+                                src.driven_plane_view().data(), 1,
+                                open.plane_view().data(), taint.data(),
+                                taint_driven.data());
+      plane_ops::op_and(driven.data(), taint.data(), driven.data(), pw);
+      ctx.release_flag_plane(std::move(taint));
+      ctx.release_flag_plane(std::move(taint_driven));
+    }
+    if (plane_ops::equal(driven.data(), ctx.full_plane(), pw)) {
+      ctx.release_flag_plane(std::move(driven));
+      driven = {};
+    }
+    return detail::make_bus_pint_planes(ctx, std::move(values), std::move(driven));
+  }
   std::vector<Word> values = ctx.acquire_words();
   std::vector<Flag> driven = ctx.acquire_flags();
   ctx.machine().broadcast_into(src.values(), dir, open.values(), values, driven);
@@ -90,6 +132,19 @@ Pbool broadcast(const Pbool& src, sim::Direction dir, const Pbool& open) {
   require_injectable(src, "broadcast");
   require_same(src.context(), open.context());
   Context& ctx = src.context();
+  if (ctx.bitplane()) {
+    const std::size_t pw = ctx.geometry().plane_words();
+    std::vector<PlaneWord> bits = ctx.acquire_flag_plane();
+    std::vector<PlaneWord> driven = ctx.acquire_flag_plane();
+    ctx.machine().broadcast_planes_into(src.plane_view().data(), 1, dir,
+                                        open.plane_view().data(), bits.data(),
+                                        driven.data());
+    if (plane_ops::equal(driven.data(), ctx.full_plane(), pw)) {
+      ctx.release_flag_plane(std::move(driven));
+      driven = {};
+    }
+    return detail::make_bus_pbool_plane(ctx, std::move(bits), std::move(driven));
+  }
   // Flag-lane cycle: the received bits are the drivers' 0/1 flags verbatim.
   std::vector<Flag> bits = ctx.acquire_flags();
   std::vector<Flag> driven = ctx.acquire_flags();
@@ -107,6 +162,13 @@ Pbool bus_or(const Pbool& src, sim::Direction dir, const Pbool& open) {
   require_injectable(src, "bus_or");
   require_same(src.context(), open.context());
   Context& ctx = src.context();
+  if (ctx.bitplane()) {
+    // An open-collector read never floats, so the result is fully driven.
+    std::vector<PlaneWord> bits = ctx.acquire_flag_plane();
+    ctx.machine().wired_or_plane_into(src.plane_view().data(), dir,
+                                      open.plane_view().data(), bits.data());
+    return detail::make_bus_pbool_plane(ctx, std::move(bits), {});
+  }
   // An open-collector read never floats, so the result is fully driven.
   std::vector<Flag> bits = ctx.acquire_flags();
   ctx.machine().wired_or_into(src.values(), dir, open.values(), bits);
@@ -114,7 +176,9 @@ Pbool bus_or(const Pbool& src, sim::Direction dir, const Pbool& open) {
 }
 
 bool any(const Pbool& flags) {
-  return flags.context().machine().global_or(flags.values());
+  Context& ctx = flags.context();
+  if (ctx.bitplane()) return ctx.machine().global_or_plane(flags.plane_view().data());
+  return ctx.machine().global_or(flags.values());
 }
 
 namespace {

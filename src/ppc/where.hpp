@@ -29,7 +29,13 @@ class WhereGuard {
 
   WhereGuard(Context& ctx, const Pbool& cond, Polarity polarity = Polarity::Where)
       : ctx_(ctx) {
-    if (polarity == Polarity::Where) {
+    if (ctx.bitplane()) {
+      if (polarity == Polarity::Where) {
+        ctx.push_mask_and_plane(cond.plane_view().data());
+      } else {
+        ctx.push_mask_and_not_plane(cond.plane_view().data());
+      }
+    } else if (polarity == Polarity::Where) {
       ctx.push_mask_and(cond.values());
     } else {
       ctx.push_mask_and_not(cond.values());

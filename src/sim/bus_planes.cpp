@@ -1,0 +1,408 @@
+#include "sim/bus_planes.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ppa::sim {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+[[nodiscard]] bool is_row_axis(Direction dir) noexcept {
+  return dir == Direction::East || dir == Direction::West;
+}
+
+[[nodiscard]] std::size_t flow_row(std::size_t n, Direction dir, std::size_t k) noexcept {
+  return dir == Direction::South ? k : n - 1 - k;
+}
+
+/// OR-masks the column range [clo, chi] of one row into every plane whose
+/// bit is set in `drv_bits`, and into the driven plane unconditionally.
+void fill_col_range(const PlaneGeometry& g, std::size_t row, std::size_t clo,
+                    std::size_t chi, std::uint64_t drv_bits,
+                    const std::size_t plane_words, PlaneWord* out, PlaneWord* driven) {
+  if (clo > chi) return;
+  const std::size_t w_lo = clo / kLanesPerWord;
+  const std::size_t w_hi = chi / kLanesPerWord;
+  for (std::size_t w = w_lo; w <= w_hi; ++w) {
+    const std::size_t base = w * kLanesPerWord;
+    const unsigned lo = static_cast<unsigned>(clo > base ? clo - base : 0);
+    const unsigned hi = static_cast<unsigned>(std::min(chi - base, kLanesPerWord - 1));
+    const PlaneWord mask =
+        (hi >= 63 ? ~PlaneWord{0} : ((PlaneWord{1} << (hi + 1)) - 1)) & ~((PlaneWord{1} << lo) - 1);
+    const std::size_t idx = row * g.row_words + w;
+    if (driven != nullptr) driven[idx] |= mask;
+    std::uint64_t bits = drv_bits;
+    while (bits != 0) {
+      const int j = __builtin_ctzll(bits);
+      out[static_cast<std::size_t>(j) * plane_words + idx] |= mask;
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// True iff any src bit is set in columns [clo, chi] of `row`.
+[[nodiscard]] bool any_in_col_range(const PlaneGeometry& g, const PlaneWord* plane,
+                                    std::size_t row, std::size_t clo, std::size_t chi) {
+  if (clo > chi) return false;
+  const std::size_t w_lo = clo / kLanesPerWord;
+  const std::size_t w_hi = chi / kLanesPerWord;
+  for (std::size_t w = w_lo; w <= w_hi; ++w) {
+    const std::size_t base = w * kLanesPerWord;
+    const unsigned lo = static_cast<unsigned>(clo > base ? clo - base : 0);
+    const unsigned hi = static_cast<unsigned>(std::min(chi - base, kLanesPerWord - 1));
+    const PlaneWord mask =
+        (hi >= 63 ? ~PlaneWord{0} : ((PlaneWord{1} << (hi + 1)) - 1)) & ~((PlaneWord{1} << lo) - 1);
+    if ((plane[row * g.row_words + w] & mask) != 0) return true;
+  }
+  return false;
+}
+
+/// Calls `visit(flow_position, column)` for every Open bit of `row`, in
+/// flow order for `dir`.
+template <typename Visit>
+void for_each_open_in_row(const PlaneGeometry& g, const PlaneWord* open, std::size_t row,
+                          Direction dir, Visit&& visit) {
+  const PlaneWord* base = open + row * g.row_words;
+  if (dir == Direction::East) {
+    for (std::size_t w = 0; w < g.row_words; ++w) {
+      PlaneWord bits = base[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(__builtin_ctzll(bits));
+        const std::size_t c = w * kLanesPerWord + b;
+        visit(c, c);
+        bits &= bits - 1;
+      }
+    }
+  } else {
+    for (std::size_t w = g.row_words; w-- > 0;) {
+      PlaneWord bits = base[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(63 - __builtin_clzll(bits));
+        const std::size_t c = w * kLanesPerWord + b;
+        visit(g.n - 1 - c, c);
+        bits &= ~(PlaneWord{1} << b);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row buses (East / West)
+// ---------------------------------------------------------------------------
+
+std::size_t row_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                          const PlaneWord* src, int planes, const PlaneWord* open,
+                          PlaneWord* out, PlaneWord* driven) {
+  const std::size_t n = g.n;
+  const std::size_t pw = g.plane_words();
+  std::fill(out, out + pw * static_cast<std::size_t>(planes), PlaneWord{0});
+  std::fill(driven, driven + pw, PlaneWord{0});
+  std::size_t max_segment = 0;
+
+  const auto fill_flow = [&](std::size_t row, std::size_t fa, std::size_t fb,
+                             std::uint64_t drv) {
+    if (fa > fb) return;
+    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
+    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
+    fill_col_range(g, row, clo, chi, drv, pw, out, driven);
+  };
+
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t first = kNone;
+    std::size_t prev = kNone;
+    std::uint64_t drv = 0;
+    for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t c) {
+      if (prev != kNone) {
+        max_segment = std::max(max_segment, k - prev);
+        fill_flow(r, prev + 1, k, drv);
+      } else {
+        first = k;
+      }
+      const std::size_t word = r * g.row_words + c / kLanesPerWord;
+      const unsigned bit = PlaneGeometry::bit_of(c);
+      drv = 0;
+      for (int j = 0; j < planes; ++j) {
+        drv |= ((src[static_cast<std::size_t>(j) * pw + word] >> bit) & 1u) << j;
+      }
+      prev = k;
+    });
+    if (prev == kNone) continue;  // no driver: the whole line floats (zeros)
+    if (topology == BusTopology::Ring) {
+      fill_flow(r, prev + 1, n - 1, drv);
+      fill_flow(r, 0, first, drv);
+      max_segment = std::max(max_segment, n - prev + first);
+    } else {
+      fill_flow(r, prev + 1, n - 1, drv);
+      max_segment = std::max(max_segment, n - 1 - prev);
+    }
+  }
+  return max_segment;
+}
+
+std::size_t row_wired_or(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                         const PlaneWord* src, const PlaneWord* open, PlaneWord* out) {
+  const std::size_t n = g.n;
+  const std::size_t pw = g.plane_words();
+  std::fill(out, out + pw, PlaneWord{0});
+  std::size_t max_segment = 0;
+
+  const auto range_or = [&](std::size_t row, std::size_t fa, std::size_t fb) -> bool {
+    if (fa > fb) return false;
+    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
+    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
+    return any_in_col_range(g, src, row, clo, chi);
+  };
+  const auto fill_flow = [&](std::size_t row, std::size_t fa, std::size_t fb, bool value) {
+    if (!value || fa > fb) return;
+    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
+    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
+    fill_col_range(g, row, clo, chi, 1u, pw, out, nullptr);
+  };
+
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t first = kNone;
+    std::size_t prev = kNone;
+    for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t) {
+      if (prev == kNone) {
+        first = k;
+      } else {
+        fill_flow(r, prev, k - 1, range_or(r, prev, k - 1));
+        max_segment = std::max(max_segment, k - prev);
+      }
+      prev = k;
+    });
+    if (prev == kNone) {
+      // No Open switch: one unsegmented line.
+      fill_flow(r, 0, n - 1, range_or(r, 0, n - 1));
+      max_segment = std::max(max_segment, n);
+    } else if (topology == BusTopology::Ring) {
+      // The tail segment and the head stub [0, first) merge around the wrap.
+      const bool head = first > 0 && range_or(r, 0, first - 1);
+      const bool tail = range_or(r, prev, n - 1);
+      const bool v = head || tail;
+      fill_flow(r, prev, n - 1, v);
+      if (first > 0) fill_flow(r, 0, first - 1, v);
+      max_segment = std::max(max_segment, n - prev + first);
+    } else {
+      fill_flow(r, prev, n - 1, range_or(r, prev, n - 1));
+      max_segment = std::max(max_segment, n - prev);
+      if (first > 0) fill_flow(r, 0, first - 1, range_or(r, 0, first - 1));
+      max_segment = std::max(max_segment, first);
+    }
+  }
+  return max_segment;
+}
+
+// ---------------------------------------------------------------------------
+// Column buses (South / North): 64 lines per word-column, resolved with
+// vertical scans over the rows in flow order.
+// ---------------------------------------------------------------------------
+
+/// max_segment of the column lines, computed from per-line Open positions
+/// (one pass over the open plane; O(n * row_words + popcount)).
+std::size_t column_max_segment(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                               const PlaneWord* open, bool wired_or) {
+  const std::size_t n = g.n;
+  std::vector<std::size_t> first(n, kNone);
+  std::vector<std::size_t> last(n, 0);
+  std::vector<std::size_t> gap(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = flow_row(n, dir, k);
+    for (std::size_t w = 0; w < g.row_words; ++w) {
+      PlaneWord bits = open[r * g.row_words + w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(__builtin_ctzll(bits));
+        const std::size_t c = w * kLanesPerWord + b;
+        if (first[c] == kNone) {
+          first[c] = k;
+        } else {
+          gap[c] = std::max(gap[c], k - last[c]);
+        }
+        last[c] = k;
+        bits &= bits - 1;
+      }
+    }
+  }
+  std::size_t max_segment = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (first[c] == kNone) {
+      if (wired_or) max_segment = std::max(max_segment, n);
+      continue;
+    }
+    std::size_t line = gap[c];
+    if (topology == BusTopology::Ring) {
+      line = std::max(line, n - last[c] + first[c]);
+    } else if (wired_or) {
+      line = std::max({line, n - last[c], first[c]});
+    } else {
+      line = std::max(line, n - 1 - last[c]);
+    }
+    max_segment = std::max(max_segment, line);
+  }
+  return max_segment;
+}
+
+std::size_t column_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                             const PlaneWord* src, int planes, const PlaneWord* open,
+                             PlaneWord* out, PlaneWord* driven) {
+  const std::size_t n = g.n;
+  const std::size_t pw = g.plane_words();
+  PlaneWord cur[32] = {};
+  PPA_ASSERT(planes <= 32, "a register has at most 32 planes");
+  for (std::size_t w = 0; w < g.row_words; ++w) {
+    for (int j = 0; j < planes; ++j) cur[j] = 0;
+    PlaneWord have = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
+      const PlaneWord ow = open[idx];
+      for (int j = 0; j < planes; ++j) {
+        out[static_cast<std::size_t>(j) * pw + idx] = cur[j] & have;
+        cur[j] = (cur[j] & ~ow) | (src[static_cast<std::size_t>(j) * pw + idx] & ow);
+      }
+      driven[idx] = have;
+      have |= ow;
+    }
+    if (topology == BusTopology::Ring && have != 0) {
+      // Wrap: every lane's prefix through its FIRST Open row reads the
+      // signal carried around from its LAST Open row (now in cur).
+      PlaneWord pending = have;  // lanes whose first Open row is still ahead
+      for (std::size_t k = 0; k < n && pending != 0; ++k) {
+        const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
+        for (int j = 0; j < planes; ++j) {
+          out[static_cast<std::size_t>(j) * pw + idx] |= cur[j] & pending;
+        }
+        driven[idx] |= pending;
+        pending &= ~open[idx];
+      }
+    }
+  }
+  return column_max_segment(g, topology, dir, open, /*wired_or=*/false);
+}
+
+std::size_t column_wired_or(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                            const PlaneWord* src, const PlaneWord* open, PlaneWord* out) {
+  const std::size_t n = g.n;
+  std::vector<PlaneWord> forward(n);    // running OR of the segment so far
+  std::vector<PlaneWord> head_mask(n);  // lanes still before their first Open row
+  for (std::size_t w = 0; w < g.row_words; ++w) {
+    PlaneWord acc = 0;
+    PlaneWord have = 0;
+    PlaneWord head_acc = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
+      const PlaneWord ow = open[idx];
+      const PlaneWord sw = src[idx];
+      const PlaneWord head = ~(have | ow);
+      head_acc |= sw & head;
+      // An Open row starts a new segment that includes its own src bit.
+      acc = sw | (acc & ~ow);
+      forward[k] = acc;
+      head_mask[k] = head;
+      have |= ow;
+    }
+    // Backward pass: G carries each row's full-segment OR; M marks lanes
+    // with no Open row strictly downstream (the tail segment).
+    PlaneWord seg = forward[n - 1];
+    PlaneWord tail = ~PlaneWord{0};
+    const PlaneWord wrap = forward[n - 1] | head_acc;
+    for (std::size_t k = n; k-- > 0;) {
+      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
+      PlaneWord value;
+      if (topology == BusTopology::Ring) {
+        const PlaneWord in_wrap = head_mask[k] | tail;
+        value = (wrap & in_wrap) | (seg & ~in_wrap);
+      } else {
+        value = (head_acc & head_mask[k]) | (seg & ~head_mask[k]);
+      }
+      out[idx] = value;
+      if (k > 0) {
+        const PlaneWord ow = open[idx];
+        seg = (forward[k - 1] & ow) | (seg & ~ow);
+        tail &= ~ow;
+      }
+    }
+  }
+  return column_max_segment(g, topology, dir, open, /*wired_or=*/true);
+}
+
+}  // namespace
+
+std::size_t plane_broadcast_into(const PlaneGeometry& g, BusTopology topology,
+                                 Direction dir, const PlaneWord* src, int planes,
+                                 const PlaneWord* open, PlaneWord* out,
+                                 PlaneWord* driven) {
+  PPA_REQUIRE(g.n >= 1, "array side must be positive");
+  PPA_REQUIRE(planes >= 1, "a bus cycle needs at least one plane");
+  return is_row_axis(dir) ? row_broadcast(g, topology, dir, src, planes, open, out, driven)
+                          : column_broadcast(g, topology, dir, src, planes, open, out, driven);
+}
+
+std::size_t plane_wired_or_into(const PlaneGeometry& g, BusTopology topology,
+                                Direction dir, const PlaneWord* src,
+                                const PlaneWord* open, PlaneWord* out) {
+  PPA_REQUIRE(g.n >= 1, "array side must be positive");
+  return is_row_axis(dir) ? row_wired_or(g, topology, dir, src, open, out)
+                          : column_wired_or(g, topology, dir, src, open, out);
+}
+
+void plane_shift(const PlaneGeometry& g, Direction dir, const PlaneWord* src, int planes,
+                 std::uint64_t fill_bits, PlaneWord* dst) {
+  PPA_REQUIRE(src != dst, "shift source and destination must not alias");
+  const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
+  const std::size_t pw = g.plane_words();
+  for (int j = 0; j < planes; ++j) {
+    const PlaneWord* sp = src + static_cast<std::size_t>(j) * pw;
+    PlaneWord* dp = dst + static_cast<std::size_t>(j) * pw;
+    const bool fill = (fill_bits >> j) & 1u;
+    switch (dir) {
+      case Direction::East:
+        // dst(r, c) = src(r, c-1); column 0 reads the fill bit.
+        for (std::size_t r = 0; r < n; ++r) {
+          const PlaneWord* s = sp + r * rw;
+          PlaneWord* d = dp + r * rw;
+          PlaneWord carry = fill ? 1u : 0u;
+          for (std::size_t w = 0; w < rw; ++w) {
+            const PlaneWord next_carry = s[w] >> 63;
+            d[w] = (s[w] << 1) | carry;
+            carry = next_carry;
+          }
+          d[rw - 1] &= g.word_mask(rw - 1);
+        }
+        break;
+      case Direction::West:
+        // dst(r, c) = src(r, c+1); column n-1 reads the fill bit.
+        for (std::size_t r = 0; r < n; ++r) {
+          const PlaneWord* s = sp + r * rw;
+          PlaneWord* d = dp + r * rw;
+          for (std::size_t w = 0; w < rw; ++w) {
+            d[w] = (s[w] >> 1) | (w + 1 < rw ? s[w + 1] << 63 : PlaneWord{0});
+          }
+          if (fill) d[(n - 1) / kLanesPerWord] |= PlaneWord{1} << PlaneGeometry::bit_of(n - 1);
+        }
+        break;
+      case Direction::South:
+        // dst(r, ·) = src(r-1, ·); row 0 reads the fill bit.
+        for (std::size_t r = n; r-- > 1;) {
+          for (std::size_t w = 0; w < rw; ++w) dp[r * rw + w] = sp[(r - 1) * rw + w];
+        }
+        for (std::size_t w = 0; w < rw; ++w) dp[w] = fill ? g.word_mask(w) : PlaneWord{0};
+        break;
+      case Direction::North:
+        // dst(r, ·) = src(r+1, ·); row n-1 reads the fill bit.
+        for (std::size_t r = 0; r + 1 < n; ++r) {
+          for (std::size_t w = 0; w < rw; ++w) dp[r * rw + w] = sp[(r + 1) * rw + w];
+        }
+        for (std::size_t w = 0; w < rw; ++w) {
+          dp[(n - 1) * rw + w] = fill ? g.word_mask(w) : PlaneWord{0};
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace ppa::sim

@@ -1,0 +1,46 @@
+// Reconfigurable-bus cycles on bit-plane operands.
+//
+// These kernels are the plane-packed twins of bus.cpp's scan resolvers:
+// same switch semantics, same driven-flag rules, and — load-bearing for
+// the step-accounting contract — the same max_segment for every
+// configuration, so StepCounter totals are bit-identical between the word
+// and bit-plane backends (tests/sim_bus_planes_test.cpp fuzzes exactly
+// this equivalence, with bus.cpp as the oracle).
+//
+// Row buses (East/West) stream each row's Open bits in flow order and fill
+// whole receiving intervals with word-masked ORs; column buses
+// (South/North) are resolved 64 lines at a time with a vertical scan per
+// word-column, which is where the packing pays: one pass over n words
+// settles 64 independent column lines.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bit_planes.hpp"
+
+namespace ppa::sim {
+
+/// One broadcast bus cycle over `planes` bit planes sharing a single
+/// switch configuration (the planes of one h-bit register ride the same
+/// physical cycle). `src`/`out` hold `planes` contiguous planes; `open`
+/// and `driven` are single planes. Undriven lanes read 0 and get driven
+/// bit 0, exactly like bus_broadcast_into. Returns max_segment.
+std::size_t plane_broadcast_into(const PlaneGeometry& g, BusTopology topology,
+                                 Direction dir, const PlaneWord* src, int planes,
+                                 const PlaneWord* open, PlaneWord* out,
+                                 PlaneWord* driven);
+
+/// One wired-OR bus cycle on a single plane. Never floats (a segment
+/// nobody pulls reads 0), so there is no driven output. Returns
+/// max_segment.
+std::size_t plane_wired_or_into(const PlaneGeometry& g, BusTopology topology,
+                                Direction dir, const PlaneWord* src,
+                                const PlaneWord* open, PlaneWord* out);
+
+/// Nearest-neighbour move of `planes` bit planes; lanes shifted in from
+/// the array edge read bit j of `fill_bits` in plane j. dst must not alias
+/// src.
+void plane_shift(const PlaneGeometry& g, Direction dir, const PlaneWord* src, int planes,
+                 std::uint64_t fill_bits, PlaneWord* dst);
+
+}  // namespace ppa::sim

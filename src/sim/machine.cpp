@@ -7,7 +7,7 @@
 namespace ppa::sim {
 
 Machine::Machine(const MachineConfig& config)
-    : config_(config), field_(config.bits) {
+    : config_(config), field_(config.bits), geometry_(config.n) {
   PPA_REQUIRE(config.n >= 1, "array side must be positive");
   // The array must be addressable by its own words: ROW and COL constants
   // (and selected_min over COL) live in the h-bit field.
@@ -124,6 +124,51 @@ std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
     trace_->on_event(TraceEvent{StepCategory::BusOr, dir, count_open(open), max_segment});
   }
   return max_segment;
+}
+
+std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
+                                           Direction dir, const PlaneWord* open,
+                                           PlaneWord* out, PlaneWord* driven) {
+  const std::size_t max_segment =
+      plane_broadcast_into(geometry_, config_.topology, dir, src, planes, open, out, driven);
+  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir,
+                                plane_popcount(geometry_, open), max_segment});
+  }
+  return max_segment;
+}
+
+std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                         const PlaneWord* open, PlaneWord* out) {
+  const std::size_t max_segment =
+      plane_wired_or_into(geometry_, config_.topology, dir, src, open, out);
+  steps_.charge_bus(StepCategory::BusOr, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(
+        TraceEvent{StepCategory::BusOr, dir, plane_popcount(geometry_, open), max_segment});
+  }
+  return max_segment;
+}
+
+void Machine::shift_planes(const PlaneWord* src, int planes, Direction dir,
+                           std::uint64_t fill_bits, PlaneWord* dst) {
+  PPA_REQUIRE(src != dst, "shift source and destination must not alias");
+  steps_.charge(StepCategory::Shift);
+  if (trace_ != nullptr) trace_->on_event(TraceEvent{StepCategory::Shift, dir, 0, 0});
+  plane_shift(geometry_, dir, src, planes, fill_bits, dst);
+}
+
+bool Machine::global_or_plane(const PlaneWord* plane) {
+  steps_.charge(StepCategory::GlobalOr);
+  if (trace_ != nullptr) {
+    trace_->on_event(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0});
+  }
+  const std::size_t words = geometry_.plane_words();
+  for (std::size_t i = 0; i < words; ++i) {
+    if (plane[i] != 0) return true;
+  }
+  return false;
 }
 
 bool Machine::global_or(std::span<const Flag> flags) {

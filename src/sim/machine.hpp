@@ -22,7 +22,9 @@
 #include <span>
 #include <vector>
 
+#include "sim/bit_planes.hpp"
 #include "sim/bus.hpp"
+#include "sim/bus_planes.hpp"
 #include "sim/step_counter.hpp"
 #include "sim/trace.hpp"
 #include "util/saturating.hpp"
@@ -38,12 +40,21 @@ enum class UndrivenPolicy {
   ReadZero,  // the PE reads 0 (a pulled-down line); useful in tests
 };
 
+/// How parallel values are stored and swept on the HOST. Pure host
+/// artifact: programs, results, driven flags and step counts are
+/// bit-identical under both backends (tests/mcp_backend_diff_test.cpp).
+enum class ExecBackend {
+  Words,     // one Word per PE; elementwise loops sweep one PE per op
+  BitPlane,  // h bit planes, 64 PE lanes per uint64_t (sim/bit_planes.hpp)
+};
+
 struct MachineConfig {
   std::size_t n = 8;        // array side; the graph's vertex count
   int bits = 16;            // word width h
   BusTopology topology = BusTopology::Ring;
   UndrivenPolicy undriven = UndrivenPolicy::Error;
   std::size_t host_threads = 1;  // 0 or 1 = run host-sequential
+  ExecBackend backend = ExecBackend::Words;
 };
 
 class Machine {
@@ -105,6 +116,33 @@ class Machine {
   /// Controller response line: OR over all PEs' flags. One GlobalOr step.
   [[nodiscard]] bool global_or(std::span<const Flag> flags);
 
+  // -------------------------------------------------------------------------
+  // Bit-plane twins of the primitives above, used by the BitPlane backend.
+  // Same charging and tracing (a plane-packed cycle is still ONE bus cycle;
+  // count_open and max_segment match the word kernels bit for bit), so
+  // StepCounter equality between backends is structural, not incidental.
+  // -------------------------------------------------------------------------
+
+  [[nodiscard]] const PlaneGeometry& plane_geometry() const noexcept { return geometry_; }
+
+  /// One broadcast cycle over `planes` contiguous bit planes. Charges one
+  /// BusBroadcast step.
+  std::size_t broadcast_planes_into(const PlaneWord* src, int planes, Direction dir,
+                                    const PlaneWord* open, PlaneWord* out,
+                                    PlaneWord* driven);
+
+  /// One wired-OR cycle on a single plane. Charges one BusOr step.
+  std::size_t wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                  const PlaneWord* open, PlaneWord* out);
+
+  /// Plane-packed nearest-neighbour move; edge lanes of plane j read bit j
+  /// of `fill_bits`. Charges one Shift step.
+  void shift_planes(const PlaneWord* src, int planes, Direction dir,
+                    std::uint64_t fill_bits, PlaneWord* dst);
+
+  /// Controller response line over a flag plane. Charges one GlobalOr step.
+  [[nodiscard]] bool global_or_plane(const PlaneWord* plane);
+
   /// Splits [0, pe_count) over the host pool; `body(begin, end)` must only
   /// write indices it owns. Charges nothing (callers charge per SIMD
   /// instruction, not per sweep). A template so the host-sequential path
@@ -121,6 +159,7 @@ class Machine {
  private:
   MachineConfig config_;
   util::HField field_;
+  PlaneGeometry geometry_;
   StepCounter steps_;
   std::vector<Word> row_index_;
   std::vector<Word> col_index_;

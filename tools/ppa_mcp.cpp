@@ -2,7 +2,8 @@
 //
 //   ppa_mcp gen    --family random --n 16 --seed 1 --out graph.txt [...]
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
-//                  [--model ppa|gcn|mesh|hypercube] [--trace]
+//                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
+//                  [--trace]
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt
@@ -39,6 +40,23 @@ int usage() {
                "usage: ppa_mcp <gen|solve|verify|info|closure|allpairs|eccentricity> [flags]\n"
                "run `ppa_mcp <subcommand> --help` for the flag list\n");
   return 2;
+}
+
+/// Parses --backend. Returns false (after printing to stderr) on an
+/// unknown name; both backends produce bit-identical results and step
+/// counts, so the flag only selects the host execution strategy.
+bool parse_backend(const std::string& name, sim::ExecBackend& out) {
+  if (name == "word") {
+    out = sim::ExecBackend::Words;
+    return true;
+  }
+  if (name == "bitplane") {
+    out = sim::ExecBackend::BitPlane;
+    return true;
+  }
+  std::fprintf(stderr, "error: unknown --backend '%s' (expected word|bitplane)\n",
+               name.c_str());
+  return false;
 }
 
 int cmd_gen(int argc, const char* const* argv) {
@@ -89,6 +107,7 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.flag("graph", "input graph file", "graph.txt");
   cli.flag("dest", "destination vertex", "0");
   cli.flag("model", "ppa|gcn|mesh|hypercube", "ppa");
+  cli.flag("backend", "host execution backend, word|bitplane (ppa only)", "word");
   cli.flag("out", "output solution file", "solution.txt");
   cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
   if (!cli.parse(argc, argv)) return 2;
@@ -118,6 +137,7 @@ int cmd_solve(int argc, const char* const* argv) {
   } else if (model == "ppa") {
     mcp::Options options;
     options.record_iterations = cli.get_bool("trace");
+    if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
     const auto r = mcp::solve(g, d, options);
     solution = r.solution;
     iterations = r.iterations;
@@ -186,6 +206,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   cli.flag("graph", "input graph file", "graph.txt");
   cli.flag("workers", "host threads for independent destination runs (results identical)",
            "1");
+  cli.flag("backend", "host execution backend, word|bitplane", "word");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
@@ -196,6 +217,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
     return 2;
   }
   options.workers = static_cast<std::size_t>(workers);
+  if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
   const auto ap = mcp::all_pairs(g, options);
   std::printf("all-pairs over %zu vertices: %zu total iterations, %s\n", ap.n,
               ap.total_iterations, ap.total_steps.summary().c_str());
@@ -219,13 +241,16 @@ int cmd_allpairs(int argc, const char* const* argv) {
 int cmd_eccentricity(int argc, const char* const* argv) {
   util::CliParser cli("per-destination in-eccentricities on the PPA");
   cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("backend", "host execution backend, word|bitplane", "word");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
+  mcp::Options options;
+  if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
   graph::Weight radius = g.infinity();
   graph::Weight diameter = 0;
   for (graph::Vertex d = 0; d < g.size(); ++d) {
-    const auto r = mcp::solve_eccentricity(g, d);
+    const auto r = mcp::solve_eccentricity(g, d, options);
     std::printf("destination %zu: in-eccentricity %u (%zu iterations)\n", d,
                 r.eccentricity, r.mcp.iterations);
     radius = std::min(radius, r.eccentricity);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Refreshes the committed benchmark artifacts.
+#
+#   tools/run_benchmarks.sh            # tables + BENCH_e6.json at the repo root
+#   BENCH_FILTER=. tools/run_benchmarks.sh   # also run the google-benchmark loops
+#   BUILD_DIR=build-release tools/run_benchmarks.sh
+#
+# BENCH_e6.json records wall-clock throughput per configuration — both
+# execution backends (word and bitplane) on the n=128 single-destination
+# MCP, and the threaded all-pairs runs — so the perf trajectory is
+# versioned with the code. Run on an otherwise idle machine before
+# committing a perf-relevant change, and commit the refreshed file.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-build}"
+# The default filter matches nothing, so only the reproduction tables run
+# (they are what writes BENCH_e6.json); the microbenchmark loops are
+# opt-in because they take minutes.
+FILTER="${BENCH_FILTER:-_tables_only_}"
+
+cmake -S "$ROOT" -B "$ROOT/$BUILD" >/dev/null
+cmake --build "$ROOT/$BUILD" --parallel --target bench_e6_sim_throughput >/dev/null
+
+cd "$ROOT"  # bench binaries write their JSON/CSV artifacts to the CWD
+"./$BUILD/bench/bench_e6_sim_throughput" --benchmark_filter="$FILTER"
+echo "refreshed $ROOT/BENCH_e6.json"
