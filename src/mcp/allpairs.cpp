@@ -1,6 +1,7 @@
 #include "mcp/allpairs.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
@@ -62,32 +63,58 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const Options& option
   return all_pairs(graph, AllPairsOptions{options, 1});
 }
 
+std::size_t AllPairsResult::failed_destinations() const noexcept {
+  std::size_t failed = 0;
+  for (const SolveOutcome outcome : outcomes) {
+    if (outcome == SolveOutcome::VerificationFailed ||
+        outcome == SolveOutcome::NonConverged || outcome == SolveOutcome::HardwareFault) {
+      ++failed;
+    }
+  }
+  return failed;
+}
+
 AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions& options) {
   const std::size_t n = graph.size();
   sim::MachineConfig config;
   config.n = n;
   config.bits = graph.field().bits();
   config.backend = options.mcp.backend;
+  config.checked = options.mcp.checked || !options.mcp.faults.empty();
 
   AllPairsResult result;
   result.n = n;
   result.dist.assign(n * n, graph.infinity());
   result.next.assign(n * n, 0);
+  result.outcomes.assign(n, SolveOutcome::Unchecked);
+  result.attempts.assign(n, 1);
 
   // Each destination is an independent problem; a worker runs a contiguous
   // chunk of destinations on its own simulated machine and records each
   // run's step delta separately. Workers write disjoint columns of
   // dist/next and disjoint slots of the per-destination arrays, so no
-  // synchronization is needed beyond the pool's join.
+  // synchronization is needed beyond the pool's join. A destination whose
+  // final outcome is still a failure keeps its infinity-filled dist column
+  // — the batch degrades per destination instead of aborting.
   std::vector<sim::StepCounter> per_destination(n);
   std::vector<std::size_t> iterations(n, 0);
+  std::vector<std::vector<sim::FaultEvent>> events(n);
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     sim::Machine machine(config);
+    if (!options.mcp.faults.empty()) machine.inject_faults(options.mcp.faults);
+    std::unique_ptr<sim::Machine> oracle;  // shared across this worker's chunk
     for (std::size_t d = begin; d < end; ++d) {
       const sim::StepCounter before = machine.steps();
-      const Result run = minimum_cost_path(machine, graph, d, options.mcp);
+      const sim::StepCounter oracle_before = oracle ? oracle->steps() : sim::StepCounter{};
+      const Result run = solve_with_recovery(machine, oracle, graph, d, options.mcp);
       per_destination[d] = machine.steps().since(before);
+      if (oracle) per_destination[d].merge(oracle->steps().since(oracle_before));
       iterations[d] = run.iterations;
+      result.outcomes[d] = run.outcome;
+      result.attempts[d] = run.attempts;
+      events[d] = run.fault_events;
+      // An aborted attempt already reports an all-infinity column, so the
+      // unconditional copy preserves the degradation default.
       for (graph::Vertex i = 0; i < n; ++i) {
         result.dist[i * n + d] = run.solution.cost[i];
         result.next[i * n + d] = run.solution.next[i];
@@ -108,6 +135,8 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
   for (graph::Vertex d = 0; d < n; ++d) {
     result.total_steps.merge(per_destination[d]);
     result.total_iterations += iterations[d];
+    result.fault_events.insert(result.fault_events.end(), events[d].begin(),
+                               events[d].end());
   }
   for (const graph::Weight w : result.dist) {
     if (w != graph.infinity()) result.diameter = std::max(result.diameter, w);

@@ -45,12 +45,22 @@ struct AllPairsResult {
   sim::StepCounter total_steps;
   graph::Weight diameter = 0;  // max finite dist over all ordered pairs
 
+  /// Robustness bookkeeping (see mcp::SolveOutcome): one outcome per
+  /// destination — a failed destination leaves its dist column at infinity
+  /// (graceful degradation) instead of aborting the whole batch.
+  std::vector<SolveOutcome> outcomes;
+  std::vector<std::size_t> attempts;          // per destination, 1 = no retry
+  std::vector<sim::FaultEvent> fault_events;  // merged in destination order
+
   [[nodiscard]] graph::Weight dist_at(graph::Vertex i, graph::Vertex j) const {
     return dist[i * n + j];
   }
   [[nodiscard]] graph::Vertex next_at(graph::Vertex i, graph::Vertex j) const {
     return next[i * n + j];
   }
+  /// Destinations whose final outcome is VerificationFailed, NonConverged
+  /// or HardwareFault.
+  [[nodiscard]] std::size_t failed_destinations() const noexcept;
 };
 
 /// n MCP runs (one per destination) on a single reused machine.

@@ -2,10 +2,22 @@
 
 #include <vector>
 
+#include "mcp/verify.hpp"
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
 
 namespace ppa::mcp {
+
+const char* name_of(SolveOutcome outcome) noexcept {
+  switch (outcome) {
+    case SolveOutcome::Unchecked: return "unchecked";
+    case SolveOutcome::Verified: return "verified";
+    case SolveOutcome::VerificationFailed: return "verification-failed";
+    case SolveOutcome::NonConverged: return "non-converged";
+    case SolveOutcome::HardwareFault: return "hardware-fault";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -55,6 +67,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
 
   ppc::Context ctx(machine);
   const sim::StepCounter at_entry = machine.steps();
+  const std::size_t faults_at_entry = machine.fault_count();
 
   // ------------------------------------------------------------------
   // Data layout (paper Section 3): W, SOW, PTN are n x n parallel ints;
@@ -118,9 +131,17 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
 
   // Step 2 — relaxation loop (paper statements 8..20).
   for (;;) {
-    PPA_REQUIRE(result.iterations < iteration_cap,
-                "relaxation failed to converge within the iteration cap — "
-                "the DP is monotone, so this indicates corrupted state");
+    if (result.iterations >= iteration_cap) {
+      // The DP is monotone, so exhausting the cap means corrupted state
+      // (injected faults, or a caller-supplied cap below the true path
+      // length). Report it instead of returning partial SOW/PTN silently.
+      result.outcome = SolveOutcome::NonConverged;
+      const sim::FaultEvent event{sim::FaultEventKind::NonConvergence,
+                                  sim::StepCategory::Alu, Direction::North, destination,
+                                  destination, result.iterations};
+      machine.report_fault(event);
+      break;
+    }
     const sim::StepCounter before_iteration = machine.steps();
 
     ppc::where(ctx, !row_is_d, [&] {
@@ -172,6 +193,105 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
     result.solution.cost[i] = SOW.at(destination, i);
     result.solution.next[i] = static_cast<graph::Vertex>(PTN.at(destination, i));
   }
+
+  // Harvest this run's checked-execution diagnostics (delta of the
+  // machine's capped fault log).
+  const std::vector<sim::FaultEvent>& log = machine.fault_events();
+  for (std::size_t i = faults_at_entry; i < log.size(); ++i) {
+    result.fault_events.push_back(log[i]);
+  }
+  const bool machine_faulted = machine.fault_count() > faults_at_entry;
+
+  // Outcome: non-convergence dominates (row d is partial data), then the
+  // host certificate, then any machine diagnostics.
+  if (result.outcome != SolveOutcome::NonConverged) {
+    if (options.verify) {
+      const CertificateReport report = check_certificate(graph, result.solution);
+      if (report.ok) {
+        result.outcome = SolveOutcome::Verified;
+      } else {
+        result.outcome = SolveOutcome::VerificationFailed;
+        result.verify_detail = report.detail;
+        const sim::FaultEvent event{sim::FaultEventKind::VerificationFailed,
+                                    sim::StepCategory::Alu, Direction::North, destination,
+                                    destination, 1};
+        machine.report_fault(event);
+        result.fault_events.push_back(event);
+      }
+    } else if (machine_faulted) {
+      result.outcome = SolveOutcome::HardwareFault;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// True when the outcome warrants another attempt on the oracle.
+bool retriable(SolveOutcome outcome) {
+  return outcome == SolveOutcome::VerificationFailed ||
+         outcome == SolveOutcome::NonConverged || outcome == SolveOutcome::HardwareFault;
+}
+
+/// One attempt; converts a ContractError on a faulty machine into a
+/// HardwareFault result (an injected fault can drive the program into
+/// states the machine contracts reject, e.g. an undriven value reaching a
+/// primitive that requires full driven-ness in unchecked mode).
+Result attempt(sim::Machine& machine, const graph::WeightMatrix& graph,
+               graph::Vertex destination, const Options& options) {
+  const std::size_t faults_at_entry = machine.fault_count();
+  try {
+    return minimum_cost_path(machine, graph, destination, options);
+  } catch (const util::ContractError&) {
+    if (!machine.has_faults()) throw;
+    Result result;
+    result.outcome = SolveOutcome::HardwareFault;
+    result.solution.destination = destination;
+    result.solution.cost.assign(graph.size(), graph.infinity());
+    result.solution.next.assign(graph.size(), destination);
+    const std::vector<sim::FaultEvent>& log = machine.fault_events();
+    for (std::size_t i = faults_at_entry; i < log.size(); ++i) {
+      result.fault_events.push_back(log[i]);
+    }
+    if (result.fault_events.empty()) {
+      // The abort itself is the diagnostic: an undriven consume tripped a
+      // contract before checked mode could record anything.
+      result.fault_events.push_back(sim::FaultEvent{sim::FaultEventKind::UndrivenRead,
+                                                    sim::StepCategory::Alu,
+                                                    Direction::North, 0, 0, 1});
+    }
+    return result;
+  }
+}
+
+}  // namespace
+
+Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>& oracle,
+                           const graph::WeightMatrix& graph, graph::Vertex destination,
+                           const Options& options) {
+  Result result = attempt(machine, graph, destination, options);
+  std::vector<sim::FaultEvent> events = std::move(result.fault_events);
+  sim::StepCounter spent = result.total_steps;
+  std::size_t attempts = 1;
+
+  while (retriable(result.outcome) && attempts <= options.max_retries) {
+    if (!oracle) {
+      sim::MachineConfig config;
+      config.n = graph.size();
+      config.bits = graph.field().bits();
+      config.topology = machine.config().topology;
+      config.backend = sim::ExecBackend::Words;  // the fault-free oracle
+      oracle = std::make_unique<sim::Machine>(config);
+    }
+    result = minimum_cost_path(*oracle, graph, destination, options);
+    ++attempts;
+    events.insert(events.end(), result.fault_events.begin(), result.fault_events.end());
+    spent.merge(result.total_steps);
+  }
+
+  result.fault_events = std::move(events);
+  result.total_steps = spent;
+  result.attempts = attempts;
   return result;
 }
 
@@ -181,8 +301,11 @@ Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
   config.n = graph.size();
   config.bits = graph.field().bits();
   config.backend = options.backend;
+  config.checked = options.checked || !options.faults.empty();
   sim::Machine machine(config);
-  return minimum_cost_path(machine, graph, destination, options);
+  if (!options.faults.empty()) machine.inject_faults(options.faults);
+  std::unique_ptr<sim::Machine> oracle;
+  return solve_with_recovery(machine, oracle, graph, destination, options);
 }
 
 SourceResult solve_from(const graph::WeightMatrix& graph, graph::Vertex source,

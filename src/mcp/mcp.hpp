@@ -26,11 +26,14 @@
 //    COL), so PTN is deterministic.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/path.hpp"
 #include "graph/weight_matrix.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/machine.hpp"
 
 namespace ppa::mcp {
@@ -68,6 +71,23 @@ struct Options {
   /// wall-clock differs. minimum_cost_path(machine, ...) ignores this and
   /// uses the caller's machine as configured.
   sim::ExecBackend backend = sim::ExecBackend::Words;
+
+  // ---- robustness layer (docs/robustness.md) ----
+
+  /// Run the host-side certificate checker (mcp/verify.hpp) on the unloaded
+  /// row d and set Result::outcome accordingly.
+  bool verify = false;
+  /// On a non-Verified outcome, solve() / all_pairs() re-run the destination
+  /// up to this many times on a fresh fault-free machine (word backend — the
+  /// oracle). 0 = report the failure without retrying.
+  std::size_t max_retries = 0;
+  /// Force checked execution (MachineConfig::checked) on the machines the
+  /// convenience entry points build. Implied by a non-empty fault model.
+  bool checked = false;
+  /// Hardware faults injected into the machines solve() / all_pairs() build
+  /// (retry machines stay fault-free). minimum_cost_path(machine, ...)
+  /// ignores this — inject into the caller's machine directly.
+  sim::FaultModel faults;
 };
 
 struct IterationRecord {
@@ -75,12 +95,33 @@ struct IterationRecord {
   sim::StepCounter steps;    // SIMD steps spent in this iteration
 };
 
+/// How much the returned solution can be trusted.
+enum class SolveOutcome {
+  Unchecked,           // verification was not requested
+  Verified,            // the host certificate checker accepted row d
+  VerificationFailed,  // the certificate checker rejected row d
+  NonConverged,        // relaxation exhausted max_iterations without settling
+  HardwareFault,       // checked execution recorded faults (or a fault
+                       // tripped a machine contract) and no verification
+                       // cleared the result
+};
+
+[[nodiscard]] const char* name_of(SolveOutcome outcome) noexcept;
+
 struct Result {
   graph::McpSolution solution;
   std::size_t iterations = 0;        // relaxation iterations executed
   sim::StepCounter init_steps;       // step 1 (load + init)
-  sim::StepCounter total_steps;      // whole algorithm
+  sim::StepCounter total_steps;      // whole algorithm, summed over attempts
   std::vector<IterationRecord> iteration_trace;  // if record_iterations
+
+  SolveOutcome outcome = SolveOutcome::Unchecked;
+  /// Structured diagnostics from every attempt: checked-execution events
+  /// recorded by the machine plus synthesized verification/convergence
+  /// events. Empty for a clean run.
+  std::vector<sim::FaultEvent> fault_events;
+  std::size_t attempts = 1;   // 1 + retries actually executed
+  std::string verify_detail;  // certificate failure reason, if any
 };
 
 /// Runs the paper's minimum_cost_path() on `machine`. Requirements:
@@ -91,9 +132,25 @@ struct Result {
                                        graph::Vertex destination, const Options& options = {});
 
 /// Convenience one-shot: builds a matching machine (Ring topology,
-/// host-sequential) and solves.
+/// host-sequential) and solves. Applies the full robustness policy: faults
+/// from Options::faults are injected, the certificate checker runs when
+/// Options::verify is set, and a non-Verified outcome is retried up to
+/// Options::max_retries times on a fresh fault-free word-backend machine.
 [[nodiscard]] Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
                            const Options& options = {});
+
+/// The retry/degradation core shared by solve() and the all-pairs driver:
+/// one attempt on `machine` (as configured by the caller — faults, checked
+/// mode, backend), then, while the outcome is non-Verified and retries
+/// remain, re-runs on `oracle` — a fault-free word-backend machine of the
+/// same geometry, created on first use and reusable across calls. Collects
+/// fault events across attempts; Result::total_steps sums every attempt.
+/// A util::ContractError thrown out of a faulty machine is converted into a
+/// HardwareFault outcome (fault-free machines propagate it unchanged).
+[[nodiscard]] Result solve_with_recovery(sim::Machine& machine,
+                                         std::unique_ptr<sim::Machine>& oracle,
+                                         const graph::WeightMatrix& graph,
+                                         graph::Vertex destination, const Options& options);
 
 /// Single-SOURCE solution: cost[i] is the cheapest path source -> i, and
 /// prev[i] the vertex BEFORE i on such a path (predecessor tree). Chasing

@@ -1,0 +1,101 @@
+#include "mcp/verify.hpp"
+
+#include <sstream>
+
+namespace ppa::mcp {
+
+namespace {
+
+CertificateReport fail(CertificateReport report, std::string detail) {
+  report.ok = false;
+  report.detail = std::move(detail);
+  return report;
+}
+
+}  // namespace
+
+CertificateReport check_certificate(const graph::WeightMatrix& graph,
+                                    const graph::McpSolution& solution) {
+  CertificateReport report;
+  const std::size_t n = graph.size();
+  const util::HField& field = graph.field();
+  const graph::Weight inf = graph.infinity();
+  const graph::Vertex d = solution.destination;
+
+  // (1) structure
+  if (solution.cost.size() != n || solution.next.size() != n) {
+    return fail(std::move(report), "solution arrays do not match the vertex count");
+  }
+  if (d >= n) return fail(std::move(report), "destination out of range");
+  if (solution.cost[d] != 0) {
+    std::ostringstream os;
+    os << "cost[" << d << "] = " << solution.cost[d] << ", expected 0 (the empty path)";
+    return fail(std::move(report), os.str());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!field.representable(solution.cost[i])) {
+      std::ostringstream os;
+      os << "cost[" << i << "] = " << solution.cost[i] << " is not an h-bit field value";
+      return fail(std::move(report), os.str());
+    }
+    if (solution.cost[i] != inf && solution.next[i] >= n) {
+      std::ostringstream os;
+      os << "next[" << i << "] = " << solution.next[i] << " out of range";
+      return fail(std::move(report), os.str());
+    }
+  }
+
+  // (2) every finite cost is achieved by the reconstructed PTN path, with
+  // exact saturating telescoping at every hop.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == d || solution.cost[i] == inf) continue;
+    graph::Vertex v = i;
+    std::size_t hops = 0;
+    while (v != d) {
+      if (++hops >= n) {
+        std::ostringstream os;
+        os << "PTN path from " << i << " does not reach " << d << " within " << n - 1
+           << " hops (pointer cycle)";
+        return fail(std::move(report), os.str());
+      }
+      const graph::Vertex u = solution.next[v];
+      if (solution.cost[u] == inf) {
+        std::ostringstream os;
+        os << "PTN path from " << i << " enters unreachable vertex " << u;
+        return fail(std::move(report), os.str());
+      }
+      if (!graph.has_edge(v, u)) {
+        std::ostringstream os;
+        os << "PTN hop " << v << " -> " << u << " is not an edge";
+        return fail(std::move(report), os.str());
+      }
+      const graph::Weight telescoped = field.add(graph.at(v, u), solution.cost[u]);
+      if (solution.cost[v] != telescoped) {
+        std::ostringstream os;
+        os << "SOW does not telescope at " << v << " -> " << u << ": cost[" << v
+           << "] = " << solution.cost[v] << " but w + cost[" << u << "] = " << telescoped;
+        return fail(std::move(report), os.str());
+      }
+      v = u;
+    }
+    ++report.paths_checked;
+  }
+
+  // (3) no cost is improvable by any single relaxation.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || !graph.has_edge(i, j)) continue;
+      ++report.relaxations_checked;
+      const graph::Weight through = field.add(graph.at(i, j), solution.cost[j]);
+      if (solution.cost[i] > through) {
+        std::ostringstream os;
+        os << "cost[" << i << "] = " << solution.cost[i] << " is improvable via edge " << i
+           << " -> " << j << " to " << through;
+        return fail(std::move(report), os.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ppa::mcp

@@ -1,0 +1,49 @@
+// Host-side certificate checker for the MCP solver.
+//
+// The solver unloads row d of SOW/PTN and, until now, trusted it blindly.
+// But (cost, next) is a *certificate* whose optimality can be confirmed on
+// the host in O(n·t) time (t = longest reconstructed path) without re-solving:
+//
+//   1. cost[d] == 0 and every index is in range;
+//   2. every finite cost[i] is ACHIEVED: chasing next from i reaches d in
+//      at most n-1 hops, every hop is a real edge, and the costs telescope
+//      exactly — cost[v] == w(v, next[v]) (+) cost[next[v]] in the
+//      saturating h-bit field at every hop;
+//   3. no cost is IMPROVABLE: for every edge (i, j),
+//      cost[i] <= w(i, j) (+) cost[j].
+//
+// (2) gives cost[i] >= dist(i, d) (a real path attains it) and (3) with
+// cost[d] == 0 telescopes along any path to give cost[i] <= dist(i, d), so
+// together they certify exact optimality — including the infinite entries:
+// a wrongly-infinite cost[i] on a vertex that can reach d at representable
+// cost violates (3) on the first edge whose head has a finite cost.
+//
+// This is the detection half of the robustness layer (docs/robustness.md):
+// fault injection corrupts runs, the certificate rejects the corrupted
+// results, and mcp::solve retries on the fault-free oracle backend.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/path.hpp"
+#include "graph/weight_matrix.hpp"
+
+namespace ppa::mcp {
+
+struct CertificateReport {
+  bool ok = true;
+  std::string detail;  // first violation, human-readable; empty when ok
+  std::size_t paths_checked = 0;        // finite-cost vertices reconstructed
+  std::size_t relaxations_checked = 0;  // edges scanned by check (3)
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Certifies `solution` as the exact single-destination answer for `graph`.
+/// Requires nothing from the solver — pure host arithmetic in the graph's
+/// saturating field.
+[[nodiscard]] CertificateReport check_certificate(const graph::WeightMatrix& graph,
+                                                  const graph::McpSolution& solution);
+
+}  // namespace ppa::mcp

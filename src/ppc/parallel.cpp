@@ -122,15 +122,39 @@ std::vector<PlaneWord> copy_driven_plane(Context& ctx,
   throw util::ContractError(os.str());
 }
 
+/// Resolves a masked consume of undriven bus values. Checked execution
+/// records a structured diagnostic and lets the store proceed (the bus
+/// kernels already zeroed the undriven cells, so the PE reads 0); otherwise
+/// the UndrivenPolicy::Error contract throws.
+void handle_undriven(Context& ctx, std::size_t first_pe, std::size_t count) {
+  if (ctx.machine().config().checked) {
+    const std::size_t n = ctx.n();
+    ctx.machine().report_fault(sim::FaultEvent{sim::FaultEventKind::UndrivenRead,
+                                               sim::StepCategory::Alu,
+                                               sim::Direction::North, first_pe / n,
+                                               first_pe % n, count});
+    return;
+  }
+  fail_undriven(ctx, first_pe);
+}
+
 /// Enforces the machine's UndrivenPolicy for a masked store of `rhs_driven`
 /// (empty = fully driven, nothing to check).
 void check_store_driven(Context& ctx, std::span<const Flag> mask,
                         std::span<const Flag> rhs_driven) {
   if (rhs_driven.empty()) return;
-  if (ctx.machine().config().undriven != sim::UndrivenPolicy::Error) return;
+  const sim::MachineConfig& config = ctx.machine().config();
+  if (!config.checked && config.undriven != sim::UndrivenPolicy::Error) return;
+  std::size_t first = 0;
+  std::size_t count = 0;
   for (std::size_t pe = 0; pe < mask.size(); ++pe) {
-    if (mask[pe] && !rhs_driven[pe]) fail_undriven(ctx, pe);
+    if (mask[pe] && !rhs_driven[pe]) {
+      if (count == 0) first = pe;
+      ++count;
+      if (!config.checked) break;  // the throw only reports the first PE
+    }
   }
+  if (count != 0) handle_undriven(ctx, first, count);
 }
 
 /// PE index of the lowest set bit of `bits` within word `word` of a plane
@@ -145,18 +169,42 @@ std::size_t plane_pe_of(const sim::PlaneGeometry& g, std::size_t word, PlaneWord
 void check_store_driven_plane(Context& ctx, const PlaneWord* mask,
                               std::span<const PlaneWord> rhs_driven) {
   if (rhs_driven.empty()) return;
-  if (ctx.machine().config().undriven != sim::UndrivenPolicy::Error) return;
+  const sim::MachineConfig& config = ctx.machine().config();
+  if (!config.checked && config.undriven != sim::UndrivenPolicy::Error) return;
   const std::size_t pw = ctx.geometry().plane_words();
   const PlaneWord* pd = rhs_driven.data();
+  std::size_t first = 0;
+  std::size_t count = 0;
   for (std::size_t i = 0; i < pw; ++i) {
     const PlaneWord bad = mask[i] & ~pd[i];
-    if (bad != 0) fail_undriven(ctx, plane_pe_of(ctx.geometry(), i, bad));
+    if (bad == 0) continue;
+    if (count == 0) first = plane_pe_of(ctx.geometry(), i, bad);
+    count += static_cast<std::size_t>(__builtin_popcountll(bad));
+    if (!config.checked) break;  // the throw only reports the first PE
   }
+  if (count != 0) handle_undriven(ctx, first, count);
 }
 
 /// store_all's unmasked variant of the check: every PE must be driven.
 void check_store_all_driven_plane(Context& ctx, std::span<const PlaneWord> rhs_driven) {
   check_store_driven_plane(ctx, ctx.full_plane(), rhs_driven);
+}
+
+/// store_all's unmasked word-path variant.
+void check_store_all_driven(Context& ctx, std::span<const Flag> rhs_driven) {
+  if (rhs_driven.empty()) return;
+  const sim::MachineConfig& config = ctx.machine().config();
+  if (!config.checked && config.undriven != sim::UndrivenPolicy::Error) return;
+  std::size_t first = 0;
+  std::size_t count = 0;
+  for (std::size_t pe = 0; pe < rhs_driven.size(); ++pe) {
+    if (!rhs_driven[pe]) {
+      if (count == 0) first = pe;
+      ++count;
+      if (!config.checked) break;
+    }
+  }
+  if (count != 0) handle_undriven(ctx, first, count);
 }
 
 }  // namespace
@@ -271,20 +319,13 @@ Pint& Pint::operator=(Pint&& rhs) { return *this = static_cast<const Pint&>(rhs)
 void Pint::store_all(const Pint& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
   if (ctx_->bitplane()) {
-    if (ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
-      check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
-    }
+    check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
     ctx_->machine().charge_alu();
     planes_ = rhs.planes_;
     driven_plane_.clear();
     return;
   }
-  if (!rhs.driven_.empty() &&
-      ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
-    for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
-      if (!rhs.driven_[pe]) fail_undriven(*ctx_, pe);
-    }
-  }
+  check_store_all_driven(*ctx_, rhs.driven_);
   ctx_->machine().charge_alu();
   data_ = rhs.data_;
   driven_.clear();
@@ -879,20 +920,13 @@ Pbool& Pbool::operator=(Pbool&& rhs) { return *this = static_cast<const Pbool&>(
 void Pbool::store_all(const Pbool& rhs) {
   check_same_context(*ctx_, *rhs.ctx_);
   if (ctx_->bitplane()) {
-    if (ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
-      check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
-    }
+    check_store_all_driven_plane(*ctx_, rhs.driven_plane_);
     ctx_->machine().charge_alu();
     plane_ = rhs.plane_;
     driven_plane_.clear();
     return;
   }
-  if (!rhs.driven_.empty() &&
-      ctx_->machine().config().undriven == sim::UndrivenPolicy::Error) {
-    for (std::size_t pe = 0; pe < rhs.driven_.size(); ++pe) {
-      if (!rhs.driven_[pe]) fail_undriven(*ctx_, pe);
-    }
-  }
+  check_store_all_driven(*ctx_, rhs.driven_);
   ctx_->machine().charge_alu();
   data_ = rhs.data_;
   driven_.clear();

@@ -1,0 +1,233 @@
+#include "sim/fault_model.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::sim {
+
+const char* name_of(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::StuckOpen: return "stuck-open";
+    case FaultKind::StuckClosed: return "stuck-closed";
+    case FaultKind::StuckBit: return "stuck-bit";
+    case FaultKind::DeadPe: return "dead";
+  }
+  return "?";
+}
+
+std::string to_string(const Fault& fault) {
+  std::ostringstream os;
+  const char* axis = fault.axis == Axis::Row ? "row" : "col";
+  switch (fault.kind) {
+    case FaultKind::StuckOpen:
+    case FaultKind::StuckClosed:
+      os << name_of(fault.kind) << ':' << axis << ',' << fault.row << ',' << fault.col;
+      break;
+    case FaultKind::StuckBit:
+      os << "stuck-bit:" << axis << ',' << fault.row << ',' << fault.bit << ','
+         << (fault.stuck_value ? 1 : 0);
+      break;
+    case FaultKind::DeadPe:
+      os << "dead:" << fault.row << ',' << fault.col;
+      break;
+  }
+  return os.str();
+}
+
+FaultModel FaultModel::random(std::size_t n, int bits, std::uint64_t seed,
+                              std::size_t count) {
+  PPA_REQUIRE(n >= 1 && bits >= 1, "fault model needs a non-empty array");
+  util::Rng rng(seed);
+  FaultModel model;
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault fault;
+    fault.kind = static_cast<FaultKind>(rng.below(4));
+    fault.axis = rng.below(2) == 0 ? Axis::Row : Axis::Column;
+    fault.row = static_cast<std::size_t>(rng.below(n));
+    fault.col = static_cast<std::size_t>(rng.below(n));
+    if (fault.kind == FaultKind::StuckBit) {
+      fault.col = 0;
+      fault.bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(bits)));
+      fault.stuck_value = rng.below(2) != 0;
+    }
+    model.add(fault);
+  }
+  return model;
+}
+
+namespace {
+
+[[noreturn]] void fail_parse(std::string_view item, const char* why) {
+  std::ostringstream os;
+  os << "malformed fault spec item '" << item << "': " << why;
+  throw util::ParseError(os.str());
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      parts.push_back(trim(s));
+      return parts;
+    }
+    parts.push_back(trim(s.substr(0, pos)));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+std::uint64_t parse_number(std::string_view item, std::string_view text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    fail_parse(item, "expected a non-negative integer");
+  }
+  return value;
+}
+
+Axis parse_axis(std::string_view item, std::string_view text) {
+  if (text == "row") return Axis::Row;
+  if (text == "col") return Axis::Column;
+  fail_parse(item, "axis must be 'row' or 'col'");
+}
+
+void require_range(std::string_view item, std::uint64_t value, std::uint64_t bound,
+                   const char* what) {
+  if (value >= bound) {
+    std::ostringstream os;
+    os << what << ' ' << value << " out of range [0, " << bound << ')';
+    fail_parse(item, os.str().c_str());
+  }
+}
+
+}  // namespace
+
+FaultModel FaultModel::parse(std::string_view spec, std::size_t n, int bits) {
+  PPA_REQUIRE(n >= 1 && bits >= 1, "fault model needs a non-empty array");
+  FaultModel model;
+  for (std::string_view item : split(spec, ';')) {
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) fail_parse(item, "expected '<kind>:<args>'");
+    const std::string_view kind = trim(item.substr(0, colon));
+    const std::vector<std::string_view> args = split(item.substr(colon + 1), ',');
+    Fault fault;
+    if (kind == "stuck-open" || kind == "stuck-closed") {
+      if (args.size() != 3) fail_parse(item, "expected <row|col>,<r>,<c>");
+      fault.kind = kind == "stuck-open" ? FaultKind::StuckOpen : FaultKind::StuckClosed;
+      fault.axis = parse_axis(item, args[0]);
+      fault.row = parse_number(item, args[1]);
+      fault.col = parse_number(item, args[2]);
+      require_range(item, fault.row, n, "row");
+      require_range(item, fault.col, n, "col");
+    } else if (kind == "stuck-bit") {
+      if (args.size() != 4) fail_parse(item, "expected <row|col>,<line>,<bit>,<0|1>");
+      fault.kind = FaultKind::StuckBit;
+      fault.axis = parse_axis(item, args[0]);
+      fault.row = parse_number(item, args[1]);
+      const std::uint64_t bit = parse_number(item, args[2]);
+      const std::uint64_t value = parse_number(item, args[3]);
+      require_range(item, fault.row, n, "line");
+      require_range(item, bit, static_cast<std::uint64_t>(bits), "bit");
+      if (value > 1) fail_parse(item, "stuck value must be 0 or 1");
+      fault.bit = static_cast<int>(bit);
+      fault.stuck_value = value != 0;
+    } else if (kind == "dead") {
+      if (args.size() != 2) fail_parse(item, "expected <r>,<c>");
+      fault.kind = FaultKind::DeadPe;
+      fault.row = parse_number(item, args[0]);
+      fault.col = parse_number(item, args[1]);
+      require_range(item, fault.row, n, "row");
+      require_range(item, fault.col, n, "col");
+    } else if (kind == "random") {
+      if (args.size() != 2) fail_parse(item, "expected <seed>,<count>");
+      const std::uint64_t seed = parse_number(item, args[0]);
+      const std::uint64_t count = parse_number(item, args[1]);
+      const FaultModel drawn = random(n, bits, seed, count);
+      for (const Fault& f : drawn.faults()) model.add(f);
+      continue;
+    } else {
+      fail_parse(item, "unknown fault kind");
+    }
+    model.add(fault);
+  }
+  return model;
+}
+
+CompiledFaults compile_faults(const FaultModel& model, const PlaneGeometry& geometry,
+                              int bits) {
+  CompiledFaults compiled;
+  if (model.empty()) return compiled;
+  const std::size_t n = geometry.n;
+  const std::size_t count = n * n;
+  compiled.any = true;
+  for (int axis = 0; axis < 2; ++axis) {
+    compiled.stuck_open[axis].assign(count, 0);
+    compiled.stuck_closed[axis].assign(count, 0);
+  }
+  compiled.dead.assign(count, 0);
+
+  for (const Fault& fault : model.faults()) {
+    const int axis = static_cast<int>(fault.axis);
+    switch (fault.kind) {
+      case FaultKind::StuckOpen:
+      case FaultKind::StuckClosed: {
+        PPA_REQUIRE(fault.row < n && fault.col < n,
+                    "switch fault coordinates out of range: " + to_string(fault));
+        auto& mask = fault.kind == FaultKind::StuckOpen ? compiled.stuck_open[axis]
+                                                        : compiled.stuck_closed[axis];
+        mask[fault.row * n + fault.col] = 1;
+        compiled.any_switch[axis] = true;
+        break;
+      }
+      case FaultKind::StuckBit:
+        PPA_REQUIRE(fault.row < n, "stuck-bit line out of range: " + to_string(fault));
+        PPA_REQUIRE(fault.bit >= 0 && fault.bit < bits,
+                    "stuck-bit wire out of range: " + to_string(fault));
+        compiled.stuck_bits[axis].push_back(
+            StuckBitFault{fault.row, fault.bit, fault.stuck_value});
+        break;
+      case FaultKind::DeadPe:
+        PPA_REQUIRE(fault.row < n && fault.col < n,
+                    "dead PE coordinates out of range: " + to_string(fault));
+        compiled.dead[fault.row * n + fault.col] = 1;
+        compiled.any_dead = true;
+        break;
+    }
+  }
+
+  // A stuck-closed switch wins over stuck-open at the same box (the short
+  // dominates electrically); the per-cycle transform applies & ~stuck_closed
+  // last, so no cleanup is needed here.
+  compiled.alive.resize(count);
+  for (std::size_t pe = 0; pe < count; ++pe) {
+    compiled.alive[pe] = compiled.dead[pe] ? Flag{0} : Flag{1};
+  }
+
+  const std::size_t pw = geometry.plane_words();
+  for (int axis = 0; axis < 2; ++axis) {
+    compiled.stuck_open_plane[axis].resize(pw);
+    compiled.stuck_closed_plane[axis].resize(pw);
+    pack_flags(geometry, compiled.stuck_open[axis], compiled.stuck_open_plane[axis].data());
+    pack_flags(geometry, compiled.stuck_closed[axis],
+               compiled.stuck_closed_plane[axis].data());
+  }
+  compiled.dead_plane.resize(pw);
+  compiled.alive_plane.resize(pw);
+  pack_flags(geometry, compiled.dead, compiled.dead_plane.data());
+  pack_flags(geometry, compiled.alive, compiled.alive_plane.data());
+  return compiled;
+}
+
+}  // namespace ppa::sim

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "util/check.hpp"
 
@@ -67,31 +68,223 @@ std::size_t count_open(std::span<const Flag> open) {
 
 }  // namespace
 
-BusResult Machine::broadcast(std::span<const Word> src, Direction dir,
-                             std::span<const Flag> open) {
-  BusResult result = bus_broadcast(config_.n, config_.topology, dir, src, open);
-  steps_.charge_bus(StepCategory::BusBroadcast, result.max_segment);
+void Machine::inject_faults(const FaultModel& model) {
+  faults_ = compile_faults(model, geometry_, field_.bits());
+}
+
+void Machine::report_fault(const FaultEvent& event) {
+  ++fault_count_;
+  if (fault_log_.size() < kMaxFaultLog) fault_log_.push_back(event);
+  if (trace_ != nullptr) trace_->on_fault(event);
+}
+
+// ---------------------------------------------------------------------------
+// Fault transform. Every faulty bus cycle runs the fault-free kernel on
+// transformed inputs (effective switches, dead drivers silenced), then
+// post-processes the received values (driver liveness, stuck line bits,
+// dead reads). Word and plane paths compute the same function over the same
+// compiled masks, so backend parity extends to faulty runs.
+// ---------------------------------------------------------------------------
+
+std::span<const Flag> Machine::effective_open(Axis axis, std::span<const Flag> open) {
+  const int a = static_cast<int>(axis);
+  if (!faults_.any_switch[a]) return open;
+  scratch_open_.resize(open.size());
+  const Flag* so = faults_.stuck_open[a].data();
+  const Flag* sc = faults_.stuck_closed[a].data();
+  for (std::size_t pe = 0; pe < open.size(); ++pe) {
+    scratch_open_[pe] = static_cast<Flag>((open[pe] | so[pe]) & (sc[pe] ^ 1u));
+  }
+  return scratch_open_;
+}
+
+const PlaneWord* Machine::effective_open_plane(Axis axis, const PlaneWord* open) {
+  const int a = static_cast<int>(axis);
+  if (!faults_.any_switch[a]) return open;
+  const std::size_t pw = geometry_.plane_words();
+  scratch_open_plane_.resize(pw);
+  const PlaneWord* so = faults_.stuck_open_plane[a].data();
+  const PlaneWord* sc = faults_.stuck_closed_plane[a].data();
+  for (std::size_t i = 0; i < pw; ++i) scratch_open_plane_[i] = (open[i] | so[i]) & ~sc[i];
+  return scratch_open_plane_.data();
+}
+
+void Machine::check_contention(StepCategory category, Direction dir,
+                               std::span<const Flag> program_open) {
+  if (!config_.checked) return;
+  const int a = static_cast<int>(axis_of(dir));
+  if (!faults_.any_switch[a]) return;
+  const Flag* sc = faults_.stuck_closed[a].data();
+  std::size_t first = 0;
+  std::size_t count = 0;
+  for (std::size_t pe = 0; pe < program_open.size(); ++pe) {
+    if (program_open[pe] != 0 && sc[pe] != 0) {
+      if (count == 0) first = pe;
+      ++count;
+    }
+  }
+  if (count != 0) {
+    report_fault(FaultEvent{FaultEventKind::BusContention, category, dir,
+                            first / config_.n, first % config_.n, count});
+  }
+}
+
+void Machine::check_contention_plane(StepCategory category, Direction dir,
+                                     const PlaneWord* program_open) {
+  if (!config_.checked) return;
+  const int a = static_cast<int>(axis_of(dir));
+  if (!faults_.any_switch[a]) return;
+  const PlaneWord* sc = faults_.stuck_closed_plane[a].data();
+  const std::size_t pw = geometry_.plane_words();
+  std::size_t first = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < pw; ++i) {
+    const PlaneWord hit = program_open[i] & sc[i];
+    if (hit == 0) continue;
+    if (count == 0) {
+      const std::size_t row = i / geometry_.row_words;
+      const std::size_t col = (i % geometry_.row_words) * kLanesPerWord +
+                              static_cast<std::size_t>(__builtin_ctzll(hit));
+      first = row * config_.n + col;
+    }
+    count += static_cast<std::size_t>(__builtin_popcountll(hit));
+  }
+  if (count != 0) {
+    report_fault(FaultEvent{FaultEventKind::BusContention, category, dir,
+                            first / config_.n, first % config_.n, count});
+  }
+}
+
+void Machine::clear_dead_driven(Direction dir, std::span<const Flag> open_eff,
+                                std::span<Flag> driven) {
+  if (!faults_.any_dead) return;
+  // Ride-along liveness cycle: broadcast "I am alive" over the same
+  // effective switches; a segment reads 0 exactly when its driver is dead
+  // (or the segment floats, in which case driven is already 0). Raw kernel
+  // call — physically this is the same bus cycle, so no extra charge.
+  scratch_alive_value_.resize(pe_count());
+  scratch_alive_driven_.resize(pe_count());
+  (void)bus_broadcast_into(config_.n, config_.topology, dir,
+                           std::span<const Flag>(faults_.alive), open_eff,
+                           std::span<Flag>(scratch_alive_value_),
+                           std::span<Flag>(scratch_alive_driven_));
+  for (std::size_t pe = 0; pe < driven.size(); ++pe) {
+    driven[pe] = static_cast<Flag>(driven[pe] & scratch_alive_value_[pe]);
+  }
+}
+
+void Machine::clear_dead_driven_plane(Direction dir, const PlaneWord* open_eff,
+                                      PlaneWord* driven) {
+  if (!faults_.any_dead) return;
+  const std::size_t pw = geometry_.plane_words();
+  scratch_alive_out_.resize(pw);
+  scratch_alive_driven_plane_.resize(pw);
+  (void)plane_broadcast_into(geometry_, config_.topology, dir, faults_.alive_plane.data(),
+                             1, open_eff, scratch_alive_out_.data(),
+                             scratch_alive_driven_plane_.data());
+  for (std::size_t i = 0; i < pw; ++i) driven[i] &= scratch_alive_out_[i];
+}
+
+template <typename T>
+void Machine::apply_stuck_bits(Axis axis, std::span<T> values, int value_bits) {
+  const std::size_t n = config_.n;
+  for (const StuckBitFault& sb : faults_.stuck_bits[static_cast<int>(axis)]) {
+    if (sb.bit >= value_bits) continue;
+    const T bit = static_cast<T>(T{1} << sb.bit);
+    const std::size_t base = axis == Axis::Row ? sb.line * n : sb.line;
+    const std::size_t stride = axis == Axis::Row ? 1 : n;
+    for (std::size_t k = 0; k < n; ++k) {
+      T& v = values[base + k * stride];
+      v = static_cast<T>(sb.value ? (v | bit) : (v & static_cast<T>(~bit)));
+    }
+  }
+}
+
+void Machine::apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes) {
+  const std::size_t pw = geometry_.plane_words();
+  for (const StuckBitFault& sb : faults_.stuck_bits[static_cast<int>(axis)]) {
+    if (sb.bit >= planes) continue;
+    PlaneWord* plane = out + static_cast<std::size_t>(sb.bit) * pw;
+    if (axis == Axis::Row) {
+      for (std::size_t w = 0; w < geometry_.row_words; ++w) {
+        PlaneWord& v = plane[sb.line * geometry_.row_words + w];
+        const PlaneWord mask = geometry_.word_mask(w);  // keeps pads zero
+        v = sb.value ? (v | mask) : (v & ~mask);
+      }
+    } else {
+      const std::size_t w = sb.line / kLanesPerWord;
+      const PlaneWord mask = PlaneWord{1} << PlaneGeometry::bit_of(sb.line);
+      for (std::size_t r = 0; r < config_.n; ++r) {
+        PlaneWord& v = plane[r * geometry_.row_words + w];
+        v = sb.value ? (v | mask) : (v & ~mask);
+      }
+    }
+  }
+}
+
+template <typename T>
+std::size_t Machine::faulty_broadcast_into(std::span<const T> src, Direction dir,
+                                           std::span<const Flag> open, std::span<T> values,
+                                           std::span<Flag> driven, int value_bits) {
+  const Axis axis = axis_of(dir);
+  const std::span<const Flag> open_eff = effective_open(axis, open);
+  std::span<const T> src_eff = src;
+  if (faults_.any_dead) {
+    auto& scratch = [&]() -> std::vector<T>& {
+      if constexpr (std::is_same_v<T, Word>) return scratch_src_word_;
+      else return scratch_src_flag_;
+    }();
+    scratch.resize(src.size());
+    const Flag* dead = faults_.dead.data();
+    for (std::size_t pe = 0; pe < src.size(); ++pe) {
+      scratch[pe] = dead[pe] != 0 ? T{0} : src[pe];
+    }
+    src_eff = scratch;
+  }
+  const std::size_t max_segment =
+      bus_broadcast_into(config_.n, config_.topology, dir, src_eff, open_eff, values, driven);
+  check_contention(StepCategory::BusBroadcast, dir, open);
+  clear_dead_driven(dir, open_eff, driven);
+  apply_stuck_bits(axis, values, value_bits);
+  if (faults_.any_dead) {
+    const Flag* dead = faults_.dead.data();
+    for (std::size_t pe = 0; pe < values.size(); ++pe) {
+      if (dead[pe] != 0) values[pe] = T{0};
+    }
+  }
+  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
   if (trace_ != nullptr) {
     trace_->on_event(
-        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), result.max_segment});
+        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open_eff), max_segment});
   }
+  return max_segment;
+}
+
+BusResult Machine::broadcast(std::span<const Word> src, Direction dir,
+                             std::span<const Flag> open) {
+  BusResult result;
+  result.values.resize(pe_count());
+  result.driven.resize(pe_count());
+  result.max_segment = broadcast_into(src, dir, open, result.values, result.driven);
   return result;
 }
 
 BusResult Machine::wired_or(std::span<const Flag> src, Direction dir,
                             std::span<const Flag> open) {
-  BusResult result = bus_wired_or(config_.n, config_.topology, dir, src, open);
-  steps_.charge_bus(StepCategory::BusOr, result.max_segment);
-  if (trace_ != nullptr) {
-    trace_->on_event(
-        TraceEvent{StepCategory::BusOr, dir, count_open(open), result.max_segment});
-  }
+  BusResult result;
+  std::vector<Flag> values(pe_count());
+  result.max_segment = wired_or_into(src, dir, open, values);
+  result.values.assign(values.begin(), values.end());
+  result.driven.assign(pe_count(), 1);  // an open-collector read never floats
   return result;
 }
 
 std::size_t Machine::broadcast_into(std::span<const Word> src, Direction dir,
                                     std::span<const Flag> open, std::span<Word> values,
                                     std::span<Flag> driven) {
+  if (faults_.any) {
+    return faulty_broadcast_into<Word>(src, dir, open, values, driven, field_.bits());
+  }
   const std::size_t max_segment =
       bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
@@ -105,6 +298,9 @@ std::size_t Machine::broadcast_into(std::span<const Word> src, Direction dir,
 std::size_t Machine::broadcast_into(std::span<const Flag> src, Direction dir,
                                     std::span<const Flag> open, std::span<Flag> values,
                                     std::span<Flag> driven) {
+  if (faults_.any) {
+    return faulty_broadcast_into<Flag>(src, dir, open, values, driven, 1);
+  }
   const std::size_t max_segment =
       bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
@@ -117,11 +313,34 @@ std::size_t Machine::broadcast_into(std::span<const Flag> src, Direction dir,
 
 std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
                                    std::span<const Flag> open, std::span<Flag> values) {
+  const Axis axis = axis_of(dir);
+  std::span<const Flag> open_eff = open;
+  std::span<const Flag> src_eff = src;
+  if (faults_.any) {
+    open_eff = effective_open(axis, open);
+    if (faults_.any_dead) {
+      scratch_src_flag_.resize(src.size());
+      const Flag* dead = faults_.dead.data();
+      for (std::size_t pe = 0; pe < src.size(); ++pe) {
+        scratch_src_flag_[pe] = dead[pe] != 0 ? Flag{0} : src[pe];
+      }
+      src_eff = scratch_src_flag_;
+    }
+  }
   const std::size_t max_segment =
-      bus_wired_or_into(config_.n, config_.topology, dir, src, open, values);
+      bus_wired_or_into(config_.n, config_.topology, dir, src_eff, open_eff, values);
+  if (faults_.any) {
+    apply_stuck_bits(axis, values, 1);
+    if (faults_.any_dead) {
+      const Flag* dead = faults_.dead.data();
+      for (std::size_t pe = 0; pe < values.size(); ++pe) {
+        if (dead[pe] != 0) values[pe] = 0;
+      }
+    }
+  }
   steps_.charge_bus(StepCategory::BusOr, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusOr, dir, count_open(open), max_segment});
+    trace_->on_event(TraceEvent{StepCategory::BusOr, dir, count_open(open_eff), max_segment});
   }
   return max_segment;
 }
@@ -129,24 +348,75 @@ std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
 std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
                                            Direction dir, const PlaneWord* open,
                                            PlaneWord* out, PlaneWord* driven) {
+  const Axis axis = axis_of(dir);
+  const PlaneWord* open_eff = open;
+  const PlaneWord* src_eff = src;
+  const std::size_t pw = geometry_.plane_words();
+  if (faults_.any) {
+    open_eff = effective_open_plane(axis, open);
+    if (faults_.any_dead) {
+      scratch_src_planes_.resize(pw * static_cast<std::size_t>(planes));
+      const PlaneWord* alive = faults_.alive_plane.data();
+      for (int j = 0; j < planes; ++j) {
+        const std::size_t off = static_cast<std::size_t>(j) * pw;
+        for (std::size_t i = 0; i < pw; ++i) {
+          scratch_src_planes_[off + i] = src[off + i] & alive[i];
+        }
+      }
+      src_eff = scratch_src_planes_.data();
+    }
+  }
   const std::size_t max_segment =
-      plane_broadcast_into(geometry_, config_.topology, dir, src, planes, open, out, driven);
+      plane_broadcast_into(geometry_, config_.topology, dir, src_eff, planes, open_eff,
+                           out, driven);
+  if (faults_.any) {
+    check_contention_plane(StepCategory::BusBroadcast, dir, open);
+    clear_dead_driven_plane(dir, open_eff, driven);
+    apply_stuck_bits_planes(axis, out, planes);
+    if (faults_.any_dead) {
+      const PlaneWord* alive = faults_.alive_plane.data();
+      for (int j = 0; j < planes; ++j) {
+        const std::size_t off = static_cast<std::size_t>(j) * pw;
+        for (std::size_t i = 0; i < pw; ++i) out[off + i] &= alive[i];
+      }
+    }
+  }
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
   if (trace_ != nullptr) {
     trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir,
-                                plane_popcount(geometry_, open), max_segment});
+                                plane_popcount(geometry_, open_eff), max_segment});
   }
   return max_segment;
 }
 
 std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
                                          const PlaneWord* open, PlaneWord* out) {
+  const Axis axis = axis_of(dir);
+  const PlaneWord* open_eff = open;
+  const PlaneWord* src_eff = src;
+  const std::size_t pw = geometry_.plane_words();
+  if (faults_.any) {
+    open_eff = effective_open_plane(axis, open);
+    if (faults_.any_dead) {
+      scratch_src_planes_.resize(pw);
+      const PlaneWord* alive = faults_.alive_plane.data();
+      for (std::size_t i = 0; i < pw; ++i) scratch_src_planes_[i] = src[i] & alive[i];
+      src_eff = scratch_src_planes_.data();
+    }
+  }
   const std::size_t max_segment =
-      plane_wired_or_into(geometry_, config_.topology, dir, src, open, out);
+      plane_wired_or_into(geometry_, config_.topology, dir, src_eff, open_eff, out);
+  if (faults_.any) {
+    apply_stuck_bits_planes(axis, out, 1);
+    if (faults_.any_dead) {
+      const PlaneWord* alive = faults_.alive_plane.data();
+      for (std::size_t i = 0; i < pw; ++i) out[i] &= alive[i];
+    }
+  }
   steps_.charge_bus(StepCategory::BusOr, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(
-        TraceEvent{StepCategory::BusOr, dir, plane_popcount(geometry_, open), max_segment});
+    trace_->on_event(TraceEvent{StepCategory::BusOr, dir,
+                                plane_popcount(geometry_, open_eff), max_segment});
   }
   return max_segment;
 }

@@ -25,6 +25,7 @@
 #include "sim/bit_planes.hpp"
 #include "sim/bus.hpp"
 #include "sim/bus_planes.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/step_counter.hpp"
 #include "sim/trace.hpp"
 #include "util/saturating.hpp"
@@ -55,6 +56,12 @@ struct MachineConfig {
   UndrivenPolicy undriven = UndrivenPolicy::Error;
   std::size_t host_threads = 1;  // 0 or 1 = run host-sequential
   ExecBackend backend = ExecBackend::Words;
+  /// Checked execution: bus contention (a program driver whose switch a
+  /// fault forced closed) and undriven program reads are recorded as
+  /// structured FaultEvents — and execution continues reading 0 — instead
+  /// of the UndrivenPolicy::Error throw. Lets a solver finish a corrupted
+  /// run and decide on the diagnostics afterwards.
+  bool checked = false;
 };
 
 class Machine {
@@ -77,6 +84,30 @@ class Machine {
   /// sink is not owned and must outlive its attachment.
   void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
   [[nodiscard]] TraceSink* trace() const noexcept { return trace_; }
+
+  /// Compiles and installs a hardware fault model (sim/fault_model.hpp);
+  /// every subsequent bus cycle applies it, identically under both
+  /// backends. Throws util::ContractError on out-of-range faults.
+  /// An empty model clears previously injected faults.
+  void inject_faults(const FaultModel& model);
+  [[nodiscard]] bool has_faults() const noexcept { return faults_.any; }
+
+  /// Structured checked-execution diagnostics. The log keeps the first
+  /// kMaxFaultLog events; fault_count() counts every report.
+  static constexpr std::size_t kMaxFaultLog = 1024;
+  [[nodiscard]] const std::vector<FaultEvent>& fault_events() const noexcept {
+    return fault_log_;
+  }
+  [[nodiscard]] std::size_t fault_count() const noexcept { return fault_count_; }
+  void clear_fault_events() noexcept {
+    fault_log_.clear();
+    fault_count_ = 0;
+  }
+
+  /// Records a diagnostic in the fault log and forwards it to the trace
+  /// sink. Called by the bus wrappers below and by the ppc layer's
+  /// undriven-store checks in checked mode.
+  void report_fault(const FaultEvent& event);
 
   /// Charges `instructions` elementwise SIMD instructions. Called by the
   /// ppc layer once per parallel operation (NOT per PE). A bulk charge
@@ -157,6 +188,26 @@ class Machine {
   }
 
  private:
+  // Fault transform around a bus cycle (machine.cpp). `effective_open`
+  // returns `open` untouched when the axis has no switch faults; the other
+  // helpers are no-ops without the corresponding fault class.
+  [[nodiscard]] std::span<const Flag> effective_open(Axis axis, std::span<const Flag> open);
+  [[nodiscard]] const PlaneWord* effective_open_plane(Axis axis, const PlaneWord* open);
+  void check_contention(StepCategory category, Direction dir,
+                        std::span<const Flag> program_open);
+  void check_contention_plane(StepCategory category, Direction dir,
+                              const PlaneWord* program_open);
+  void clear_dead_driven(Direction dir, std::span<const Flag> open_eff,
+                         std::span<Flag> driven);
+  void clear_dead_driven_plane(Direction dir, const PlaneWord* open_eff, PlaneWord* driven);
+  template <typename T>
+  void apply_stuck_bits(Axis axis, std::span<T> values, int value_bits);
+  void apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes);
+  template <typename T>
+  std::size_t faulty_broadcast_into(std::span<const T> src, Direction dir,
+                                    std::span<const Flag> open, std::span<T> values,
+                                    std::span<Flag> driven, int value_bits);
+
   MachineConfig config_;
   util::HField field_;
   PlaneGeometry geometry_;
@@ -165,6 +216,20 @@ class Machine {
   std::vector<Word> col_index_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when host-sequential
   TraceSink* trace_ = nullptr;              // not owned
+
+  CompiledFaults faults_;
+  std::vector<FaultEvent> fault_log_;
+  std::size_t fault_count_ = 0;
+  // Scratch for the fault transform, sized on first faulty cycle.
+  std::vector<Flag> scratch_open_;
+  std::vector<Word> scratch_src_word_;
+  std::vector<Flag> scratch_src_flag_;
+  std::vector<Flag> scratch_alive_value_;
+  std::vector<Flag> scratch_alive_driven_;
+  std::vector<PlaneWord> scratch_open_plane_;
+  std::vector<PlaneWord> scratch_src_planes_;
+  std::vector<PlaneWord> scratch_alive_out_;
+  std::vector<PlaneWord> scratch_alive_driven_plane_;
 };
 
 }  // namespace ppa::sim

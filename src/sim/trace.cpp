@@ -18,6 +18,33 @@ std::uint64_t RecordingTrace::instruction_count() const noexcept {
   return total;
 }
 
+const char* name_of(FaultEventKind kind) noexcept {
+  switch (kind) {
+    case FaultEventKind::BusContention: return "bus_contention";
+    case FaultEventKind::UndrivenRead: return "undriven_read";
+    case FaultEventKind::VerificationFailed: return "verification_failed";
+    case FaultEventKind::NonConvergence: return "non_convergence";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultEvent& event) {
+  std::ostringstream os;
+  os << name_of(event.kind);
+  switch (event.kind) {
+    case FaultEventKind::BusContention:
+    case FaultEventKind::UndrivenRead:
+      os << ' ' << name_of(event.category) << " dir=" << name_of(event.direction) << " pe=("
+         << event.row << ',' << event.col << ')';
+      break;
+    case FaultEventKind::VerificationFailed:
+    case FaultEventKind::NonConvergence:
+      break;
+  }
+  if (event.count != 1) os << " x" << event.count;
+  return os.str();
+}
+
 std::string to_string(const TraceEvent& event) {
   std::ostringstream os;
   os << name_of(event.category);

@@ -32,20 +32,57 @@ struct TraceEvent {
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
+/// What went wrong in a checked / fault-injected run.
+enum class FaultEventKind : std::uint8_t {
+  /// Two (or more) program drivers ended up in one bus segment — on the
+  /// simulated hardware this happens when a stuck-closed switch box merges
+  /// segments the program meant to keep apart.
+  BusContention,
+  /// A masked store consumed a bus value no PE drove (checked mode records
+  /// this instead of throwing; the read yields 0).
+  UndrivenRead,
+  /// The host-side certificate checker rejected the unloaded solution.
+  VerificationFailed,
+  /// The relaxation loop exhausted its iteration budget without settling.
+  NonConvergence,
+};
+
+[[nodiscard]] const char* name_of(FaultEventKind kind) noexcept;
+
+/// Structured diagnostic recorded by checked execution and the solver's
+/// verification layer. `row`/`col` identify the first affected PE (when
+/// known), `count` how many PEs the event stands for.
+struct FaultEvent {
+  FaultEventKind kind = FaultEventKind::BusContention;
+  /// Bus category for bus-related kinds; Alu otherwise.
+  StepCategory category = StepCategory::Alu;
+  Direction direction = Direction::North;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::size_t count = 1;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
 /// Observer interface; implementations must not call back into the
 /// machine they observe.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_event(const TraceEvent& event) = 0;
+  /// Checked-execution diagnostics; default ignores them so existing
+  /// sinks keep compiling.
+  virtual void on_fault(const FaultEvent& /*event*/) {}
 };
 
 /// Stores every event; convenient in tests and small demos.
 class RecordingTrace final : public TraceSink {
  public:
   void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  void on_fault(const FaultEvent& event) override { faults_.push_back(event); }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] const std::vector<FaultEvent>& faults() const noexcept { return faults_; }
 
   /// Total instructions recorded for `category` (bulk events weighted by
   /// their count).
@@ -53,13 +90,20 @@ class RecordingTrace final : public TraceSink {
 
   /// Total instructions over all events (the traced StepCounter::total()).
   [[nodiscard]] std::uint64_t instruction_count() const noexcept;
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    faults_.clear();
+  }
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<FaultEvent> faults_;
 };
 
 /// One-line rendering, e.g. "bus_bcast dir=South open=4 seg=8".
 [[nodiscard]] std::string to_string(const TraceEvent& event);
+
+/// One-line rendering, e.g. "bus_contention bus_bcast dir=South pe=(3,7) x2".
+[[nodiscard]] std::string to_string(const FaultEvent& event);
 
 }  // namespace ppa::sim

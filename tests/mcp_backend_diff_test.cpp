@@ -101,6 +101,37 @@ TEST(McpBackendDiff, StructuredFamilies) {
   expect_backends_identical(reachable, 0, {}, "reachable n=40 seed=99");
 }
 
+TEST(McpBackendDiff, ReadZeroPolicyOnLinearBuses) {
+  // UndrivenPolicy::ReadZero on LINEAR buses: undriven reads return 0
+  // instead of throwing, so the policy's masking takes a code path the
+  // default Error policy never reaches — it must still be bit-identical
+  // across backends. Machines are built by hand because solve() always
+  // configures Ring + Error.
+  util::Rng rng(41);
+  const auto g = graph::random_reachable_digraph(14, 8, 0.25, {1, 20}, 3, rng);
+  const auto run = [&](sim::ExecBackend backend) {
+    sim::MachineConfig config;
+    config.n = g.size();
+    config.bits = g.field().bits();
+    config.topology = sim::BusTopology::Linear;
+    config.undriven = sim::UndrivenPolicy::ReadZero;
+    config.backend = backend;
+    sim::Machine machine(config);
+    mcp::Options options;
+    options.broadcast_scheme = mcp::BroadcastScheme::TwoSidedLinear;
+    return mcp::minimum_cost_path(machine, g, 3, options);
+  };
+  const mcp::Result word = run(sim::ExecBackend::Words);
+  const mcp::Result plane = run(sim::ExecBackend::BitPlane);
+  ASSERT_EQ(plane.solution.cost, word.solution.cost);
+  ASSERT_EQ(plane.solution.next, word.solution.next);
+  ASSERT_EQ(plane.iterations, word.iterations);
+  ASSERT_TRUE(plane.total_steps == word.total_steps)
+      << "ReadZero linear: step counters diverged (word " << word.total_steps.summary()
+      << " vs bitplane " << plane.total_steps.summary() << ")";
+  test::expect_solves(g, word.solution, "ReadZero linear (word oracle)");
+}
+
 TEST(McpBackendDiff, AlgorithmVariants) {
   // Both row-minimum variants and both broadcast schemes, with the
   // per-iteration trace on (it reads changed.count() every iteration, an

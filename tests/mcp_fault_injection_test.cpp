@@ -1,0 +1,224 @@
+// Fault-injection acceptance fuzz for the robustness layer.
+//
+// Over 300 seeded fault scenarios (every fault class, n in {8, 16, 32},
+// both execution backends) the contract is: a run is either VERIFIED — and
+// then its solution must equal Dijkstra's exactly — or it is reported as a
+// non-Verified outcome carrying at least one structured FaultEvent. No
+// silently wrong row may ever escape. With retries enabled the fault-free
+// word-backend oracle must recover every scenario to Verified. The two
+// backends must also stay bit-identical under IDENTICAL faults: same
+// solution, same outcome, same step counters, same fault-event log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mcp/allpairs.hpp"
+#include "mcp/mcp.hpp"
+#include "sim/fault_model.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+using sim::FaultKind;
+using sim::FaultModel;
+
+enum class FaultClass { Dead, StuckOpen, StuckClosed, StuckBit, Mixed };
+
+const char* name_of(FaultClass c) {
+  switch (c) {
+    case FaultClass::Dead: return "dead";
+    case FaultClass::StuckOpen: return "stuck-open";
+    case FaultClass::StuckClosed: return "stuck-closed";
+    case FaultClass::StuckBit: return "stuck-bit";
+    case FaultClass::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+/// One or two defects of the given class at seeded locations.
+FaultModel model_for(FaultClass c, std::size_t n, int bits, util::Rng& rng) {
+  if (c == FaultClass::Mixed) return FaultModel::random(n, bits, rng.next(), 4);
+  FaultModel m;
+  const std::size_t count = 1 + rng.below(2);
+  for (std::size_t k = 0; k < count; ++k) {
+    sim::Fault f;
+    f.axis = rng.below(2) == 0 ? sim::Axis::Row : sim::Axis::Column;
+    f.row = rng.below(n);
+    f.col = rng.below(n);
+    switch (c) {
+      case FaultClass::Dead: f.kind = FaultKind::DeadPe; break;
+      case FaultClass::StuckOpen: f.kind = FaultKind::StuckOpen; break;
+      case FaultClass::StuckClosed: f.kind = FaultKind::StuckClosed; break;
+      case FaultClass::StuckBit:
+        f.kind = FaultKind::StuckBit;
+        f.bit = static_cast<int>(rng.below(static_cast<std::size_t>(bits)));
+        f.stuck_value = rng.below(2) == 1;
+        break;
+      case FaultClass::Mixed: break;
+    }
+    m.add(f);
+  }
+  return m;
+}
+
+/// The acceptance predicate: Verified implies exactly correct; anything
+/// else implies at least one structured fault event.
+void expect_never_silently_wrong(const graph::WeightMatrix& g, const Result& r,
+                                 const std::string& label) {
+  if (r.outcome == SolveOutcome::Verified) {
+    test::expect_solves(g, r.solution, label + " (verified must be exact)");
+  } else {
+    EXPECT_NE(r.outcome, SolveOutcome::Unchecked) << label;
+    EXPECT_FALSE(r.fault_events.empty())
+        << label << ": non-verified outcome " << name_of(r.outcome)
+        << " carries no fault event";
+  }
+}
+
+TEST(McpFaultInjection, FuzzAllClassesSizesAndBackends) {
+  const FaultClass classes[] = {FaultClass::Dead, FaultClass::StuckOpen,
+                                FaultClass::StuckClosed, FaultClass::StuckBit,
+                                FaultClass::Mixed};
+  const std::size_t sizes[] = {8, 16, 32};
+  std::size_t cases = 0;
+  std::size_t recovered = 0;
+  for (const FaultClass fault_class : classes) {
+    for (const std::size_t n : sizes) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        util::Rng rng(seed * 1000 + n * 10 + static_cast<std::uint64_t>(fault_class));
+        const int bits = 8 + static_cast<int>(rng.below(2)) * 4;  // 8 or 12
+        const auto g = graph::random_reachable_digraph(
+            n, bits, 0.2, {1, 20}, 0, rng);
+        const graph::Vertex dest = static_cast<graph::Vertex>(rng.below(n));
+        const FaultModel model = model_for(fault_class, n, bits, rng);
+        std::ostringstream label;
+        label << "class=" << name_of(fault_class) << " n=" << n << " seed=" << seed
+              << " dest=" << dest;
+
+        Options base;
+        base.verify = true;
+        base.faults = model;
+
+        // --- no-retry runs, both backends: never silently wrong, and the
+        // two backends are bit-identical under identical faults.
+        Options plain = base;
+        plain.backend = sim::ExecBackend::Words;
+        const Result word = solve(g, dest, plain);
+        plain.backend = sim::ExecBackend::BitPlane;
+        const Result plane = solve(g, dest, plain);
+        expect_never_silently_wrong(g, word, label.str() + " word");
+        expect_never_silently_wrong(g, plane, label.str() + " bitplane");
+        cases += 2;
+        ASSERT_EQ(plane.solution.cost, word.solution.cost) << label.str();
+        ASSERT_EQ(plane.solution.next, word.solution.next) << label.str();
+        ASSERT_EQ(plane.outcome, word.outcome) << label.str();
+        ASSERT_EQ(plane.iterations, word.iterations) << label.str();
+        ASSERT_TRUE(plane.total_steps == word.total_steps)
+            << label.str() << ": step counters diverged under faults (word "
+            << word.total_steps.summary() << " vs bitplane "
+            << plane.total_steps.summary() << ")";
+        ASSERT_EQ(plane.fault_events.size(), word.fault_events.size()) << label.str();
+        for (std::size_t i = 0; i < word.fault_events.size(); ++i) {
+          ASSERT_EQ(plane.fault_events[i], word.fault_events[i])
+              << label.str() << " event " << i;
+        }
+
+        // --- retry runs, both backends: the fault-free oracle must
+        // recover every scenario to an exact Verified solution.
+        for (const auto backend : {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+          Options retry = base;
+          retry.backend = backend;
+          retry.max_retries = 2;
+          const Result r = solve(g, dest, retry);
+          ++cases;
+          ASSERT_EQ(r.outcome, SolveOutcome::Verified)
+              << label.str() << ": not recovered after " << r.attempts << " attempts";
+          test::expect_solves(g, r.solution, label.str() + " (after retry)");
+          if (r.attempts > 1) {
+            ++recovered;
+            EXPECT_FALSE(r.fault_events.empty())
+                << label.str() << ": retried without recording why";
+          }
+        }
+      }
+    }
+  }
+  // The acceptance floor: >= 200 fuzz cases, and the faults actually bit —
+  // a healthy fraction of runs needed the oracle.
+  EXPECT_GE(cases, 200u);
+  EXPECT_GT(recovered, 20u) << "faults almost never perturbed a run; the "
+                               "injection sites are too weak to test recovery";
+}
+
+TEST(McpFaultInjection, AllPairsRecoversAndReportsPerDestination) {
+  util::Rng rng(77);
+  const std::size_t n = 12;
+  const auto g = graph::random_reachable_digraph(n, 8, 0.25, {1, 20}, 0, rng);
+  AllPairsOptions options;
+  options.workers = 3;
+  options.mcp.verify = true;
+  options.mcp.max_retries = 2;
+  options.mcp.faults = FaultModel::parse("dead:2,5;stuck-bit:row,4,1,1", n, 8);
+  const AllPairsResult faulty = all_pairs(g, options);
+  ASSERT_EQ(faulty.outcomes.size(), n);
+  EXPECT_EQ(faulty.failed_destinations(), 0u);
+  std::size_t retried = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    EXPECT_EQ(faulty.outcomes[d], SolveOutcome::Verified) << "destination " << d;
+    if (faulty.attempts[d] > 1) ++retried;
+  }
+  EXPECT_GT(retried, 0u);
+
+  // The recovered matrix equals the fault-free one entry for entry.
+  const AllPairsResult clean = all_pairs(g, Options{});
+  EXPECT_EQ(faulty.dist, clean.dist);
+  EXPECT_EQ(faulty.next, clean.next);
+}
+
+TEST(McpFaultInjection, AllPairsDegradesPerDestinationWithoutRetries) {
+  util::Rng rng(78);
+  const std::size_t n = 10;
+  const auto g = graph::random_reachable_digraph(n, 8, 0.3, {1, 20}, 0, rng);
+  AllPairsOptions options;
+  options.mcp.verify = true;
+  options.mcp.faults = FaultModel::parse("dead:3,3;dead:0,7", n, 8);
+  const AllPairsResult r = all_pairs(g, options);
+  // The batch completes despite failures; every non-Verified destination
+  // is visible in the outcome vector and the merged event log is nonempty.
+  ASSERT_EQ(r.outcomes.size(), n);
+  std::size_t failed = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (r.outcomes[d] != SolveOutcome::Verified) ++failed;
+  }
+  EXPECT_EQ(failed, r.failed_destinations());
+  EXPECT_GT(failed, 0u) << "two dead PEs never corrupted any destination";
+  EXPECT_FALSE(r.fault_events.empty());
+}
+
+TEST(McpFaultInjection, WorkerCountDoesNotChangeFaultyResults) {
+  util::Rng rng(79);
+  const std::size_t n = 9;
+  const auto g = graph::random_digraph(n, 8, 0.3, {1, 15}, rng);
+  const auto run = [&](std::size_t workers) {
+    AllPairsOptions options;
+    options.workers = workers;
+    options.mcp.verify = true;
+    options.mcp.max_retries = 1;
+    options.mcp.faults = FaultModel::parse("stuck-closed:row,4,4", n, 8);
+    return all_pairs(g, options);
+  };
+  const AllPairsResult a = run(1);
+  const AllPairsResult b = run(4);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.next, b.next);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_TRUE(a.total_steps == b.total_steps);
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -1,0 +1,153 @@
+// Certificate checker tests: correct solutions (solver- and
+// Dijkstra-produced) are accepted, and every mutation class — inflated or
+// deflated costs, wrongly-infinite and wrongly-finite entries, broken or
+// cyclic next pointers — is rejected with a non-empty detail. Plus the
+// non-convergence regression: an artificially low iteration cap must yield
+// SolveOutcome::NonConverged with a structured event, not a throw.
+#include "mcp/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "graph/generators.hpp"
+#include "mcp/mcp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+graph::McpSolution reference_solution(const graph::WeightMatrix& g, graph::Vertex d) {
+  return baseline::dijkstra_to(g, d);
+}
+
+TEST(Certificate, AcceptsSolverAndDijkstraSolutions) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(seed);
+    const auto g = graph::random_digraph(12, 8, 0.25, {1, 20}, rng);
+    const graph::Vertex d = static_cast<graph::Vertex>(rng.below(12));
+    const CertificateReport dij = check_certificate(g, reference_solution(g, d));
+    EXPECT_TRUE(dij.ok) << dij.detail;
+    const Result solved = solve(g, d);
+    const CertificateReport rep = check_certificate(g, solved.solution);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+    EXPECT_GT(rep.relaxations_checked, 0u);
+  }
+}
+
+TEST(Certificate, AcceptsDisconnectedAndTrivialGraphs) {
+  const graph::WeightMatrix empty(5, 8);  // no edges: everything unreachable
+  const CertificateReport rep = check_certificate(empty, reference_solution(empty, 2));
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.paths_checked, 0u);  // only d is finite, and d needs no chase
+
+  const graph::WeightMatrix one(1, 4);
+  EXPECT_TRUE(check_certificate(one, reference_solution(one, 0)).ok);
+}
+
+TEST(Certificate, RejectsEveryMutationClass) {
+  const auto g = test::tiny_graph();  // costs to 3: {5, 3, 1, 0}
+  const graph::McpSolution good = reference_solution(g, 3);
+  ASSERT_TRUE(check_certificate(g, good).ok);
+
+  const auto expect_reject = [&](graph::McpSolution bad, const char* label) {
+    const CertificateReport rep = check_certificate(g, bad);
+    EXPECT_FALSE(rep.ok) << label;
+    EXPECT_FALSE(rep.detail.empty()) << label;
+  };
+
+  auto m = good;
+  m.cost[0] += 1;  // inflated: not achieved by its own path
+  expect_reject(m, "inflated cost");
+
+  m = good;
+  m.cost[0] -= 1;  // deflated: telescoping fails on the first hop
+  expect_reject(m, "deflated cost");
+
+  m = good;
+  m.cost[1] = g.infinity();  // wrongly infinite: relaxation 1 -> 3 improves it
+  expect_reject(m, "wrongly infinite");
+
+  m = good;
+  m.cost[3] = 1;  // destination cost must be exactly 0
+  expect_reject(m, "nonzero destination cost");
+
+  m = good;
+  m.next[0] = 0;  // self-loop next: chase cannot make progress
+  expect_reject(m, "self-loop next pointer");
+
+  m = good;
+  m.next[0] = 2;  // 0 -> 2 is not an edge
+  expect_reject(m, "next along a non-edge");
+
+  m = good;
+  m.next[0] = 7;  // out of range
+  expect_reject(m, "next out of range");
+
+  m = good;
+  m.cost.pop_back();  // structural: wrong vector length
+  expect_reject(m, "truncated cost vector");
+
+  m = good;
+  m.destination = 9;  // out of range destination
+  expect_reject(m, "destination out of range");
+}
+
+TEST(Certificate, RejectsNextCycleAmongFiniteVertices) {
+  // 0 <-> 1 plus both connected to d = 2: corrupt next pointers into the
+  // 2-cycle 0 -> 1 -> 0; costs kept consistent with a "would-be" path, so
+  // only the cycle bound can catch it.
+  graph::WeightMatrix g(3, 8);
+  g.set(0, 1, 1);
+  g.set(1, 0, 1);
+  g.set(0, 2, 5);
+  g.set(1, 2, 5);
+  graph::McpSolution s;
+  s.destination = 2;
+  s.cost = {5, 5, 0};
+  s.next = {1, 0, 2};
+  const CertificateReport rep = check_certificate(g, s);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(SolveOutcome, NonConvergenceIsAnOutcomeNotAThrow) {
+  util::Rng rng(11);
+  // A directed ring needs ~n-1 relaxation iterations: one iteration is
+  // provably not enough, so the cap always trips.
+  const auto g = graph::directed_ring(10, 8, {1, 5}, rng);
+  Options options;
+  options.max_iterations = 1;
+  const Result r = solve(g, 0, options);
+  EXPECT_EQ(r.outcome, SolveOutcome::NonConverged);
+  ASSERT_FALSE(r.fault_events.empty());
+  EXPECT_EQ(r.fault_events.back().kind, sim::FaultEventKind::NonConvergence);
+  EXPECT_EQ(r.iterations, 1u);
+
+  // With retries allowed the fault-free oracle still hits the same cap
+  // (the cap is in Options, not the machine), so the outcome persists and
+  // the attempts are visible.
+  options.max_retries = 1;
+  const Result retried = solve(g, 0, options);
+  EXPECT_EQ(retried.outcome, SolveOutcome::NonConverged);
+  EXPECT_EQ(retried.attempts, 2u);
+}
+
+TEST(SolveOutcome, VerifyFlagSetsVerifiedOnCleanRuns) {
+  const auto g = test::tiny_graph();
+  Options options;
+  options.verify = true;
+  const Result r = solve(g, 3, options);
+  EXPECT_EQ(r.outcome, SolveOutcome::Verified);
+  EXPECT_TRUE(r.fault_events.empty());
+  EXPECT_EQ(r.attempts, 1u);
+  test::expect_solves(g, r.solution, "verified tiny graph");
+}
+
+TEST(SolveOutcome, Names) {
+  EXPECT_STREQ(name_of(SolveOutcome::Verified), "verified");
+  EXPECT_STREQ(name_of(SolveOutcome::NonConverged), "non-converged");
+  EXPECT_STREQ(name_of(SolveOutcome::HardwareFault), "hardware-fault");
+}
+
+}  // namespace
+}  // namespace ppa::mcp

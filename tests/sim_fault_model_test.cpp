@@ -1,0 +1,285 @@
+// Fault-injection unit tests: the spec parser, the seeded random model,
+// and the Machine-level semantics of each fault class (dead PEs never
+// drive and read 0, stuck switch boxes rewrite the effective Open mask,
+// stuck bus-line bits force wires of received values, stuck-closed program
+// drivers are reported as bus contention in checked mode). The last test
+// drives both bus engines directly with identical faults and asserts
+// bit-identical outputs — the machine-level anchor for the backend
+// differential on faulty runs.
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/check.hpp"
+
+namespace ppa::sim {
+namespace {
+
+MachineConfig config_of(std::size_t n, int bits = 8) {
+  MachineConfig c;
+  c.n = n;
+  c.bits = bits;
+  return c;
+}
+
+TEST(FaultModelParse, AcceptsEveryItemKind) {
+  const FaultModel m = FaultModel::parse(
+      " stuck-open:row,1,2 ; stuck-closed:col,0,3 ; stuck-bit:row,1,3,1 ; dead:2,3 ", 4, 8);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.faults()[0].kind, FaultKind::StuckOpen);
+  EXPECT_EQ(m.faults()[0].axis, Axis::Row);
+  EXPECT_EQ(m.faults()[0].row, 1u);
+  EXPECT_EQ(m.faults()[0].col, 2u);
+  EXPECT_EQ(m.faults()[1].kind, FaultKind::StuckClosed);
+  EXPECT_EQ(m.faults()[1].axis, Axis::Column);
+  EXPECT_EQ(m.faults()[2].kind, FaultKind::StuckBit);
+  EXPECT_EQ(m.faults()[2].row, 1u);  // line index
+  EXPECT_EQ(m.faults()[2].bit, 3);
+  EXPECT_TRUE(m.faults()[2].stuck_value);
+  EXPECT_EQ(m.faults()[3].kind, FaultKind::DeadPe);
+  EXPECT_EQ(m.faults()[3].row, 2u);
+  EXPECT_EQ(m.faults()[3].col, 3u);
+}
+
+TEST(FaultModelParse, RandomItemExpandsDeterministically) {
+  const FaultModel parsed = FaultModel::parse("random:9,4", 8, 8);
+  EXPECT_EQ(parsed, FaultModel::random(8, 8, 9, 4));
+  EXPECT_EQ(parsed.size(), 4u);
+}
+
+TEST(FaultModelParse, RejectsMalformedSpecs) {
+  const auto bad = [](std::string_view spec) {
+    EXPECT_THROW((void)FaultModel::parse(spec, 4, 8), util::ParseError) << spec;
+  };
+  bad("bogus:1,2");
+  bad("stuck-open:diag,0,0");  // unknown axis
+  bad("stuck-open:row,0");     // missing field
+  bad("dead:9,0");             // row out of range for n=4
+  bad("dead:0,4");             // col out of range
+  bad("stuck-bit:row,0,8,1");  // bit out of range for h=8
+  bad("stuck-bit:row,0,0,2");  // stuck value must be 0|1
+  bad("dead:a,b");             // not a number
+  bad("dead");                 // no payload at all
+}
+
+TEST(FaultModelRandom, SeededAndInRange) {
+  const FaultModel a = FaultModel::random(16, 12, 5, 24);
+  EXPECT_EQ(a, FaultModel::random(16, 12, 5, 24));
+  EXPECT_NE(a, FaultModel::random(16, 12, 6, 24));
+  EXPECT_EQ(a.size(), 24u);
+  // Everything drawn must survive compilation against the same geometry.
+  EXPECT_NO_THROW((void)compile_faults(a, PlaneGeometry(16), 12));
+}
+
+TEST(CompileFaults, RejectsOutOfRangeCoordinates) {
+  FaultModel m;
+  m.add(Fault{FaultKind::DeadPe, Axis::Row, 4, 0, 0, false});
+  EXPECT_THROW((void)compile_faults(m, PlaneGeometry(4), 8), util::ContractError);
+  FaultModel b;
+  b.add(Fault{FaultKind::StuckBit, Axis::Column, 0, 0, 8, true});
+  EXPECT_THROW((void)compile_faults(b, PlaneGeometry(4), 8), util::ContractError);
+}
+
+TEST(MachineFaults, InjectAndClear) {
+  Machine m(config_of(4));
+  EXPECT_FALSE(m.has_faults());
+  m.inject_faults(FaultModel::parse("dead:1,1", 4, 8));
+  EXPECT_TRUE(m.has_faults());
+  m.inject_faults(FaultModel{});
+  EXPECT_FALSE(m.has_faults());
+}
+
+TEST(MachineFaults, DeadPeNeverDrivesItsSegment) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("dead:0,1", 4, 8));
+  std::vector<Word> src(16, 7);
+  std::vector<Flag> open(16, 0);
+  open[1] = 1;  // the dead PE is the only row-0 driver
+  const BusResult r = m.broadcast(src, Direction::East, open);
+  for (std::size_t col = 0; col < 4; ++col) {
+    EXPECT_EQ(r.driven[col], 0) << "col " << col;
+    EXPECT_EQ(r.values[col], 0u) << "col " << col;
+  }
+  // Rows without the fault behave normally (undriven: no driver at all).
+  EXPECT_EQ(r.driven[4], 0);
+}
+
+TEST(MachineFaults, DeadPeReadsZeroFromADrivenBus) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("dead:0,3", 4, 8));
+  std::vector<Word> src(16, 0);
+  src[1] = 9;
+  std::vector<Flag> open(16, 0);
+  open[1] = 1;  // alive driver at (0,1), Ring: whole row reads 9
+  const BusResult r = m.broadcast(src, Direction::East, open);
+  EXPECT_EQ(r.values[0], 9u);
+  EXPECT_EQ(r.values[2], 9u);
+  EXPECT_EQ(r.values[3], 0u);  // the dead PE's input port reads 0
+  EXPECT_EQ(r.driven[3], 1);   // the segment itself is driven
+}
+
+TEST(MachineFaults, StuckOpenSegmentsAndInjects) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("stuck-open:row,0,2", 4, 8));
+  std::vector<Word> src(16, 0);
+  src[0] = 5;
+  src[2] = 8;  // the jammed switch injects this PE's src
+  std::vector<Flag> open(16, 0);
+  open[0] = 1;
+  const BusResult r = m.broadcast(src, Direction::East, open);
+  // Ring row 0 with opens at cols {0, 2}: cols 1,2 read PE 0's value, cols
+  // 3,0 read PE 2's value.
+  EXPECT_EQ(r.values[1], 5u);
+  EXPECT_EQ(r.values[2], 5u);
+  EXPECT_EQ(r.values[3], 8u);
+  EXPECT_EQ(r.values[0], 8u);
+}
+
+TEST(MachineFaults, StuckClosedSuppressesAProgramDriver) {
+  auto cfg = config_of(4);
+  cfg.checked = true;
+  Machine m(cfg);
+  m.inject_faults(FaultModel::parse("stuck-closed:row,0,2", 4, 8));
+  std::vector<Word> src(16, 0);
+  src[0] = 5;
+  src[2] = 8;
+  std::vector<Flag> open(16, 0);
+  open[0] = 1;
+  open[2] = 1;  // this switch is forced Short: 8 is never injected
+  const BusResult r = m.broadcast(src, Direction::East, open);
+  for (std::size_t col = 1; col < 4; ++col) EXPECT_EQ(r.values[col], 5u) << col;
+  // The suppressed driver is bus contention in checked mode.
+  ASSERT_EQ(m.fault_count(), 1u);
+  EXPECT_EQ(m.fault_events()[0].kind, FaultEventKind::BusContention);
+  EXPECT_EQ(m.fault_events()[0].row, 0u);
+  EXPECT_EQ(m.fault_events()[0].col, 2u);
+}
+
+TEST(MachineFaults, UncheckedMachineDoesNotLogContention) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("stuck-closed:row,0,2", 4, 8));
+  std::vector<Word> src(16, 3);
+  std::vector<Flag> open(16, 0);
+  open[2] = 1;
+  (void)m.broadcast(src, Direction::East, open);
+  EXPECT_EQ(m.fault_count(), 0u);
+}
+
+TEST(MachineFaults, StuckBitForcesTheWireOnItsLine) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("stuck-bit:row,0,1,1", 4, 8));
+  std::vector<Word> src(16, 0);
+  src[0] = 4;
+  src[4] = 4;  // row 1 driver, line is healthy there
+  std::vector<Flag> open(16, 0);
+  open[0] = 1;
+  open[4] = 1;
+  const BusResult r = m.broadcast(src, Direction::East, open);
+  EXPECT_EQ(r.values[1], 6u);  // 4 with bit 1 forced on
+  EXPECT_EQ(r.values[5], 4u);  // other lines untouched
+  // Stuck-at-0 masks the wire off instead.
+  m.inject_faults(FaultModel::parse("stuck-bit:row,0,2,0", 4, 8));
+  const BusResult r0 = m.broadcast(src, Direction::East, open);
+  EXPECT_EQ(r0.values[1], 0u);  // 4 == bit 2 alone, forced off
+}
+
+TEST(MachineFaults, ColumnFaultsDoNotDisturbRowCycles) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("stuck-bit:col,0,0,1;stuck-open:col,1,1", 4, 8));
+  std::vector<Word> src(16, 0);
+  src[0] = 4;
+  std::vector<Flag> open(16, 0);
+  open[0] = 1;
+  const BusResult row_cycle = m.broadcast(src, Direction::East, open);
+  EXPECT_EQ(row_cycle.values[1], 4u);  // row cycle sees no column fault
+  const BusResult col_cycle = m.broadcast(src, Direction::South, open);
+  EXPECT_EQ(col_cycle.values[4], 5u);  // column 0 wire 0 forced on
+}
+
+TEST(MachineFaults, WiredOrAppliesDeadAndStuckSemantics) {
+  Machine m(config_of(4));
+  m.inject_faults(FaultModel::parse("dead:0,1;stuck-bit:row,1,0,1", 4, 8));
+  std::vector<Flag> bits(16, 0);
+  bits[1] = 1;  // dead PE's contribution must vanish
+  const std::vector<Flag> open(16, 0);
+  const BusResult r = m.wired_or(bits, Direction::East, open);
+  EXPECT_EQ(r.values[0], 0u);  // row 0: only the dead PE asserted
+  EXPECT_EQ(r.values[1], 0u);  // and the dead PE itself reads 0
+  EXPECT_EQ(r.values[4], 1u);  // row 1: the stuck wire forces 1 everywhere
+  EXPECT_EQ(r.values[7], 1u);
+}
+
+TEST(MachineFaults, WordAndPlaneEnginesAgreeUnderIdenticalFaults) {
+  // Drive both bus engines of the SAME machine directly with the same
+  // faulty cycle and compare values, driven flags and max_segment. n = 67
+  // straddles the 64-lane plane-word boundary.
+  const std::size_t n = 67;
+  const int bits = 8;
+  auto cfg = config_of(n, bits);
+  Machine m(cfg);
+  m.inject_faults(FaultModel::parse(
+      "dead:0,1;dead:3,65;stuck-open:row,2,64;stuck-closed:row,4,4;"
+      "stuck-bit:row,5,2,1;stuck-bit:row,6,0,0;random:31,6",
+      n, bits));
+
+  std::vector<Word> src(n * n);
+  std::vector<Flag> open(n * n, 0);
+  for (std::size_t pe = 0; pe < n * n; ++pe) {
+    src[pe] = static_cast<Word>((pe * 7 + 3) % (1u << bits));
+    open[pe] = (pe % 9 == 0) ? 1 : 0;
+  }
+
+  std::vector<Word> word_values(n * n);
+  std::vector<Flag> word_driven(n * n);
+  const std::size_t word_seg =
+      m.broadcast_into(std::span<const Word>(src), Direction::East, open, word_values,
+                       word_driven);
+
+  const PlaneGeometry& g = m.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> out_planes(src_planes.size());
+  std::vector<PlaneWord> driven_plane(g.plane_words());
+  const std::size_t plane_seg = m.broadcast_planes_into(
+      src_planes.data(), bits, Direction::East, open_plane.data(), out_planes.data(),
+      driven_plane.data());
+
+  EXPECT_EQ(plane_seg, word_seg);
+  std::vector<Word> plane_values(n * n);
+  std::vector<Flag> plane_driven(n * n);
+  unpack_words(g, out_planes.data(), bits, plane_values);
+  unpack_flags(g, driven_plane.data(), plane_driven);
+  EXPECT_EQ(plane_values, word_values);
+  EXPECT_EQ(plane_driven, word_driven);
+
+  // Wired-OR parity under the same model.
+  std::vector<Flag> or_src(n * n);
+  for (std::size_t pe = 0; pe < n * n; ++pe) or_src[pe] = (pe % 5 == 0) ? 1 : 0;
+  std::vector<Flag> or_word(n * n);
+  (void)m.wired_or_into(or_src, Direction::South, open, or_word);
+  std::vector<PlaneWord> or_src_plane(g.plane_words());
+  std::vector<PlaneWord> or_out_plane(g.plane_words());
+  pack_flags(g, or_src, or_src_plane.data());
+  (void)m.wired_or_plane_into(or_src_plane.data(), Direction::South, open_plane.data(),
+                              or_out_plane.data());
+  std::vector<Flag> or_plane(n * n);
+  unpack_flags(g, or_out_plane.data(), or_plane);
+  EXPECT_EQ(or_plane, or_word);
+}
+
+TEST(FaultEventFormatting, NamesAndToString) {
+  EXPECT_STREQ(name_of(FaultKind::DeadPe), "dead");
+  const FaultEvent e{FaultEventKind::BusContention, StepCategory::BusBroadcast,
+                     Direction::South, 3, 7, 2};
+  const std::string s = to_string(e);
+  EXPECT_NE(s.find("bus_contention"), std::string::npos);
+  EXPECT_NE(s.find("(3,7)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppa::sim

@@ -1,0 +1,100 @@
+# CLI error handling + robustness flags for ppa_mcp. Every malformed
+# invocation must exit non-zero with a one-line stderr diagnostic (never an
+# uncaught exception abort), and the --faults/--verify/--max-retries path
+# must round-trip: a faulty run recovers to a verified, exactly-checkable
+# solution. Invoked by ctest with -DTOOL=<binary> -DWORKDIR=<scratch dir>.
+if(NOT DEFINED TOOL OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "TOOL and WORKDIR must be defined")
+endif()
+
+set(graph_file "${WORKDIR}/tool_errors_graph.txt")
+set(solution_file "${WORKDIR}/tool_errors_solution.txt")
+
+# expect_fail(<expected substring in stderr> <tool args...>)
+# The command must exit non-zero, must not crash with a signal (cmake
+# reports signals as non-numeric rc strings), and must mention the cause.
+function(expect_fail expected)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} unexpectedly succeeded\nstdout: ${out}")
+  endif()
+  if(NOT rc MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "ppa_mcp ${ARGN} crashed (rc=${rc})\nstderr: ${err}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${expected}")
+    message(FATAL_ERROR "ppa_mcp ${ARGN}: diagnostic does not mention '${expected}'\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+function(run_ok)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} failed (rc=${rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+run_ok(gen --family reachable --n 10 --seed 5 --dest 1 --out ${graph_file})
+
+# --- malformed invocations: one-line error, non-zero exit, no abort ---
+expect_fail("usage")                                          # no subcommand
+expect_fail("usage" frobnicate)                               # unknown subcommand
+expect_fail("unknown flag" solve --graph ${graph_file} --frobnicate)
+expect_fail("backend" solve --graph ${graph_file} --dest 1 --backend quantum
+            --out ${solution_file})
+expect_fail("cannot open" solve --graph ${WORKDIR}/no_such_graph.txt --dest 1
+            --out ${solution_file})
+expect_fail("fault" solve --graph ${graph_file} --dest 1 --faults bogus:1,2
+            --out ${solution_file})
+expect_fail("range" solve --graph ${graph_file} --dest 1 --faults dead:99,0
+            --out ${solution_file})
+expect_fail("not an integer" solve --graph ${graph_file} --dest xyz
+            --out ${solution_file})
+expect_fail("max-retries" solve --graph ${graph_file} --dest 1 --max-retries -3
+            --out ${solution_file})
+expect_fail("model=ppa" solve --graph ${graph_file} --dest 1 --model gcn --verify
+            --out ${solution_file})
+expect_fail("workers" allpairs --graph ${graph_file} --workers 0)
+expect_fail("cannot open" allpairs --graph ${WORKDIR}/no_such_graph.txt)
+expect_fail("fault" allpairs --graph ${graph_file} --faults "stuck-bit:row,0,99,1")
+
+# --- the robustness flags end to end: a dead PE corrupts the run, the
+# retry on the fault-free oracle recovers it, and the written solution
+# passes the independent verify subcommand.
+run_ok(solve --graph ${graph_file} --dest 1 --faults dead:1,2 --verify
+       --max-retries 2 --out ${solution_file})
+if(NOT last_output MATCHES "outcome=verified")
+  message(FATAL_ERROR "faulty solve with retries did not verify: ${last_output}")
+endif()
+run_ok(verify --graph ${graph_file} --solution ${solution_file})
+if(NOT last_output MATCHES "OK")
+  message(FATAL_ERROR "recovered solution failed independent verify: ${last_output}")
+endif()
+
+# Without retries the same fault must surface as a non-zero exit carrying
+# the outcome in stdout.
+execute_process(COMMAND ${TOOL} solve --graph ${graph_file} --dest 1
+                        --faults dead:1,2 --verify --out ${solution_file}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "faulty solve without retries exited 0:\n${out}")
+endif()
+if(NOT out MATCHES "outcome=(verification-failed|hardware-fault|non-converged)")
+  message(FATAL_ERROR "faulty solve did not report a failure outcome:\n${out}")
+endif()
+
+# Checked allpairs with retries: per-destination outcomes, all recovered.
+run_ok(allpairs --graph ${graph_file} --faults dead:1,2 --verify --max-retries 2
+       --workers 2)
+if(NOT last_output MATCHES "outcomes: 10/10 ok")
+  message(FATAL_ERROR "allpairs with retries did not recover all destinations: ${last_output}")
+endif()
+
+file(REMOVE ${graph_file} ${solution_file})
+message(STATUS "tool error handling OK")

@@ -3,18 +3,26 @@
 //   ppa_mcp gen    --family random --n 16 --seed 1 --out graph.txt [...]
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
-//                  [--trace]
+//                  [--trace] [--faults <spec>] [--verify] [--max-retries N]
+//                  [--checked]
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt
-//   ppa_mcp allpairs --graph graph.txt
+//   ppa_mcp allpairs --graph graph.txt [--faults <spec>] [--verify]
+//                  [--max-retries N] [--checked]
 //   ppa_mcp eccentricity --graph graph.txt
+//
+// The fault spec grammar is sim/fault_model.hpp's, e.g.
+// "dead:2,3;stuck-bit:row,1,0,1;random:7,4" (docs/robustness.md).
 //
 // Everything the subcommands do is library functionality; the tool only
 // parses flags and moves files, so it stays thin and fully covered by the
-// library's test suite (plus the tool-level integration test).
+// library's test suite (plus the tool-level integration test). Any
+// ParseError / ContractError escaping a subcommand is reported as a
+// one-line stderr error with exit code 2 — never an uncaught abort.
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <string>
 
@@ -29,6 +37,8 @@
 #include "mcp/allpairs.hpp"
 #include "mcp/closure.hpp"
 #include "mcp/mcp.hpp"
+#include "sim/fault_model.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 
 using namespace ppa;
@@ -57,6 +67,56 @@ bool parse_backend(const std::string& name, sim::ExecBackend& out) {
   std::fprintf(stderr, "error: unknown --backend '%s' (expected word|bitplane)\n",
                name.c_str());
   return false;
+}
+
+/// Robustness flags shared by `solve` and `allpairs`.
+void add_robustness_flags(util::CliParser& cli) {
+  cli.flag("faults", "fault injection spec, e.g. 'dead:1,2;stuck-bit:row,0,3,1'", "");
+  cli.flag("max-retries", "solve retries on a fault-free word-backend oracle", "0");
+  cli.bool_flag("verify", "check each solution against the host certificate checker");
+  cli.bool_flag("checked", "record bus contention / undriven reads as fault events");
+}
+
+/// Reads the shared robustness flags back into `options`. Returns false
+/// (after a one-line stderr message) on a bad retry count; a malformed
+/// --faults spec throws util::ParseError, which main() turns into exit 2.
+bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix& g,
+                           mcp::Options& options) {
+  const std::int64_t retries = cli.get_int("max-retries");
+  if (retries < 0) {
+    std::fprintf(stderr, "error: --max-retries must be >= 0\n");
+    return false;
+  }
+  options.max_retries = static_cast<std::size_t>(retries);
+  options.verify = cli.get_bool("verify");
+  options.checked = cli.get_bool("checked");
+  const std::string spec = cli.get_string("faults");
+  if (!spec.empty()) {
+    options.faults = sim::FaultModel::parse(spec, g.size(), g.field().bits());
+  }
+  return true;
+}
+
+bool is_failure(mcp::SolveOutcome outcome) {
+  return outcome == mcp::SolveOutcome::VerificationFailed ||
+         outcome == mcp::SolveOutcome::NonConverged ||
+         outcome == mcp::SolveOutcome::HardwareFault;
+}
+
+/// Prints the outcome / attempts / fault-event summary for one solve when
+/// any robustness feature produced something worth reporting.
+void print_outcome(const mcp::Result& r) {
+  if (r.outcome == mcp::SolveOutcome::Unchecked && r.fault_events.empty()) return;
+  std::printf("outcome=%s attempts=%zu fault-events=%zu\n", mcp::name_of(r.outcome),
+              r.attempts, r.fault_events.size());
+  if (!r.verify_detail.empty()) std::printf("verify: %s\n", r.verify_detail.c_str());
+  const std::size_t shown = std::min<std::size_t>(r.fault_events.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("  fault: %s\n", sim::to_string(r.fault_events[i]).c_str());
+  }
+  if (shown < r.fault_events.size()) {
+    std::printf("  ... %zu more fault events\n", r.fault_events.size() - shown);
+  }
 }
 
 int cmd_gen(int argc, const char* const* argv) {
@@ -110,15 +170,24 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.flag("backend", "host execution backend, word|bitplane (ppa only)", "word");
   cli.flag("out", "output solution file", "solution.txt");
   cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
+  add_robustness_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
   const auto d = static_cast<graph::Vertex>(cli.get_int("dest"));
   const std::string model = cli.get_string("model");
+  if (model != "ppa" &&
+      (cli.get_bool("verify") || cli.get_bool("checked") ||
+       !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0)) {
+    std::fprintf(stderr,
+                 "error: --faults/--verify/--max-retries/--checked require --model=ppa\n");
+    return 2;
+  }
 
   graph::McpSolution solution;
   std::size_t iterations = 0;
   sim::StepCounter steps;
+  int rc = 0;
   if (model == "gcn") {
     const auto r = baseline::gcn::solve(g, d);
     solution = r.solution;
@@ -138,6 +207,7 @@ int cmd_solve(int argc, const char* const* argv) {
     mcp::Options options;
     options.record_iterations = cli.get_bool("trace");
     if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
+    if (!read_robustness_flags(cli, g, options)) return 2;
     const auto r = mcp::solve(g, d, options);
     solution = r.solution;
     iterations = r.iterations;
@@ -149,16 +219,20 @@ int cmd_solve(int argc, const char* const* argv) {
                     static_cast<unsigned long long>(r.iteration_trace[k].steps.total()));
       }
     }
+    print_outcome(r);
+    if (is_failure(r.outcome)) rc = 1;
   } else {
     std::fprintf(stderr, "unknown model: %s\n", model.c_str());
     return 2;
   }
 
+  // The (possibly degraded) solution is written even on a failure outcome
+  // so it can be inspected; the exit code carries the verdict.
   graph::save_solution(cli.get_string("out"), solution, g.infinity());
   std::printf("model=%s iterations=%zu %s\n", model.c_str(), iterations,
               steps.summary().c_str());
   std::printf("wrote %s\n", cli.get_string("out").c_str());
-  return 0;
+  return rc;
 }
 
 int cmd_verify(int argc, const char* const* argv) {
@@ -207,6 +281,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   cli.flag("workers", "host threads for independent destination runs (results identical)",
            "1");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
+  add_robustness_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
@@ -218,9 +293,26 @@ int cmd_allpairs(int argc, const char* const* argv) {
   }
   options.workers = static_cast<std::size_t>(workers);
   if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
+  if (!read_robustness_flags(cli, g, options.mcp)) return 2;
   const auto ap = mcp::all_pairs(g, options);
   std::printf("all-pairs over %zu vertices: %zu total iterations, %s\n", ap.n,
               ap.total_iterations, ap.total_steps.summary().c_str());
+  const bool robust = options.mcp.verify || options.mcp.checked || !options.mcp.faults.empty();
+  const std::size_t failed = ap.failed_destinations();
+  if (robust) {
+    std::size_t retried = 0;
+    for (const std::size_t a : ap.attempts) {
+      if (a > 1) ++retried;
+    }
+    std::printf("outcomes: %zu/%zu ok, %zu failed, %zu retried, %zu fault events\n",
+                ap.n - failed, ap.n, failed, retried, ap.fault_events.size());
+    for (graph::Vertex dd = 0; dd < ap.n; ++dd) {
+      if (is_failure(ap.outcomes[dd])) {
+        std::printf("  destination %zu: %s (attempts %zu)\n", dd,
+                    mcp::name_of(ap.outcomes[dd]), ap.attempts[dd]);
+      }
+    }
+  }
   std::printf("diameter (max finite cost over ordered pairs): %u\n\n", ap.diameter);
   for (graph::Vertex i = 0; i < ap.n; ++i) {
     std::string line;
@@ -235,7 +327,9 @@ int cmd_allpairs(int argc, const char* const* argv) {
     }
     std::printf("  %s\n", line.c_str());
   }
-  return 0;
+  // A failed destination keeps its infinity column above (graceful
+  // degradation); the exit code still reports that the batch was partial.
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_eccentricity(int argc, const char* const* argv) {
@@ -280,16 +374,24 @@ int cmd_closure(int argc, const char* const* argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string subcommand = argv[1];
-  const int sub_argc = argc - 1;
-  const char* const* sub_argv = argv + 1;
-  if (subcommand == "gen") return cmd_gen(sub_argc, sub_argv);
-  if (subcommand == "solve") return cmd_solve(sub_argc, sub_argv);
-  if (subcommand == "verify") return cmd_verify(sub_argc, sub_argv);
-  if (subcommand == "info") return cmd_info(sub_argc, sub_argv);
-  if (subcommand == "closure") return cmd_closure(sub_argc, sub_argv);
-  if (subcommand == "allpairs") return cmd_allpairs(sub_argc, sub_argv);
-  if (subcommand == "eccentricity") return cmd_eccentricity(sub_argc, sub_argv);
-  return usage();
+  try {
+    if (argc < 2) return usage();
+    const std::string subcommand = argv[1];
+    const int sub_argc = argc - 1;
+    const char* const* sub_argv = argv + 1;
+    if (subcommand == "gen") return cmd_gen(sub_argc, sub_argv);
+    if (subcommand == "solve") return cmd_solve(sub_argc, sub_argv);
+    if (subcommand == "verify") return cmd_verify(sub_argc, sub_argv);
+    if (subcommand == "info") return cmd_info(sub_argc, sub_argv);
+    if (subcommand == "closure") return cmd_closure(sub_argc, sub_argv);
+    if (subcommand == "allpairs") return cmd_allpairs(sub_argc, sub_argv);
+    if (subcommand == "eccentricity") return cmd_eccentricity(sub_argc, sub_argv);
+    return usage();
+  } catch (const std::exception& e) {
+    // Unreadable graph paths (util::ParseError from load_graph), malformed
+    // flag values (util::ContractError from CliParser) and malformed
+    // --faults specs all land here: one-line diagnostic, exit code 2.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }
