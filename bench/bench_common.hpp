@@ -12,14 +12,57 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "mcp/mcp.hpp"
+#include "obs/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace ppa::bench {
+
+/// One measured configuration in a perf trajectory file (BENCH_e6.json).
+/// The fields are the obs::field constants — the exact names the metrics
+/// dump's "run" object uses — so tools/perf_gate.py reads bench baselines
+/// and `ppa_mcp --metrics-out` dumps with the same matching logic.
+struct PerfRecord {
+  std::string workload;  // "mcp" | "all_pairs"
+  std::string backend;   // "word" | "bitplane"
+  std::size_t n = 0;
+  std::size_t host_threads = 1;
+  std::uint64_t simd_steps = 0;
+  double wall_seconds = 0;
+  double pe_ops_per_sec = 0;
+};
+
+/// Writes the perf records as a JSON array through the observability
+/// layer's writer (same escaping and number formatting everywhere).
+inline void write_perf_records(const std::vector<PerfRecord>& records, const char* path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return;
+  }
+  obs::JsonWriter w(out);
+  w.begin_array();
+  for (const PerfRecord& r : records) {
+    w.begin_object();
+    w.kv(obs::field::kWorkload, r.workload);
+    w.kv(obs::field::kBackend, r.backend);
+    w.kv(obs::field::kN, r.n);
+    w.kv(obs::field::kHostThreads, r.host_threads);
+    w.kv(obs::field::kSimdSteps, r.simd_steps);
+    w.kv(obs::field::kWallSeconds, r.wall_seconds);
+    w.kv(obs::field::kPeOpsPerSec, r.pe_ops_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  out << "\n";
+  std::printf("wrote %zu records to %s\n\n", records.size(), path);
+}
 
 /// The E2 workload: n vertices, destination 0; vertices 1..p form a chain
 /// 1 -> 0, 2 -> 1, ... (unit weights), and every vertex above p has a

@@ -65,34 +65,23 @@ Throughput run_all_pairs(std::size_t n, std::size_t workers,
   return t;
 }
 
-/// One measured configuration, destined for BENCH_e6.json.
-struct JsonRecord {
-  const char* workload;  // "mcp" | "all_pairs"
-  const char* backend;   // "word" | "bitplane"
-  std::size_t n;
-  std::size_t host_threads;
-  Throughput t;
-};
-
 /// Machine-readable companion to the tables: wall-clock throughput per
 /// configuration, so a perf trajectory can be tracked across commits
 /// without scraping stdout. (SIMD step counts are workload properties, not
 /// perf results, but they are included so a reader can recompute ops/sec.)
-void write_json(const std::vector<JsonRecord>& records, const char* path) {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "[\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const JsonRecord& r = records[i];
-    out << "  {\"workload\": \"" << r.workload << "\", \"backend\": \"" << r.backend
-        << "\", \"n\": " << r.n
-        << ", \"host_threads\": " << r.host_threads << ", \"simd_steps\": " << r.t.steps
-        << ", \"wall_seconds\": " << r.t.seconds
-        << ", \"pe_ops_per_sec\": " << (r.t.pe_ops / r.t.seconds) << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
-  }
-  out << "]\n";
-  std::printf("wrote %zu records to %s\n\n", records.size(), path);
+/// bench::PerfRecord / write_perf_records share the metrics schema's run
+/// field names, which is what lets tools/perf_gate.py consume the file.
+bench::PerfRecord record_of(const char* workload, const char* backend, std::size_t n,
+                            std::size_t host_threads, const Throughput& t) {
+  bench::PerfRecord r;
+  r.workload = workload;
+  r.backend = backend;
+  r.n = n;
+  r.host_threads = host_threads;
+  r.simd_steps = t.steps;
+  r.wall_seconds = t.seconds;
+  r.pe_ops_per_sec = t.pe_ops / t.seconds;
+  return r;
 }
 
 void print_tables() {
@@ -120,7 +109,7 @@ void print_tables() {
       "single sweep is large enough; a production simulator would batch instructions or\n"
       "vectorize instead. Determinism across thread counts is covered by the test suite.\n\n");
 
-  std::vector<JsonRecord> records;
+  std::vector<bench::PerfRecord> records;
 
   // Backend comparison: the same workload (identical SIMD steps by
   // construction) executed by the word backend and the bit-plane backend.
@@ -137,7 +126,7 @@ void print_tables() {
       backends.add_row({static_cast<std::int64_t>(n), backend_name(backend),
                         static_cast<std::int64_t>(t.steps), t.seconds * 1e3,
                         word_seconds / t.seconds});
-      records.push_back({"mcp", backend_name(backend), n, 1, t});
+      records.push_back(record_of("mcp", backend_name(backend), n, 1, t));
     }
   }
   bench::emit(backends);
@@ -158,11 +147,12 @@ void print_tables() {
     if (workers == 1) base_seconds = t.seconds;
     scaling.add_row({static_cast<std::int64_t>(workers), static_cast<std::int64_t>(t.steps),
                      t.seconds * 1e3, base_seconds / t.seconds});
-    records.push_back({"all_pairs", "word", 32, workers, t});
+    records.push_back(record_of("all_pairs", "word", 32, workers, t));
   }
   // Workers and the bit-plane backend compose: record the combined
   // configuration so the trajectory file shows the product speedup too.
-  records.push_back({"all_pairs", "bitplane", 32, 4, run_all_pairs(32, 4, sim::ExecBackend::BitPlane)});
+  records.push_back(
+      record_of("all_pairs", "bitplane", 32, 4, run_all_pairs(32, 4, sim::ExecBackend::BitPlane)));
   bench::emit(scaling);
   std::printf(
       "Destination runs are independent and a worker grabs a whole chunk of them, so the\n"
@@ -170,7 +160,7 @@ void print_tables() {
       "core count (this host reports %u). SIMD steps are identical for every worker\n"
       "count by construction; see tests/mcp_allpairs_parallel_test.cpp.\n\n",
       std::thread::hardware_concurrency());
-  write_json(records, "BENCH_e6.json");
+  bench::write_perf_records(records, "BENCH_e6.json");
 }
 
 void BM_McpEndToEnd(benchmark::State& state) {

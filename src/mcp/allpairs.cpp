@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/collector.hpp"
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -99,14 +100,24 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
   std::vector<sim::StepCounter> per_destination(n);
   std::vector<std::size_t> iterations(n, 0);
   std::vector<std::vector<sim::FaultEvent>> events(n);
+  // One collector per destination, merged below in destination order —
+  // the StepCounter idiom extended to metrics, so the observed totals are
+  // identical for every worker count.
+  obs::Collector* const observer = options.mcp.observer;
+  std::vector<std::unique_ptr<obs::Collector>> collectors(observer != nullptr ? n : 0);
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     sim::Machine machine(config);
     if (!options.mcp.faults.empty()) machine.inject_faults(options.mcp.faults);
     std::unique_ptr<sim::Machine> oracle;  // shared across this worker's chunk
+    Options run_options = options.mcp;
     for (std::size_t d = begin; d < end; ++d) {
+      if (observer != nullptr) {
+        collectors[d] = std::make_unique<obs::Collector>();
+        run_options.observer = collectors[d].get();
+      }
       const sim::StepCounter before = machine.steps();
       const sim::StepCounter oracle_before = oracle ? oracle->steps() : sim::StepCounter{};
-      const Result run = solve_with_recovery(machine, oracle, graph, d, options.mcp);
+      const Result run = solve_with_recovery(machine, oracle, graph, d, run_options);
       per_destination[d] = machine.steps().since(before);
       if (oracle) per_destination[d].merge(oracle->steps().since(oracle_before));
       iterations[d] = run.iterations;
@@ -137,6 +148,7 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
     result.total_iterations += iterations[d];
     result.fault_events.insert(result.fault_events.end(), events[d].begin(),
                                events[d].end());
+    if (observer != nullptr) observer->merge(*collectors[d]);
   }
   for (const graph::Weight w : result.dist) {
     if (w != graph.infinity()) result.diameter = std::max(result.diameter, w);

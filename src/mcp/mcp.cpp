@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "mcp/verify.hpp"
+#include "obs/collector.hpp"
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
 
@@ -48,6 +49,25 @@ Pint row_argmin(MinVariant variant, const Pint& col, const Pbool& row_end,
              : ppc::selected_min_orprobe(col, Direction::West, row_end, is_min);
 }
 
+/// Attaches the observer as the machine's trace sink for the duration of a
+/// call — only when the machine has no sink of its own (a caller-attached
+/// RecordingTrace keeps priority) — and restores the previous sink on any
+/// exit path, including exceptions.
+class ScopedSink {
+ public:
+  ScopedSink(sim::Machine& machine, obs::Collector* observer)
+      : machine_(machine), previous_(machine.trace()) {
+    if (observer != nullptr && previous_ == nullptr) machine_.set_trace(observer);
+  }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+  ~ScopedSink() { machine_.set_trace(previous_); }
+
+ private:
+  sim::Machine& machine_;
+  sim::TraceSink* previous_;
+};
+
 }  // namespace
 
 Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
@@ -64,6 +84,10 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   // The two-sided scheme cannot run the paper min()'s routing step (see
   // BroadcastScheme), so it always uses the OR-probe minimum.
   const MinVariant variant = two_sided ? MinVariant::OrProbe : options.min_variant;
+
+  obs::Collector* const observer = options.observer;
+  ScopedSink scoped_sink(machine, observer);
+  PPA_SPAN(observer, "solve", &machine, static_cast<std::int64_t>(destination));
 
   ppc::Context ctx(machine);
   const sim::StepCounter at_entry = machine.steps();
@@ -108,6 +132,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   // rather than through the diagonal broadcast: under the two-sided
   // scheme a diagonal driver never hears itself, and under the ring
   // scheme the broadcast would deliver the same 0 anyway.
+  auto init_span = std::make_optional(obs::open_span(observer, "init", &machine));
   const Pbool col_is_d = (COL == d);
   const Pint w_into_d = bcast(W, Direction::East, col_is_d);
   const Pint zero(ctx, 0);
@@ -125,11 +150,13 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   Pint OLD_SOW(ctx, 0);
 
   const sim::StepCounter after_init = machine.steps();
+  init_span.reset();
 
   Result result;
   result.init_steps = after_init.since(at_entry);
 
   // Step 2 — relaxation loop (paper statements 8..20).
+  auto relax_span = std::make_optional(obs::open_span(observer, "relax", &machine));
   for (;;) {
     if (result.iterations >= iteration_cap) {
       // The DP is monotone, so exhausting the cap means corrupted state
@@ -143,6 +170,8 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
       break;
     }
     const sim::StepCounter before_iteration = machine.steps();
+    PPA_SPAN(observer, "relax_iter", &machine,
+             static_cast<std::int64_t>(result.iterations));
 
     ppc::where(ctx, !row_is_d, [&] {
       // 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W
@@ -182,16 +211,20 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
     // global-OR response line.
     if (!ppc::any(changed)) break;
   }
+  relax_span.reset();
 
   result.total_steps = machine.steps().since(at_entry);
 
   // Unload row d (controller I/O; not charged as SIMD steps).
-  result.solution.destination = destination;
-  result.solution.cost.resize(n);
-  result.solution.next.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    result.solution.cost[i] = SOW.at(destination, i);
-    result.solution.next[i] = static_cast<graph::Vertex>(PTN.at(destination, i));
+  {
+    PPA_SPAN(observer, "unload", &machine);
+    result.solution.destination = destination;
+    result.solution.cost.resize(n);
+    result.solution.next.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.solution.cost[i] = SOW.at(destination, i);
+      result.solution.next[i] = static_cast<graph::Vertex>(PTN.at(destination, i));
+    }
   }
 
   // Harvest this run's checked-execution diagnostics (delta of the
@@ -206,6 +239,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   // host certificate, then any machine diagnostics.
   if (result.outcome != SolveOutcome::NonConverged) {
     if (options.verify) {
+      PPA_SPAN(observer, "verify", &machine);
       const CertificateReport report = check_certificate(graph, result.solution);
       if (report.ok) {
         result.outcome = SolveOutcome::Verified;
@@ -221,6 +255,14 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
     } else if (machine_faulted) {
       result.outcome = SolveOutcome::HardwareFault;
     }
+  }
+
+  if (observer != nullptr) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.counter(obs::metric::kSolverRuns).add(1);
+    metrics.counter(obs::metric::kSolverIterations).add(result.iterations);
+    metrics.counter(std::string(obs::metric::kOutcomePrefix) + name_of(result.outcome))
+        .add(1);
   }
   return result;
 }
@@ -283,6 +325,11 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
       config.backend = sim::ExecBackend::Words;  // the fault-free oracle
       oracle = std::make_unique<sim::Machine>(config);
     }
+    if (options.observer != nullptr) {
+      options.observer->metrics().counter(obs::metric::kSolverRetries).add(1);
+    }
+    PPA_SPAN(options.observer, "retry", oracle.get(),
+             static_cast<std::int64_t>(attempts));
     result = minimum_cost_path(*oracle, graph, destination, options);
     ++attempts;
     events.insert(events.end(), result.fault_events.begin(), result.fault_events.end());

@@ -36,6 +36,10 @@
 #include "sim/fault_model.hpp"
 #include "sim/machine.hpp"
 
+namespace ppa::obs {
+class Collector;
+}
+
 namespace ppa::mcp {
 
 /// Which row-minimum implementation the relaxation uses.
@@ -88,6 +92,17 @@ struct Options {
   /// (retry machines stay fault-free). minimum_cost_path(machine, ...)
   /// ignores this — inject into the caller's machine directly.
   sim::FaultModel faults;
+
+  // ---- observability (docs/observability.md) ----
+
+  /// Optional obs::Collector recording phase spans (init / relax / unload /
+  /// verify / retry), solver counters and — when the machine has no trace
+  /// sink of its own — the bus-shape histograms. Not owned; must outlive
+  /// the call. Observation never changes results or step counts
+  /// (tests/obs_observability_test.cpp pins bit-identity). all_pairs()
+  /// gives each destination its own collector and merges them into this
+  /// one in destination order, so metrics are worker-count independent.
+  obs::Collector* observer = nullptr;
 };
 
 struct IterationRecord {

@@ -1,0 +1,103 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace ppa::obs {
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& out, const Options& options)
+    : out_(out), options_(options), epoch_(std::chrono::steady_clock::now()) {
+  out_ << "[\n";
+  // Process metadata so Perfetto labels the track.
+  open_event("process_name", 'M', 0.0, 0);
+  out_ << ",\"args\":{\"name\":\"" << json_escape(options_.process_name) << "\"}";
+  close_event();
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::open_event(std::string_view name, char phase, double ts_us,
+                                   std::uint32_t tid) {
+  if (events_written_ != 0) out_ << ",\n";
+  ++events_written_;
+  char ts[32];
+  std::snprintf(ts, sizeof ts, "%.3f", ts_us);
+  out_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"" << phase
+       << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << tid;
+}
+
+void ChromeTraceWriter::close_event() { out_ << "}"; }
+
+void ChromeTraceWriter::write_steps_args(const sim::StepCounter& steps) {
+  out_ << ",\"args\":{\"simd_steps\":" << steps.total();
+  for (int c = 0; c < static_cast<int>(sim::StepCategory::kCount); ++c) {
+    const auto category = static_cast<sim::StepCategory>(c);
+    out_ << ",\"" << sim::name_of(category) << "\":" << steps.count(category);
+  }
+  out_ << "}";
+}
+
+void ChromeTraceWriter::on_event(const sim::TraceEvent& event) {
+  if (!options_.instructions || finished_) return;
+  open_event(sim::name_of(event.category), 'i', now_us(), 0);
+  out_ << ",\"s\":\"t\",\"args\":{";
+  out_ << "\"dir\":\"" << sim::name_of(event.direction) << '"';
+  if (event.category == sim::StepCategory::BusBroadcast ||
+      event.category == sim::StepCategory::BusOr) {
+    out_ << ",\"open\":" << event.open_count << ",\"seg\":" << event.max_segment
+         << ",\"planes\":" << event.planes;
+  }
+  if (event.count != 1) out_ << ",\"count\":" << event.count;
+  out_ << "}";
+  close_event();
+}
+
+void ChromeTraceWriter::on_fault(const sim::FaultEvent& event) {
+  if (finished_) return;
+  open_event(sim::name_of(event.kind), 'i', now_us(), 0);
+  out_ << ",\"s\":\"p\",\"args\":{\"detail\":\"" << json_escape(sim::to_string(event))
+       << "\"}";
+  close_event();
+}
+
+void ChromeTraceWriter::begin_span(std::string_view name, std::int64_t arg) {
+  if (finished_) return;
+  open_event(name, 'B', now_us(), 0);
+  if (arg >= 0) out_ << ",\"args\":{\"value\":" << arg << "}";
+  close_event();
+}
+
+void ChromeTraceWriter::end_span(const sim::StepCounter& span_steps) {
+  if (finished_) return;
+  open_event("", 'E', now_us(), 0);
+  write_steps_args(span_steps);
+  close_event();
+}
+
+void ChromeTraceWriter::complete_span(std::string_view name, double start_us,
+                                      double duration_us, std::uint32_t tid,
+                                      const sim::StepCounter& span_steps,
+                                      std::int64_t arg) {
+  if (finished_) return;
+  open_event(name, 'X', start_us, tid);
+  char dur[32];
+  std::snprintf(dur, sizeof dur, "%.3f", duration_us);
+  out_ << ",\"dur\":" << dur;
+  write_steps_args(span_steps);
+  if (arg >= 0) {
+    // write_steps_args already closed args; emit the destination as a
+    // second-class field Perfetto shows in the detail pane.
+    out_ << ",\"id\":" << arg;
+  }
+  close_event();
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n]\n";
+  out_.flush();
+}
+
+}  // namespace ppa::obs

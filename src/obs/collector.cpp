@@ -1,0 +1,132 @@
+#include "obs/collector.hpp"
+
+#include "sim/machine.hpp"
+#include "util/check.hpp"
+
+namespace ppa::obs {
+
+namespace {
+
+/// Bus-shape histograms cover segments/opens up to 4096 PEs a side and
+/// plane widths up to 64 bits; everything beyond lands in the overflow
+/// bucket. Fixed bounds keep per-worker registries mergeable.
+const std::vector<std::uint64_t>& segment_bounds() {
+  static const std::vector<std::uint64_t> bounds = pow2_bounds(4096);
+  return bounds;
+}
+
+const std::vector<std::uint64_t>& plane_bounds() {
+  static const std::vector<std::uint64_t> bounds = pow2_bounds(64);
+  return bounds;
+}
+
+}  // namespace
+
+Collector::Collector() : epoch_(std::chrono::steady_clock::now()) {
+  for (int c = 0; c < static_cast<int>(sim::StepCategory::kCount); ++c) {
+    const auto category = static_cast<sim::StepCategory>(c);
+    step_counters_[c] =
+        &metrics_.counter(std::string(metric::kStepPrefix) + sim::name_of(category));
+  }
+  seg_hist_ = &metrics_.histogram(metric::kBusMaxSegment, segment_bounds());
+  open_hist_ = &metrics_.histogram(metric::kBusOpenCount, segment_bounds());
+  planes_hist_ = &metrics_.histogram(metric::kBusPlaneWidth, plane_bounds());
+}
+
+void Collector::on_event(const sim::TraceEvent& event) {
+  step_counters_[static_cast<int>(event.category)]->add(event.count);
+  if (event.category == sim::StepCategory::BusBroadcast ||
+      event.category == sim::StepCategory::BusOr) {
+    seg_hist_->observe(event.max_segment, event.count);
+    open_hist_->observe(event.open_count, event.count);
+    planes_hist_->observe(event.planes, event.count);
+  }
+  if (chrome_ != nullptr) chrome_->on_event(event);
+}
+
+void Collector::on_fault(const sim::FaultEvent& event) {
+  metrics_.counter(std::string(metric::kFaultPrefix) + sim::name_of(event.kind))
+      .add(event.count);
+  if (chrome_ != nullptr) chrome_->on_fault(event);
+}
+
+Collector::Span::Span(Span&& other) noexcept
+    : collector_(other.collector_), index_(other.index_) {
+  other.collector_ = nullptr;
+}
+
+Collector::Span::~Span() {
+  if (collector_ != nullptr) collector_->close_span(index_);
+}
+
+Collector::Span Collector::span(std::string_view name, const sim::Machine* machine,
+                                std::int64_t value) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.parent = open_stack_.empty() ? SpanRecord::kNoParent : open_stack_.back();
+  record.start_seconds = now_seconds();
+  record.value = value;
+  const std::size_t index = records_.size();
+  records_.push_back(std::move(record));
+  open_stack_.push_back(index);
+  OpenState state;
+  state.machine = machine;
+  if (machine != nullptr) state.steps_at_open = machine->steps();
+  open_state_.push_back(state);
+  if (chrome_ != nullptr) chrome_->begin_span(name, value);
+  return Span(this, index);
+}
+
+void Collector::close_span(std::size_t index) {
+  PPA_ASSERT(!open_stack_.empty() && open_stack_.back() == index,
+             "spans must close in LIFO order");
+  SpanRecord& record = records_[index];
+  record.duration_seconds = now_seconds() - record.start_seconds;
+  const OpenState& state = open_state_.back();
+  if (state.machine != nullptr) {
+    record.steps = state.machine->steps().since(state.steps_at_open);
+  }
+  if (chrome_ != nullptr) chrome_->end_span(record.steps);
+  open_stack_.pop_back();
+  open_state_.pop_back();
+}
+
+Collector::Span open_span(Collector* collector, std::string_view name,
+                          const sim::Machine* machine, std::int64_t value) {
+  if (collector == nullptr) return Collector::Span(nullptr, 0);
+  return collector->span(name, machine, value);
+}
+
+void Collector::merge(const Collector& other) {
+  PPA_REQUIRE(other.open_stack_.empty(), "cannot merge a collector with open spans");
+  metrics_.merge(other.metrics_);
+  const double rebase =
+      std::chrono::duration<double>(other.epoch_ - epoch_).count();
+  const std::size_t offset = records_.size();
+  for (const SpanRecord& span : other.records_) {
+    SpanRecord copy = span;
+    copy.start_seconds += rebase;
+    if (copy.parent != SpanRecord::kNoParent) copy.parent += offset;
+    records_.push_back(std::move(copy));
+  }
+}
+
+void Collector::export_spans(ChromeTraceWriter& writer) const {
+  const double epoch_offset_us =
+      writer.to_epoch_us(epoch_);  // collector epoch on the writer timeline
+  // Root spans get their own Perfetto track (tid) so per-destination trees
+  // of a merged all-pairs run render side by side instead of stacked.
+  std::vector<std::uint32_t> tid(records_.size(), 0);
+  std::uint32_t next_tid = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    tid[i] = records_[i].parent == SpanRecord::kNoParent ? next_tid++
+                                                         : tid[records_[i].parent];
+  }
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const SpanRecord& span = records_[i];
+    writer.complete_span(span.name, epoch_offset_us + span.start_seconds * 1e6,
+                         span.duration_seconds * 1e6, tid[i], span.steps, span.value);
+  }
+}
+
+}  // namespace ppa::obs

@@ -1,0 +1,177 @@
+// The observability hub: metrics + phase spans + trace fan-out.
+//
+// A Collector is what a solver run observes itself with. It is a
+// sim::TraceSink, so attaching it to a Machine feeds the bus-shape
+// histograms (max_segment, open switch count, plane-sweep width) from the
+// exact TraceEvents both execution backends emit identically; it records a
+// tree of phase spans (init / relax / unload / verify / retry), each with
+// wall-time and the StepCounter delta spent inside; and it forwards
+// everything to an optional ChromeTraceWriter, which streams the run as a
+// Perfetto-loadable timeline.
+//
+// Observation is free by contract: a Collector only *reads* machine state
+// (steps(), the trace hook, the wall clock), so results, driven flags and
+// step counts are bit-identical with and without one attached —
+// tests/obs_observability_test.cpp pins this on both backends.
+//
+// Threading follows the StepCounter idiom: one Collector per simulated
+// machine (single-writer, lock-free), merged deterministically in
+// destination order by the all-pairs driver.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "sim/step_counter.hpp"
+#include "sim/trace.hpp"
+
+namespace ppa::sim {
+class Machine;
+}
+
+namespace ppa::obs {
+
+/// One closed phase span. Spans form a tree via `parent` (index into the
+/// collector's span vector; kNoParent for roots). Times are seconds
+/// relative to the collector's epoch; merging rebases them.
+struct SpanRecord {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  std::string name;
+  std::size_t parent = kNoParent;
+  double start_seconds = 0;
+  double duration_seconds = 0;
+  /// SIMD steps charged on the observed machine while the span was open
+  /// (zero when the span was opened without a machine).
+  sim::StepCounter steps;
+  /// Free-form argument (the MCP destination vertex, the retry attempt
+  /// number, ...); -1 when unset.
+  std::int64_t value = -1;
+};
+
+class Collector final : public sim::TraceSink {
+ public:
+  Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Chrome streaming: instruction/fault events and span brackets are
+  /// forwarded live. Not owned; must outlive the attachment.
+  void set_chrome(ChromeTraceWriter* writer) noexcept { chrome_ = writer; }
+  [[nodiscard]] ChromeTraceWriter* chrome() const noexcept { return chrome_; }
+
+  // ---- sim::TraceSink ----
+  void on_event(const sim::TraceEvent& event) override;
+  void on_fault(const sim::FaultEvent& event) override;
+
+  // ---- spans ----
+
+  /// RAII handle; closes its span on destruction. Inert when obtained from
+  /// a null collector (see open_span below), so call sites need no checks.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+   private:
+    friend class Collector;
+    friend Span open_span(Collector*, std::string_view, const sim::Machine*, std::int64_t);
+    Span(Collector* collector, std::size_t index) : collector_(collector), index_(index) {}
+
+    Collector* collector_;  // null = inert
+    std::size_t index_;
+  };
+
+  /// Opens a span named `name`; `machine` (optional) contributes the
+  /// StepCounter delta, `value` a free-form argument. Spans nest: the
+  /// last-opened unclosed span is the parent.
+  [[nodiscard]] Span span(std::string_view name, const sim::Machine* machine = nullptr,
+                          std::int64_t value = -1);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return records_; }
+
+  /// Deterministic accumulation of another collector: metrics merge by
+  /// name, span trees append with parents re-indexed and times rebased
+  /// onto this collector's epoch. Used by the all-pairs driver to fold
+  /// per-destination collectors in destination order.
+  void merge(const Collector& other);
+
+  /// Exports every recorded span as a complete ("X") Chrome event onto
+  /// `writer`'s timeline — the post-hoc path for merged trees (the live
+  /// path streams B/E pairs instead). `tid_of_root` spreads root spans
+  /// over Perfetto tracks, e.g. one per destination.
+  void export_spans(ChromeTraceWriter& writer) const;
+
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+ private:
+  friend Span open_span(Collector*, std::string_view, const sim::Machine*, std::int64_t);
+  void close_span(std::size_t index);
+  [[nodiscard]] double now_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+  MetricsRegistry metrics_;
+  ChromeTraceWriter* chrome_ = nullptr;  // not owned
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<SpanRecord> records_;
+  std::vector<std::size_t> open_stack_;  // indices into records_
+  // Step snapshot + machine per open span (parallel to open_stack_).
+  struct OpenState {
+    const sim::Machine* machine = nullptr;
+    sim::StepCounter steps_at_open;
+  };
+  std::vector<OpenState> open_state_;
+
+  // Hot-path instruments, resolved once in the constructor.
+  Counter* step_counters_[static_cast<std::size_t>(sim::StepCategory::kCount)] = {};
+  Histogram* seg_hist_ = nullptr;
+  Histogram* open_hist_ = nullptr;
+  Histogram* planes_hist_ = nullptr;
+};
+
+/// Null-safe span opener: returns an inert handle when `collector` is
+/// null, so instrumented code needs no branches. Prefer the PPA_SPAN
+/// macro for the common scoped case.
+[[nodiscard]] Collector::Span open_span(Collector* collector, std::string_view name,
+                                        const sim::Machine* machine = nullptr,
+                                        std::int64_t value = -1);
+
+/// Counter names used for solver bookkeeping (docs/observability.md).
+namespace metric {
+inline constexpr const char* kBusMaxSegment = "bus.max_segment";
+inline constexpr const char* kBusOpenCount = "bus.open_count";
+inline constexpr const char* kBusPlaneWidth = "bus.plane_width";
+inline constexpr const char* kSolverRetries = "solver.retries";
+inline constexpr const char* kSolverRuns = "solver.runs";
+inline constexpr const char* kSolverIterations = "solver.iterations";
+/// Prefixes completed by a kind/outcome name.
+inline constexpr const char* kFaultPrefix = "faults.";
+inline constexpr const char* kOutcomePrefix = "solver.outcome.";
+inline constexpr const char* kStepPrefix = "steps.";
+}  // namespace metric
+
+#define PPA_OBS_CONCAT_INNER(a, b) a##b
+#define PPA_OBS_CONCAT(a, b) PPA_OBS_CONCAT_INNER(a, b)
+
+/// Scoped phase span: PPA_SPAN(collector, "relax_iter", &machine) opens a
+/// span that closes at end of scope. `collector` may be null.
+#define PPA_SPAN(collector, ...) \
+  const ::ppa::obs::Collector::Span PPA_OBS_CONCAT(ppa_span_, __LINE__) = \
+      ::ppa::obs::open_span((collector), __VA_ARGS__)
+
+}  // namespace ppa::obs

@@ -1,0 +1,134 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace ppa::obs {
+
+namespace {
+
+void write_run(JsonWriter& w, const RunInfo& run) {
+  w.begin_object();
+  w.kv(field::kWorkload, run.workload);
+  w.kv(field::kBackend, run.backend);
+  w.kv(field::kN, run.n);
+  w.kv(field::kHostThreads, run.host_threads);
+  w.kv(field::kSimdSteps, run.simd_steps);
+  w.kv(field::kWallSeconds, run.wall_seconds);
+  w.end_object();
+}
+
+void write_steps(JsonWriter& w, const sim::StepCounter& steps) {
+  w.begin_object();
+  w.kv("total", steps.total());
+  for (int c = 0; c < static_cast<int>(sim::StepCategory::kCount); ++c) {
+    const auto category = static_cast<sim::StepCategory>(c);
+    w.kv(sim::name_of(category), steps.count(category));
+  }
+  w.end_object();
+}
+
+void write_histogram(JsonWriter& w, const Histogram& histogram) {
+  w.begin_object();
+  w.key("bounds");
+  w.begin_array();
+  for (const std::uint64_t b : histogram.bounds()) w.value(b);
+  w.end_array();
+  w.key("counts");
+  w.begin_array();
+  for (const std::uint64_t c : histogram.counts()) w.value(c);
+  w.end_array();
+  w.kv("count", histogram.count());
+  w.kv("sum", histogram.sum());
+  w.kv("min", histogram.min());
+  w.kv("max", histogram.max());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const Collector& collector, const RunInfo& run) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", kMetricsSchema);
+  w.key("run");
+  write_run(w, run);
+
+  const MetricsRegistry& metrics = collector.metrics();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, counter] : metrics.counters()) w.kv(name, counter.value());
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, gauge] : metrics.gauges()) w.kv(name, gauge.value());
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    w.key(name);
+    write_histogram(w, histogram);
+  }
+  w.end_object();
+
+  w.key("spans");
+  w.begin_array();
+  for (const SpanRecord& span : collector.spans()) {
+    w.begin_object();
+    w.kv("name", span.name);
+    w.kv("parent", span.parent == SpanRecord::kNoParent
+                       ? std::int64_t{-1}
+                       : static_cast<std::int64_t>(span.parent));
+    w.kv("start_us", span.start_seconds * 1e6);
+    w.kv("dur_us", span.duration_seconds * 1e6);
+    if (span.value >= 0) w.kv("value", span.value);
+    w.key("steps");
+    write_steps(w, span.steps);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << "\n";
+}
+
+void write_stats_summary(std::ostream& out, const Collector& collector,
+                         const RunInfo& run) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "run: workload=%s backend=%s n=%zu host_threads=%zu simd_steps=%llu "
+                "wall=%.3fms\n",
+                run.workload.c_str(), run.backend.c_str(), run.n, run.host_threads,
+                static_cast<unsigned long long>(run.simd_steps), run.wall_seconds * 1e3);
+  out << line;
+
+  const MetricsRegistry& metrics = collector.metrics();
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    if (histogram.count() == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "  %-18s count=%llu min=%llu mean=%.2f max=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<unsigned long long>(histogram.min()), histogram.mean(),
+                  static_cast<unsigned long long>(histogram.max()));
+    out << line;
+  }
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (counter.value() == 0) continue;
+    std::snprintf(line, sizeof line, "  %-18s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out << line;
+  }
+  // Top-level spans only; the full tree lives in the JSON dump.
+  for (const SpanRecord& span : collector.spans()) {
+    if (span.parent != SpanRecord::kNoParent) continue;
+    std::snprintf(line, sizeof line, "  span %-12s %.3fms steps=%llu\n", span.name.c_str(),
+                  span.duration_seconds * 1e3,
+                  static_cast<unsigned long long>(span.steps.total()));
+    out << line;
+  }
+}
+
+}  // namespace ppa::obs

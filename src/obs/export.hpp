@@ -1,0 +1,36 @@
+// Exporters for the observability schema (docs/observability.md).
+//
+// write_metrics_json emits the stable "ppa.metrics.v1" document: a run
+// context object (same field names as the BENCH_e6.json perf records —
+// obs/json.hpp), the registry's counters/gauges/histograms, and the span
+// tree. write_stats_summary renders the same data as a short human
+// summary for `ppa_mcp --stats`.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/collector.hpp"
+
+namespace ppa::obs {
+
+/// Run context stamped into the dump; field names match the bench
+/// harness's perf records so the perf gate reads both.
+struct RunInfo {
+  std::string workload;  // "mcp" | "all_pairs" | ...
+  std::string backend;   // "word" | "bitplane"
+  std::size_t n = 0;
+  std::size_t host_threads = 1;
+  std::uint64_t simd_steps = 0;
+  double wall_seconds = 0;
+};
+
+/// The complete metrics document (one JSON object).
+void write_metrics_json(std::ostream& out, const Collector& collector, const RunInfo& run);
+
+/// Human-readable digest: run line, step mix, bus-shape histograms,
+/// solver counters and the top-level spans.
+void write_stats_summary(std::ostream& out, const Collector& collector, const RunInfo& run);
+
+}  // namespace ppa::obs

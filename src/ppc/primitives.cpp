@@ -80,13 +80,14 @@ Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
                                         driven.data());
     if (!src.fully_driven()) {
       // The taint flags ride the same physical cycle (no extra step): a
-      // receiver is driven only if its driver's own value was.
+      // receiver is driven only if its driver's own value was. The shadow
+      // cycle sees the same effective switches and dead PEs as the data
+      // cycle it rides.
       std::vector<PlaneWord> taint = ctx.acquire_flag_plane();
       std::vector<PlaneWord> taint_driven = ctx.acquire_flag_plane();
-      sim::plane_broadcast_into(ctx.geometry(), ctx.machine().config().topology, dir,
-                                src.driven_plane_view().data(), 1,
-                                open.plane_view().data(), taint.data(),
-                                taint_driven.data());
+      ctx.machine().shadow_broadcast_planes_into(src.driven_plane_view().data(), dir,
+                                                 open.plane_view().data(), taint.data(),
+                                                 taint_driven.data());
       plane_ops::op_and(driven.data(), taint.data(), driven.data(), pw);
       ctx.release_flag_plane(std::move(taint));
       ctx.release_flag_plane(std::move(taint_driven));
@@ -102,11 +103,13 @@ Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
   ctx.machine().broadcast_into(src.values(), dir, open.values(), values, driven);
   if (!src.fully_driven()) {
     // The taint flags ride the same physical cycle (no extra step): a
-    // receiver is driven only if its driver's own value was.
+    // receiver is driven only if its driver's own value was. The shadow
+    // cycle sees the same effective switches and dead PEs as the data
+    // cycle it rides.
     std::vector<Flag> taint = ctx.acquire_flags();
     std::vector<Flag> taint_driven = ctx.acquire_flags();
-    sim::bus_broadcast_into(ctx.machine().n(), ctx.machine().config().topology, dir,
-                            src.driven_view(), open.values(), taint, taint_driven);
+    ctx.machine().shadow_broadcast_into(src.driven_view(), dir, open.values(), taint,
+                                        taint_driven);
     for (std::size_t pe = 0; pe < driven.size(); ++pe) {
       driven[pe] = static_cast<Flag>(driven[pe] & (taint[pe] ? 1 : 0));
     }

@@ -254,8 +254,8 @@ std::size_t Machine::faulty_broadcast_into(std::span<const T> src, Direction dir
   }
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(
-        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open_eff), max_segment});
+    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir, count_open(open_eff),
+                                max_segment, 1, static_cast<std::size_t>(value_bits)});
   }
   return max_segment;
 }
@@ -289,8 +289,8 @@ std::size_t Machine::broadcast_into(std::span<const Word> src, Direction dir,
       bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(
-        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), max_segment});
+    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir, count_open(open),
+                                max_segment, 1, static_cast<std::size_t>(field_.bits())});
   }
   return max_segment;
 }
@@ -384,7 +384,63 @@ std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
   steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
   if (trace_ != nullptr) {
     trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir,
-                                plane_popcount(geometry_, open_eff), max_segment});
+                                plane_popcount(geometry_, open_eff), max_segment, 1,
+                                static_cast<std::size_t>(planes)});
+  }
+  return max_segment;
+}
+
+std::size_t Machine::shadow_broadcast_into(std::span<const Flag> src, Direction dir,
+                                           std::span<const Flag> open,
+                                           std::span<Flag> values, std::span<Flag> driven) {
+  if (!faults_.any) {
+    return bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
+  }
+  const Axis axis = axis_of(dir);
+  const std::span<const Flag> open_eff = effective_open(axis, open);
+  std::span<const Flag> src_eff = src;
+  if (faults_.any_dead) {
+    scratch_src_flag_.resize(src.size());
+    const Flag* dead = faults_.dead.data();
+    for (std::size_t pe = 0; pe < src.size(); ++pe) {
+      scratch_src_flag_[pe] = dead[pe] != 0 ? Flag{0} : src[pe];
+    }
+    src_eff = scratch_src_flag_;
+  }
+  const std::size_t max_segment =
+      bus_broadcast_into(config_.n, config_.topology, dir, src_eff, open_eff, values, driven);
+  clear_dead_driven(dir, open_eff, driven);
+  if (faults_.any_dead) {
+    const Flag* dead = faults_.dead.data();
+    for (std::size_t pe = 0; pe < values.size(); ++pe) {
+      if (dead[pe] != 0) values[pe] = 0;
+    }
+  }
+  return max_segment;
+}
+
+std::size_t Machine::shadow_broadcast_planes_into(const PlaneWord* src, Direction dir,
+                                                  const PlaneWord* open, PlaneWord* out,
+                                                  PlaneWord* driven) {
+  if (!faults_.any) {
+    return plane_broadcast_into(geometry_, config_.topology, dir, src, 1, open, out, driven);
+  }
+  const Axis axis = axis_of(dir);
+  const PlaneWord* open_eff = effective_open_plane(axis, open);
+  const PlaneWord* src_eff = src;
+  const std::size_t pw = geometry_.plane_words();
+  if (faults_.any_dead) {
+    scratch_src_planes_.resize(pw);
+    const PlaneWord* alive = faults_.alive_plane.data();
+    for (std::size_t i = 0; i < pw; ++i) scratch_src_planes_[i] = src[i] & alive[i];
+    src_eff = scratch_src_planes_.data();
+  }
+  const std::size_t max_segment = plane_broadcast_into(geometry_, config_.topology, dir,
+                                                       src_eff, 1, open_eff, out, driven);
+  clear_dead_driven_plane(dir, open_eff, driven);
+  if (faults_.any_dead) {
+    const PlaneWord* alive = faults_.alive_plane.data();
+    for (std::size_t i = 0; i < pw; ++i) out[i] &= alive[i];
   }
   return max_segment;
 }

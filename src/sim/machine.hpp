@@ -144,6 +144,17 @@ class Machine {
   std::size_t wired_or_into(std::span<const Flag> src, Direction dir,
                             std::span<const Flag> open, std::span<Flag> values);
 
+  /// Fault-transformed shadow cycle for host bookkeeping that rides a data
+  /// cycle (the ppc layer's taint flags): applies the effective switch
+  /// state and dead-PE silencing exactly like a data broadcast, but
+  /// charges no step, emits no trace event, and reports no contention —
+  /// the data cycle it rides already did all three. Stuck line bits are
+  /// NOT applied: driven/taint flags are host bookkeeping, not wires
+  /// (sim/fault_model.hpp).
+  std::size_t shadow_broadcast_into(std::span<const Flag> src, Direction dir,
+                                    std::span<const Flag> open, std::span<Flag> values,
+                                    std::span<Flag> driven);
+
   /// Controller response line: OR over all PEs' flags. One GlobalOr step.
   [[nodiscard]] bool global_or(std::span<const Flag> flags);
 
@@ -165,6 +176,12 @@ class Machine {
   /// One wired-OR cycle on a single plane. Charges one BusOr step.
   std::size_t wired_or_plane_into(const PlaneWord* src, Direction dir,
                                   const PlaneWord* open, PlaneWord* out);
+
+  /// Plane twin of shadow_broadcast_into (one flag plane): same fault
+  /// transform, no charge, no trace, no contention report.
+  std::size_t shadow_broadcast_planes_into(const PlaneWord* src, Direction dir,
+                                           const PlaneWord* open, PlaneWord* out,
+                                           PlaneWord* driven);
 
   /// Plane-packed nearest-neighbour move; edge lanes of plane j read bit j
   /// of `fill_bits`. Charges one Shift step.

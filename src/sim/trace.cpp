@@ -56,6 +56,7 @@ std::string to_string(const TraceEvent& event) {
     case StepCategory::BusOr:
       os << " dir=" << name_of(event.direction) << " open=" << event.open_count
          << " seg=" << event.max_segment;
+      if (event.planes != 1) os << " planes=" << event.planes;
       break;
     case StepCategory::Alu:
     case StepCategory::GlobalOr:

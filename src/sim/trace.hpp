@@ -28,6 +28,11 @@ struct TraceEvent {
   /// charges emit ONE event with count > 1 instead of one event per
   /// instruction, so tracing stays O(events) off the hot path.
   std::uint64_t count = 1;
+  /// Bit planes riding the cycle (bus cycles only): the value width for a
+  /// word broadcast, 1 for flag cycles. Identical across backends — the
+  /// bit-plane engine sweeps the same logical planes the word engine moves
+  /// at once.
+  std::size_t planes = 1;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };

@@ -1,0 +1,382 @@
+// The observability layer end to end: metrics instruments, span trees,
+// the two exporters, deterministic merging — and the contract the whole
+// design hangs on: observation is free. Attaching a Collector must not
+// change a single result word or step count, on either backend.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "mcp/allpairs.hpp"
+#include "mcp/mcp.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/collector.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "sim/machine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::obs {
+namespace {
+
+// ---- metrics primitives ----
+
+TEST(Metrics, CounterAccumulatesAndMerges) {
+  Counter a;
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  Counter b;
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 12u);
+}
+
+TEST(Metrics, GaugeMergeKeepsMaximum) {
+  Gauge a;
+  a.set(2.5);
+  Gauge b;
+  b.set(1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.5);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.value(), 2.5);
+}
+
+TEST(Metrics, HistogramBucketsWeightsAndStats) {
+  Histogram h({2, 4, 8});
+  EXPECT_EQ(h.min(), 0u);  // empty
+  h.observe(1);
+  h.observe(2);
+  h.observe(3, 10);  // weighted: 10 samples of value 3
+  h.observe(100);    // overflow bucket
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);   // <= 2
+  EXPECT_EQ(h.counts()[1], 10u);  // <= 4
+  EXPECT_EQ(h.counts()[2], 0u);   // <= 8
+  EXPECT_EQ(h.counts()[3], 1u);   // overflow
+  EXPECT_EQ(h.count(), 13u);
+  EXPECT_EQ(h.sum(), 1u + 2u + 30u + 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 133.0 / 13.0);
+}
+
+TEST(Metrics, HistogramMergeIsComponentWise) {
+  Histogram a({4});
+  a.observe(3);
+  Histogram b({4});
+  b.observe(9, 2);
+  a.merge(b);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 2u);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 9u);
+}
+
+TEST(Metrics, RegistryMergeCreatesMissingAndRejectsBoundMismatch) {
+  MetricsRegistry a;
+  a.counter("x").add(1);
+  MetricsRegistry b;
+  b.counter("x").add(2);
+  b.counter("y").add(5);
+  b.histogram("h", {1, 2}).observe(1);
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("x").value(), 3u);
+  EXPECT_EQ(a.counters().at("y").value(), 5u);
+  // An empty target histogram adopts the source wholesale, bounds included.
+  EXPECT_EQ(a.histograms().at("h").bounds(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(a.histograms().at("h").count(), 1u);
+
+  MetricsRegistry c;
+  c.histogram("h", {1, 2, 3}).observe(2);
+  EXPECT_THROW(a.merge(c), util::ContractError);
+}
+
+TEST(Metrics, Pow2Bounds) {
+  // Powers of two up to `top`, with `top` itself as the last bound.
+  EXPECT_EQ(pow2_bounds(8), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(pow2_bounds(5), (std::vector<std::uint64_t>{1, 2, 4, 5}));
+}
+
+// ---- spans ----
+
+TEST(Spans, NestAndRecordStepDeltas) {
+  sim::MachineConfig cfg;
+  cfg.n = 2;
+  cfg.bits = 4;
+  sim::Machine machine(cfg);
+
+  Collector collector;
+  {
+    auto outer = collector.span("outer", &machine, 42);
+    machine.charge_alu(3);
+    {
+      PPA_SPAN(&collector, "inner", &machine);
+      machine.charge_alu(2);
+    }
+    machine.charge_alu(1);
+  }
+  const auto& spans = collector.spans();
+  // Spans are recorded in open order: outer first, inner second.
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[0].value, 42);
+  EXPECT_EQ(spans[0].steps.total(), 6u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].value, -1);
+  EXPECT_EQ(spans[1].steps.total(), 2u);
+  EXPECT_GE(spans[0].duration_seconds, spans[1].duration_seconds);
+}
+
+TEST(Spans, NullCollectorIsInert) {
+  // Must not crash or allocate anything observable.
+  PPA_SPAN(static_cast<Collector*>(nullptr), "phase");
+  auto s = open_span(nullptr, "phase", nullptr, 7);
+  (void)s;
+}
+
+TEST(Spans, MergeAppendsTreesWithReindexedParents) {
+  Collector a;
+  {
+    auto root_a = a.span("dest", nullptr, 0);
+  }
+  Collector b;
+  {
+    auto root_b = b.span("dest", nullptr, 1);
+    PPA_SPAN(&b, "child");
+  }
+  a.merge(b);
+  const auto& spans = a.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "dest");
+  EXPECT_EQ(spans[1].value, 1);
+  EXPECT_EQ(spans[1].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[2].name, "child");
+  EXPECT_EQ(spans[2].parent, 1u);  // re-indexed onto a's vector
+}
+
+// ---- collector as a trace sink ----
+
+TEST(Collector, FeedsBusHistogramsAndStepCounters) {
+  sim::MachineConfig cfg;
+  cfg.n = 4;
+  cfg.bits = 8;
+  sim::Machine machine(cfg);
+  Collector collector;
+  machine.set_trace(&collector);
+
+  std::vector<sim::Word> src(16, 3);
+  std::vector<sim::Flag> open(16, 0);
+  for (std::size_t r = 0; r < 4; ++r) open[r * 4 + r] = 1;
+  (void)machine.broadcast(src, sim::Direction::East, open);
+  machine.charge_alu(5);
+  machine.set_trace(nullptr);
+
+  const auto& m = collector.metrics();
+  const Histogram& seg = m.histograms().at(metric::kBusMaxSegment);
+  EXPECT_EQ(seg.count(), 1u);
+  EXPECT_EQ(seg.max(), 4u);
+  const Histogram& planes = m.histograms().at(metric::kBusPlaneWidth);
+  EXPECT_EQ(planes.max(), 8u);  // word broadcast sweeps all 8 planes
+  EXPECT_EQ(m.counters().at(std::string(metric::kStepPrefix) + "alu").value(), 5u);
+  EXPECT_EQ(m.counters().at(std::string(metric::kStepPrefix) + "bus_bcast").value(), 1u);
+}
+
+// ---- exporters ----
+
+Collector& demo_collector(Collector& collector) {
+  collector.metrics().counter(metric::kSolverRuns).add(1);
+  collector.metrics().gauge("demo.ratio").set(0.5);
+  collector.metrics().histogram(metric::kBusMaxSegment, pow2_bounds(8)).observe(3);
+  auto root = collector.span("solve", nullptr, 0);
+  PPA_SPAN(&collector, "relax");
+  return collector;
+}
+
+TEST(Export, MetricsJsonIsSchemaValid) {
+  Collector collector;
+  demo_collector(collector);
+  RunInfo run;
+  run.workload = "mcp";
+  run.backend = "word";
+  run.n = 8;
+  run.simd_steps = 123;
+  run.wall_seconds = 0.25;
+
+  std::ostringstream out;
+  write_metrics_json(out, collector, run);
+  const std::string text = out.str();
+
+  std::string error;
+  EXPECT_TRUE(json_valid(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find(kMetricsSchema), std::string::npos);
+  EXPECT_NE(text.find("\"workload\":\"mcp\""), std::string::npos);
+  EXPECT_NE(text.find("\"bus.max_segment\""), std::string::npos);
+  EXPECT_NE(text.find("\"relax\""), std::string::npos);
+}
+
+TEST(Export, StatsSummaryMentionsRunAndSpans) {
+  Collector collector;
+  demo_collector(collector);
+  RunInfo run;
+  run.workload = "mcp";
+  run.backend = "bitplane";
+  run.n = 8;
+  std::ostringstream out;
+  write_stats_summary(out, collector, run);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("backend=bitplane"), std::string::npos);
+  EXPECT_NE(text.find("solve"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceIsAJsonArrayDocument) {
+  std::ostringstream out;
+  {
+    ChromeTraceWriter writer(out);
+    Collector collector;
+    collector.set_chrome(&writer);  // live B/E streaming
+    {
+      auto root = collector.span("solve");
+      PPA_SPAN(&collector, "relax_iter");
+    }
+    collector.on_fault(sim::FaultEvent{sim::FaultEventKind::UndrivenRead,
+                                       sim::StepCategory::BusBroadcast,
+                                       sim::Direction::East, 1, 2, 1});
+    writer.finish();
+  }
+  const std::string text = out.str();
+  std::string error;
+  ASSERT_TRUE(json_valid(text, &error)) << error << "\n" << text;
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(text.find("undriven_read"), std::string::npos);
+}
+
+TEST(Export, PostHocSpanExportEmitsCompleteEvents) {
+  Collector collector;
+  demo_collector(collector);
+  std::ostringstream out;
+  {
+    ChromeTraceWriter writer(out);
+    collector.export_spans(writer);
+    writer.finish();
+  }
+  std::string error;
+  ASSERT_TRUE(json_valid(out.str(), &error)) << error;
+  EXPECT_NE(out.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---- the zero-cost contract ----
+
+struct SolveSnapshot {
+  std::vector<graph::Weight> costs;
+  std::vector<graph::Vertex> next;
+  std::uint64_t total_steps = 0;
+  std::size_t iterations = 0;
+};
+
+SolveSnapshot run_solve(const graph::WeightMatrix& g, sim::ExecBackend backend,
+                        Collector* observer) {
+  sim::MachineConfig cfg;
+  cfg.n = g.size();
+  cfg.bits = g.field().bits();
+  cfg.backend = backend;
+  sim::Machine machine(cfg);
+  mcp::Options options;
+  options.observer = observer;
+  const auto r = mcp::minimum_cost_path(machine, g, 0, options);
+  SolveSnapshot s;
+  s.costs = r.solution.cost;
+  s.next = r.solution.next;
+  s.total_steps = r.total_steps.total();
+  s.iterations = r.iterations;
+  return s;
+}
+
+TEST(ZeroCost, ObservationIsBitIdenticalOnBothBackends) {
+  util::Rng rng(11);
+  const auto g = graph::random_reachable_digraph(17, 8, 0.3, {1, 9}, 0, rng);
+  for (const sim::ExecBackend backend :
+       {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    const SolveSnapshot bare = run_solve(g, backend, nullptr);
+    Collector collector;
+    const SolveSnapshot observed = run_solve(g, backend, &collector);
+    EXPECT_EQ(bare.costs, observed.costs);
+    EXPECT_EQ(bare.next, observed.next);
+    EXPECT_EQ(bare.total_steps, observed.total_steps);
+    EXPECT_EQ(bare.iterations, observed.iterations);
+    // And the collector actually observed the run.
+    EXPECT_EQ(collector.metrics().counters().at(metric::kSolverRuns).value(), 1u);
+    EXPECT_GT(collector.metrics().histograms().at(metric::kBusMaxSegment).count(), 0u);
+    EXPECT_FALSE(collector.spans().empty());
+  }
+}
+
+// ---- all-pairs determinism ----
+
+void scrub_wall_times(std::vector<SpanRecord>& spans) {
+  for (auto& span : spans) {
+    span.start_seconds = 0;
+    span.duration_seconds = 0;
+  }
+}
+
+TEST(AllPairs, MergedMetricsAreWorkerCountIndependent) {
+  util::Rng rng(3);
+  const auto g = graph::random_reachable_digraph(12, 8, 0.3, {1, 9}, 0, rng);
+
+  auto run = [&](std::size_t workers) {
+    auto collector = std::make_unique<Collector>();
+    mcp::AllPairsOptions options;
+    options.workers = workers;
+    options.mcp.observer = collector.get();
+    (void)mcp::all_pairs(g, options);
+    return collector;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+
+  // Counters and histograms match exactly.
+  ASSERT_EQ(one->metrics().counters().size(), four->metrics().counters().size());
+  for (const auto& [name, counter] : one->metrics().counters()) {
+    EXPECT_EQ(counter.value(), four->metrics().counters().at(name).value()) << name;
+  }
+  for (const auto& [name, hist] : one->metrics().histograms()) {
+    EXPECT_EQ(hist.counts(), four->metrics().histograms().at(name).counts()) << name;
+    EXPECT_EQ(hist.sum(), four->metrics().histograms().at(name).sum()) << name;
+  }
+
+  // Span trees match in structure (names, parents, steps, values) once
+  // wall-clock noise is scrubbed.
+  auto spans_one = one->spans();
+  auto spans_four = four->spans();
+  scrub_wall_times(spans_one);
+  scrub_wall_times(spans_four);
+  ASSERT_EQ(spans_one.size(), spans_four.size());
+  for (std::size_t i = 0; i < spans_one.size(); ++i) {
+    EXPECT_EQ(spans_one[i].name, spans_four[i].name) << i;
+    EXPECT_EQ(spans_one[i].parent, spans_four[i].parent) << i;
+    EXPECT_EQ(spans_one[i].value, spans_four[i].value) << i;
+    EXPECT_EQ(spans_one[i].steps.total(), spans_four[i].steps.total()) << i;
+  }
+}
+
+// ---- json_valid itself ----
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_valid(R"({"a": [1, 2.5, -3e2, "x\n", true, null]})"));
+  std::string error;
+  EXPECT_FALSE(json_valid(R"({"a": )", &error));
+  EXPECT_FALSE(json_valid("[1, 2,]", &error));
+  EXPECT_FALSE(json_valid("{} trailing", &error));
+  EXPECT_FALSE(json_valid("", &error));
+}
+
+}  // namespace
+}  // namespace ppa::obs

@@ -1,0 +1,147 @@
+// The taint shadow cycle under injected hardware faults.
+//
+// When a partially-driven Pint rides a bus cycle, its driven flags ride a
+// shadow cycle that must see exactly the switches and PEs the data cycle
+// saw — including per-axis fault masks (stuck-open / stuck-closed switch
+// boxes) and dead PEs. A shadow computed over the program's intended
+// switches instead would mark values driven that physically came from a
+// tainted driver: the stuck-closed scenario below is the regression pin
+// (docs/robustness.md).
+#include <gtest/gtest.h>
+
+#include "ppc/primitives.hpp"
+#include "sim/fault_model.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::ppc {
+namespace {
+
+using sim::Direction;
+
+sim::MachineConfig config_of(std::size_t n, int bits, sim::ExecBackend backend,
+                             sim::BusTopology topology = sim::BusTopology::Linear) {
+  sim::MachineConfig c;
+  c.n = n;
+  c.bits = bits;
+  c.backend = backend;
+  c.topology = topology;
+  return c;
+}
+
+/// Builds the scenario on one machine: a source tainted exactly at column
+/// 0 (its drivers read their own floating stub on the linear bus), then an
+/// eastward re-broadcast with program drivers at columns 0 and 2.
+Pint tainted_rebroadcast(Context& ctx) {
+  const Pbool open_col0 = (col_of(ctx) == Word{0});
+  const Pint src = broadcast(Pint(ctx, 7), Direction::East, open_col0);
+  // src is driven at columns 1..3 and tainted at column 0 in every row.
+  const Pbool open_02 = (col_of(ctx) == Word{0}) | (col_of(ctx) == Word{2});
+  return broadcast(src, Direction::East, open_02);
+}
+
+TEST(TaintFaults, ShadowSeesStuckClosedSwitches) {
+  // Row 1's switch at column 2 is stuck Short, so the clean column-2
+  // driver is suppressed there and column 3 physically receives the
+  // TAINTED column-0 value. A shadow over the program switches would
+  // instead credit column 3 with the clean driver and leave it driven.
+  for (const sim::ExecBackend backend :
+       {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    sim::Machine m(config_of(4, 8, backend));
+    m.inject_faults(sim::FaultModel::parse("stuck-closed:row,1,2", 4, 8));
+    Context ctx(m);
+    const Pint got = tainted_rebroadcast(ctx);
+    ASSERT_FALSE(got.fully_driven());
+    const Pbool ok = driven_mask(got);
+    for (std::size_t r = 0; r < 4; ++r) {
+      // Columns 0 and 2 read their own floating stubs; column 1 receives
+      // the tainted column-0 payload everywhere.
+      EXPECT_FALSE(ok.at(r, 0)) << "backend " << static_cast<int>(backend) << " row " << r;
+      EXPECT_FALSE(ok.at(r, 1)) << "backend " << static_cast<int>(backend) << " row " << r;
+      EXPECT_FALSE(ok.at(r, 2)) << "backend " << static_cast<int>(backend) << " row " << r;
+      if (r == 1) {
+        EXPECT_FALSE(ok.at(r, 3)) << "stuck-closed row must propagate the taint";
+      } else {
+        EXPECT_TRUE(ok.at(r, 3)) << "healthy rows keep the clean column-2 driver";
+        EXPECT_EQ(got.at(r, 3), 7u);
+      }
+    }
+  }
+}
+
+TEST(TaintFaults, ShadowSilencesDeadDrivers) {
+  // The clean column-2 driver of row 2 is dead: its segment floats in the
+  // data cycle, and the shadow must float it too (no taint verdict at all,
+  // rather than a stale program-switch one).
+  for (const sim::ExecBackend backend :
+       {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    sim::Machine m(config_of(4, 8, backend));
+    m.inject_faults(sim::FaultModel::parse("dead:2,2", 4, 8));
+    Context ctx(m);
+    const Pint got = tainted_rebroadcast(ctx);
+    const Pbool ok = driven_mask(got);
+    EXPECT_FALSE(ok.at(2, 3)) << "a dead driver's segment floats";
+    EXPECT_TRUE(ok.at(0, 3));
+    EXPECT_TRUE(ok.at(3, 3));
+  }
+}
+
+TEST(TaintFaults, WordAndPlaneBackendsAgreeUnderPerAxisFaults) {
+  // Engine parity: the word and bit-plane shadow paths must produce the
+  // same driven mask and the same values at driven PEs for a mix of
+  // row-axis and column-axis faults.
+  const char* specs[] = {
+      "",
+      "stuck-open:row,1,1",
+      "stuck-closed:row,2,2",
+      "dead:1,2",
+      "stuck-open:col,1,2;stuck-closed:row,3,2;dead:0,1",
+  };
+  for (const char* spec : specs) {
+    sim::Machine word(config_of(4, 8, sim::ExecBackend::Words));
+    sim::Machine plane(config_of(4, 8, sim::ExecBackend::BitPlane));
+    if (*spec != '\0') {
+      word.inject_faults(sim::FaultModel::parse(spec, 4, 8));
+      plane.inject_faults(sim::FaultModel::parse(spec, 4, 8));
+    }
+    Context wctx(word);
+    Context pctx(plane);
+    const Pint wgot = tainted_rebroadcast(wctx);
+    const Pint pgot = tainted_rebroadcast(pctx);
+    const Pbool wok = driven_mask(wgot);
+    const Pbool pok = driven_mask(pgot);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(wok.at(r, c), pok.at(r, c)) << spec << " pe (" << r << "," << c << ")";
+        if (wok.at(r, c)) {
+          ASSERT_EQ(wgot.at(r, c), pgot.at(r, c))
+              << spec << " pe (" << r << "," << c << ")";
+        }
+      }
+    }
+    EXPECT_EQ(word.steps().total(), plane.steps().total()) << spec;
+  }
+}
+
+TEST(TaintFaults, ShadowCycleChargesNoStep) {
+  // The taint ride is free: broadcasting a partially-driven source costs
+  // exactly the same SIMD steps as broadcasting a fully-driven one.
+  sim::Machine tainted_m(config_of(4, 8, sim::ExecBackend::Words));
+  tainted_m.inject_faults(sim::FaultModel::parse("stuck-closed:row,1,2", 4, 8));
+  Context tainted_ctx(tainted_m);
+  (void)tainted_rebroadcast(tainted_ctx);
+
+  sim::Machine clean_m(config_of(4, 8, sim::ExecBackend::Words));
+  clean_m.inject_faults(sim::FaultModel::parse("stuck-closed:row,1,2", 4, 8));
+  Context clean_ctx(clean_m);
+  const Pbool open_col0 = (col_of(clean_ctx) == Word{0});
+  (void)broadcast(Pint(clean_ctx, 7), Direction::East, open_col0);
+  const Pbool open_02 =
+      (col_of(clean_ctx) == Word{0}) | (col_of(clean_ctx) == Word{2});
+  (void)broadcast(Pint(clean_ctx, 7), Direction::East, open_02);  // fully driven
+
+  EXPECT_EQ(tainted_m.steps().count(sim::StepCategory::BusBroadcast),
+            clean_m.steps().count(sim::StepCategory::BusBroadcast));
+}
+
+}  // namespace
+}  // namespace ppa::ppc

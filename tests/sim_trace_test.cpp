@@ -97,6 +97,77 @@ TEST(Trace, ToStringFormats) {
   EXPECT_EQ(to_string(TraceEvent{StepCategory::GlobalOr, Direction::North, 0, 0}),
             "global_or");
   EXPECT_EQ(to_string(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, 3}), "alu x3");
+  // The planes field only renders when a bus cycle moved more than one.
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::BusBroadcast, Direction::South, 4, 8, 1, 16}),
+            "bus_bcast dir=South open=4 seg=8 planes=16");
+  EXPECT_EQ(to_string(TraceEvent{StepCategory::BusOr, Direction::West, 2, 3, 1, 1}),
+            "bus_or dir=West open=2 seg=3");
+}
+
+TEST(Trace, FaultEventNames) {
+  EXPECT_STREQ(name_of(FaultEventKind::BusContention), "bus_contention");
+  EXPECT_STREQ(name_of(FaultEventKind::UndrivenRead), "undriven_read");
+  EXPECT_STREQ(name_of(FaultEventKind::VerificationFailed), "verification_failed");
+  EXPECT_STREQ(name_of(FaultEventKind::NonConvergence), "non_convergence");
+}
+
+TEST(Trace, FaultEventToStringFormats) {
+  // Bus-related kinds carry the cycle and the first affected PE; the
+  // solver-level kinds are bare; counts > 1 render as a multiplier.
+  EXPECT_EQ(to_string(FaultEvent{FaultEventKind::BusContention, StepCategory::BusBroadcast,
+                                 Direction::South, 3, 7, 2}),
+            "bus_contention bus_bcast dir=South pe=(3,7) x2");
+  EXPECT_EQ(to_string(FaultEvent{FaultEventKind::UndrivenRead, StepCategory::BusOr,
+                                 Direction::East, 0, 1, 1}),
+            "undriven_read bus_or dir=East pe=(0,1)");
+  EXPECT_EQ(to_string(FaultEvent{FaultEventKind::VerificationFailed, StepCategory::Alu,
+                                 Direction::North, 0, 0, 1}),
+            "verification_failed");
+  EXPECT_EQ(to_string(FaultEvent{FaultEventKind::NonConvergence, StepCategory::Alu,
+                                 Direction::North, 0, 0, 3}),
+            "non_convergence x3");
+}
+
+TEST(Trace, CountWeighsBulkEvents) {
+  RecordingTrace trace;
+  trace.on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, 5});
+  trace.on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, 1});
+  trace.on_event(TraceEvent{StepCategory::Shift, Direction::East, 0, 0, 2});
+  EXPECT_EQ(trace.count(StepCategory::Alu), 6u);
+  EXPECT_EQ(trace.count(StepCategory::Shift), 2u);
+  EXPECT_EQ(trace.count(StepCategory::BusOr), 0u);
+  EXPECT_EQ(trace.instruction_count(), 8u);
+}
+
+TEST(Trace, RecordsFaultEvents) {
+  RecordingTrace trace;
+  trace.on_fault(FaultEvent{FaultEventKind::UndrivenRead, StepCategory::BusBroadcast,
+                            Direction::East, 1, 2, 4});
+  ASSERT_EQ(trace.faults().size(), 1u);
+  EXPECT_EQ(trace.faults()[0].count, 4u);
+  trace.clear();
+  EXPECT_TRUE(trace.faults().empty());
+}
+
+TEST(Trace, BusEventsCarryPlaneWidth) {
+  // A word broadcast reports the field width as its plane count; flag
+  // cycles report 1. The bit-plane engine stamps the same numbers (ppc
+  // passes the field width / 1 explicitly), which is what lets the
+  // observability histograms compare backends.
+  Machine m(config_of(3));
+  RecordingTrace trace;
+  m.set_trace(&trace);
+  std::vector<Word> src(9, 1);
+  std::vector<Flag> open(9, 0);
+  open[0] = 1;
+  open[3] = 1;
+  open[6] = 1;
+  (void)m.broadcast(src, Direction::East, open);
+  std::vector<Flag> bits(9, 1);
+  (void)m.wired_or(bits, Direction::East, open);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].planes, 8u);
+  EXPECT_EQ(trace.events()[1].planes, 1u);
 }
 
 }  // namespace

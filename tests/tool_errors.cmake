@@ -96,5 +96,59 @@ if(NOT last_output MATCHES "outcomes: 10/10 ok")
   message(FATAL_ERROR "allpairs with retries did not recover all destinations: ${last_output}")
 endif()
 
-file(REMOVE ${graph_file} ${solution_file})
+# --- observability flags: metrics + chrome trace round-trip ---
+set(metrics_file "${WORKDIR}/tool_errors_metrics.json")
+set(chrome_file "${WORKDIR}/tool_errors_trace.json")
+run_ok(solve --graph ${graph_file} --dest 1 --verify --stats
+       --metrics-out ${metrics_file} --trace-chrome ${chrome_file}
+       --out ${solution_file})
+if(NOT last_output MATCHES "run: workload=mcp")
+  message(FATAL_ERROR "--stats did not print the run summary: ${last_output}")
+endif()
+if(NOT EXISTS ${metrics_file} OR NOT EXISTS ${chrome_file})
+  message(FATAL_ERROR "--metrics-out / --trace-chrome did not write their files")
+endif()
+file(READ ${metrics_file} metrics_text)
+if(NOT metrics_text MATCHES "ppa\\.metrics\\.v1")
+  message(FATAL_ERROR "metrics dump missing the schema marker:\n${metrics_text}")
+endif()
+file(READ ${chrome_file} chrome_text)
+if(NOT chrome_text MATCHES "^\\[" OR NOT chrome_text MATCHES "traceEvents|\"ph\"")
+  message(FATAL_ERROR "chrome trace is not a trace_event JSON array:\n${chrome_text}")
+endif()
+
+# The observability flags are PPA-model-only, and unwritable paths are
+# one-line errors, not crashes.
+expect_fail("model=ppa" solve --graph ${graph_file} --dest 1 --model mesh
+            --metrics-out ${metrics_file} --out ${solution_file})
+expect_fail("cannot" solve --graph ${graph_file} --dest 1
+            --trace-chrome ${WORKDIR}/no_such_dir/trace.json --out ${solution_file})
+
+# --- fault tally: any recorded FaultEvents surface as one stderr line ---
+execute_process(COMMAND ${TOOL} solve --graph ${graph_file} --dest 1
+                        --faults dead:1,2 --verify --max-retries 2
+                        --out ${solution_file}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faulty solve with retries failed (rc=${rc}): ${err}")
+endif()
+if(NOT err MATCHES "fault-events: ")
+  message(FATAL_ERROR "faulty run did not print the fault tally on stderr:\n${err}")
+endif()
+if(NOT err MATCHES "verification_failed=1")
+  message(FATAL_ERROR "fault tally is missing the verification failure:\n${err}")
+endif()
+
+# A clean run stays silent on stderr.
+execute_process(COMMAND ${TOOL} solve --graph ${graph_file} --dest 1 --verify
+                        --out ${solution_file}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clean solve failed (rc=${rc})")
+endif()
+if(err MATCHES "fault-events")
+  message(FATAL_ERROR "clean run printed a fault tally:\n${err}")
+endif()
+
+file(REMOVE ${graph_file} ${solution_file} ${metrics_file} ${chrome_file})
 message(STATUS "tool error handling OK")

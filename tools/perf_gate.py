@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh BENCH_e6.json against the committed baseline.
+
+Usage:
+    tools/perf_gate.py BASELINE.json CURRENT.json
+
+Both files are JSON arrays of perf records sharing the metrics schema's
+run-field names (workload, backend, n, host_threads, simd_steps,
+wall_seconds, pe_ops_per_sec) — the format bench_e6_sim_throughput writes
+via bench::write_perf_records.
+
+Records are matched on the configuration key (workload, backend, n,
+host_threads).  For every matched pair the gate fails when
+
+    current.wall_seconds > baseline.wall_seconds * (1 + threshold)
+
+where threshold defaults to 0.15 (15 %) and can be overridden with the
+PERF_GATE_THRESHOLD environment variable (a fraction, e.g. 0.25).
+
+A changed simd_steps count for a matched configuration is reported as a
+warning, not a failure: step counts are workload properties, and a step
+change means the workload itself changed, so the wall-clock comparison is
+apples-to-oranges — the baseline should be refreshed (tools/run_benchmarks.sh)
+in the same commit.  Configurations present in only one file are warned
+about and skipped.
+
+Exit status: 0 when every matched configuration is within the threshold,
+1 on any regression, 2 on malformed input.
+"""
+
+import json
+import os
+import sys
+
+KEY_FIELDS = ("workload", "backend", "n", "host_threads")
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, list):
+        print(f"perf_gate: {path}: expected a JSON array of records", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for record in data:
+        try:
+            key = tuple(record[field] for field in KEY_FIELDS)
+            float(record["wall_seconds"])
+        except (TypeError, KeyError) as err:
+            print(f"perf_gate: {path}: malformed record {record!r}: missing {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if key in records:
+            print(f"perf_gate: {path}: duplicate configuration {key}", file=sys.stderr)
+            sys.exit(2)
+        records[key] = record
+    return records
+
+
+def describe(key):
+    return "/".join(str(part) for part in key)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        threshold = float(os.environ.get("PERF_GATE_THRESHOLD", "0.15"))
+    except ValueError:
+        print("perf_gate: PERF_GATE_THRESHOLD must be a number", file=sys.stderr)
+        return 2
+    if threshold < 0:
+        print("perf_gate: PERF_GATE_THRESHOLD must be >= 0", file=sys.stderr)
+        return 2
+
+    baseline = load_records(argv[1])
+    current = load_records(argv[2])
+
+    for key in sorted(set(baseline) - set(current)):
+        print(f"perf_gate: warning: {describe(key)} in baseline only — skipped")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"perf_gate: warning: {describe(key)} in current only — skipped")
+
+    regressions = 0
+    compared = 0
+    for key in sorted(set(baseline) & set(current)):
+        base, cur = baseline[key], current[key]
+        if base.get("simd_steps") != cur.get("simd_steps"):
+            print(f"perf_gate: warning: {describe(key)}: simd_steps changed "
+                  f"{base.get('simd_steps')} -> {cur.get('simd_steps')} — the workload "
+                  f"itself changed; refresh the baseline")
+        base_wall = float(base["wall_seconds"])
+        cur_wall = float(cur["wall_seconds"])
+        ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+        verdict = "ok"
+        if cur_wall > base_wall * (1 + threshold):
+            verdict = "REGRESSION"
+            regressions += 1
+        compared += 1
+        print(f"perf_gate: {describe(key)}: wall {base_wall:.4f}s -> {cur_wall:.4f}s "
+              f"({ratio:.2f}x baseline) [{verdict}]")
+
+    if compared == 0:
+        print("perf_gate: no overlapping configurations to compare", file=sys.stderr)
+        return 2
+    limit = f"{threshold:.0%}"
+    if regressions:
+        print(f"perf_gate: FAIL — {regressions}/{compared} configuration(s) regressed "
+              f"more than {limit} vs baseline")
+        return 1
+    print(f"perf_gate: PASS — {compared} configuration(s) within {limit} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,13 +4,20 @@
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
 //                  [--trace] [--faults <spec>] [--verify] [--max-retries N]
-//                  [--checked]
+//                  [--checked] [--metrics-out FILE] [--trace-chrome FILE]
+//                  [--stats]
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt
 //   ppa_mcp allpairs --graph graph.txt [--faults <spec>] [--verify]
-//                  [--max-retries N] [--checked]
+//                  [--max-retries N] [--checked] [--metrics-out FILE]
+//                  [--trace-chrome FILE] [--stats]
 //   ppa_mcp eccentricity --graph graph.txt
+//
+// Observability (docs/observability.md): --metrics-out writes the
+// ppa.metrics.v1 JSON dump, --trace-chrome a Perfetto-loadable Chrome
+// trace, --stats a human summary; when any fault events were recorded the
+// tool prints a one-line kind tally on stderr.
 //
 // The fault spec grammar is sim/fault_model.hpp's, e.g.
 // "dead:2,3;stuck-bit:row,1,0,1;random:7,4" (docs/robustness.md).
@@ -23,7 +30,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "baseline/gcn.hpp"
@@ -37,9 +46,13 @@
 #include "mcp/allpairs.hpp"
 #include "mcp/closure.hpp"
 #include "mcp/mcp.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/collector.hpp"
+#include "obs/export.hpp"
 #include "sim/fault_model.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace ppa;
 
@@ -95,6 +108,90 @@ bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix
     options.faults = sim::FaultModel::parse(spec, g.size(), g.field().bits());
   }
   return true;
+}
+
+/// Observability flags shared by `solve` and `allpairs`
+/// (docs/observability.md).
+void add_observability_flags(util::CliParser& cli) {
+  cli.flag("metrics-out", "write the ppa.metrics.v1 JSON metrics dump to this file", "");
+  cli.flag("trace-chrome", "write a Chrome trace_event (Perfetto) trace to this file", "");
+  cli.bool_flag("stats", "print a human-readable metrics summary to stdout");
+}
+
+/// The observability state one subcommand run owns: a Collector when any
+/// of the three flags asked for one, plus the streaming Chrome writer.
+struct Observability {
+  std::unique_ptr<obs::Collector> collector;
+  std::ofstream chrome_file;
+  std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  std::string metrics_path;
+  bool stats = false;
+
+  [[nodiscard]] bool enabled() const noexcept { return collector != nullptr; }
+};
+
+/// Builds the run's observability state from the parsed flags. `live`
+/// attaches the Chrome writer to the collector so instruction/span events
+/// stream as they happen (single-destination solve); without it the caller
+/// exports the merged span tree post hoc (all-pairs). Returns false after
+/// a stderr message when the trace file cannot be opened.
+bool setup_observability(const util::CliParser& cli, bool live, Observability& out) {
+  out.metrics_path = cli.get_string("metrics-out");
+  out.stats = cli.get_bool("stats");
+  const std::string chrome_path = cli.get_string("trace-chrome");
+  if (out.metrics_path.empty() && chrome_path.empty() && !out.stats) return true;
+  out.collector = std::make_unique<obs::Collector>();
+  if (!chrome_path.empty()) {
+    out.chrome_file.open(chrome_path);
+    if (!out.chrome_file) {
+      std::fprintf(stderr, "error: cannot open --trace-chrome file '%s'\n",
+                   chrome_path.c_str());
+      return false;
+    }
+    out.chrome = std::make_unique<obs::ChromeTraceWriter>(out.chrome_file);
+    if (live) out.collector->set_chrome(out.chrome.get());
+  }
+  return true;
+}
+
+/// Writes the requested artifacts. Returns 2 (after a stderr message) when
+/// the metrics file cannot be written, 0 otherwise.
+int finish_observability(Observability& o, const obs::RunInfo& run) {
+  if (!o.enabled()) return 0;
+  if (o.chrome != nullptr) {
+    if (o.collector->chrome() == nullptr) o.collector->export_spans(*o.chrome);
+    o.chrome->finish();
+  }
+  if (!o.metrics_path.empty()) {
+    std::ofstream f(o.metrics_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open --metrics-out file '%s'\n",
+                   o.metrics_path.c_str());
+      return 2;
+    }
+    obs::write_metrics_json(f, *o.collector, run);
+  }
+  if (o.stats) obs::write_stats_summary(std::cout, *o.collector, run);
+  return 0;
+}
+
+/// One-line kind-by-kind tally on STDERR whenever a run recorded fault
+/// events, e.g. "fault-events: bus_contention=12 undriven_read=3" —
+/// machine-greppable regardless of what stdout reports (pinned by
+/// tests/tool_errors.cmake).
+void print_fault_tally(const std::vector<sim::FaultEvent>& events) {
+  if (events.empty()) return;
+  std::size_t tally[4] = {};
+  for (const sim::FaultEvent& e : events) tally[static_cast<int>(e.kind)] += e.count;
+  std::string line = "fault-events:";
+  for (int k = 0; k < 4; ++k) {
+    if (tally[k] == 0) continue;
+    line += ' ';
+    line += sim::name_of(static_cast<sim::FaultEventKind>(k));
+    line += '=';
+    line += std::to_string(tally[k]);
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 bool is_failure(mcp::SolveOutcome outcome) {
@@ -171,6 +268,7 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.flag("out", "output solution file", "solution.txt");
   cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
   add_robustness_flags(cli);
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
@@ -178,9 +276,12 @@ int cmd_solve(int argc, const char* const* argv) {
   const std::string model = cli.get_string("model");
   if (model != "ppa" &&
       (cli.get_bool("verify") || cli.get_bool("checked") ||
-       !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0)) {
+       !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0 ||
+       !cli.get_string("metrics-out").empty() ||
+       !cli.get_string("trace-chrome").empty() || cli.get_bool("stats"))) {
     std::fprintf(stderr,
-                 "error: --faults/--verify/--max-retries/--checked require --model=ppa\n");
+                 "error: --faults/--verify/--max-retries/--checked and the "
+                 "observability flags require --model=ppa\n");
     return 2;
   }
 
@@ -208,7 +309,12 @@ int cmd_solve(int argc, const char* const* argv) {
     options.record_iterations = cli.get_bool("trace");
     if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
     if (!read_robustness_flags(cli, g, options)) return 2;
+    Observability obs_state;
+    if (!setup_observability(cli, /*live=*/true, obs_state)) return 2;
+    options.observer = obs_state.collector.get();
+    util::Stopwatch timer;
     const auto r = mcp::solve(g, d, options);
+    const double wall_seconds = timer.seconds();
     solution = r.solution;
     iterations = r.iterations;
     steps = r.total_steps;
@@ -220,6 +326,16 @@ int cmd_solve(int argc, const char* const* argv) {
       }
     }
     print_outcome(r);
+    print_fault_tally(r.fault_events);
+    obs::RunInfo run;
+    run.workload = "mcp";
+    run.backend = cli.get_string("backend");
+    run.n = g.size();
+    run.host_threads = 1;
+    run.simd_steps = r.total_steps.total();
+    run.wall_seconds = wall_seconds;
+    const int obs_rc = finish_observability(obs_state, run);
+    if (obs_rc != 0) return obs_rc;
     if (is_failure(r.outcome)) rc = 1;
   } else {
     std::fprintf(stderr, "unknown model: %s\n", model.c_str());
@@ -282,6 +398,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
            "1");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
   add_robustness_flags(cli);
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
@@ -294,7 +411,15 @@ int cmd_allpairs(int argc, const char* const* argv) {
   options.workers = static_cast<std::size_t>(workers);
   if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
   if (!read_robustness_flags(cli, g, options.mcp)) return 2;
+  // Post-hoc Chrome export: the per-destination span trees are merged in
+  // destination order after the (possibly threaded) run, so the artifacts
+  // are identical for every --workers value.
+  Observability obs_state;
+  if (!setup_observability(cli, /*live=*/false, obs_state)) return 2;
+  options.mcp.observer = obs_state.collector.get();
+  util::Stopwatch timer;
   const auto ap = mcp::all_pairs(g, options);
+  const double wall_seconds = timer.seconds();
   std::printf("all-pairs over %zu vertices: %zu total iterations, %s\n", ap.n,
               ap.total_iterations, ap.total_steps.summary().c_str());
   const bool robust = options.mcp.verify || options.mcp.checked || !options.mcp.faults.empty();
@@ -313,6 +438,16 @@ int cmd_allpairs(int argc, const char* const* argv) {
       }
     }
   }
+  print_fault_tally(ap.fault_events);
+  obs::RunInfo run;
+  run.workload = "all_pairs";
+  run.backend = cli.get_string("backend");
+  run.n = g.size();
+  run.host_threads = options.workers;
+  run.simd_steps = ap.total_steps.total();
+  run.wall_seconds = wall_seconds;
+  const int obs_rc = finish_observability(obs_state, run);
+  if (obs_rc != 0) return obs_rc;
   std::printf("diameter (max finite cost over ordered pairs): %u\n\n", ap.diameter);
   for (graph::Vertex i = 0; i < ap.n; ++i) {
     std::string line;

@@ -10,16 +10,36 @@
 # MCP, and the threaded all-pairs runs — so the perf trajectory is
 # versioned with the code. Run on an otherwise idle machine before
 # committing a perf-relevant change, and commit the refreshed file.
+#
+# The build must be a Release build: the committed baseline feeds
+# tools/perf_gate.py, and a RelWithDebInfo/Debug measurement would poison
+# the trajectory. The script refuses to run otherwise.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${BUILD_DIR:-build}"
+BUILD="${BUILD_DIR:-build-release}"
 # The default filter matches nothing, so only the reproduction tables run
 # (they are what writes BENCH_e6.json); the microbenchmark loops are
 # opt-in because they take minutes.
 FILTER="${BENCH_FILTER:-_tables_only_}"
 
-cmake -S "$ROOT" -B "$ROOT/$BUILD" >/dev/null
+# A fresh directory is configured as Release; an existing one keeps its
+# cached build type (never silently reconfigured) and is checked below.
+if [[ -f "$ROOT/$BUILD/CMakeCache.txt" ]]; then
+  cmake -S "$ROOT" -B "$ROOT/$BUILD" >/dev/null
+else
+  cmake -S "$ROOT" -B "$ROOT/$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$ROOT/$BUILD/CMakeCache.txt")"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "error: $BUILD is configured as '${BUILD_TYPE:-<unset>}', not Release." >&2
+  echo "       Benchmark baselines must come from a Release build; point BUILD_DIR" >&2
+  echo "       at a fresh directory (the default build-release is configured" >&2
+  echo "       automatically) or reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 1
+fi
+
 cmake --build "$ROOT/$BUILD" --parallel --target bench_e6_sim_throughput >/dev/null
 
 cd "$ROOT"  # bench binaries write their JSON/CSV artifacts to the CWD
