@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "mcp/tiled.hpp"
 #include "obs/collector.hpp"
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
@@ -78,7 +79,10 @@ std::size_t AllPairsResult::failed_destinations() const noexcept {
 AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions& options) {
   const std::size_t n = graph.size();
   sim::MachineConfig config;
-  config.n = n;
+  // Worker machines honor Options::array_side: p < n runs every
+  // destination through the tiled sweep (solve_with_recovery dispatches
+  // on the machine geometry).
+  config.n = effective_array_side(options.mcp, n);
   config.bits = graph.field().bits();
   config.backend = options.mcp.backend;
   config.checked = options.mcp.checked || !options.mcp.faults.empty();

@@ -32,7 +32,11 @@ struct EccentricityResult {
                                               graph::Vertex destination,
                                               const Options& options = {});
 
-/// Convenience one-shot with a fresh host-sequential machine.
+/// Convenience one-shot with a fresh host-sequential machine. Ignores
+/// Options::array_side: the on-machine row-d reduction needs the costs
+/// resident across a full array row, so the machine is built at the
+/// vertex count (all_pairs, by contrast, honors array_side — its
+/// diameter reduction is host-side).
 [[nodiscard]] EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
                                                     graph::Vertex destination,
                                                     const Options& options = {});

@@ -88,19 +88,23 @@ ReachabilityResult reachability(sim::Machine& machine, const graph::WeightMatrix
 }
 
 ReachabilityResult solve_reachability(const graph::WeightMatrix& graph,
-                                      graph::Vertex destination) {
+                                      graph::Vertex destination,
+                                      const ClosureOptions& options) {
   sim::MachineConfig config;
   config.n = graph.size();
   config.bits = graph.field().bits();
+  config.backend = options.backend;
   sim::Machine machine(config);
   return reachability(machine, graph, destination);
 }
 
-ClosureResult transitive_closure(const graph::WeightMatrix& graph) {
+ClosureResult transitive_closure(const graph::WeightMatrix& graph,
+                                 const ClosureOptions& options) {
   const std::size_t n = graph.size();
   sim::MachineConfig config;
   config.n = n;
   config.bits = graph.field().bits();
+  config.backend = options.backend;
   sim::Machine machine(config);
 
   ClosureResult result;

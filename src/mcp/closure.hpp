@@ -44,9 +44,20 @@ struct ReachabilityResult {
                                               const graph::WeightMatrix& graph,
                                               graph::Vertex destination);
 
-/// Convenience one-shot with a fresh host-sequential machine.
+/// Knobs for the one-shot closure drivers. The boolean-semiring DP is the
+/// bit-plane backend's best case: every register it touches is a Pbool,
+/// i.e. ONE plane, so a plane-backend run sweeps a single 64-PE-per-word
+/// plane per instruction instead of h of them — the per-step host cost is
+/// h-independent. Results, iteration counts and step counters are pinned
+/// bit-identical across backends (tests/mcp_closure_backend_test.cpp).
+struct ClosureOptions {
+  sim::ExecBackend backend = sim::ExecBackend::Words;
+};
+
+/// Convenience one-shot with a fresh machine on the chosen backend.
 [[nodiscard]] ReachabilityResult solve_reachability(const graph::WeightMatrix& graph,
-                                                    graph::Vertex destination);
+                                                    graph::Vertex destination,
+                                                    const ClosureOptions& options = {});
 
 struct ClosureResult {
   std::size_t n = 0;
@@ -60,6 +71,7 @@ struct ClosureResult {
 };
 
 /// Full transitive closure: n reachability runs on one reused machine.
-[[nodiscard]] ClosureResult transitive_closure(const graph::WeightMatrix& graph);
+[[nodiscard]] ClosureResult transitive_closure(const graph::WeightMatrix& graph,
+                                               const ClosureOptions& options = {});
 
 }  // namespace ppa::mcp

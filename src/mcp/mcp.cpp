@@ -2,7 +2,8 @@
 
 #include <vector>
 
-#include "mcp/verify.hpp"
+#include "mcp/relax_core.hpp"
+#include "mcp/tiled.hpp"
 #include "obs/collector.hpp"
 #include "ppc/primitives.hpp"
 #include "util/check.hpp"
@@ -36,38 +37,6 @@ std::vector<Word> machine_weights(const graph::WeightMatrix& g) {
   return cells;
 }
 
-/// Row minimum / argmin dispatch on the configured variant.
-Pint row_min(MinVariant variant, const Pint& sow, const Pbool& row_end) {
-  return variant == MinVariant::Paper ? ppc::pmin(sow, Direction::West, row_end)
-                                      : ppc::pmin_orprobe(sow, Direction::West, row_end);
-}
-
-Pint row_argmin(MinVariant variant, const Pint& col, const Pbool& row_end,
-                const Pbool& is_min) {
-  return variant == MinVariant::Paper
-             ? ppc::selected_min(col, Direction::West, row_end, is_min)
-             : ppc::selected_min_orprobe(col, Direction::West, row_end, is_min);
-}
-
-/// Attaches the observer as the machine's trace sink for the duration of a
-/// call — only when the machine has no sink of its own (a caller-attached
-/// RecordingTrace keeps priority) — and restores the previous sink on any
-/// exit path, including exceptions.
-class ScopedSink {
- public:
-  ScopedSink(sim::Machine& machine, obs::Collector* observer)
-      : machine_(machine), previous_(machine.trace()) {
-    if (observer != nullptr && previous_ == nullptr) machine_.set_trace(observer);
-  }
-  ScopedSink(const ScopedSink&) = delete;
-  ScopedSink& operator=(const ScopedSink&) = delete;
-  ~ScopedSink() { machine_.set_trace(previous_); }
-
- private:
-  sim::Machine& machine_;
-  sim::TraceSink* previous_;
-};
-
 }  // namespace
 
 Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph,
@@ -86,7 +55,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   const MinVariant variant = two_sided ? MinVariant::OrProbe : options.min_variant;
 
   obs::Collector* const observer = options.observer;
-  ScopedSink scoped_sink(machine, observer);
+  detail::ScopedSink scoped_sink(machine, observer);
   PPA_SPAN(observer, "solve", &machine, static_cast<std::int64_t>(destination));
 
   ppc::Context ctx(machine);
@@ -112,8 +81,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
 
   // One broadcast issue point for both schemes.
   const auto bcast = [&](const Pint& value, Direction dir, const Pbool& open) {
-    return two_sided ? ppc::two_sided_broadcast(value, dir, open)
-                     : ppc::broadcast(value, dir, open);
+    return detail::scheme_broadcast(value, dir, open, options.broadcast_scheme);
   };
 
   // Step 1 — initialization (paper statements 4..7): the d-th row gets the
@@ -174,15 +142,11 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
              static_cast<std::int64_t>(result.iterations));
 
     ppc::where(ctx, !row_is_d, [&] {
-      // 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W
-      //     PE (i,j) now holds w_ij + SOW[d][j].
-      SOW = bcast(SOW, Direction::South, row_is_d) + W;
-      // 11: MIN_SOW = min(SOW, WEST, COL == n-1) — the row minimum,
-      //     available in every PE of the row.
-      MIN_SOW = row_min(variant, SOW, row_end);
-      // 12: PTN = selected_min(COL, WEST, COL == n-1, MIN_SOW == SOW)
-      //     — the smallest next-hop index attaining the minimum.
-      PTN = row_argmin(variant, COL, row_end, MIN_SOW == SOW);
+      // 10..12 — the shared panel core (relax_core.hpp). Here the "panel"
+      // is the whole matrix: the carrier is row d and the argmin indices
+      // are the wired COL constants.
+      detail::panel_candidates(W, row_is_d, options.broadcast_scheme, SOW);
+      detail::panel_row_reduce(COL, row_end, variant, SOW, MIN_SOW, PTN);
     });
 
     Pbool changed(ctx, false);
@@ -227,43 +191,9 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
     }
   }
 
-  // Harvest this run's checked-execution diagnostics (delta of the
-  // machine's capped fault log).
-  const std::vector<sim::FaultEvent>& log = machine.fault_events();
-  for (std::size_t i = faults_at_entry; i < log.size(); ++i) {
-    result.fault_events.push_back(log[i]);
-  }
-  const bool machine_faulted = machine.fault_count() > faults_at_entry;
-
-  // Outcome: non-convergence dominates (row d is partial data), then the
-  // host certificate, then any machine diagnostics.
-  if (result.outcome != SolveOutcome::NonConverged) {
-    if (options.verify) {
-      PPA_SPAN(observer, "verify", &machine);
-      const CertificateReport report = check_certificate(graph, result.solution);
-      if (report.ok) {
-        result.outcome = SolveOutcome::Verified;
-      } else {
-        result.outcome = SolveOutcome::VerificationFailed;
-        result.verify_detail = report.detail;
-        const sim::FaultEvent event{sim::FaultEventKind::VerificationFailed,
-                                    sim::StepCategory::Alu, Direction::North, destination,
-                                    destination, 1};
-        machine.report_fault(event);
-        result.fault_events.push_back(event);
-      }
-    } else if (machine_faulted) {
-      result.outcome = SolveOutcome::HardwareFault;
-    }
-  }
-
-  if (observer != nullptr) {
-    obs::MetricsRegistry& metrics = observer->metrics();
-    metrics.counter(obs::metric::kSolverRuns).add(1);
-    metrics.counter(obs::metric::kSolverIterations).add(result.iterations);
-    metrics.counter(std::string(obs::metric::kOutcomePrefix) + name_of(result.outcome))
-        .add(1);
-  }
+  // Fault harvest, outcome policy, solver counters (shared with the tiled
+  // driver — relax_core.hpp).
+  detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
 }
 
@@ -283,7 +213,7 @@ Result attempt(sim::Machine& machine, const graph::WeightMatrix& graph,
                graph::Vertex destination, const Options& options) {
   const std::size_t faults_at_entry = machine.fault_count();
   try {
-    return minimum_cost_path(machine, graph, destination, options);
+    return run_minimum_cost_path(machine, graph, destination, options);
   } catch (const util::ContractError&) {
     if (!machine.has_faults()) throw;
     Result result;
@@ -319,7 +249,9 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
   while (retriable(result.outcome) && attempts <= options.max_retries) {
     if (!oracle) {
       sim::MachineConfig config;
-      config.n = graph.size();
+      // Same geometry as the failed machine: a tiled run retries tiled,
+      // so the recovery path exercises the same panel schedule.
+      config.n = machine.config().n;
       config.bits = graph.field().bits();
       config.topology = machine.config().topology;
       config.backend = sim::ExecBackend::Words;  // the fault-free oracle
@@ -330,7 +262,7 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
     }
     PPA_SPAN(options.observer, "retry", oracle.get(),
              static_cast<std::int64_t>(attempts));
-    result = minimum_cost_path(*oracle, graph, destination, options);
+    result = run_minimum_cost_path(*oracle, graph, destination, options);
     ++attempts;
     events.insert(events.end(), result.fault_events.begin(), result.fault_events.end());
     spent.merge(result.total_steps);
@@ -345,7 +277,7 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
 Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
              const Options& options) {
   sim::MachineConfig config;
-  config.n = graph.size();
+  config.n = effective_array_side(options, graph.size());
   config.bits = graph.field().bits();
   config.backend = options.backend;
   config.checked = options.checked || !options.faults.empty();

@@ -75,6 +75,18 @@ struct Options {
   /// wall-clock differs. minimum_cost_path(machine, ...) ignores this and
   /// uses the caller's machine as configured.
   sim::ExecBackend backend = sim::ExecBackend::Words;
+  /// Physical array side p for the machines solve / solve_from / all_pairs
+  /// build. 0 (the default) sizes the machine at the vertex count — the
+  /// full-array path, which stays the oracle. 0 < p < n runs the
+  /// virtualized sweep on a p x p machine (mcp/tiled.hpp, docs/tiling.md):
+  /// the weight matrix is processed in ceil(n/p)^2 panels per iteration.
+  /// Solutions, outcomes, iteration counts and certificate verdicts are
+  /// bit-identical to the full array on both backends; only the step
+  /// profile differs (panel reloads are charged as StepCategory::PanelIo).
+  /// Values >= n are clamped to n. minimum_cost_path(machine, ...) and
+  /// solve_eccentricity ignore this (the latter's on-machine row-d
+  /// reduction needs the full array).
+  std::size_t array_side = 0;
 
   // ---- robustness layer (docs/robustness.md) ----
 

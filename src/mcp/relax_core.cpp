@@ -1,0 +1,92 @@
+#include "mcp/relax_core.hpp"
+
+#include "mcp/verify.hpp"
+#include "obs/collector.hpp"
+#include "ppc/primitives.hpp"
+
+namespace ppa::mcp::detail {
+
+using ppc::Pbool;
+using ppc::Pint;
+using sim::Direction;
+
+Pint row_min(MinVariant variant, const Pint& sow, const Pbool& row_end) {
+  return variant == MinVariant::Paper ? ppc::pmin(sow, Direction::West, row_end)
+                                      : ppc::pmin_orprobe(sow, Direction::West, row_end);
+}
+
+Pint row_argmin(MinVariant variant, const Pint& index, const Pbool& row_end,
+                const Pbool& is_min) {
+  return variant == MinVariant::Paper
+             ? ppc::selected_min(index, Direction::West, row_end, is_min)
+             : ppc::selected_min_orprobe(index, Direction::West, row_end, is_min);
+}
+
+Pint scheme_broadcast(const Pint& value, Direction dir, const Pbool& open,
+                      BroadcastScheme scheme) {
+  return scheme == BroadcastScheme::TwoSidedLinear
+             ? ppc::two_sided_broadcast(value, dir, open)
+             : ppc::broadcast(value, dir, open);
+}
+
+void panel_candidates(const Pint& W, const Pbool& carrier_row, BroadcastScheme scheme,
+                      Pint& sow) {
+  sow = scheme_broadcast(sow, Direction::South, carrier_row, scheme) + W;
+}
+
+void panel_row_reduce(const Pint& index, const Pbool& row_end, MinVariant variant,
+                      const Pint& sow, Pint& min_sow, Pint& ptn) {
+  min_sow = row_min(variant, sow, row_end);
+  ptn = row_argmin(variant, index, row_end, min_sow == sow);
+}
+
+ScopedSink::ScopedSink(sim::Machine& machine, obs::Collector* observer)
+    : machine_(machine), previous_(machine.trace()) {
+  if (observer != nullptr && previous_ == nullptr) machine_.set_trace(observer);
+}
+
+ScopedSink::~ScopedSink() { machine_.set_trace(previous_); }
+
+void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
+                     graph::Vertex destination, const Options& options,
+                     std::size_t faults_at_entry, Result& result) {
+  // Harvest this run's checked-execution diagnostics (delta of the
+  // machine's capped fault log).
+  const std::vector<sim::FaultEvent>& log = machine.fault_events();
+  for (std::size_t i = faults_at_entry; i < log.size(); ++i) {
+    result.fault_events.push_back(log[i]);
+  }
+  const bool machine_faulted = machine.fault_count() > faults_at_entry;
+
+  // Outcome: non-convergence dominates (row d is partial data), then the
+  // host certificate, then any machine diagnostics.
+  if (result.outcome != SolveOutcome::NonConverged) {
+    if (options.verify) {
+      PPA_SPAN(options.observer, "verify", &machine);
+      const CertificateReport report = check_certificate(graph, result.solution);
+      if (report.ok) {
+        result.outcome = SolveOutcome::Verified;
+      } else {
+        result.outcome = SolveOutcome::VerificationFailed;
+        result.verify_detail = report.detail;
+        const sim::FaultEvent event{sim::FaultEventKind::VerificationFailed,
+                                    sim::StepCategory::Alu, sim::Direction::North,
+                                    destination, destination, 1};
+        machine.report_fault(event);
+        result.fault_events.push_back(event);
+      }
+    } else if (machine_faulted) {
+      result.outcome = SolveOutcome::HardwareFault;
+    }
+  }
+
+  if (options.observer != nullptr) {
+    obs::MetricsRegistry& metrics = options.observer->metrics();
+    metrics.counter(obs::metric::kSolverRuns).add(1);
+    metrics.counter(obs::metric::kSolverIterations).add(result.iterations);
+    metrics.counter(std::string(obs::metric::kOutcomePrefix) + name_of(result.outcome))
+        .add(1);
+  }
+}
+
+}  // namespace ppa::mcp::detail

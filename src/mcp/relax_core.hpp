@@ -1,0 +1,74 @@
+// The panel-parameterized relaxation core shared by the full-array solver
+// (mcp.cpp) and the tiled virtualization driver (tiled.cpp).
+//
+// One relaxation visit of a panel is the paper's statements 10..12 with
+// the geometry generalized: the carrier row's SOW fragment is column-
+// broadcast over the panel, added to the resident weight panel, and each
+// panel row is reduced to its minimum cost and the smallest column index
+// attaining it. On the full array the panel IS the whole matrix and the
+// carrier row is row d; on a p x p physical machine sweeping an n-vertex
+// graph the carrier is machine row 0 and `index` carries the *global*
+// column indices of the panel (COL + panel base), so the tie-break to the
+// smallest next-hop index survives virtualization unchanged.
+//
+// Both functions issue instructions under the caller's ambient where-mask
+// and nothing else — the callers own all masking, which is what keeps the
+// full-array instruction stream bit-identical to the pre-extraction
+// solver (tests/mcp_step_regression_test.cpp pins the step counts).
+#pragma once
+
+#include "mcp/mcp.hpp"
+#include "ppc/parallel.hpp"
+
+namespace ppa::mcp::detail {
+
+/// Row minimum / argmin dispatch on the configured variant.
+[[nodiscard]] ppc::Pint row_min(MinVariant variant, const ppc::Pint& sow,
+                                const ppc::Pbool& row_end);
+[[nodiscard]] ppc::Pint row_argmin(MinVariant variant, const ppc::Pint& index,
+                                   const ppc::Pbool& row_end, const ppc::Pbool& is_min);
+
+/// Scheme-dispatched column/row broadcast (one issue point for both
+/// schemes, like the lambda the full solver used to carry around).
+[[nodiscard]] ppc::Pint scheme_broadcast(const ppc::Pint& value, sim::Direction dir,
+                                         const ppc::Pbool& open, BroadcastScheme scheme);
+
+/// Statement 10: sow = broadcast(sow, SOUTH, carrier_row) + W.
+/// PE (i,j) of the panel then holds w_ij + SOW[carrier][j]. The store is
+/// masked by the ambient mask; under the two-sided scheme the carrier row
+/// never hears its own injection, so the caller's mask must exclude it.
+void panel_candidates(const ppc::Pint& W, const ppc::Pbool& carrier_row,
+                      BroadcastScheme scheme, ppc::Pint& sow);
+
+/// Statements 11..12: min_sow = min(sow, WEST, row_end) — the row minimum,
+/// available in every PE of the row — and ptn = selected_min(index, ...)
+/// — the smallest index attaining it. Stores obey the ambient mask.
+void panel_row_reduce(const ppc::Pint& index, const ppc::Pbool& row_end, MinVariant variant,
+                      const ppc::Pint& sow, ppc::Pint& min_sow, ppc::Pint& ptn);
+
+/// Attaches the observer as the machine's trace sink for the duration of a
+/// call — only when the machine has no sink of its own (a caller-attached
+/// RecordingTrace keeps priority) — and restores the previous sink on any
+/// exit path, including exceptions.
+class ScopedSink {
+ public:
+  ScopedSink(sim::Machine& machine, obs::Collector* observer);
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+  ~ScopedSink();
+
+ private:
+  sim::Machine& machine_;
+  sim::TraceSink* previous_;
+};
+
+/// The solver epilogue both geometries share: harvests the machine's
+/// checked-execution fault-event delta, settles Result::outcome
+/// (non-convergence dominates, then the host certificate — which is
+/// array-agnostic — then machine diagnostics) and bumps the observer's
+/// solver counters. Must run while the caller's "solve" span is open.
+void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
+                     graph::Vertex destination, const Options& options,
+                     std::size_t faults_at_entry, Result& result);
+
+}  // namespace ppa::mcp::detail

@@ -159,6 +159,9 @@ inline constexpr const char* kBusPlaneWidth = "bus.plane_width";
 inline constexpr const char* kSolverRetries = "solver.retries";
 inline constexpr const char* kSolverRuns = "solver.runs";
 inline constexpr const char* kSolverIterations = "solver.iterations";
+/// Panels visited by the virtualized (tiled) sweep — 0 / absent for
+/// full-array runs (mcp/tiled.hpp).
+inline constexpr const char* kSolverPanels = "solver.panels";
 /// Prefixes completed by a kind/outcome name.
 inline constexpr const char* kFaultPrefix = "faults.";
 inline constexpr const char* kOutcomePrefix = "solver.outcome.";

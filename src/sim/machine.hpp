@@ -54,7 +54,14 @@ struct MachineConfig {
   int bits = 16;            // word width h
   BusTopology topology = BusTopology::Ring;
   UndrivenPolicy undriven = UndrivenPolicy::Error;
-  std::size_t host_threads = 1;  // 0 or 1 = run host-sequential
+  /// Host worker threads for the Words backend's per-PE sweeps; 0 or 1 =
+  /// host-sequential. The BitPlane backend IGNORES this by design: its
+  /// sweeps already process 64 PE lanes per host word, so an n = 512
+  /// plane is only 4096 words of sequential loop — far below the
+  /// crossover where pool dispatch pays for itself. Results are
+  /// bit-identical for every value on both backends either way
+  /// (tests/mcp_backend_diff_test.cpp pins plane-backend invariance).
+  std::size_t host_threads = 1;
   ExecBackend backend = ExecBackend::Words;
   /// Checked execution: bus contention (a program driver whose switch a
   /// fault forced closed) and undriven program reads are recorded as
@@ -116,6 +123,21 @@ class Machine {
     steps_.charge(StepCategory::Alu, instructions);
     if (trace_ != nullptr && instructions > 0) {
       trace_->on_event(TraceEvent{StepCategory::Alu, Direction::North, 0, 0, instructions});
+    }
+  }
+
+  /// Controller panel I/O for the virtualized (tiled) array: charges
+  /// `rows` PanelIo steps — the array moves one p-wide row of words per
+  /// I/O cycle over its edge ports — and emits one trace event carrying
+  /// the row count. Loading a p x p register panel is p cycles, a single
+  /// row fragment 1, and a column readback 1 (docs/tiling.md). The actual
+  /// data movement stays host-side (Pint construction / at()); this call
+  /// is what makes a panel reload a *counted, traced* operation instead
+  /// of free controller I/O.
+  void charge_panel_io(std::uint64_t rows = 1) noexcept {
+    steps_.charge(StepCategory::PanelIo, rows);
+    if (trace_ != nullptr && rows > 0) {
+      trace_->on_event(TraceEvent{StepCategory::PanelIo, Direction::North, 0, 0, rows});
     }
   }
 

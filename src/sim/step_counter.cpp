@@ -13,6 +13,7 @@ const char* name_of(StepCategory c) noexcept {
     case StepCategory::BusBroadcast: return "bus_bcast";
     case StepCategory::BusOr: return "bus_or";
     case StepCategory::GlobalOr: return "global_or";
+    case StepCategory::PanelIo: return "panel_io";
     case StepCategory::kCount: break;
   }
   return "?";

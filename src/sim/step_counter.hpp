@@ -29,7 +29,10 @@ enum class StepCategory : int {
   BusBroadcast = 2,
   BusOr = 3,     // wired-OR bus cycle
   GlobalOr = 4,  // controller's global response line (loop tests)
-  kCount = 5,
+  PanelIo = 5,   // controller panel load/unload on a virtualized (tiled)
+                 // array — one step per p-wide row of words moved over the
+                 // array's I/O ports (docs/tiling.md)
+  kCount = 6,
 };
 
 [[nodiscard]] const char* name_of(StepCategory c) noexcept;

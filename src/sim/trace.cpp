@@ -60,6 +60,7 @@ std::string to_string(const TraceEvent& event) {
       break;
     case StepCategory::Alu:
     case StepCategory::GlobalOr:
+    case StepCategory::PanelIo:
     case StepCategory::kCount:
       break;
   }

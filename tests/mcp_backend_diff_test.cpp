@@ -12,6 +12,7 @@
 
 #include "graph/generators.hpp"
 #include "mcp/mcp.hpp"
+#include "mcp/tiled.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -150,6 +151,41 @@ TEST(McpBackendDiff, AlgorithmVariants) {
             << " scheme="
             << (scheme == mcp::BroadcastScheme::SingleRing ? "ring" : "two-sided");
       expect_backends_identical(g, 2, options, label.str());
+    }
+  }
+}
+
+TEST(McpBackendDiff, HostThreadsInvariantOnBothBackends) {
+  // MachineConfig::host_threads is a Words-backend knob (the BitPlane
+  // backend ignores it by design — its sweeps already pack 64 PE lanes
+  // per host word, see sim/machine.hpp). Either way the pinned contract
+  // is the same: results and step counters are bit-identical for every
+  // thread count, on both backends, full-array and tiled.
+  util::Rng rng(83);
+  const auto g = graph::random_reachable_digraph(33, 8, 0.15, {1, 20}, 6, rng);
+  const auto run = [&](sim::ExecBackend backend, std::size_t threads, std::size_t side) {
+    sim::MachineConfig config;
+    config.n = side;
+    config.bits = g.field().bits();
+    config.backend = backend;
+    config.host_threads = threads;
+    sim::Machine machine(config);
+    return mcp::run_minimum_cost_path(machine, g, 6, {});
+  };
+  for (const auto backend : {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    for (const std::size_t side : {g.size(), std::size_t{8}}) {
+      const mcp::Result sequential = run(backend, 1, side);
+      const mcp::Result threaded = run(backend, 4, side);
+      const std::string label =
+          std::string(backend == sim::ExecBackend::Words ? "word" : "bitplane") +
+          " side=" + std::to_string(side);
+      ASSERT_EQ(threaded.solution.cost, sequential.solution.cost) << label;
+      ASSERT_EQ(threaded.solution.next, sequential.solution.next) << label;
+      ASSERT_EQ(threaded.iterations, sequential.iterations) << label;
+      ASSERT_TRUE(threaded.total_steps == sequential.total_steps)
+          << label << ": host_threads changed the step counter (1 thread "
+          << sequential.total_steps.summary() << " vs 4 threads "
+          << threaded.total_steps.summary() << ")";
     }
   }
 }

@@ -1,0 +1,112 @@
+// Backend diff for the boolean-semiring closure: the word-per-PE and
+// bit-plane backends must produce identical reachability sets, closure
+// matrices, iteration counts and step counters. The closure is the plane
+// backend's best case — its relaxation loop touches only Pbool registers,
+// i.e. one plane per instruction — so this pin also guards the 1-plane
+// fast path against semantic drift.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mcp/closure.hpp"
+#include "util/rng.hpp"
+
+namespace ppa::mcp {
+namespace {
+
+/// Host BFS ground truth: can i reach d following directed edges?
+std::vector<bool> bfs_reaches(const graph::WeightMatrix& g, graph::Vertex d) {
+  const std::size_t n = g.size();
+  // Walk the REVERSE edges from d: i reaches d iff d is reverse-reachable.
+  std::vector<bool> seen(n, false);
+  std::queue<graph::Vertex> frontier;
+  seen[d] = true;
+  frontier.push(d);
+  while (!frontier.empty()) {
+    const graph::Vertex v = frontier.front();
+    frontier.pop();
+    for (graph::Vertex u = 0; u < n; ++u) {
+      if (!seen[u] && g.has_edge(u, v)) {
+        seen[u] = true;
+        frontier.push(u);
+      }
+    }
+  }
+  return seen;
+}
+
+TEST(McpClosureBackend, ReachabilityIdenticalAcrossBackends) {
+  const std::size_t sizes[] = {1, 2, 3, 7, 13, 16, 24, 33, 64, 65};
+  for (const std::size_t n : sizes) {
+    util::Rng rng(n * 31 + 5);
+    // The array addresses itself with the h-bit field, so n - 1 must be
+    // representable: 4-bit words only below n = 16.
+    const int bits = (n < 16 ? 4 : 8) + static_cast<int>(rng.below(2)) * 4;
+    const auto g = graph::random_digraph(n, bits, 3.0 / static_cast<double>(n),
+                                         {1, 10}, rng);
+    const graph::Vertex d = static_cast<graph::Vertex>(rng.below(n));
+    std::ostringstream label;
+    label << "n=" << n << " bits=" << bits << " dest=" << d;
+
+    const auto word = solve_reachability(g, d, {sim::ExecBackend::Words});
+    const auto plane = solve_reachability(g, d, {sim::ExecBackend::BitPlane});
+    ASSERT_EQ(plane.reachable, word.reachable) << label.str();
+    ASSERT_EQ(plane.iterations, word.iterations) << label.str();
+    ASSERT_TRUE(plane.init_steps == word.init_steps) << label.str();
+    ASSERT_TRUE(plane.total_steps == word.total_steps)
+        << label.str() << ": closure step counters diverged (word "
+        << word.total_steps.summary() << " vs bitplane " << plane.total_steps.summary()
+        << ")";
+    ASSERT_EQ(word.reachable, bfs_reaches(g, d)) << label.str() << " (vs host BFS)";
+  }
+}
+
+TEST(McpClosureBackend, FullClosureIdenticalAcrossBackends) {
+  const std::size_t sizes[] = {2, 5, 9, 12, 17};
+  for (const std::size_t n : sizes) {
+    util::Rng rng(n * 97 + 3);
+    const auto g = graph::random_digraph(n, 8, 2.0 / static_cast<double>(n),
+                                         {1, 10}, rng);
+    const auto word = transitive_closure(g, {sim::ExecBackend::Words});
+    const auto plane = transitive_closure(g, {sim::ExecBackend::BitPlane});
+    ASSERT_EQ(plane.closed, word.closed) << "n=" << n;
+    ASSERT_EQ(plane.total_iterations, word.total_iterations) << "n=" << n;
+    ASSERT_TRUE(plane.total_steps == word.total_steps) << "n=" << n;
+    // Ground truth, column by column.
+    for (graph::Vertex d = 0; d < n; ++d) {
+      const auto truth = bfs_reaches(g, d);
+      for (graph::Vertex i = 0; i < n; ++i) {
+        ASSERT_EQ(word.at(i, d), truth[i]) << "n=" << n << " i=" << i << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(McpClosureBackend, StructuredFamilies) {
+  util::Rng rng(11);
+  const auto ring = graph::directed_ring(19, 8, {1, 5}, rng);
+  const auto ring_word = transitive_closure(ring, {sim::ExecBackend::Words});
+  const auto ring_plane = transitive_closure(ring, {sim::ExecBackend::BitPlane});
+  EXPECT_EQ(ring_plane.closed, ring_word.closed);
+  EXPECT_TRUE(ring_plane.total_steps == ring_word.total_steps);
+  // A directed ring is strongly connected: the closure is all-true.
+  for (const bool reachable : ring_word.closed) EXPECT_TRUE(reachable);
+
+  // Edgeless graph: only the reflexive diagonal survives.
+  const graph::WeightMatrix empty(6, 8);
+  const auto empty_word = transitive_closure(empty, {sim::ExecBackend::Words});
+  const auto empty_plane = transitive_closure(empty, {sim::ExecBackend::BitPlane});
+  EXPECT_EQ(empty_plane.closed, empty_word.closed);
+  EXPECT_TRUE(empty_plane.total_steps == empty_word.total_steps);
+  for (graph::Vertex i = 0; i < 6; ++i) {
+    for (graph::Vertex j = 0; j < 6; ++j) {
+      EXPECT_EQ(empty_word.at(i, j), i == j) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppa::mcp

@@ -1,0 +1,92 @@
+# End-to-end test of the --array-side flag: a tiled solve (P < n) must
+# write a byte-identical solution file to the full-array run, pass the
+# host verifier, attribute its virtualization overhead to the panel_io
+# step category, and ride through allpairs and the robustness flags.
+# Invoked by ctest with -DTOOL=<path to the binary> -DWORKDIR=<scratch>.
+if(NOT DEFINED TOOL OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "TOOL and WORKDIR must be defined")
+endif()
+
+set(graph_file "${WORKDIR}/tool_tiled_graph.txt")
+set(full_file "${WORKDIR}/tool_tiled_full.txt")
+set(tiled_file "${WORKDIR}/tool_tiled_tiled.txt")
+
+function(run_tool)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} failed (rc=${rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# n = 13 with P = 4 exercises a non-divisible split (ceil(13/4) = 4 panels
+# per axis, the last one padded).
+run_tool(gen --family reachable --n 13 --seed 21 --dest 5 --out ${graph_file})
+
+run_tool(solve --graph ${graph_file} --dest 5 --out ${full_file})
+if(last_output MATCHES "panel_io")
+  message(FATAL_ERROR "full-array solve charged panel_io: ${last_output}")
+endif()
+
+foreach(backend word bitplane)
+  run_tool(solve --graph ${graph_file} --dest 5 --array-side 4
+           --backend ${backend} --verify --out ${tiled_file})
+  if(NOT last_output MATCHES "panel_io")
+    message(FATAL_ERROR
+            "tiled solve (${backend}) reported no panel_io steps: ${last_output}")
+  endif()
+  if(NOT last_output MATCHES "outcome=verified")
+    message(FATAL_ERROR "tiled solve (${backend}) not verified: ${last_output}")
+  endif()
+  # Byte-identical solution file: virtualization must not change results.
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${full_file} ${tiled_file}
+                  RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "tiled solution (${backend}) differs from full-array solution")
+  endif()
+  run_tool(verify --graph ${graph_file} --solution ${tiled_file})
+  if(NOT last_output MATCHES "OK")
+    message(FATAL_ERROR "verify rejected the tiled solution (${backend}): ${last_output}")
+  endif()
+endforeach()
+
+# Tiled metrics export: the ppa.metrics.v1 document must carry the panel
+# bookkeeping (solver.panels counter, steps.panel_io).
+set(metrics_file "${WORKDIR}/tool_tiled_metrics.json")
+run_tool(solve --graph ${graph_file} --dest 5 --array-side 4
+         --metrics-out ${metrics_file} --out ${tiled_file})
+file(READ ${metrics_file} metrics_text)
+if(NOT metrics_text MATCHES "solver.panels")
+  message(FATAL_ERROR "tiled metrics dump lacks solver.panels: ${metrics_text}")
+endif()
+if(NOT metrics_text MATCHES "steps.panel_io")
+  message(FATAL_ERROR "tiled metrics dump lacks steps.panel_io: ${metrics_text}")
+endif()
+
+# Tiled under the robustness machinery: a fault on the 4x4 PHYSICAL array
+# plus retry must still converge to a verified run (exit 0).
+run_tool(solve --graph ${graph_file} --dest 5 --array-side 4
+         --faults "dead:1,2" --verify --max-retries 2 --out ${tiled_file})
+if(NOT last_output MATCHES "outcome=verified")
+  message(FATAL_ERROR "tiled faulty solve did not recover: ${last_output}")
+endif()
+
+# allpairs honors --array-side; panel_io shows in the batch step summary.
+run_tool(allpairs --graph ${graph_file} --array-side 4)
+if(NOT last_output MATCHES "panel_io")
+  message(FATAL_ERROR "tiled allpairs reported no panel_io: ${last_output}")
+endif()
+
+# --array-side is a ppa-only flag: baseline models must reject it.
+execute_process(COMMAND ${TOOL} solve --graph ${graph_file} --dest 5
+                --model mesh --array-side 4 --out ${tiled_file}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "solve accepted --array-side with --model=mesh")
+endif()
+
+file(REMOVE ${graph_file} ${full_file} ${tiled_file} ${metrics_file})
+message(STATUS "tool tiled round trip OK")

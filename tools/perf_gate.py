@@ -17,6 +17,13 @@ host_threads).  For every matched pair the gate fails when
 where threshold defaults to 0.15 (15 %) and can be overridden with the
 PERF_GATE_THRESHOLD environment variable (a fraction, e.g. 0.25).
 
+The same threshold is applied to pe_ops_per_sec (throughput, so the gate
+checks current < baseline / (1 + threshold)) — WARN-ONLY for now:
+throughput derives from wall clock and simd_steps, so it flags the same
+regressions plus step-count drift, and we want soak time on its noise
+level before letting it fail builds.  A record missing pe_ops_per_sec
+skips that check silently (older baselines predate the field).
+
 A changed simd_steps count for a matched configuration is reported as a
 warning, not a failure: step counts are workload properties, and a step
 change means the workload itself changed, so the wall-clock comparison is
@@ -104,6 +111,18 @@ def main(argv):
         compared += 1
         print(f"perf_gate: {describe(key)}: wall {base_wall:.4f}s -> {cur_wall:.4f}s "
               f"({ratio:.2f}x baseline) [{verdict}]")
+
+        # Throughput check, warn-only: see the module docstring.
+        try:
+            base_ops = float(base["pe_ops_per_sec"])
+            cur_ops = float(cur["pe_ops_per_sec"])
+        except (TypeError, KeyError, ValueError):
+            continue
+        if base_ops > 0 and cur_ops < base_ops / (1 + threshold):
+            print(f"perf_gate: warning: {describe(key)}: pe_ops_per_sec dropped "
+                  f"{base_ops:.3e} -> {cur_ops:.3e} "
+                  f"({cur_ops / base_ops:.2f}x baseline) — throughput degradation "
+                  f"beyond {threshold:.0%} (warn-only)")
 
     if compared == 0:
         print("perf_gate: no overlapping configurations to compare", file=sys.stderr)

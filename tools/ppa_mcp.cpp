@@ -3,15 +3,20 @@
 //   ppa_mcp gen    --family random --n 16 --seed 1 --out graph.txt [...]
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
-//                  [--trace] [--faults <spec>] [--verify] [--max-retries N]
-//                  [--checked] [--metrics-out FILE] [--trace-chrome FILE]
-//                  [--stats]
-//   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
-//   ppa_mcp info   --graph graph.txt [--dest 0]
-//   ppa_mcp closure --graph graph.txt
-//   ppa_mcp allpairs --graph graph.txt [--faults <spec>] [--verify]
+//                  [--array-side P] [--trace] [--faults <spec>] [--verify]
 //                  [--max-retries N] [--checked] [--metrics-out FILE]
 //                  [--trace-chrome FILE] [--stats]
+//   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
+//   ppa_mcp info   --graph graph.txt [--dest 0]
+//   ppa_mcp closure --graph graph.txt [--backend word|bitplane]
+//   ppa_mcp allpairs --graph graph.txt [--array-side P] [--faults <spec>]
+//                  [--verify] [--max-retries N] [--checked]
+//                  [--metrics-out FILE] [--trace-chrome FILE] [--stats]
+//
+// --array-side P (ppa only) virtualizes the run on a P x P physical array
+// (P < n sweeps the weight matrix in panels, docs/tiling.md); 0 = full
+// array. Solutions are bit-identical either way; fault coordinates in
+// --faults address the PHYSICAL array, so they must be < P.
 //   ppa_mcp eccentricity --graph graph.txt
 //
 // Observability (docs/observability.md): --metrics-out writes the
@@ -46,6 +51,7 @@
 #include "mcp/allpairs.hpp"
 #include "mcp/closure.hpp"
 #include "mcp/mcp.hpp"
+#include "mcp/tiled.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
@@ -90,9 +96,23 @@ void add_robustness_flags(util::CliParser& cli) {
   cli.bool_flag("checked", "record bus contention / undriven reads as fault events");
 }
 
+/// Reads --array-side into `options`. Returns false (after a one-line
+/// stderr message) on a negative value; 0 keeps the full-array path.
+bool read_array_side(const util::CliParser& cli, mcp::Options& options) {
+  const std::int64_t side = cli.get_int("array-side");
+  if (side < 0) {
+    std::fprintf(stderr, "error: --array-side must be >= 0 (0 = full array)\n");
+    return false;
+  }
+  options.array_side = static_cast<std::size_t>(side);
+  return true;
+}
+
 /// Reads the shared robustness flags back into `options`. Returns false
 /// (after a one-line stderr message) on a bad retry count; a malformed
 /// --faults spec throws util::ParseError, which main() turns into exit 2.
+/// Fault coordinates address the machine actually built, so with
+/// --array-side they validate against the PHYSICAL side, not n.
 bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix& g,
                            mcp::Options& options) {
   const std::int64_t retries = cli.get_int("max-retries");
@@ -105,7 +125,8 @@ bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix
   options.checked = cli.get_bool("checked");
   const std::string spec = cli.get_string("faults");
   if (!spec.empty()) {
-    options.faults = sim::FaultModel::parse(spec, g.size(), g.field().bits());
+    const std::size_t side = mcp::effective_array_side(options, g.size());
+    options.faults = sim::FaultModel::parse(spec, side, g.field().bits());
   }
   return true;
 }
@@ -265,6 +286,8 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.flag("dest", "destination vertex", "0");
   cli.flag("model", "ppa|gcn|mesh|hypercube", "ppa");
   cli.flag("backend", "host execution backend, word|bitplane (ppa only)", "word");
+  cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled (ppa only)",
+           "0");
   cli.flag("out", "output solution file", "solution.txt");
   cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
   add_robustness_flags(cli);
@@ -277,11 +300,11 @@ int cmd_solve(int argc, const char* const* argv) {
   if (model != "ppa" &&
       (cli.get_bool("verify") || cli.get_bool("checked") ||
        !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0 ||
-       !cli.get_string("metrics-out").empty() ||
+       cli.get_int("array-side") != 0 || !cli.get_string("metrics-out").empty() ||
        !cli.get_string("trace-chrome").empty() || cli.get_bool("stats"))) {
     std::fprintf(stderr,
-                 "error: --faults/--verify/--max-retries/--checked and the "
-                 "observability flags require --model=ppa\n");
+                 "error: --faults/--verify/--max-retries/--checked/--array-side and "
+                 "the observability flags require --model=ppa\n");
     return 2;
   }
 
@@ -308,6 +331,7 @@ int cmd_solve(int argc, const char* const* argv) {
     mcp::Options options;
     options.record_iterations = cli.get_bool("trace");
     if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
+    if (!read_array_side(cli, options)) return 2;
     if (!read_robustness_flags(cli, g, options)) return 2;
     Observability obs_state;
     if (!setup_observability(cli, /*live=*/true, obs_state)) return 2;
@@ -397,6 +421,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   cli.flag("workers", "host threads for independent destination runs (results identical)",
            "1");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
+  cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled", "0");
   add_robustness_flags(cli);
   add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
@@ -410,6 +435,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   }
   options.workers = static_cast<std::size_t>(workers);
   if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
+  if (!read_array_side(cli, options.mcp)) return 2;
   if (!read_robustness_flags(cli, g, options.mcp)) return 2;
   // Post-hoc Chrome export: the per-destination span trees are merged in
   // destination order after the (possibly threaded) run, so the artifacts
@@ -492,10 +518,13 @@ int cmd_eccentricity(int argc, const char* const* argv) {
 int cmd_closure(int argc, const char* const* argv) {
   util::CliParser cli("transitive closure on the PPA (boolean DP)");
   cli.flag("graph", "input graph file", "graph.txt");
+  cli.flag("backend", "host execution backend, word|bitplane", "word");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
-  const auto closure = mcp::transitive_closure(g);
+  mcp::ClosureOptions options;
+  if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
+  const auto closure = mcp::transitive_closure(g, options);
   std::printf("transitive closure of %zu vertices (%zu total iterations, %s)\n", closure.n,
               closure.total_iterations, closure.total_steps.summary().c_str());
   for (graph::Vertex i = 0; i < closure.n; ++i) {
