@@ -36,6 +36,7 @@ struct PerfRecord {
   std::uint64_t simd_steps = 0;
   double wall_seconds = 0;
   double pe_ops_per_sec = 0;
+  std::string simd = "none";  // dispatched kernel variant (bitplane runs)
 };
 
 /// Writes the perf records as a JSON array through the observability
@@ -57,6 +58,7 @@ inline void write_perf_records(const std::vector<PerfRecord>& records, const cha
     w.kv(obs::field::kSimdSteps, r.simd_steps);
     w.kv(obs::field::kWallSeconds, r.wall_seconds);
     w.kv(obs::field::kPeOpsPerSec, r.pe_ops_per_sec);
+    w.kv(obs::field::kSimd, r.simd);
     w.end_object();
   }
   w.end_array();

@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "mcp/allpairs.hpp"
+#include "ppc/plane_kernels.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,6 +29,37 @@ const char* backend_name(sim::ExecBackend backend) {
   return backend == sim::ExecBackend::BitPlane ? "bitplane" : "word";
 }
 
+const char* simd_name(sim::ExecBackend backend) {
+  // The word backend never touches the plane kernels; "none" keeps its
+  // records distinguishable from a bitplane run forced to scalar.
+  if (backend != sim::ExecBackend::BitPlane) return "none";
+  return ppc::plane_kernels::variant_name(ppc::plane_kernels::active_variant());
+}
+
+/// Measurement repeats per configuration (PPA_BENCH_BEST_OF, default 1;
+/// tools/run_benchmarks.sh sets 6 for committed baselines). The tables and
+/// BENCH_e6.json report the fastest repeat — the standard best-of-N
+/// estimator for the noise floor on a shared host. Steps are identical
+/// across repeats by construction (the runs are deterministic).
+int best_of() {
+  static const int repeats = [] {
+    const char* env = std::getenv("PPA_BENCH_BEST_OF");
+    const int parsed = env != nullptr ? std::atoi(env) : 1;
+    return parsed > 0 ? parsed : 1;
+  }();
+  return repeats;
+}
+
+template <typename Run>
+Throughput best_throughput(Run&& run) {
+  Throughput best = run();
+  for (int i = 1; i < best_of(); ++i) {
+    const Throughput t = run();
+    if (t.seconds < best.seconds) best = t;
+  }
+  return best;
+}
+
 Throughput run_once(std::size_t n, std::size_t host_threads,
                     sim::ExecBackend backend = sim::ExecBackend::Words) {
   util::Rng rng(n);
@@ -38,14 +70,16 @@ Throughput run_once(std::size_t n, std::size_t host_threads,
   cfg.bits = 16;
   cfg.host_threads = host_threads;
   cfg.backend = backend;
-  sim::Machine machine(cfg);
-  util::Stopwatch watch;
-  const auto result = mcp::minimum_cost_path(machine, g, 0);
-  Throughput t;
-  t.seconds = watch.seconds();
-  t.steps = result.total_steps.total();
-  t.pe_ops = static_cast<double>(t.steps) * static_cast<double>(n * n);
-  return t;
+  return best_throughput([&] {
+    sim::Machine machine(cfg);
+    util::Stopwatch watch;
+    const auto result = mcp::minimum_cost_path(machine, g, 0);
+    Throughput t;
+    t.seconds = watch.seconds();
+    t.steps = result.total_steps.total();
+    t.pe_ops = static_cast<double>(t.steps) * static_cast<double>(n * n);
+    return t;
+  });
 }
 
 Throughput run_all_pairs(std::size_t n, std::size_t workers,
@@ -56,13 +90,15 @@ Throughput run_all_pairs(std::size_t n, std::size_t workers,
   mcp::AllPairsOptions options;
   options.workers = workers;
   options.mcp.backend = backend;
-  util::Stopwatch watch;
-  const auto result = mcp::all_pairs(g, options);
-  Throughput t;
-  t.seconds = watch.seconds();
-  t.steps = result.total_steps.total();
-  t.pe_ops = static_cast<double>(t.steps) * static_cast<double>(n * n);
-  return t;
+  return best_throughput([&] {
+    util::Stopwatch watch;
+    const auto result = mcp::all_pairs(g, options);
+    Throughput t;
+    t.seconds = watch.seconds();
+    t.steps = result.total_steps.total();
+    t.pe_ops = static_cast<double>(t.steps) * static_cast<double>(n * n);
+    return t;
+  });
 }
 
 /// Machine-readable companion to the tables: wall-clock throughput per
@@ -71,16 +107,17 @@ Throughput run_all_pairs(std::size_t n, std::size_t workers,
 /// perf results, but they are included so a reader can recompute ops/sec.)
 /// bench::PerfRecord / write_perf_records share the metrics schema's run
 /// field names, which is what lets tools/perf_gate.py consume the file.
-bench::PerfRecord record_of(const char* workload, const char* backend, std::size_t n,
+bench::PerfRecord record_of(const char* workload, sim::ExecBackend backend, std::size_t n,
                             std::size_t host_threads, const Throughput& t) {
   bench::PerfRecord r;
   r.workload = workload;
-  r.backend = backend;
+  r.backend = backend_name(backend);
   r.n = n;
   r.host_threads = host_threads;
   r.simd_steps = t.steps;
   r.wall_seconds = t.seconds;
   r.pe_ops_per_sec = t.pe_ops / t.seconds;
+  r.simd = simd_name(backend);
   return r;
 }
 
@@ -126,7 +163,7 @@ void print_tables() {
       backends.add_row({static_cast<std::int64_t>(n), backend_name(backend),
                         static_cast<std::int64_t>(t.steps), t.seconds * 1e3,
                         word_seconds / t.seconds});
-      records.push_back(record_of("mcp", backend_name(backend), n, 1, t));
+      records.push_back(record_of("mcp", backend, n, 1, t));
     }
   }
   bench::emit(backends);
@@ -140,19 +177,22 @@ void print_tables() {
   // unit of work, so the thread pool's hand-off cost is amortized over a
   // full MCP run and the speedup is near-linear until workers ~ cores.
   util::Table scaling("E6: threaded all-pairs (coarse destination-level parallelism, n=32)",
-                      {"workers", "SIMD steps", "wall ms", "speedup vs 1"});
-  double base_seconds = 0;
-  for (const std::size_t workers : {1u, 2u, 4u}) {
-    const auto t = run_all_pairs(32, workers);
-    if (workers == 1) base_seconds = t.seconds;
-    scaling.add_row({static_cast<std::int64_t>(workers), static_cast<std::int64_t>(t.steps),
-                     t.seconds * 1e3, base_seconds / t.seconds});
-    records.push_back(record_of("all_pairs", "word", 32, workers, t));
+                      {"backend", "workers", "SIMD steps", "wall ms", "speedup vs 1"});
+  for (const sim::ExecBackend backend :
+       {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    // Both backends sweep the worker counts: destination-level chunking
+    // and the bit-plane representation compose, so the trajectory file
+    // tracks the product speedup per worker count, not just the extremes.
+    double base_seconds = 0;
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      const auto t = run_all_pairs(32, workers, backend);
+      if (workers == 1) base_seconds = t.seconds;
+      scaling.add_row({backend_name(backend), static_cast<std::int64_t>(workers),
+                       static_cast<std::int64_t>(t.steps), t.seconds * 1e3,
+                       base_seconds / t.seconds});
+      records.push_back(record_of("all_pairs", backend, 32, workers, t));
+    }
   }
-  // Workers and the bit-plane backend compose: record the combined
-  // configuration so the trajectory file shows the product speedup too.
-  records.push_back(
-      record_of("all_pairs", "bitplane", 32, 4, run_all_pairs(32, 4, sim::ExecBackend::BitPlane)));
   bench::emit(scaling);
   std::printf(
       "Destination runs are independent and a worker grabs a whole chunk of them, so the\n"

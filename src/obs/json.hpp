@@ -32,6 +32,12 @@ inline constexpr std::string_view kHostThreads = "host_threads";
 inline constexpr std::string_view kSimdSteps = "simd_steps";
 inline constexpr std::string_view kWallSeconds = "wall_seconds";
 inline constexpr std::string_view kPeOpsPerSec = "pe_ops_per_sec";
+/// Dispatched SIMD variant of the bit-plane kernels ("scalar" | "avx2" |
+/// "avx512"; "none" on the word backend). Informational — NOT part of the
+/// perf gate's configuration key, so baselines recorded on a different
+/// host still match, but a surprising wall-clock delta can be traced to a
+/// dispatch change from the record alone.
+inline constexpr std::string_view kSimd = "simd";
 }  // namespace field
 
 /// Streaming writer with automatic comma placement. Usage:

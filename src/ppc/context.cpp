@@ -8,7 +8,10 @@
 
 namespace ppa::ppc {
 
-Context::Context(sim::Machine& machine) : machine_(machine) {
+Context::Context(sim::Machine& machine)
+    : machine_(machine),
+      alu_(plane_kernels::active(), machine.host_pool(),
+           machine.config().plane_sweep_min_words) {
   if (bitplane()) {
     full_.resize(geometry().plane_words());
     sim::plane_fill_full(geometry(), full_.data());
@@ -20,8 +23,8 @@ Context::Context(sim::Machine& machine) : machine_(machine) {
 
 bool Context::mask_is_full() const noexcept {
   if (bitplane()) {
-    return plane_ops::equal(plane_stack_.back().data(), full_.data(),
-                            geometry().plane_words());
+    return alu_.equal(plane_stack_.back().data(), full_.data(),
+                      geometry().plane_words());
   }
   const auto& top = stack_.back();
   return std::all_of(top.begin(), top.end(), [](Flag f) { return f != 0; });
@@ -71,16 +74,16 @@ void Context::pop_mask() {
 
 void Context::push_mask_and_plane(const sim::PlaneWord* cond) {
   std::vector<sim::PlaneWord> next = acquire_flag_plane();
-  plane_ops::op_and(plane_stack_.back().data(), cond, next.data(),
-                    geometry().plane_words());
+  alu_.op_and(plane_stack_.back().data(), cond, next.data(),
+              geometry().plane_words());
   machine_.charge_alu();
   plane_stack_.push_back(std::move(next));
 }
 
 void Context::push_mask_and_not_plane(const sim::PlaneWord* cond) {
   std::vector<sim::PlaneWord> next = acquire_flag_plane();
-  plane_ops::op_andnot(plane_stack_.back().data(), cond, next.data(),
-                       geometry().plane_words());
+  alu_.op_andnot(plane_stack_.back().data(), cond, next.data(),
+                 geometry().plane_words());
   machine_.charge_alu();
   plane_stack_.push_back(std::move(next));
 }

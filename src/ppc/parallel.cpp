@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "ppc/flag_sweep.hpp"
-#include "ppc/plane_ops.hpp"
 #include "util/check.hpp"
 
 namespace ppa::ppc {
@@ -100,7 +99,7 @@ std::vector<PlaneWord> combine_driven_planes(Context& ctx, std::span<const Plane
   std::vector<PlaneWord> out = ctx.acquire_flag_plane();
   const PlaneWord* pa = a.empty() ? ctx.full_plane() : a.data();
   const PlaneWord* pb = b.empty() ? ctx.full_plane() : b.data();
-  plane_ops::op_and(pa, pb, out.data(), ctx.geometry().plane_words());
+  ctx.alu().op_and(pa, pb, out.data(), ctx.geometry().plane_words());
   return out;
 }
 
@@ -108,7 +107,7 @@ std::vector<PlaneWord> copy_driven_plane(Context& ctx,
                                          std::span<const PlaneWord> driven) {
   if (driven.empty()) return {};
   std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-  plane_ops::op_copy(driven.data(), out.data(), ctx.geometry().plane_words());
+  ctx.alu().op_copy(driven.data(), out.data(), ctx.geometry().plane_words());
   return out;
 }
 
@@ -217,7 +216,7 @@ Pint::Pint(Context& ctx, Word init) : ctx_(&ctx) {
   PPA_REQUIRE(ctx.field().representable(init), "initializer does not fit in the h-bit field");
   if (ctx.bitplane()) {
     planes_ = ctx.acquire_value_planes();
-    plane_ops::fill_scalar(init, ctx.field().bits(), ctx.geometry().plane_words(),
+    ctx.alu().fill_scalar(init, ctx.field().bits(), ctx.geometry().plane_words(),
                            ctx.full_plane(), planes_.data());
   } else {
     data_ = ctx.acquire_words();
@@ -233,7 +232,8 @@ Pint::Pint(Context& ctx, std::span<const Word> values) : ctx_(&ctx) {
   }
   if (ctx.bitplane()) {
     planes_ = ctx.acquire_value_planes();
-    sim::pack_words(ctx.geometry(), values, ctx.field().bits(), planes_.data());
+    ctx.alu().pack_words(ctx.geometry(), values.data(), ctx.field().bits(),
+                         planes_.data());
   } else {
     data_ = ctx.acquire_words();
     std::copy(values.begin(), values.end(), data_.begin());
@@ -283,11 +283,11 @@ Pint& Pint::operator=(const Pint& rhs) {
     const std::size_t pw = ctx.geometry().plane_words();
     const int h = ctx.field().bits();
     for (int j = 0; j < h; ++j) {
-      plane_ops::masked_assign(pm, rhs.planes_.data() + static_cast<std::size_t>(j) * pw,
+      ctx.alu().masked_assign(pm, rhs.planes_.data() + static_cast<std::size_t>(j) * pw,
                                planes_.data() + static_cast<std::size_t>(j) * pw, pw);
     }
     if (!driven_plane_.empty()) {
-      plane_ops::op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
+      ctx.alu().op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
     }
     return *this;
   }
@@ -335,8 +335,8 @@ void Pint::store_all(Word value) {
   PPA_REQUIRE(ctx_->field().representable(value), "value does not fit in the h-bit field");
   ctx_->machine().charge_alu();
   if (ctx_->bitplane()) {
-    plane_ops::fill_scalar(value, ctx_->field().bits(), ctx_->geometry().plane_words(),
-                           ctx_->full_plane(), planes_.data());
+    ctx_->alu().fill_scalar(value, ctx_->field().bits(), ctx_->geometry().plane_words(),
+                            ctx_->full_plane(), planes_.data());
     driven_plane_.clear();
     return;
   }
@@ -376,7 +376,7 @@ Pbool Pint::bit(int j) const {
     // The plane IS the representation: extraction is a straight copy.
     const std::size_t pw = ctx.geometry().plane_words();
     std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-    plane_ops::op_copy(planes_.data() + static_cast<std::size_t>(j) * pw, out.data(), pw);
+    ctx.alu().op_copy(planes_.data() + static_cast<std::size_t>(j) * pw, out.data(), pw);
     ctx.machine().charge_alu();
     return detail_access::raw_pbool_plane(ctx, std::move(out),
                                           copy_driven_plane(ctx, driven_plane_));
@@ -401,9 +401,9 @@ Pint Pint::or_bit(int j, const Pbool& flag) const {
     const std::size_t pw = ctx.geometry().plane_words();
     const int h = ctx.field().bits();
     std::vector<PlaneWord> out = ctx.acquire_value_planes();
-    plane_ops::op_copy(planes_.data(), out.data(), static_cast<std::size_t>(h) * pw);
+    ctx.alu().op_copy(planes_.data(), out.data(), static_cast<std::size_t>(h) * pw);
     PlaneWord* oj = out.data() + static_cast<std::size_t>(j) * pw;
-    plane_ops::op_or(oj, flag.plane_view().data(), oj, pw);
+    ctx.alu().op_or(oj, flag.plane_view().data(), oj, pw);
     ctx.machine().charge_alu();
     return detail_access::raw_pint_planes(
         ctx, std::move(out), combine_driven_planes(ctx, driven_plane_, flag.driven_plane_view()));
@@ -433,12 +433,8 @@ Pint operator+(const Pint& a, const Pint& b) {
   if (ctx.bitplane()) {
     const std::size_t pw = ctx.geometry().plane_words();
     std::vector<PlaneWord> out = ctx.acquire_value_planes();
-    std::vector<PlaneWord> carry = ctx.acquire_flag_plane();
-    std::vector<PlaneWord> ones = ctx.acquire_flag_plane();
-    plane_ops::add_sat(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
-                       ctx.full_plane(), carry.data(), ones.data(), out.data());
-    ctx.release_flag_plane(std::move(carry));
-    ctx.release_flag_plane(std::move(ones));
+    ctx.alu().add_sat(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
+                      ctx.full_plane(), out.data());
     ctx.machine().charge_alu();
     return detail_access::raw_pint_planes(
         ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
@@ -463,15 +459,11 @@ Pint operator+(const Pint& a, Word b) {
     const std::size_t pw = ctx.geometry().plane_words();
     const int h = ctx.field().bits();
     std::vector<PlaneWord> scalar = ctx.acquire_value_planes();
-    plane_ops::fill_scalar(b, h, pw, ctx.full_plane(), scalar.data());
+    ctx.alu().fill_scalar(b, h, pw, ctx.full_plane(), scalar.data());
     std::vector<PlaneWord> out = ctx.acquire_value_planes();
-    std::vector<PlaneWord> carry = ctx.acquire_flag_plane();
-    std::vector<PlaneWord> ones = ctx.acquire_flag_plane();
-    plane_ops::add_sat(a.planes_.data(), scalar.data(), h, pw, ctx.full_plane(),
-                       carry.data(), ones.data(), out.data());
+    ctx.alu().add_sat(a.planes_.data(), scalar.data(), h, pw, ctx.full_plane(),
+                      out.data());
     ctx.release_value_planes(std::move(scalar));
-    ctx.release_flag_plane(std::move(carry));
-    ctx.release_flag_plane(std::move(ones));
     ctx.machine().charge_alu();
     return detail_access::raw_pint_planes(ctx, std::move(out),
                                           copy_driven_plane(ctx, a.driven_plane_));
@@ -499,7 +491,7 @@ std::vector<PlaneWord> blend_planes(Context& ctx, const PlaneWord* choose,
   std::vector<PlaneWord> out = ctx.acquire_value_planes();
   for (int j = 0; j < h; ++j) {
     const std::size_t off = static_cast<std::size_t>(j) * pw;
-    plane_ops::blend(choose, a.data() + off, b.data() + off, out.data() + off, pw);
+    ctx.alu().blend(choose, a.data() + off, b.data() + off, out.data() + off, pw);
   }
   return out;
 }
@@ -513,7 +505,7 @@ Pint emin(const Pint& a, const Pint& b) {
     const std::size_t pw = ctx.geometry().plane_words();
     std::vector<PlaneWord> lt = ctx.acquire_flag_plane();
     std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
-    plane_ops::compare_lt(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
+    ctx.alu().compare_lt(a.planes_.data(), b.planes_.data(), ctx.field().bits(), pw,
                           ctx.full_plane(), lt.data(), eq.data());
     std::vector<PlaneWord> out = blend_planes(ctx, lt.data(), a.planes_, b.planes_);
     ctx.release_flag_plane(std::move(lt));
@@ -543,7 +535,7 @@ Pint emax(const Pint& a, const Pint& b) {
     std::vector<PlaneWord> gt = ctx.acquire_flag_plane();
     std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
     // a > b  <=>  b < a.
-    plane_ops::compare_lt(b.planes_.data(), a.planes_.data(), ctx.field().bits(), pw,
+    ctx.alu().compare_lt(b.planes_.data(), a.planes_.data(), ctx.field().bits(), pw,
                           ctx.full_plane(), gt.data(), eq.data());
     std::vector<PlaneWord> out = blend_planes(ctx, gt.data(), a.planes_, b.planes_);
     ctx.release_flag_plane(std::move(gt));
@@ -576,16 +568,16 @@ std::vector<PlaneWord> compare_planes(Context& ctx, std::span<const PlaneWord> a
   const int h = ctx.field().bits();
   std::vector<PlaneWord> out = ctx.acquire_flag_plane();
   if (kind == CompareKind::Eq || kind == CompareKind::Ne) {
-    plane_ops::compare_eq(a.data(), b.data(), h, pw, ctx.full_plane(), out.data());
+    ctx.alu().compare_eq(a.data(), b.data(), h, pw, ctx.full_plane(), out.data());
     if (kind == CompareKind::Ne) {
-      plane_ops::op_andnot(ctx.full_plane(), out.data(), out.data(), pw);
+      ctx.alu().op_andnot(ctx.full_plane(), out.data(), out.data(), pw);
     }
     return out;
   }
   std::vector<PlaneWord> eq = ctx.acquire_flag_plane();
-  plane_ops::compare_lt(a.data(), b.data(), h, pw, ctx.full_plane(), out.data(), eq.data());
+  ctx.alu().compare_lt(a.data(), b.data(), h, pw, ctx.full_plane(), out.data(), eq.data());
   if (kind == CompareKind::Le) {
-    plane_ops::op_or(out.data(), eq.data(), out.data(), pw);
+    ctx.alu().op_or(out.data(), eq.data(), out.data(), pw);
   }
   ctx.release_flag_plane(std::move(eq));
   return out;
@@ -595,7 +587,7 @@ std::vector<PlaneWord> compare_planes(Context& ctx, std::span<const PlaneWord> a
 /// reused for the Pint-vs-scalar comparisons.
 std::vector<PlaneWord> scalar_planes(Context& ctx, Word value) {
   std::vector<PlaneWord> out = ctx.acquire_value_planes();
-  plane_ops::fill_scalar(value, ctx.field().bits(), ctx.geometry().plane_words(),
+  ctx.alu().fill_scalar(value, ctx.field().bits(), ctx.geometry().plane_words(),
                          ctx.full_plane(), out.data());
   return out;
 }
@@ -775,7 +767,7 @@ Pint select(const Pbool& cond, const Pint& a, const Pint& b) {
       for (std::size_t i = 0; i < pw; ++i) {
         pdv[i] = ((pc[i] & pad[i]) | (pbd[i] & ~pc[i])) & pcd[i];
       }
-      if (plane_ops::equal(pdv, ctx.full_plane(), pw)) {
+      if (ctx.alu().equal(pdv, ctx.full_plane(), pw)) {
         ctx.release_flag_plane(std::move(driven));
         driven = {};
       }
@@ -826,9 +818,9 @@ Pbool::Pbool(Context& ctx, bool init) : ctx_(&ctx) {
   if (ctx.bitplane()) {
     plane_ = ctx.acquire_flag_plane();
     if (init) {
-      plane_ops::op_copy(ctx.full_plane(), plane_.data(), plane_.size());
+      ctx.alu().op_copy(ctx.full_plane(), plane_.data(), plane_.size());
     } else {
-      plane_ops::op_zero(plane_.data(), plane_.size());
+      ctx.alu().op_zero(plane_.data(), plane_.size());
     }
   } else {
     data_ = ctx.acquire_flags();
@@ -891,9 +883,9 @@ Pbool& Pbool::operator=(const Pbool& rhs) {
     check_store_driven_plane(ctx, pm, rhs.driven_plane_);
     ctx.machine().charge_alu();
     const std::size_t pw = ctx.geometry().plane_words();
-    plane_ops::masked_assign(pm, rhs.plane_.data(), plane_.data(), pw);
+    ctx.alu().masked_assign(pm, rhs.plane_.data(), plane_.data(), pw);
     if (!driven_plane_.empty()) {
-      plane_ops::op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
+      ctx.alu().op_or(driven_plane_.data(), pm, driven_plane_.data(), pw);
     }
     return *this;
   }
@@ -936,9 +928,9 @@ void Pbool::store_all(bool value) {
   ctx_->machine().charge_alu();
   if (ctx_->bitplane()) {
     if (value) {
-      plane_ops::op_copy(ctx_->full_plane(), plane_.data(), plane_.size());
+      ctx_->alu().op_copy(ctx_->full_plane(), plane_.data(), plane_.size());
     } else {
-      plane_ops::op_zero(plane_.data(), plane_.size());
+      ctx_->alu().op_zero(plane_.data(), plane_.size());
     }
     driven_plane_.clear();
     return;
@@ -975,7 +967,7 @@ Pbool operator!(const Pbool& a) {
   Context& ctx = *a.ctx_;
   if (ctx.bitplane()) {
     std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-    plane_ops::op_andnot(ctx.full_plane(), a.plane_.data(), out.data(), out.size());
+    ctx.alu().op_andnot(ctx.full_plane(), a.plane_.data(), out.data(), out.size());
     ctx.machine().charge_alu();
     return detail_access::raw_pbool_plane(ctx, std::move(out),
                                           copy_driven_plane(ctx, a.driven_plane_));
@@ -995,7 +987,7 @@ Pbool operator&(const Pbool& a, const Pbool& b) {
   Context& ctx = *a.ctx_;
   if (ctx.bitplane()) {
     std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-    plane_ops::op_and(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.alu().op_and(a.plane_.data(), b.plane_.data(), out.data(), out.size());
     ctx.machine().charge_alu();
     return detail_access::raw_pbool_plane(
         ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
@@ -1017,7 +1009,7 @@ Pbool operator|(const Pbool& a, const Pbool& b) {
   Context& ctx = *a.ctx_;
   if (ctx.bitplane()) {
     std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-    plane_ops::op_or(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.alu().op_or(a.plane_.data(), b.plane_.data(), out.data(), out.size());
     ctx.machine().charge_alu();
     return detail_access::raw_pbool_plane(
         ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
@@ -1039,7 +1031,7 @@ Pbool operator^(const Pbool& a, const Pbool& b) {
   Context& ctx = *a.ctx_;
   if (ctx.bitplane()) {
     std::vector<PlaneWord> out = ctx.acquire_flag_plane();
-    plane_ops::op_xor(a.plane_.data(), b.plane_.data(), out.data(), out.size());
+    ctx.alu().op_xor(a.plane_.data(), b.plane_.data(), out.data(), out.size());
     ctx.machine().charge_alu();
     return detail_access::raw_pbool_plane(
         ctx, std::move(out), combine_driven_planes(ctx, a.driven_plane_, b.driven_plane_));
@@ -1064,8 +1056,8 @@ Pint Pbool::to_pint() const {
   if (ctx.bitplane()) {
     const std::size_t pw = ctx.geometry().plane_words();
     std::vector<PlaneWord> out = ctx.acquire_value_planes();
-    plane_ops::op_zero(out.data(), out.size());
-    plane_ops::op_copy(plane_.data(), out.data(), pw);
+    ctx.alu().op_zero(out.data(), out.size());
+    ctx.alu().op_copy(plane_.data(), out.data(), pw);
     ctx.machine().charge_alu();
     return detail_access::raw_pint_planes(ctx, std::move(out),
                                           copy_driven_plane(ctx, driven_plane_));
@@ -1110,7 +1102,7 @@ Pbool driven_mask_impl(Context& ctx, std::span<const Flag> d) {
 Pbool driven_mask_plane_impl(Context& ctx, std::span<const PlaneWord> d) {
   ctx.machine().charge_alu();
   std::vector<PlaneWord> bits = ctx.acquire_flag_plane();
-  plane_ops::op_copy(d.empty() ? ctx.full_plane() : d.data(), bits.data(), bits.size());
+  ctx.alu().op_copy(d.empty() ? ctx.full_plane() : d.data(), bits.data(), bits.size());
   return detail_access::raw_pbool_plane(ctx, std::move(bits), {});
 }
 

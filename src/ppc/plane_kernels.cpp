@@ -1,0 +1,133 @@
+// Runtime dispatch for the SIMD kernel arms: what the build compiled in
+// (PPA_HAVE_KERNELS_*) intersected with what the CPU reports, overridable
+// by a PPA_FORCE_SIMD=<arm> build or a PPA_SIMD=<arm> environment
+// variable. A forced arm that is unavailable falls back to the widest
+// available one with a one-line stderr note instead of failing, so forced
+// CI legs stay green on heterogeneous runners.
+#include "ppc/plane_kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ppa::ppc::plane_kernels {
+
+#if defined(PPA_HAVE_KERNELS_AVX2)
+const PlaneKernels* avx2_table() noexcept;
+#endif
+#if defined(PPA_HAVE_KERNELS_AVX512)
+const PlaneKernels* avx512_table() noexcept;
+#endif
+
+const char* variant_name(SimdVariant v) noexcept {
+  switch (v) {
+    case SimdVariant::Scalar:
+      return "scalar";
+    case SimdVariant::Avx2:
+      return "avx2";
+    case SimdVariant::Avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 && __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+const PlaneKernels* table_for(SimdVariant v) noexcept {
+  switch (v) {
+    case SimdVariant::Scalar:
+      return &scalar_kernels();
+    case SimdVariant::Avx2:
+      return avx2_kernels();
+    case SimdVariant::Avx512:
+      return avx512_kernels();
+  }
+  return nullptr;
+}
+
+const PlaneKernels& widest_available() noexcept {
+  if (const PlaneKernels* t = avx512_kernels()) return *t;
+  if (const PlaneKernels* t = avx2_kernels()) return *t;
+  return scalar_kernels();
+}
+
+/// Applies a requested arm, or falls back (with a stderr note) when the
+/// build/CPU cannot honor it.
+const PlaneKernels& resolve_request(const char* source, const char* name) noexcept {
+  SimdVariant want;
+  if (std::strcmp(name, "scalar") == 0) {
+    want = SimdVariant::Scalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    want = SimdVariant::Avx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    want = SimdVariant::Avx512;
+  } else {
+    std::fprintf(stderr, "[ppa] %s requested unknown SIMD variant '%s'; using %s\n", source,
+                 name, variant_name(widest_available().variant));
+    return widest_available();
+  }
+  if (const PlaneKernels* t = table_for(want)) return *t;
+  const PlaneKernels& fb = widest_available();
+  std::fprintf(stderr, "[ppa] %s requested SIMD variant '%s' but it is unavailable here; using %s\n",
+               source, name, variant_name(fb.variant));
+  return fb;
+}
+
+const PlaneKernels& choose() noexcept {
+  if (const char* env = std::getenv("PPA_SIMD")) {
+    if (*env != '\0') return resolve_request("PPA_SIMD", env);
+  }
+#if defined(PPA_FORCE_SIMD_SCALAR)
+  return resolve_request("PPA_FORCE_SIMD build", "scalar");
+#elif defined(PPA_FORCE_SIMD_AVX2)
+  return resolve_request("PPA_FORCE_SIMD build", "avx2");
+#elif defined(PPA_FORCE_SIMD_AVX512)
+  return resolve_request("PPA_FORCE_SIMD build", "avx512");
+#else
+  return widest_available();
+#endif
+}
+
+}  // namespace
+
+const PlaneKernels* avx2_kernels() noexcept {
+#if defined(PPA_HAVE_KERNELS_AVX2)
+  return cpu_has_avx2() ? avx2_table() : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const PlaneKernels* avx512_kernels() noexcept {
+#if defined(PPA_HAVE_KERNELS_AVX512)
+  return cpu_has_avx512() ? avx512_table() : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const PlaneKernels& active() noexcept {
+  static const PlaneKernels& chosen = choose();
+  return chosen;
+}
+
+SimdVariant active_variant() noexcept { return active().variant; }
+
+}  // namespace ppa::ppc::plane_kernels

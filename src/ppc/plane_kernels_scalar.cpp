@@ -1,0 +1,36 @@
+// Scalar kernel arm: the template bodies instantiated at W = 1. Compiled
+// unconditionally with the project's default flags — this is the dispatch
+// fallback on any host.
+#include "ppc/plane_kernels.hpp"
+#include "ppc/plane_kernels_detail.hpp"
+
+namespace ppa::ppc::plane_kernels {
+
+namespace {
+using detail::VecScalar;
+}  // namespace
+
+const PlaneKernels& scalar_kernels() noexcept {
+  static const PlaneKernels table = [] {
+    PlaneKernels t;
+    t.variant = SimdVariant::Scalar;
+    t.op_and = detail::t_op_and<VecScalar>;
+    t.op_or = detail::t_op_or<VecScalar>;
+    t.op_xor = detail::t_op_xor<VecScalar>;
+    t.op_andnot = detail::t_op_andnot<VecScalar>;
+    t.op_copy = detail::t_op_copy<VecScalar>;
+    t.op_zero = detail::t_op_zero<VecScalar>;
+    t.masked_assign = detail::t_masked_assign<VecScalar>;
+    t.blend = detail::t_blend<VecScalar>;
+    t.all_zero = detail::t_all_zero<VecScalar>;
+    t.equal = detail::t_equal<VecScalar>;
+    t.add_sat = detail::t_add_sat<VecScalar>;
+    t.compare_lt = detail::t_compare_lt<VecScalar>;
+    t.compare_eq = detail::t_compare_eq<VecScalar>;
+    t.pack_words = detail::pack_words_rows_scalar;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace ppa::ppc::plane_kernels

@@ -88,11 +88,11 @@ Pint broadcast(const Pint& src, sim::Direction dir, const Pbool& open) {
       ctx.machine().shadow_broadcast_planes_into(src.driven_plane_view().data(), dir,
                                                  open.plane_view().data(), taint.data(),
                                                  taint_driven.data());
-      plane_ops::op_and(driven.data(), taint.data(), driven.data(), pw);
+      ctx.alu().op_and(driven.data(), taint.data(), driven.data(), pw);
       ctx.release_flag_plane(std::move(taint));
       ctx.release_flag_plane(std::move(taint_driven));
     }
-    if (plane_ops::equal(driven.data(), ctx.full_plane(), pw)) {
+    if (ctx.alu().equal(driven.data(), ctx.full_plane(), pw)) {
       ctx.release_flag_plane(std::move(driven));
       driven = {};
     }
@@ -142,7 +142,7 @@ Pbool broadcast(const Pbool& src, sim::Direction dir, const Pbool& open) {
     ctx.machine().broadcast_planes_into(src.plane_view().data(), 1, dir,
                                         open.plane_view().data(), bits.data(),
                                         driven.data());
-    if (plane_ops::equal(driven.data(), ctx.full_plane(), pw)) {
+    if (ctx.alu().equal(driven.data(), ctx.full_plane(), pw)) {
       ctx.release_flag_plane(std::move(driven));
       driven = {};
     }

@@ -1,6 +1,7 @@
 #include "sim/bus_planes.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "util/check.hpp"
@@ -17,6 +18,37 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 [[nodiscard]] std::size_t flow_row(std::size_t n, Direction dir, std::size_t k) noexcept {
   return dir == Direction::South ? k : n - 1 - k;
+}
+
+/// max_segment partials from concurrent chunks merge with max, which is
+/// commutative and idempotent — the result is identical for every chunk
+/// interleaving (and every pool size).
+void merge_max(std::atomic<std::size_t>& into, std::size_t value) noexcept {
+  std::size_t cur = into.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !into.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Runs `body(begin, end)` over [0, total_units), chunked across the pool
+/// when the cycle is big enough to amortize the fan-out. Chunks own
+/// disjoint unit ranges, so bodies never race on output words.
+template <typename Body>
+void run_chunked(const PlaneBusExec& exec, std::size_t total_units,
+                 std::size_t total_words, const Body& body) {
+  if (exec.pool != nullptr && exec.pool->worker_count() > 0 && total_units > 1 &&
+      total_words >= exec.min_words) {
+    exec.pool->parallel_for(total_units, body);
+  } else {
+    body(0, total_units);
+  }
+}
+
+/// Grows (never shrinks) a scratch vector to `need` elements.
+template <typename T>
+[[nodiscard]] T* grown(std::vector<T>& v, std::size_t need) {
+  if (v.size() < need) v.resize(need);
+  return v.data();
 }
 
 /// OR-masks the column range [clo, chi] of one row into every plane whose
@@ -61,6 +93,17 @@ void fill_col_range(const PlaneGeometry& g, std::size_t row, std::size_t clo,
   return false;
 }
 
+/// Open-switch count of one row.
+[[nodiscard]] std::size_t row_open_count(const PlaneGeometry& g, const PlaneWord* open,
+                                         std::size_t row) noexcept {
+  const PlaneWord* base = open + row * g.row_words;
+  std::size_t m = 0;
+  for (std::size_t w = 0; w < g.row_words; ++w) {
+    m += static_cast<std::size_t>(__builtin_popcountll(base[w]));
+  }
+  return m;
+}
+
 /// Calls `visit(flow_position, column)` for every Open bit of `row`, in
 /// flow order for `dir`.
 template <typename Visit>
@@ -93,123 +136,299 @@ void for_each_open_in_row(const PlaneGeometry& g, const PlaneWord* open, std::si
 // ---------------------------------------------------------------------------
 // Row buses (East / West)
 // ---------------------------------------------------------------------------
+//
+// Both resolvers special-case the configurations where a whole row is one
+// segment: zero Open switches, and — on a ring — exactly one (the head and
+// tail intervals meet around the wrap). Those are the overwhelmingly
+// common rows in the minimum-cost-path kernels (Open = the cluster
+// delimiter L, at most one per row), and they reduce to whole-row masked
+// fills with no per-bit scanning.
+
+/// One word's worth of segment fill: OR `mask` into plane word `widx`
+/// (absolute, row * row_words + w) of every plane whose bit is set in
+/// `drv`. A register has at most 32 planes, so drv fits 32 bits.
+struct RowFill {
+  std::uint32_t widx;
+  std::uint32_t drv;
+  PlaneWord mask;
+};
 
 std::size_t row_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
                           const PlaneWord* src, int planes, const PlaneWord* open,
-                          PlaneWord* out, PlaneWord* driven) {
+                          PlaneWord* out, PlaneWord* driven, const PlaneBusExec& exec) {
   const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
   const std::size_t pw = g.plane_words();
-  std::fill(out, out + pw * static_cast<std::size_t>(planes), PlaneWord{0});
-  std::fill(driven, driven + pw, PlaneWord{0});
-  std::size_t max_segment = 0;
+  PPA_ASSERT(planes <= 32, "a register has at most 32 planes");
+  std::atomic<std::size_t> max_segment{0};
 
-  const auto fill_flow = [&](std::size_t row, std::size_t fa, std::size_t fb,
-                             std::uint64_t drv) {
-    if (fa > fb) return;
-    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
-    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
-    fill_col_range(g, row, clo, chi, drv, pw, out, driven);
-  };
+  run_chunked(exec, n, pw * static_cast<std::size_t>(planes + 1),
+              [&](std::size_t r_begin, std::size_t r_end) {
+    std::size_t chunk_max = 0;
+    // Pass 1 resolves the switch configuration once — per-row fill entries
+    // and the driven plane — so pass 2 only touches planes a driver
+    // actually pulls high. A segment tiles into at most (words spanned)
+    // entries, so `fills` stays small.
+    std::vector<RowFill> fills;
+    fills.reserve((r_end - r_begin) * (rw + 2));
+    // Rows whose single ring driver covers the whole line (the dominant
+    // configuration in the MCP kernels) compress to one record; widx holds
+    // the ROW index for these.
+    std::vector<RowFill> whole_rows;
+    whole_rows.reserve(r_end - r_begin);
 
-  for (std::size_t r = 0; r < n; ++r) {
-    std::size_t first = kNone;
-    std::size_t prev = kNone;
-    std::uint64_t drv = 0;
-    for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t c) {
-      if (prev != kNone) {
-        max_segment = std::max(max_segment, k - prev);
-        fill_flow(r, prev + 1, k, drv);
-      } else {
-        first = k;
+    const auto emit = [&](std::size_t row, std::size_t fa, std::size_t fb,
+                          std::uint64_t drv) {
+      if (fa > fb) return;
+      const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
+      const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
+      const std::size_t w_lo = clo / kLanesPerWord;
+      const std::size_t w_hi = chi / kLanesPerWord;
+      for (std::size_t w = w_lo; w <= w_hi; ++w) {
+        const std::size_t base = w * kLanesPerWord;
+        const unsigned lo = static_cast<unsigned>(clo > base ? clo - base : 0);
+        const unsigned hi = static_cast<unsigned>(std::min(chi - base, kLanesPerWord - 1));
+        const PlaneWord mask = (hi >= 63 ? ~PlaneWord{0} : ((PlaneWord{1} << (hi + 1)) - 1)) &
+                               ~((PlaneWord{1} << lo) - 1);
+        driven[row * rw + w] |= mask;
+        if (drv != 0) {
+          fills.push_back({static_cast<std::uint32_t>(row * rw + w),
+                           static_cast<std::uint32_t>(drv), mask});
+        }
       }
-      const std::size_t word = r * g.row_words + c / kLanesPerWord;
+    };
+    // Per-driver plane reads stay inline: the `planes` loads stride the
+    // plane pitch at a CONSTANT step, which the hardware stride prefetcher
+    // covers — both a plane-at-a-time gather and per-row word staging
+    // measure faster in isolation but slower end to end.
+    const auto driver_bits = [&](std::size_t row, std::size_t c) {
+      const std::size_t word = row * rw + c / kLanesPerWord;
       const unsigned bit = PlaneGeometry::bit_of(c);
-      drv = 0;
+      std::uint64_t drv = 0;
       for (int j = 0; j < planes; ++j) {
         drv |= ((src[static_cast<std::size_t>(j) * pw + word] >> bit) & 1u) << j;
       }
-      prev = k;
-    });
-    if (prev == kNone) continue;  // no driver: the whole line floats (zeros)
-    if (topology == BusTopology::Ring) {
-      fill_flow(r, prev + 1, n - 1, drv);
-      fill_flow(r, 0, first, drv);
-      max_segment = std::max(max_segment, n - prev + first);
-    } else {
-      fill_flow(r, prev + 1, n - 1, drv);
-      max_segment = std::max(max_segment, n - 1 - prev);
+      return drv;
+    };
+
+    for (std::size_t r = r_begin; r < r_end; ++r) {
+      if (topology == BusTopology::Ring && row_open_count(g, open, r) == 1) {
+        // One Open switch on a ring: its value wraps all the way around and
+        // every lane of the row (driver included) reads it.
+        std::size_t c = 0;
+        for (std::size_t w = 0; w < rw; ++w) {
+          if (open[r * rw + w] != 0) {
+            c = w * kLanesPerWord +
+                static_cast<unsigned>(__builtin_ctzll(open[r * rw + w]));
+            break;
+          }
+        }
+        const std::uint64_t drv = driver_bits(r, c);
+        for (std::size_t w = 0; w < rw; ++w) driven[r * rw + w] = g.word_mask(w);
+        if (drv != 0) {
+          whole_rows.push_back({static_cast<std::uint32_t>(r),
+                                static_cast<std::uint32_t>(drv), 0});
+        }
+        chunk_max = std::max(chunk_max, n);
+        continue;
+      }
+      for (std::size_t w = 0; w < rw; ++w) driven[r * rw + w] = 0;
+      std::size_t first = kNone;
+      std::size_t prev = kNone;
+      std::uint64_t drv = 0;
+      for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t c) {
+        if (prev != kNone) {
+          chunk_max = std::max(chunk_max, k - prev);
+          emit(r, prev + 1, k, drv);
+        } else {
+          first = k;
+        }
+        drv = driver_bits(r, c);
+        prev = k;
+      });
+      if (prev != kNone) {  // no Open switch: the whole line floats (zeros)
+        if (topology == BusTopology::Ring) {
+          emit(r, prev + 1, n - 1, drv);
+          emit(r, 0, first, drv);
+          chunk_max = std::max(chunk_max, n - prev + first);
+        } else {
+          emit(r, prev + 1, n - 1, drv);
+          chunk_max = std::max(chunk_max, n - 1 - prev);
+        }
+      }
     }
-  }
-  return max_segment;
+
+    // Pass 2: zero the chunk's slice of every plane, then stamp each fill
+    // entry into just the planes its driver pulls high. (Bucketing the
+    // entries by plane first measures as a net loss here: MCP drivers
+    // light up ~14 of 16 planes, so the expanded side buffer outweighs
+    // the store locality it buys.)
+    for (int j = 0; j < planes; ++j) {
+      PlaneWord* p = out + static_cast<std::size_t>(j) * pw;
+      std::fill(p + r_begin * rw, p + r_end * rw, PlaneWord{0});
+    }
+    for (const RowFill& f : whole_rows) {
+      std::uint32_t drv = f.drv;
+      while (drv != 0) {
+        const int j = __builtin_ctz(drv);
+        PlaneWord* p = out + static_cast<std::size_t>(j) * pw +
+                       static_cast<std::size_t>(f.widx) * rw;
+        for (std::size_t w = 0; w < rw; ++w) p[w] = g.word_mask(w);
+        drv &= drv - 1;
+      }
+    }
+    for (const RowFill& f : fills) {
+      std::uint32_t drv = f.drv;
+      while (drv != 0) {
+        const int j = __builtin_ctz(drv);
+        out[static_cast<std::size_t>(j) * pw + f.widx] |= f.mask;
+        drv &= drv - 1;
+      }
+    }
+    merge_max(max_segment, chunk_max);
+  });
+  return max_segment.load(std::memory_order_relaxed);
 }
 
-std::size_t row_wired_or(const PlaneGeometry& g, BusTopology topology, Direction dir,
-                         const PlaneWord* src, const PlaneWord* open, PlaneWord* out) {
+/// Rebuilds `plan` for one (topology, dir, open) wired-OR configuration:
+/// classifies every row, records the general rows' segments as column
+/// ranges in flow order, and fixes max_segment (configuration-only).
+void build_row_wired_or_plan(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                             const PlaneWord* open, RowWiredOrPlan& plan) {
   const std::size_t n = g.n;
-  const std::size_t pw = g.plane_words();
-  std::fill(out, out + pw, PlaneWord{0});
+  plan.open.assign(open, open + g.plane_words());
+  plan.n = n;
+  plan.topology = static_cast<std::uint8_t>(topology);
+  plan.dir = static_cast<std::uint8_t>(dir);
+  plan.fast_rows.clear();
+  plan.segs.clear();
   std::size_t max_segment = 0;
 
-  const auto range_or = [&](std::size_t row, std::size_t fa, std::size_t fb) -> bool {
-    if (fa > fb) return false;
+  // Push the flow interval [fa, fb] of `row` as a column range.
+  const auto push = [&](std::size_t row, std::size_t fa, std::size_t fb, bool fuse) {
+    if (fa > fb) return;
     const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
     const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
-    return any_in_col_range(g, src, row, clo, chi);
-  };
-  const auto fill_flow = [&](std::size_t row, std::size_t fa, std::size_t fb, bool value) {
-    if (!value || fa > fb) return;
-    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
-    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
-    fill_col_range(g, row, clo, chi, 1u, pw, out, nullptr);
+    plan.segs.push_back({static_cast<std::uint32_t>(row), static_cast<std::uint32_t>(clo),
+                         static_cast<std::uint32_t>(chi), fuse ? 1u : 0u});
   };
 
   for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t m = row_open_count(g, open, r);
+    if (m == 0 || (m == 1 && topology == BusTopology::Ring)) {
+      // One unsegmented line (the single ring switch's head and tail
+      // intervals merge around the wrap): whole-row OR.
+      plan.fast_rows.push_back(static_cast<std::uint32_t>(r));
+      max_segment = std::max(max_segment, n);
+      continue;
+    }
     std::size_t first = kNone;
     std::size_t prev = kNone;
     for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t) {
       if (prev == kNone) {
         first = k;
       } else {
-        fill_flow(r, prev, k - 1, range_or(r, prev, k - 1));
+        push(r, prev, k - 1, false);
         max_segment = std::max(max_segment, k - prev);
       }
       prev = k;
     });
-    if (prev == kNone) {
-      // No Open switch: one unsegmented line.
-      fill_flow(r, 0, n - 1, range_or(r, 0, n - 1));
-      max_segment = std::max(max_segment, n);
-    } else if (topology == BusTopology::Ring) {
+    if (topology == BusTopology::Ring) {
       // The tail segment and the head stub [0, first) merge around the wrap.
-      const bool head = first > 0 && range_or(r, 0, first - 1);
-      const bool tail = range_or(r, prev, n - 1);
-      const bool v = head || tail;
-      fill_flow(r, prev, n - 1, v);
-      if (first > 0) fill_flow(r, 0, first - 1, v);
+      push(r, prev, n - 1, first > 0);
+      if (first > 0) push(r, 0, first - 1, false);
       max_segment = std::max(max_segment, n - prev + first);
     } else {
-      fill_flow(r, prev, n - 1, range_or(r, prev, n - 1));
+      push(r, prev, n - 1, false);
       max_segment = std::max(max_segment, n - prev);
-      if (first > 0) fill_flow(r, 0, first - 1, range_or(r, 0, first - 1));
+      if (first > 0) push(r, 0, first - 1, false);
       max_segment = std::max(max_segment, first);
     }
   }
-  return max_segment;
+  plan.max_segment = max_segment;
+}
+
+std::size_t row_wired_or(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                         const PlaneWord* src, const PlaneWord* open, PlaneWord* out,
+                         const PlaneBusExec& exec) {
+  const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
+  const std::size_t pw = g.plane_words();
+
+  RowWiredOrPlan local_plan;
+  RowWiredOrPlan& plan =
+      exec.scratch != nullptr ? exec.scratch->wired_or_plan : local_plan;
+  if (plan.n != n || plan.topology != static_cast<std::uint8_t>(topology) ||
+      plan.dir != static_cast<std::uint8_t>(dir) ||
+      !std::equal(plan.open.begin(), plan.open.end(), open, open + pw)) {
+    build_row_wired_or_plan(g, topology, dir, open, plan);
+  }
+
+  run_chunked(exec, n, pw, [&](std::size_t r_begin, std::size_t r_end) {
+    const auto fast_lo = std::lower_bound(plan.fast_rows.begin(), plan.fast_rows.end(),
+                                          static_cast<std::uint32_t>(r_begin));
+    const auto fast_hi = std::lower_bound(fast_lo, plan.fast_rows.end(),
+                                          static_cast<std::uint32_t>(r_end));
+    for (auto it = fast_lo; it != fast_hi; ++it) {
+      const std::size_t r = *it;
+      PlaneWord any = 0;
+      for (std::size_t w = 0; w < rw; ++w) any |= src[r * rw + w];
+      for (std::size_t w = 0; w < rw; ++w) {
+        out[r * rw + w] = any != 0 ? g.word_mask(w) : PlaneWord{0};
+      }
+    }
+    const auto by_row = [](const RowWiredOrPlan::Seg& s, std::uint32_t row) {
+      return s.row < row;
+    };
+    const auto seg_lo = std::lower_bound(plan.segs.begin(), plan.segs.end(),
+                                         static_cast<std::uint32_t>(r_begin), by_row);
+    const auto seg_hi = std::lower_bound(seg_lo, plan.segs.end(),
+                                         static_cast<std::uint32_t>(r_end), by_row);
+    std::size_t last_zeroed = kNone;
+    for (auto it = seg_lo; it != seg_hi; ++it) {
+      const std::size_t r = it->row;
+      if (r != last_zeroed) {
+        for (std::size_t w = 0; w < rw; ++w) out[r * rw + w] = 0;
+        last_zeroed = r;
+      }
+      bool v = any_in_col_range(g, src, r, it->clo, it->chi);
+      if (it->fuse_next != 0) {
+        // A ring's tail + head pair reads as one segment across the wrap.
+        const auto& head = *(it + 1);
+        v = v || any_in_col_range(g, src, r, head.clo, head.chi);
+        if (v) {
+          fill_col_range(g, r, it->clo, it->chi, 1u, pw, out, nullptr);
+          fill_col_range(g, r, head.clo, head.chi, 1u, pw, out, nullptr);
+        }
+        ++it;
+      } else if (v) {
+        fill_col_range(g, r, it->clo, it->chi, 1u, pw, out, nullptr);
+      }
+    }
+  });
+  return plan.max_segment;
 }
 
 // ---------------------------------------------------------------------------
 // Column buses (South / North): 64 lines per word-column, resolved with
-// vertical scans over the rows in flow order.
+// vertical scans over the rows in flow order. The scans keep their running
+// state in per-word-column arrays and put the word index in the INNER loop,
+// so every inner iteration reads/writes consecutive words of one row — the
+// layout the compiler auto-vectorizes.
 // ---------------------------------------------------------------------------
 
 /// max_segment of the column lines, computed from per-line Open positions
 /// (one pass over the open plane; O(n * row_words + popcount)).
 std::size_t column_max_segment(const PlaneGeometry& g, BusTopology topology, Direction dir,
-                               const PlaneWord* open, bool wired_or) {
+                               const PlaneWord* open, bool wired_or,
+                               PlaneBusScratch& s) {
   const std::size_t n = g.n;
-  std::vector<std::size_t> first(n, kNone);
-  std::vector<std::size_t> last(n, 0);
-  std::vector<std::size_t> gap(n, 0);
+  std::size_t* first = grown(s.pos_a, n);
+  std::size_t* last = grown(s.pos_b, n);
+  std::size_t* gap = grown(s.pos_c, n);
+  std::fill(first, first + n, kNone);
+  std::fill(last, last + n, std::size_t{0});
+  std::fill(gap, gap + n, std::size_t{0});
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t r = flow_row(n, dir, k);
     for (std::size_t w = 0; w < g.row_words; ++w) {
@@ -248,85 +467,152 @@ std::size_t column_max_segment(const PlaneGeometry& g, BusTopology topology, Dir
 
 std::size_t column_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
                              const PlaneWord* src, int planes, const PlaneWord* open,
-                             PlaneWord* out, PlaneWord* driven) {
+                             PlaneWord* out, PlaneWord* driven, const PlaneBusExec& exec) {
   const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
   const std::size_t pw = g.plane_words();
-  PlaneWord cur[32] = {};
   PPA_ASSERT(planes <= 32, "a register has at most 32 planes");
-  for (std::size_t w = 0; w < g.row_words; ++w) {
-    for (int j = 0; j < planes; ++j) cur[j] = 0;
-    PlaneWord have = 0;
+
+  PlaneBusScratch local;
+  PlaneBusScratch& s = exec.scratch != nullptr ? *exec.scratch : local;
+  // have_k[k*rw + w]: driven mask of row k (flow order) — the lanes that saw
+  // an Open switch strictly upstream. pend_k: the wrap-carry mask per row.
+  PlaneWord* have_k = grown(s.per_k_a, n * rw);
+  PlaneWord* pend_k = grown(s.per_k_b, n * rw);
+  PlaneWord* state = grown(s.lane_a, rw);
+
+  run_chunked(exec, rw, pw * static_cast<std::size_t>(planes + 1),
+              [&](std::size_t w_begin, std::size_t w_end) {
+    // Pass 1 (plane-independent): per-row driven masks, and the wrap
+    // extent. driven[] is exactly "have before this row".
+    PlaneWord* have = state + w_begin;
+    std::fill(have, have + (w_end - w_begin), PlaneWord{0});
     for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
-      const PlaneWord ow = open[idx];
-      for (int j = 0; j < planes; ++j) {
-        out[static_cast<std::size_t>(j) * pw + idx] = cur[j] & have;
-        cur[j] = (cur[j] & ~ow) | (src[static_cast<std::size_t>(j) * pw + idx] & ow);
+      const std::size_t base = flow_row(n, dir, k) * rw;
+      for (std::size_t w = w_begin; w < w_end; ++w) {
+        const PlaneWord ow = open[base + w];
+        have_k[k * rw + w] = state[w];
+        driven[base + w] = state[w];
+        state[w] |= ow;
       }
-      driven[idx] = have;
-      have |= ow;
     }
-    if (topology == BusTopology::Ring && have != 0) {
+    std::size_t k_stop = 0;  // rows the wrap reaches in this w slice
+    if (topology == BusTopology::Ring) {
       // Wrap: every lane's prefix through its FIRST Open row reads the
-      // signal carried around from its LAST Open row (now in cur).
-      PlaneWord pending = have;  // lanes whose first Open row is still ahead
-      for (std::size_t k = 0; k < n && pending != 0; ++k) {
-        const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
-        for (int j = 0; j < planes; ++j) {
-          out[static_cast<std::size_t>(j) * pw + idx] |= cur[j] & pending;
+      // signal carried around from its LAST Open row.
+      for (std::size_t k = 0; k < n; ++k) {
+        PlaneWord alive = 0;
+        const std::size_t base = flow_row(n, dir, k) * rw;
+        for (std::size_t w = w_begin; w < w_end; ++w) {
+          const PlaneWord ow = open[base + w];
+          alive |= state[w];
+          pend_k[k * rw + w] = state[w];
+          driven[base + w] |= state[w];
+          state[w] &= ~ow;
         }
-        driven[idx] |= pending;
-        pending &= ~open[idx];
+        if (alive == 0) break;
+        k_stop = k + 1;
       }
     }
-  }
-  return column_max_segment(g, topology, dir, open, /*wired_or=*/false);
+    // Pass 2, per plane: carry the latest driver word down the flow. All
+    // accesses at row k are consecutive words, so this vectorizes.
+    for (int j = 0; j < planes; ++j) {
+      const PlaneWord* sp = src + static_cast<std::size_t>(j) * pw;
+      PlaneWord* op = out + static_cast<std::size_t>(j) * pw;
+      PlaneWord* cur = state;
+      std::fill(cur + w_begin, cur + w_end, PlaneWord{0});
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t base = flow_row(n, dir, k) * rw;
+        for (std::size_t w = w_begin; w < w_end; ++w) {
+          const PlaneWord ow = open[base + w];
+          op[base + w] = cur[w] & have_k[k * rw + w];
+          cur[w] = (cur[w] & ~ow) | (sp[base + w] & ow);
+        }
+      }
+      for (std::size_t k = 0; k < k_stop; ++k) {
+        const std::size_t base = flow_row(n, dir, k) * rw;
+        for (std::size_t w = w_begin; w < w_end; ++w) {
+          op[base + w] |= cur[w] & pend_k[k * rw + w];
+        }
+      }
+    }
+  });
+  return column_max_segment(g, topology, dir, open, /*wired_or=*/false, s);
 }
 
 std::size_t column_wired_or(const PlaneGeometry& g, BusTopology topology, Direction dir,
-                            const PlaneWord* src, const PlaneWord* open, PlaneWord* out) {
+                            const PlaneWord* src, const PlaneWord* open, PlaneWord* out,
+                            const PlaneBusExec& exec) {
   const std::size_t n = g.n;
-  std::vector<PlaneWord> forward(n);    // running OR of the segment so far
-  std::vector<PlaneWord> head_mask(n);  // lanes still before their first Open row
-  for (std::size_t w = 0; w < g.row_words; ++w) {
-    PlaneWord acc = 0;
-    PlaneWord have = 0;
-    PlaneWord head_acc = 0;
+  const std::size_t rw = g.row_words;
+
+  PlaneBusScratch local;
+  PlaneBusScratch& s = exec.scratch != nullptr ? *exec.scratch : local;
+  PlaneWord* forward = grown(s.per_k_a, n * rw);    // running OR of the segment
+  PlaneWord* head_mask = grown(s.per_k_b, n * rw);  // lanes before their first Open
+  PlaneWord* acc = grown(s.lane_a, rw);   // then: seg (backward full-segment OR)
+  PlaneWord* have = grown(s.lane_b, rw);  // then: tail (no Open strictly downstream)
+  PlaneWord* head_acc = grown(s.lane_c, rw);  // then, on a ring: the wrap value
+
+  run_chunked(exec, rw, g.plane_words(), [&](std::size_t w_begin, std::size_t w_end) {
+    std::fill(acc + w_begin, acc + w_end, PlaneWord{0});
+    std::fill(have + w_begin, have + w_end, PlaneWord{0});
+    std::fill(head_acc + w_begin, head_acc + w_end, PlaneWord{0});
     for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
-      const PlaneWord ow = open[idx];
-      const PlaneWord sw = src[idx];
-      const PlaneWord head = ~(have | ow);
-      head_acc |= sw & head;
-      // An Open row starts a new segment that includes its own src bit.
-      acc = sw | (acc & ~ow);
-      forward[k] = acc;
-      head_mask[k] = head;
-      have |= ow;
-    }
-    // Backward pass: G carries each row's full-segment OR; M marks lanes
-    // with no Open row strictly downstream (the tail segment).
-    PlaneWord seg = forward[n - 1];
-    PlaneWord tail = ~PlaneWord{0};
-    const PlaneWord wrap = forward[n - 1] | head_acc;
-    for (std::size_t k = n; k-- > 0;) {
-      const std::size_t idx = flow_row(n, dir, k) * g.row_words + w;
-      PlaneWord value;
-      if (topology == BusTopology::Ring) {
-        const PlaneWord in_wrap = head_mask[k] | tail;
-        value = (wrap & in_wrap) | (seg & ~in_wrap);
-      } else {
-        value = (head_acc & head_mask[k]) | (seg & ~head_mask[k]);
-      }
-      out[idx] = value;
-      if (k > 0) {
-        const PlaneWord ow = open[idx];
-        seg = (forward[k - 1] & ow) | (seg & ~ow);
-        tail &= ~ow;
+      const std::size_t base = flow_row(n, dir, k) * rw;
+      for (std::size_t w = w_begin; w < w_end; ++w) {
+        const PlaneWord ow = open[base + w];
+        const PlaneWord sw = src[base + w];
+        const PlaneWord head = ~(have[w] | ow);
+        head_acc[w] |= sw & head;
+        // An Open row starts a new segment that includes its own src bit.
+        acc[w] = sw | (acc[w] & ~ow);
+        forward[k * rw + w] = acc[w];
+        head_mask[k * rw + w] = head;
+        have[w] |= ow;
       }
     }
-  }
-  return column_max_segment(g, topology, dir, open, /*wired_or=*/true);
+    // Backward pass: seg carries each row's full-segment OR; tail marks
+    // lanes with no Open row strictly downstream (the tail segment).
+    PlaneWord* seg = acc;   // seg starts as forward[n-1], which acc now holds
+    PlaneWord* tail = have;
+    PlaneWord* wrap = head_acc;
+    if (topology == BusTopology::Ring) {
+      for (std::size_t w = w_begin; w < w_end; ++w) {
+        wrap[w] = forward[(n - 1) * rw + w] | head_acc[w];
+        tail[w] = ~PlaneWord{0};
+      }
+      for (std::size_t k = n; k-- > 0;) {
+        const std::size_t base = flow_row(n, dir, k) * rw;
+        for (std::size_t w = w_begin; w < w_end; ++w) {
+          const PlaneWord in_wrap = head_mask[k * rw + w] | tail[w];
+          out[base + w] = (wrap[w] & in_wrap) | (seg[w] & ~in_wrap);
+        }
+        if (k > 0) {
+          for (std::size_t w = w_begin; w < w_end; ++w) {
+            const PlaneWord ow = open[base + w];
+            seg[w] = (forward[(k - 1) * rw + w] & ow) | (seg[w] & ~ow);
+            tail[w] &= ~ow;
+          }
+        }
+      }
+    } else {
+      for (std::size_t k = n; k-- > 0;) {
+        const std::size_t base = flow_row(n, dir, k) * rw;
+        for (std::size_t w = w_begin; w < w_end; ++w) {
+          const PlaneWord hm = head_mask[k * rw + w];
+          out[base + w] = (head_acc[w] & hm) | (seg[w] & ~hm);
+        }
+        if (k > 0) {
+          for (std::size_t w = w_begin; w < w_end; ++w) {
+            const PlaneWord ow = open[base + w];
+            seg[w] = (forward[(k - 1) * rw + w] & ow) | (seg[w] & ~ow);
+          }
+        }
+      }
+    }
+  });
+  return column_max_segment(g, topology, dir, open, /*wired_or=*/true, s);
 }
 
 }  // namespace
@@ -334,19 +620,21 @@ std::size_t column_wired_or(const PlaneGeometry& g, BusTopology topology, Direct
 std::size_t plane_broadcast_into(const PlaneGeometry& g, BusTopology topology,
                                  Direction dir, const PlaneWord* src, int planes,
                                  const PlaneWord* open, PlaneWord* out,
-                                 PlaneWord* driven) {
+                                 PlaneWord* driven, const PlaneBusExec& exec) {
   PPA_REQUIRE(g.n >= 1, "array side must be positive");
   PPA_REQUIRE(planes >= 1, "a bus cycle needs at least one plane");
-  return is_row_axis(dir) ? row_broadcast(g, topology, dir, src, planes, open, out, driven)
-                          : column_broadcast(g, topology, dir, src, planes, open, out, driven);
+  return is_row_axis(dir)
+             ? row_broadcast(g, topology, dir, src, planes, open, out, driven, exec)
+             : column_broadcast(g, topology, dir, src, planes, open, out, driven, exec);
 }
 
 std::size_t plane_wired_or_into(const PlaneGeometry& g, BusTopology topology,
                                 Direction dir, const PlaneWord* src,
-                                const PlaneWord* open, PlaneWord* out) {
+                                const PlaneWord* open, PlaneWord* out,
+                                const PlaneBusExec& exec) {
   PPA_REQUIRE(g.n >= 1, "array side must be positive");
-  return is_row_axis(dir) ? row_wired_or(g, topology, dir, src, open, out)
-                          : column_wired_or(g, topology, dir, src, open, out);
+  return is_row_axis(dir) ? row_wired_or(g, topology, dir, src, open, out, exec)
+                          : column_wired_or(g, topology, dir, src, open, out, exec);
 }
 
 void plane_shift(const PlaneGeometry& g, Direction dir, const PlaneWord* src, int planes,

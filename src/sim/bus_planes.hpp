@@ -8,17 +8,83 @@
 // this equivalence, with bus.cpp as the oracle).
 //
 // Row buses (East/West) stream each row's Open bits in flow order and fill
-// whole receiving intervals with word-masked ORs; column buses
-// (South/North) are resolved 64 lines at a time with a vertical scan per
-// word-column, which is where the packing pays: one pass over n words
-// settles 64 independent column lines.
+// whole receiving intervals with word-masked ORs; rows with zero or (on a
+// ring) one Open switch — the minimum-cost-path solver's steady state —
+// collapse to whole-row fills. Column buses (South/North) are resolved 64
+// lines at a time with vertical scans whose inner loop runs across the
+// row's words, so the compiler vectorizes the 64-lane bit arithmetic.
+//
+// Each entry point takes an optional PlaneBusExec: a thread pool to chunk
+// the cycle over (rows for the row axis, word-columns for the column axis
+// — every chunk owns a disjoint slice of the output planes, and per-chunk
+// max_segment partials merge with max, which is order-independent, so
+// results and step counts are bit-identical for every pool size) and a
+// scratch block that keeps the column resolvers allocation-free across
+// cycles.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/bit_planes.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ppa::sim {
+
+/// Memoized segmentation of one row wired-OR switch configuration. The
+/// minimum-cost-path kernels issue long runs of wired-OR cycles on an
+/// unchanged configuration (the cluster delimiters only move between
+/// iterations), so the resolver caches the per-row decomposition keyed on
+/// the exact open-plane contents and re-derives only the src-dependent
+/// segment values per cycle.
+struct RowWiredOrPlan {
+  // Key: exact switch configuration this plan was built for. n == 0 marks
+  // an empty plan.
+  std::vector<PlaneWord> open;
+  std::size_t n = 0;
+  std::uint8_t topology = 0;
+  std::uint8_t dir = 0;
+  // Payload. fast_rows: rows that resolve to a single whole-line segment.
+  // segs: remaining segments as column ranges, sorted by row; an entry
+  // with fuse_next set shares its OR value with the next entry (a ring's
+  // tail + head pair). max_segment depends only on the configuration.
+  struct Seg {
+    std::uint32_t row;
+    std::uint32_t clo;
+    std::uint32_t chi;
+    std::uint32_t fuse_next;
+  };
+  std::vector<std::uint32_t> fast_rows;
+  std::vector<Seg> segs;
+  std::size_t max_segment = 0;
+};
+
+/// Reusable buffers for the plane bus resolvers, owned by the Machine (one
+/// per machine; bus cycles are issued sequentially by the controller).
+/// Sized lazily on first use. The per-k arrays are indexed [k * row_words
+/// + w], the per-line arrays by column — under chunking, every chunk
+/// touches only its own w / column slice.
+struct PlaneBusScratch {
+  std::vector<PlaneWord> per_k_a;     // n * row_words
+  std::vector<PlaneWord> per_k_b;     // n * row_words
+  std::vector<PlaneWord> lane_a;      // row_words
+  std::vector<PlaneWord> lane_b;      // row_words
+  std::vector<PlaneWord> lane_c;      // row_words
+  std::vector<std::size_t> pos_a;     // n (column_max_segment: first)
+  std::vector<std::size_t> pos_b;     // n (column_max_segment: last)
+  std::vector<std::size_t> pos_c;     // n (column_max_segment: gap)
+  RowWiredOrPlan wired_or_plan;       // see RowWiredOrPlan
+};
+
+/// Execution knobs for one plane bus cycle. Defaults preserve the plain
+/// sequential, self-allocating behavior (free-function callers and tests).
+struct PlaneBusExec {
+  util::ThreadPool* pool = nullptr;  // null = run on the caller
+  /// Minimum total plane words the cycle must touch before it is chunked
+  /// over the pool (same knob as MachineConfig::plane_sweep_min_words).
+  std::size_t min_words = static_cast<std::size_t>(-1);
+  PlaneBusScratch* scratch = nullptr;  // null = allocate locally
+};
 
 /// One broadcast bus cycle over `planes` bit planes sharing a single
 /// switch configuration (the planes of one h-bit register ride the same
@@ -28,14 +94,15 @@ namespace ppa::sim {
 std::size_t plane_broadcast_into(const PlaneGeometry& g, BusTopology topology,
                                  Direction dir, const PlaneWord* src, int planes,
                                  const PlaneWord* open, PlaneWord* out,
-                                 PlaneWord* driven);
+                                 PlaneWord* driven, const PlaneBusExec& exec = {});
 
 /// One wired-OR bus cycle on a single plane. Never floats (a segment
 /// nobody pulls reads 0), so there is no driven output. Returns
 /// max_segment.
 std::size_t plane_wired_or_into(const PlaneGeometry& g, BusTopology topology,
                                 Direction dir, const PlaneWord* src,
-                                const PlaneWord* open, PlaneWord* out);
+                                const PlaneWord* open, PlaneWord* out,
+                                const PlaneBusExec& exec = {});
 
 /// Nearest-neighbour move of `planes` bit planes; lanes shifted in from
 /// the array edge read bit j of `fill_bits` in plane j. dst must not alias

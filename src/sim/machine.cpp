@@ -181,7 +181,7 @@ void Machine::clear_dead_driven_plane(Direction dir, const PlaneWord* open_eff,
   scratch_alive_driven_plane_.resize(pw);
   (void)plane_broadcast_into(geometry_, config_.topology, dir, faults_.alive_plane.data(),
                              1, open_eff, scratch_alive_out_.data(),
-                             scratch_alive_driven_plane_.data());
+                             scratch_alive_driven_plane_.data(), plane_bus_exec());
   for (std::size_t i = 0; i < pw; ++i) driven[i] &= scratch_alive_out_[i];
 }
 
@@ -368,7 +368,7 @@ std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
   }
   const std::size_t max_segment =
       plane_broadcast_into(geometry_, config_.topology, dir, src_eff, planes, open_eff,
-                           out, driven);
+                           out, driven, plane_bus_exec());
   if (faults_.any) {
     check_contention_plane(StepCategory::BusBroadcast, dir, open);
     clear_dead_driven_plane(dir, open_eff, driven);
@@ -423,7 +423,8 @@ std::size_t Machine::shadow_broadcast_planes_into(const PlaneWord* src, Directio
                                                   const PlaneWord* open, PlaneWord* out,
                                                   PlaneWord* driven) {
   if (!faults_.any) {
-    return plane_broadcast_into(geometry_, config_.topology, dir, src, 1, open, out, driven);
+    return plane_broadcast_into(geometry_, config_.topology, dir, src, 1, open, out, driven,
+                                plane_bus_exec());
   }
   const Axis axis = axis_of(dir);
   const PlaneWord* open_eff = effective_open_plane(axis, open);
@@ -435,8 +436,9 @@ std::size_t Machine::shadow_broadcast_planes_into(const PlaneWord* src, Directio
     for (std::size_t i = 0; i < pw; ++i) scratch_src_planes_[i] = src[i] & alive[i];
     src_eff = scratch_src_planes_.data();
   }
-  const std::size_t max_segment = plane_broadcast_into(geometry_, config_.topology, dir,
-                                                       src_eff, 1, open_eff, out, driven);
+  const std::size_t max_segment =
+      plane_broadcast_into(geometry_, config_.topology, dir, src_eff, 1, open_eff, out,
+                           driven, plane_bus_exec());
   clear_dead_driven_plane(dir, open_eff, driven);
   if (faults_.any_dead) {
     const PlaneWord* alive = faults_.alive_plane.data();
@@ -461,7 +463,8 @@ std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
     }
   }
   const std::size_t max_segment =
-      plane_wired_or_into(geometry_, config_.topology, dir, src_eff, open_eff, out);
+      plane_wired_or_into(geometry_, config_.topology, dir, src_eff, open_eff, out,
+                          plane_bus_exec());
   if (faults_.any) {
     apply_stuck_bits_planes(axis, out, 1);
     if (faults_.any_dead) {

@@ -54,14 +54,21 @@ struct MachineConfig {
   int bits = 16;            // word width h
   BusTopology topology = BusTopology::Ring;
   UndrivenPolicy undriven = UndrivenPolicy::Error;
-  /// Host worker threads for the Words backend's per-PE sweeps; 0 or 1 =
-  /// host-sequential. The BitPlane backend IGNORES this by design: its
-  /// sweeps already process 64 PE lanes per host word, so an n = 512
-  /// plane is only 4096 words of sequential loop — far below the
-  /// crossover where pool dispatch pays for itself. Results are
-  /// bit-identical for every value on both backends either way
-  /// (tests/mcp_backend_diff_test.cpp pins plane-backend invariance).
+  /// Host worker threads for per-PE sweeps; 0 or 1 = host-sequential.
+  /// Both backends honor it: the Words backend chunks PE ranges, the
+  /// BitPlane backend chunks contiguous plane-word ranges of its ALU
+  /// sweeps (ppc/plane_kernels.hpp) once a sweep reaches
+  /// `plane_sweep_min_words` words. Results, driven flags and step counts
+  /// are bit-identical for every value on both backends
+  /// (tests/mcp_backend_diff_test.cpp pins thread-count invariance).
   std::size_t host_threads = 1;
+  /// Minimum plane-sweep length (in 64-bit plane words, total across the
+  /// h planes of a value) before the BitPlane backend dispatches the
+  /// sweep to the thread pool. Below it, pool hand-off costs more than
+  /// the loop: a full n = 512, h = 16 value is 65536 words (~one L2-ish
+  /// working set), which is roughly where chunking starts to pay. Tests
+  /// set 1 to force chunking on small arrays.
+  std::size_t plane_sweep_min_words = 65536;
   ExecBackend backend = ExecBackend::Words;
   /// Checked execution: bus contention (a program driver whose switch a
   /// fault forced closed) and undriven program reads are recorded as
@@ -226,7 +233,18 @@ class Machine {
     }
   }
 
+  /// The host worker pool (nullptr when host_threads <= 1). The BitPlane
+  /// backend's ALU (ppc/plane_kernels.hpp) and the plane bus engine chunk
+  /// their sweeps over it.
+  [[nodiscard]] util::ThreadPool* host_pool() noexcept { return pool_.get(); }
+
  private:
+  /// Execution knobs handed to every plane bus cycle: the host pool (when
+  /// the cycle is large enough to chunk) and the machine-owned scratch.
+  [[nodiscard]] PlaneBusExec plane_bus_exec() noexcept {
+    return PlaneBusExec{pool_.get(), config_.plane_sweep_min_words, &bus_scratch_};
+  }
+
   // Fault transform around a bus cycle (machine.cpp). `effective_open`
   // returns `open` untouched when the axis has no switch faults; the other
   // helpers are no-ops without the corresponding fault class.
@@ -269,6 +287,7 @@ class Machine {
   std::vector<PlaneWord> scratch_src_planes_;
   std::vector<PlaneWord> scratch_alive_out_;
   std::vector<PlaneWord> scratch_alive_driven_plane_;
+  PlaneBusScratch bus_scratch_;  // reused by every plane bus cycle
 };
 
 }  // namespace ppa::sim

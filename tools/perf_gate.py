@@ -17,12 +17,21 @@ host_threads).  For every matched pair the gate fails when
 where threshold defaults to 0.15 (15 %) and can be overridden with the
 PERF_GATE_THRESHOLD environment variable (a fraction, e.g. 0.25).
 
-The same threshold is applied to pe_ops_per_sec (throughput, so the gate
-checks current < baseline / (1 + threshold)) — WARN-ONLY for now:
-throughput derives from wall clock and simd_steps, so it flags the same
-regressions plus step-count drift, and we want soak time on its noise
-level before letting it fail builds.  A record missing pe_ops_per_sec
-skips that check silently (older baselines predate the field).
+The pe_ops_per_sec throughput check FAILS the gate too: the gate checks
+current < baseline / (1 + ops_threshold), where ops_threshold defaults to
+the wall-clock threshold and can be loosened independently with
+PERF_GATE_OPS_THRESHOLD (throughput derives from wall clock and
+simd_steps, so it flags the same regressions plus step-count drift; it
+soaked as warn-only and its noise tracks the wall-clock check's).  A
+record missing pe_ops_per_sec skips that check silently (older baselines
+predate the field).
+
+Records may carry a "simd" field naming the dispatched kernel variant
+(scalar/avx2/avx512, or none on the word backend).  It is informational
+and deliberately NOT part of the configuration key — a baseline recorded
+on an AVX-512 host still matches a current run on an AVX2 host — but a
+variant mismatch is reported alongside a failing comparison so dispatch
+changes are traceable from the gate output.
 
 A changed simd_steps count for a matched configuration is reported as a
 warning, not a failure: step counts are workload properties, and a step
@@ -84,6 +93,14 @@ def main(argv):
     if threshold < 0:
         print("perf_gate: PERF_GATE_THRESHOLD must be >= 0", file=sys.stderr)
         return 2
+    try:
+        ops_threshold = float(os.environ.get("PERF_GATE_OPS_THRESHOLD", str(threshold)))
+    except ValueError:
+        print("perf_gate: PERF_GATE_OPS_THRESHOLD must be a number", file=sys.stderr)
+        return 2
+    if ops_threshold < 0:
+        print("perf_gate: PERF_GATE_OPS_THRESHOLD must be >= 0", file=sys.stderr)
+        return 2
 
     baseline = load_records(argv[1])
     current = load_records(argv[2])
@@ -104,25 +121,33 @@ def main(argv):
         base_wall = float(base["wall_seconds"])
         cur_wall = float(cur["wall_seconds"])
         ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+        regressed = False
         verdict = "ok"
         if cur_wall > base_wall * (1 + threshold):
             verdict = "REGRESSION"
-            regressions += 1
+            regressed = True
         compared += 1
         print(f"perf_gate: {describe(key)}: wall {base_wall:.4f}s -> {cur_wall:.4f}s "
               f"({ratio:.2f}x baseline) [{verdict}]")
 
-        # Throughput check, warn-only: see the module docstring.
+        # Throughput check, hard-failing: see the module docstring.
         try:
             base_ops = float(base["pe_ops_per_sec"])
             cur_ops = float(cur["pe_ops_per_sec"])
         except (TypeError, KeyError, ValueError):
+            regressions += regressed
             continue
-        if base_ops > 0 and cur_ops < base_ops / (1 + threshold):
-            print(f"perf_gate: warning: {describe(key)}: pe_ops_per_sec dropped "
+        if base_ops > 0 and cur_ops < base_ops / (1 + ops_threshold):
+            regressed = True
+            detail = ""
+            if base.get("simd") != cur.get("simd"):
+                detail = (f" (simd variant changed: {base.get('simd')} -> "
+                          f"{cur.get('simd')})")
+            print(f"perf_gate: {describe(key)}: pe_ops_per_sec dropped "
                   f"{base_ops:.3e} -> {cur_ops:.3e} "
                   f"({cur_ops / base_ops:.2f}x baseline) — throughput degradation "
-                  f"beyond {threshold:.0%} (warn-only)")
+                  f"beyond {ops_threshold:.0%} [REGRESSION]{detail}")
+        regressions += regressed
 
     if compared == 0:
         print("perf_gate: no overlapping configurations to compare", file=sys.stderr)

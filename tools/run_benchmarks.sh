@@ -4,6 +4,7 @@
 #   tools/run_benchmarks.sh            # tables + BENCH_e6.json at the repo root
 #   BENCH_FILTER=. tools/run_benchmarks.sh   # also run the google-benchmark loops
 #   BUILD_DIR=build-release tools/run_benchmarks.sh
+#   BENCH_BEST_OF=3 tools/run_benchmarks.sh  # repeats per configuration (default 6)
 #
 # BENCH_e6.json records wall-clock throughput per configuration — both
 # execution backends (word and bitplane) on the n=128 single-destination
@@ -22,6 +23,10 @@ BUILD="${BUILD_DIR:-build-release}"
 # (they are what writes BENCH_e6.json); the microbenchmark loops are
 # opt-in because they take minutes.
 FILTER="${BENCH_FILTER:-_tables_only_}"
+# Committed baselines are best-of-N: each configuration is measured
+# BENCH_BEST_OF times and the fastest repeat is recorded, which is the
+# standard estimator for the noise floor on a shared host.
+export PPA_BENCH_BEST_OF="${BENCH_BEST_OF:-6}"
 
 # A fresh directory is configured as Release; an existing one keeps its
 # cached build type (never silently reconfigured) and is checked below.
