@@ -83,13 +83,15 @@ Throughput run_once(std::size_t n, std::size_t host_threads,
 }
 
 Throughput run_all_pairs(std::size_t n, std::size_t workers,
-                         sim::ExecBackend backend = sim::ExecBackend::Words) {
+                         sim::ExecBackend backend = sim::ExecBackend::Words,
+                         std::size_t batch_width = 1) {
   util::Rng rng(n);
   const auto g =
       graph::random_reachable_digraph(n, 16, 2.0 / static_cast<double>(n), {1, 30}, 0, rng);
   mcp::AllPairsOptions options;
   options.workers = workers;
   options.mcp.backend = backend;
+  options.mcp.batch_width = batch_width;
   return best_throughput([&] {
     util::Stopwatch watch;
     const auto result = mcp::all_pairs(g, options);
@@ -108,12 +110,14 @@ Throughput run_all_pairs(std::size_t n, std::size_t workers,
 /// bench::PerfRecord / write_perf_records share the metrics schema's run
 /// field names, which is what lets tools/perf_gate.py consume the file.
 bench::PerfRecord record_of(const char* workload, sim::ExecBackend backend, std::size_t n,
-                            std::size_t host_threads, const Throughput& t) {
+                            std::size_t host_threads, const Throughput& t,
+                            std::size_t batch_width = 1) {
   bench::PerfRecord r;
   r.workload = workload;
   r.backend = backend_name(backend);
   r.n = n;
   r.host_threads = host_threads;
+  r.batch_width = batch_width;
   r.simd_steps = t.steps;
   r.wall_seconds = t.seconds;
   r.pe_ops_per_sec = t.pe_ops / t.seconds;
@@ -200,6 +204,31 @@ void print_tables() {
       "core count (this host reports %u). SIMD steps are identical for every worker\n"
       "count by construction; see tests/mcp_allpairs_parallel_test.cpp.\n\n",
       std::thread::hardware_concurrency());
+
+  // Multi-destination plane batching (docs/batching.md): k destinations
+  // share every weight-panel load and bus configuration of one machine
+  // pass, so the bit-plane all-pairs cost amortizes across the batch.
+  // Rows, iteration counts and outcomes are bit-identical to width 1
+  // (tests/mcp_batch_test.cpp); only wall clock and the step profile move.
+  util::Table batching("E6: multi-destination plane batching (bit-plane all-pairs, n=128)",
+                       {"batch width", "SIMD steps", "wall ms", "speedup vs width 1"});
+  {
+    const std::size_t n = 128;
+    double base_seconds = 0;
+    for (const std::size_t width : {1u, 4u, 16u}) {
+      const auto t = run_all_pairs(n, 1, sim::ExecBackend::BitPlane, width);
+      if (width == 1) base_seconds = t.seconds;
+      batching.add_row({static_cast<std::int64_t>(width), static_cast<std::int64_t>(t.steps),
+                        t.seconds * 1e3, base_seconds / t.seconds});
+      records.push_back(record_of("all_pairs", sim::ExecBackend::BitPlane, n, 1, t, width));
+    }
+  }
+  bench::emit(batching);
+  std::printf(
+      "Width 1 is exactly the per-destination engine; wider batches load each weight\n"
+      "panel once per sweep for the whole group and keep convergence host-side, so the\n"
+      "speedup comes from amortized panel I/O and broadcast setup, not from changed\n"
+      "results (bit-identical rows are pinned in tests/mcp_batch_test.cpp).\n\n");
   bench::write_perf_records(records, "BENCH_e6.json");
 }
 

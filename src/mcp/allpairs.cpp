@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "mcp/batch.hpp"
 #include "mcp/tiled.hpp"
 #include "obs/collector.hpp"
 #include "ppc/primitives.hpp"
@@ -137,7 +138,63 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
     }
   };
 
-  if (options.workers > 1 && n > 1) {
+  // Multi-destination batching (mcp/batch.hpp, docs/batching.md): with
+  // batch_width > 1 under the BitPlane backend the destinations are
+  // partitioned into GLOBAL groups of at most batch_width — group
+  // composition never depends on the worker count, so results, outcomes
+  // and merged metrics stay worker-count independent — and each group
+  // rides one shared machine pass. The word backend keeps the
+  // per-destination path above and remains the differential oracle.
+  const std::size_t width = options.mcp.batch_width;
+  const bool batched =
+      width > 1 && n > 1 && options.mcp.backend == sim::ExecBackend::BitPlane;
+  const auto run_groups = [&](std::size_t gbegin, std::size_t gend) {
+    sim::Machine machine(config);
+    if (!options.mcp.faults.empty()) machine.inject_faults(options.mcp.faults);
+    std::unique_ptr<sim::Machine> oracle;  // shared across this worker's groups
+    Options run_options = options.mcp;
+    for (std::size_t g = gbegin; g < gend; ++g) {
+      const std::size_t first = g * width;
+      const std::size_t last = std::min(first + width, n);
+      std::vector<graph::Vertex> dests;
+      dests.reserve(last - first);
+      for (std::size_t d = first; d < last; ++d) dests.push_back(d);
+      if (observer != nullptr) {
+        collectors[first] = std::make_unique<obs::Collector>();
+        run_options.observer = collectors[first].get();
+      }
+      const sim::StepCounter before = machine.steps();
+      const sim::StepCounter oracle_before = oracle ? oracle->steps() : sim::StepCounter{};
+      const std::vector<Result> runs =
+          solve_batch_on(machine, oracle, graph, dests, run_options);
+      // The group's machine pass is shared; its step delta is counted
+      // ONCE, on the group's first destination slot (docs/batching.md).
+      per_destination[first] = machine.steps().since(before);
+      if (oracle) per_destination[first].merge(oracle->steps().since(oracle_before));
+      for (std::size_t gi = 0; gi < runs.size(); ++gi) {
+        const std::size_t d = first + gi;
+        const Result& run = runs[gi];
+        iterations[d] = run.iterations;
+        result.outcomes[d] = run.outcome;
+        result.attempts[d] = run.attempts;
+        events[d] = run.fault_events;
+        for (graph::Vertex i = 0; i < n; ++i) {
+          result.dist[i * n + d] = run.solution.cost[i];
+          result.next[i * n + d] = run.solution.next[i];
+        }
+      }
+    }
+  };
+
+  if (batched) {
+    const std::size_t groups = (n + width - 1) / width;
+    if (options.workers > 1 && groups > 1) {
+      util::ThreadPool pool(std::min(options.workers, groups));
+      pool.parallel_for(groups, run_groups);
+    } else {
+      run_groups(0, groups);
+    }
+  } else if (options.workers > 1 && n > 1) {
     util::ThreadPool pool(std::min(options.workers, n));
     pool.parallel_for(n, run_range);
   } else {
@@ -152,7 +209,9 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
     result.total_iterations += iterations[d];
     result.fault_events.insert(result.fault_events.end(), events[d].begin(),
                                events[d].end());
-    if (observer != nullptr) observer->merge(*collectors[d]);
+    // Batched runs keep one collector per GROUP (stored at the group's
+    // first destination); the other slots stay empty.
+    if (observer != nullptr && collectors[d] != nullptr) observer->merge(*collectors[d]);
   }
   for (const graph::Weight w : result.dist) {
     if (w != graph.infinity()) result.diameter = std::max(result.diameter, w);

@@ -61,6 +61,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   ppc::Context ctx(machine);
   const sim::StepCounter at_entry = machine.steps();
   const std::size_t faults_at_entry = machine.fault_count();
+  const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
 
   // ------------------------------------------------------------------
   // Data layout (paper Section 3): W, SOW, PTN are n x n parallel ints;
@@ -193,6 +194,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
 
   // Fault harvest, outcome policy, solver counters (shared with the tiled
   // driver — relax_core.hpp).
+  detail::record_plan_cache_delta(machine, plans_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
 }

@@ -87,6 +87,17 @@ struct Options {
   /// solve_eccentricity ignore this (the latter's on-machine row-d
   /// reduction needs the full array).
   std::size_t array_side = 0;
+  /// Destinations solved per machine pass by solve_batch / all_pairs
+  /// (mcp/batch.hpp, docs/batching.md). <= 1 keeps the per-destination
+  /// engine. With k > 1, solve_batch runs up to k destinations through one
+  /// shared sweep schedule: the weight panels are loaded once per panel
+  /// visit and every batch member rides them with its own SOW fragment and
+  /// result lanes. Rows, iteration counts and outcomes are bit-identical
+  /// to the per-destination engine (tests/mcp_batch_test.cpp); only the
+  /// step profile differs (docs/batching.md). all_pairs batches only under
+  /// the BitPlane backend — the word backend keeps the per-destination
+  /// path and remains the differential oracle.
+  std::size_t batch_width = 1;
 
   // ---- robustness layer (docs/robustness.md) ----
 

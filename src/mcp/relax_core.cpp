@@ -47,6 +47,33 @@ ScopedSink::ScopedSink(sim::Machine& machine, obs::Collector* observer)
 
 ScopedSink::~ScopedSink() { machine_.set_trace(previous_); }
 
+std::vector<sim::Word> panel_weights(const graph::WeightMatrix& g, std::size_t p,
+                                     std::size_t base_r, std::size_t base_c) {
+  const std::size_t n = g.size();
+  const sim::Word inf = g.infinity();
+  std::vector<sim::Word> cells(p * p, inf);
+  const std::size_t bh = std::min(p, n - base_r);
+  const std::size_t bw = std::min(p, n - base_c);
+  for (std::size_t r = 0; r < bh; ++r) {
+    const std::size_t gi = base_r + r;
+    for (std::size_t c = 0; c < bw; ++c) {
+      const std::size_t gj = base_c + c;
+      cells[r * p + c] = (gi == gj) ? sim::Word{0} : g.at(gi, gj);
+    }
+  }
+  return cells;
+}
+
+void record_plan_cache_delta(const sim::Machine& machine,
+                             sim::Machine::PlanCacheStats entry,
+                             obs::Collector* observer) {
+  if (observer == nullptr) return;
+  const sim::Machine::PlanCacheStats now = machine.plan_cache_stats();
+  obs::MetricsRegistry& metrics = observer->metrics();
+  metrics.counter(obs::metric::kPlanCacheHits).add(now.hits - entry.hits);
+  metrics.counter(obs::metric::kPlanCacheMisses).add(now.misses - entry.misses);
+}
+
 void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
                      graph::Vertex destination, const Options& options,
                      std::size_t faults_at_entry, Result& result) {

@@ -62,6 +62,24 @@ class ScopedSink {
   sim::TraceSink* previous_;
 };
 
+/// Host-side view of weight panel (base_r, base_c) on a p x p machine:
+/// local cell (r, c) holds the global w(base_r + r, base_c + c) with the
+/// diagonal forced to 0 (the j == i term of the row minimum then preserves
+/// SOW_id, exactly like the full-array load) and padding rows/columns at
+/// infinity (they can never win a minimum whose candidates include the
+/// diagonal term). Shared by the tiled and batched sweeps.
+[[nodiscard]] std::vector<sim::Word> panel_weights(const graph::WeightMatrix& g,
+                                                   std::size_t p, std::size_t base_r,
+                                                   std::size_t base_c);
+
+/// Records the machine's broadcast-plan-cache hit/miss delta since `entry`
+/// as the observer's bus.plan_cache.* counters (no-op without an
+/// observer). Solvers snapshot at entry and call this once on exit, so the
+/// merged all-pairs metrics stay worker-count independent.
+void record_plan_cache_delta(const sim::Machine& machine,
+                             sim::Machine::PlanCacheStats entry,
+                             obs::Collector* observer);
+
 /// The solver epilogue both geometries share: harvests the machine's
 /// checked-execution fault-event delta, settles Result::outcome
 /// (non-convergence dominates, then the host certificate — which is

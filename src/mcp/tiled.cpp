@@ -17,28 +17,6 @@ using ppc::Pbool;
 using ppc::Pint;
 using sim::Word;
 
-/// Host-side view of weight panel (bi, bj): local cell (r, c) holds the
-/// global w(base_r + r, base_c + c) with the diagonal forced to 0 (the
-/// j == i term of the row minimum then preserves SOW_id, exactly like the
-/// full-array load) and padding rows/columns at infinity (they can never
-/// win a minimum whose candidates include the diagonal term).
-std::vector<Word> panel_weights(const graph::WeightMatrix& g, std::size_t p,
-                                std::size_t base_r, std::size_t base_c) {
-  const std::size_t n = g.size();
-  const Word inf = g.infinity();
-  std::vector<Word> cells(p * p, inf);
-  const std::size_t bh = std::min(p, n - base_r);
-  const std::size_t bw = std::min(p, n - base_c);
-  for (std::size_t r = 0; r < bh; ++r) {
-    const std::size_t gi = base_r + r;
-    for (std::size_t c = 0; c < bw; ++c) {
-      const std::size_t gj = base_c + c;
-      cells[r * p + c] = (gi == gj) ? Word{0} : g.at(gi, gj);
-    }
-  }
-  return cells;
-}
-
 }  // namespace
 
 std::size_t effective_array_side(const Options& options, std::size_t n) {
@@ -80,6 +58,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   ppc::Context ctx(machine);
   const sim::StepCounter at_entry = machine.steps();
   const std::size_t faults_at_entry = machine.fault_count();
+  const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
 
   // ------------------------------------------------------------------
   // Initialization. The row-d state lives with the controller as host
@@ -110,7 +89,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   std::vector<std::vector<Word>> panels(blocks * blocks);
   for (std::size_t bi = 0; bi < blocks; ++bi) {
     for (std::size_t bj = 0; bj < blocks; ++bj) {
-      panels[bi * blocks + bj] = panel_weights(graph, p, bi * p, bj * p);
+      panels[bi * blocks + bj] = detail::panel_weights(graph, p, bi * p, bj * p);
     }
   }
 
@@ -239,6 +218,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverPanels).add(panels_visited);
   }
+  detail::record_plan_cache_delta(machine, plans_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
 }

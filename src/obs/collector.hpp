@@ -162,6 +162,14 @@ inline constexpr const char* kSolverIterations = "solver.iterations";
 /// Panels visited by the virtualized (tiled) sweep — 0 / absent for
 /// full-array runs (mcp/tiled.hpp).
 inline constexpr const char* kSolverPanels = "solver.panels";
+// Multi-destination batching (mcp/batch.hpp): batches launched and the sum
+// of their widths (width per launch = kSolverBatchWidth / kSolverBatches).
+inline constexpr const char* kSolverBatches = "solver.batches";
+inline constexpr const char* kSolverBatchWidth = "solver.batch_width";
+// Broadcast plan cache (sim/bus_planes.hpp), recorded per solver run as
+// the machine-counter delta spent inside the run.
+inline constexpr const char* kPlanCacheHits = "bus.plan_cache.hits";
+inline constexpr const char* kPlanCacheMisses = "bus.plan_cache.misses";
 /// Prefixes completed by a kind/outcome name.
 inline constexpr const char* kFaultPrefix = "faults.";
 inline constexpr const char* kOutcomePrefix = "solver.outcome.";

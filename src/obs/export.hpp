@@ -22,6 +22,9 @@ struct RunInfo {
   std::string backend;   // "word" | "bitplane"
   std::size_t n = 0;
   std::size_t host_threads = 1;
+  /// Destinations per shared machine pass (docs/batching.md); 1 = the
+  /// per-destination engine. Part of the perf gate's configuration key.
+  std::size_t batch_width = 1;
   std::uint64_t simd_steps = 0;
   double wall_seconds = 0;
 };

@@ -29,6 +29,10 @@ inline constexpr std::string_view kWorkload = "workload";
 inline constexpr std::string_view kBackend = "backend";
 inline constexpr std::string_view kN = "n";
 inline constexpr std::string_view kHostThreads = "host_threads";
+/// Destinations per shared machine pass (docs/batching.md); part of the
+/// perf gate's configuration key so batched and unbatched runs never get
+/// compared against each other's baselines.
+inline constexpr std::string_view kBatchWidth = "batch_width";
 inline constexpr std::string_view kSimdSteps = "simd_steps";
 inline constexpr std::string_view kWallSeconds = "wall_seconds";
 inline constexpr std::string_view kPeOpsPerSec = "pe_ops_per_sec";

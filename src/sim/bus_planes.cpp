@@ -134,6 +134,90 @@ void for_each_open_in_row(const PlaneGeometry& g, const PlaneWord* open, std::si
 }
 
 // ---------------------------------------------------------------------------
+// Broadcast plan cache (BroadcastPlanCache): exact-key LRU lookup shared by
+// the row and column broadcast resolvers. A hit skips the whole switch
+// resolution pass; a miss rebuilds the least-recently-used slot.
+// ---------------------------------------------------------------------------
+
+/// Cache probe. Returns the matching slot with hit=true; on a miss, either
+/// the LRU victim to record into (configuration seen before, hit=false) or
+/// nullptr (first sight — the caller must run the plain resolver and leave
+/// the cache alone).
+[[nodiscard]] BroadcastPlan* lookup_broadcast_plan(BroadcastPlanCache& cache,
+                                                   const PlaneGeometry& g,
+                                                   BusTopology topology, Direction dir,
+                                                   const PlaneWord* open, bool& hit) {
+  const std::size_t pw = g.plane_words();
+  for (BroadcastPlan& slot : cache.slots) {
+    if (slot.n == g.n && slot.topology == static_cast<std::uint8_t>(topology) &&
+        slot.dir == static_cast<std::uint8_t>(dir) && slot.open.size() == pw &&
+        std::equal(slot.open.begin(), slot.open.end(), open)) {
+      slot.stamp = ++cache.clock;
+      ++cache.hits;
+      hit = true;
+      return &slot;
+    }
+  }
+  ++cache.misses;
+  hit = false;
+  // Second-chance filter: plan only configurations seen at least twice. A
+  // hash collision merely plans one cycle early — slot matches stay exact.
+  std::uint64_t h = std::uint64_t{0x9E3779B97F4A7C15} ^
+                    (static_cast<std::uint64_t>(g.n) << 16) ^
+                    (static_cast<std::uint64_t>(topology) << 8) ^
+                    static_cast<std::uint64_t>(dir);
+  for (std::size_t w = 0; w < pw; ++w) {
+    h = (h ^ open[w]) * std::uint64_t{0x100000001B3};
+  }
+  h |= 1;  // 0 marks an empty seen[] entry
+  bool seen = false;
+  for (std::uint64_t& s : cache.seen) {
+    if (s == h) {
+      seen = true;
+      s = 0;
+      break;
+    }
+  }
+  if (!seen) {
+    cache.seen[cache.seen_next] = h;
+    cache.seen_next = (cache.seen_next + 1) % BroadcastPlanCache::kSeen;
+    return nullptr;
+  }
+  BroadcastPlan* victim = nullptr;
+  for (BroadcastPlan& slot : cache.slots) {
+    if (slot.n == 0) {
+      victim = &slot;
+      break;
+    }
+    if (victim == nullptr || slot.stamp < victim->stamp) victim = &slot;
+  }
+  victim->stamp = ++cache.clock;
+  return victim;
+}
+
+void stamp_plan_key(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                    const PlaneWord* open, BroadcastPlan& plan) {
+  plan.open.assign(open, open + g.plane_words());
+  plan.n = g.n;
+  plan.topology = static_cast<std::uint8_t>(topology);
+  plan.dir = static_cast<std::uint8_t>(dir);
+  plan.whole_rows.clear();
+  plan.segs.clear();
+  plan.col_have.clear();
+  plan.col_pend.clear();
+  plan.k_stop = 0;
+}
+
+/// True when run_chunked would fan this cycle out over the pool — the plan
+/// cache serves only inline cycles (the paper-scale configuration), so the
+/// chunked resolvers stay exactly as profiled.
+[[nodiscard]] bool would_chunk(const PlaneBusExec& exec, std::size_t total_units,
+                               std::size_t total_words) noexcept {
+  return exec.pool != nullptr && exec.pool->worker_count() > 0 && total_units > 1 &&
+         total_words >= exec.min_words;
+}
+
+// ---------------------------------------------------------------------------
 // Row buses (East / West)
 // ---------------------------------------------------------------------------
 //
@@ -153,6 +237,167 @@ struct RowFill {
   PlaneWord mask;
 };
 
+/// Fused miss path: the same resolve-and-fill pass as the chunked resolver
+/// below, recording the configuration into `plan` as it goes — so a miss
+/// costs what the plain resolver costs (the minimum-variant kernels issue
+/// data-dependent configurations that never repeat, and they must not pay
+/// a separate resolve pass for a plan nothing will reuse).
+void row_broadcast_record(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                          const PlaneWord* src, int planes, const PlaneWord* open,
+                          PlaneWord* out, PlaneWord* driven, BroadcastPlan& plan) {
+  const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
+  const std::size_t pw = g.plane_words();
+  stamp_plan_key(g, topology, dir, open, plan);
+  std::size_t max_segment = 0;
+
+  std::fill(driven, driven + pw, PlaneWord{0});
+  for (int j = 0; j < planes; ++j) {
+    PlaneWord* p = out + static_cast<std::size_t>(j) * pw;
+    std::fill(p, p + pw, PlaneWord{0});
+  }
+  const auto driver_bits = [&](std::size_t row, std::size_t c) {
+    const std::size_t word = row * rw + c / kLanesPerWord;
+    const unsigned bit = PlaneGeometry::bit_of(c);
+    std::uint64_t drv = 0;
+    for (int j = 0; j < planes; ++j) {
+      drv |= ((src[static_cast<std::size_t>(j) * pw + word] >> bit) & 1u) << j;
+    }
+    return drv;
+  };
+  // Fill the flow interval [fa, fb] from the switch at `col`, and record
+  // it; segments whose driver happens to be all-zero still go in the plan
+  // (a hit replays the configuration under different data).
+  const auto emit = [&](std::size_t row, std::size_t fa, std::size_t fb, std::size_t col,
+                        std::uint64_t drv) {
+    if (fa > fb) return;
+    const std::size_t clo = dir == Direction::East ? fa : n - 1 - fb;
+    const std::size_t chi = dir == Direction::East ? fb : n - 1 - fa;
+    plan.segs.push_back({static_cast<std::uint32_t>(row), static_cast<std::uint32_t>(col),
+                         static_cast<std::uint32_t>(clo), static_cast<std::uint32_t>(chi)});
+    const std::size_t w_lo = clo / kLanesPerWord;
+    const std::size_t w_hi = chi / kLanesPerWord;
+    for (std::size_t w = w_lo; w <= w_hi; ++w) {
+      const std::size_t base = w * kLanesPerWord;
+      const unsigned lo = static_cast<unsigned>(clo > base ? clo - base : 0);
+      const unsigned hi = static_cast<unsigned>(std::min(chi - base, kLanesPerWord - 1));
+      const PlaneWord mask = (hi >= 63 ? ~PlaneWord{0} : ((PlaneWord{1} << (hi + 1)) - 1)) &
+                             ~((PlaneWord{1} << lo) - 1);
+      const std::size_t idx = row * rw + w;
+      driven[idx] |= mask;
+      std::uint64_t bits = drv;
+      while (bits != 0) {
+        const int j = __builtin_ctzll(bits);
+        out[static_cast<std::size_t>(j) * pw + idx] |= mask;
+        bits &= bits - 1;
+      }
+    }
+  };
+
+  for (std::size_t r = 0; r < n; ++r) {
+    if (topology == BusTopology::Ring && row_open_count(g, open, r) == 1) {
+      std::size_t c = 0;
+      for (std::size_t w = 0; w < rw; ++w) {
+        if (open[r * rw + w] != 0) {
+          c = w * kLanesPerWord + static_cast<unsigned>(__builtin_ctzll(open[r * rw + w]));
+          break;
+        }
+      }
+      plan.whole_rows.push_back({static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(c)});
+      for (std::size_t w = 0; w < rw; ++w) driven[r * rw + w] = g.word_mask(w);
+      std::uint64_t drv = driver_bits(r, c);
+      while (drv != 0) {
+        const int j = __builtin_ctzll(drv);
+        PlaneWord* p = out + static_cast<std::size_t>(j) * pw + r * rw;
+        for (std::size_t w = 0; w < rw; ++w) p[w] = g.word_mask(w);
+        drv &= drv - 1;
+      }
+      max_segment = std::max(max_segment, n);
+      continue;
+    }
+    std::size_t first = kNone;
+    std::size_t prev = kNone;
+    std::size_t col = 0;
+    std::uint64_t drv = 0;
+    for_each_open_in_row(g, open, r, dir, [&](std::size_t k, std::size_t c) {
+      if (prev != kNone) {
+        max_segment = std::max(max_segment, k - prev);
+        emit(r, prev + 1, k, col, drv);
+      } else {
+        first = k;
+      }
+      col = c;
+      drv = driver_bits(r, c);
+      prev = k;
+    });
+    if (prev != kNone) {
+      if (topology == BusTopology::Ring) {
+        emit(r, prev + 1, n - 1, col, drv);
+        emit(r, 0, first, col, drv);
+        max_segment = std::max(max_segment, n - prev + first);
+      } else {
+        emit(r, prev + 1, n - 1, col, drv);
+        max_segment = std::max(max_segment, n - 1 - prev);
+      }
+    }
+  }
+  plan.driven.assign(driven, driven + pw);
+  plan.max_segment = max_segment;
+}
+
+/// Executes one row broadcast from a resolved plan: re-derives each
+/// segment's driver bits from its recorded column and stamps the fills.
+void row_broadcast_exec(const PlaneGeometry& g, const BroadcastPlan& plan,
+                        const PlaneWord* src, int planes, PlaneWord* out,
+                        PlaneWord* driven) {
+  const std::size_t rw = g.row_words;
+  const std::size_t pw = g.plane_words();
+  std::copy(plan.driven.begin(), plan.driven.end(), driven);
+  for (int j = 0; j < planes; ++j) {
+    PlaneWord* p = out + static_cast<std::size_t>(j) * pw;
+    std::fill(p, p + pw, PlaneWord{0});
+  }
+  const auto driver_bits = [&](std::size_t row, std::size_t c) {
+    const std::size_t word = row * rw + c / kLanesPerWord;
+    const unsigned bit = PlaneGeometry::bit_of(c);
+    std::uint64_t drv = 0;
+    for (int j = 0; j < planes; ++j) {
+      drv |= ((src[static_cast<std::size_t>(j) * pw + word] >> bit) & 1u) << j;
+    }
+    return drv;
+  };
+  for (const BroadcastPlan::RowDrive& d : plan.whole_rows) {
+    std::uint64_t drv = driver_bits(d.row, d.col);
+    while (drv != 0) {
+      const int j = __builtin_ctzll(drv);
+      PlaneWord* p = out + static_cast<std::size_t>(j) * pw +
+                     static_cast<std::size_t>(d.row) * rw;
+      for (std::size_t w = 0; w < rw; ++w) p[w] = g.word_mask(w);
+      drv &= drv - 1;
+    }
+  }
+  for (const BroadcastPlan::RowSeg& s : plan.segs) {
+    const std::uint64_t drv = driver_bits(s.row, s.col);
+    if (drv == 0) continue;
+    const std::size_t w_lo = s.clo / kLanesPerWord;
+    const std::size_t w_hi = s.chi / kLanesPerWord;
+    for (std::size_t w = w_lo; w <= w_hi; ++w) {
+      const std::size_t base = w * kLanesPerWord;
+      const unsigned lo = static_cast<unsigned>(s.clo > base ? s.clo - base : 0);
+      const unsigned hi = static_cast<unsigned>(std::min(s.chi - base, kLanesPerWord - 1));
+      const PlaneWord mask = (hi >= 63 ? ~PlaneWord{0} : ((PlaneWord{1} << (hi + 1)) - 1)) &
+                             ~((PlaneWord{1} << lo) - 1);
+      const std::size_t idx = static_cast<std::size_t>(s.row) * rw + w;
+      std::uint64_t bits = drv;
+      while (bits != 0) {
+        const int j = __builtin_ctzll(bits);
+        out[static_cast<std::size_t>(j) * pw + idx] |= mask;
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
 std::size_t row_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
                           const PlaneWord* src, int planes, const PlaneWord* open,
                           PlaneWord* out, PlaneWord* driven, const PlaneBusExec& exec) {
@@ -160,6 +405,20 @@ std::size_t row_broadcast(const PlaneGeometry& g, BusTopology topology, Directio
   const std::size_t rw = g.row_words;
   const std::size_t pw = g.plane_words();
   PPA_ASSERT(planes <= 32, "a register has at most 32 planes");
+  if (exec.scratch != nullptr &&
+      !would_chunk(exec, n, pw * static_cast<std::size_t>(planes + 1))) {
+    bool hit = false;
+    BroadcastPlan* plan = lookup_broadcast_plan(exec.scratch->broadcast_plans, g,
+                                                topology, dir, open, hit);
+    if (plan != nullptr) {
+      if (hit) {
+        row_broadcast_exec(g, *plan, src, planes, out, driven);
+      } else {
+        row_broadcast_record(g, topology, dir, src, planes, open, out, driven, *plan);
+      }
+      return plan->max_segment;
+    }
+  }
   std::atomic<std::size_t> max_segment{0};
 
   run_chunked(exec, n, pw * static_cast<std::size_t>(planes + 1),
@@ -465,6 +724,93 @@ std::size_t column_max_segment(const PlaneGeometry& g, BusTopology topology, Dir
   return max_segment;
 }
 
+/// Column-broadcast pass 2 over the full word range: carry the latest
+/// driver word down the flow, reading the pass-1 products (per-row driven
+/// and wrap-carry masks) from wherever they live — the scratch block on
+/// the plain path, a cached plan on a hit.
+void column_pass2(const PlaneGeometry& g, Direction dir, const PlaneWord* src, int planes,
+                  const PlaneWord* open, PlaneWord* out, const PlaneWord* have_k,
+                  const PlaneWord* pend_k, std::size_t k_stop, PlaneWord* cur) {
+  const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
+  const std::size_t pw = g.plane_words();
+  for (int j = 0; j < planes; ++j) {
+    const PlaneWord* sp = src + static_cast<std::size_t>(j) * pw;
+    PlaneWord* op = out + static_cast<std::size_t>(j) * pw;
+    std::fill(cur, cur + rw, PlaneWord{0});
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t base = flow_row(n, dir, k) * rw;
+      for (std::size_t w = 0; w < rw; ++w) {
+        const PlaneWord ow = open[base + w];
+        op[base + w] = cur[w] & have_k[k * rw + w];
+        cur[w] = (cur[w] & ~ow) | (sp[base + w] & ow);
+      }
+    }
+    for (std::size_t k = 0; k < k_stop; ++k) {
+      const std::size_t base = flow_row(n, dir, k) * rw;
+      for (std::size_t w = 0; w < rw; ++w) {
+        op[base + w] |= cur[w] & pend_k[k * rw + w];
+      }
+    }
+  }
+}
+
+/// Fused miss path: column_broadcast's pass 1 writing its per-row products
+/// straight into `plan` (same stores, different destination), then the
+/// shared pass 2 — a miss costs what the plain resolver costs.
+void column_broadcast_record(const PlaneGeometry& g, BusTopology topology, Direction dir,
+                             const PlaneWord* src, int planes, const PlaneWord* open,
+                             PlaneWord* out, PlaneWord* driven, PlaneBusScratch& s,
+                             BroadcastPlan& plan) {
+  const std::size_t n = g.n;
+  const std::size_t rw = g.row_words;
+  stamp_plan_key(g, topology, dir, open, plan);
+  plan.col_have.resize(n * rw);
+  plan.col_pend.resize(topology == BusTopology::Ring ? n * rw : 0);
+  PlaneWord* have_k = plan.col_have.data();
+  PlaneWord* pend_k = plan.col_pend.data();
+  PlaneWord* state = grown(s.lane_a, rw);
+  std::fill(state, state + rw, PlaneWord{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t base = flow_row(n, dir, k) * rw;
+    for (std::size_t w = 0; w < rw; ++w) {
+      const PlaneWord ow = open[base + w];
+      have_k[k * rw + w] = state[w];
+      driven[base + w] = state[w];
+      state[w] |= ow;
+    }
+  }
+  std::size_t k_stop = 0;
+  if (topology == BusTopology::Ring) {
+    for (std::size_t k = 0; k < n; ++k) {
+      PlaneWord alive = 0;
+      const std::size_t base = flow_row(n, dir, k) * rw;
+      for (std::size_t w = 0; w < rw; ++w) {
+        const PlaneWord ow = open[base + w];
+        alive |= state[w];
+        pend_k[k * rw + w] = state[w];
+        driven[base + w] |= state[w];
+        state[w] &= ~ow;
+      }
+      if (alive == 0) break;
+      k_stop = k + 1;
+    }
+  }
+  plan.k_stop = k_stop;
+  column_pass2(g, dir, src, planes, open, out, have_k, pend_k, k_stop, state);
+  plan.driven.assign(driven, driven + g.plane_words());
+  plan.max_segment = column_max_segment(g, topology, dir, open, /*wired_or=*/false, s);
+}
+
+/// Executes one column broadcast from a resolved plan: pass 2 only.
+void column_broadcast_exec(const PlaneGeometry& g, const BroadcastPlan& plan,
+                           Direction dir, const PlaneWord* src, int planes,
+                           PlaneWord* out, PlaneWord* driven, PlaneBusScratch& s) {
+  std::copy(plan.driven.begin(), plan.driven.end(), driven);
+  column_pass2(g, dir, src, planes, plan.open.data(), out, plan.col_have.data(),
+               plan.col_pend.data(), plan.k_stop, grown(s.lane_a, g.row_words));
+}
+
 std::size_t column_broadcast(const PlaneGeometry& g, BusTopology topology, Direction dir,
                              const PlaneWord* src, int planes, const PlaneWord* open,
                              PlaneWord* out, PlaneWord* driven, const PlaneBusExec& exec) {
@@ -472,6 +818,21 @@ std::size_t column_broadcast(const PlaneGeometry& g, BusTopology topology, Direc
   const std::size_t rw = g.row_words;
   const std::size_t pw = g.plane_words();
   PPA_ASSERT(planes <= 32, "a register has at most 32 planes");
+  if (exec.scratch != nullptr &&
+      !would_chunk(exec, rw, pw * static_cast<std::size_t>(planes + 1))) {
+    bool hit = false;
+    BroadcastPlan* plan = lookup_broadcast_plan(exec.scratch->broadcast_plans, g,
+                                                topology, dir, open, hit);
+    if (plan != nullptr) {
+      if (hit) {
+        column_broadcast_exec(g, *plan, dir, src, planes, out, driven, *exec.scratch);
+      } else {
+        column_broadcast_record(g, topology, dir, src, planes, open, out, driven,
+                                *exec.scratch, *plan);
+      }
+      return plan->max_segment;
+    }
+  }
 
   PlaneBusScratch local;
   PlaneBusScratch& s = exec.scratch != nullptr ? *exec.scratch : local;

@@ -20,7 +20,11 @@
 // max_segment partials merge with max, which is order-independent, so
 // results and step counts are bit-identical for every pool size) and a
 // scratch block that keeps the column resolvers allocation-free across
-// cycles.
+// cycles. Unchunked broadcasts with a scratch additionally memoize their
+// switch decomposition in an 8-deep LRU plan cache (BroadcastPlanCache
+// below), so repeat cycles on a recently seen configuration skip the
+// resolution pass entirely — results and max_segment are identical either
+// way (tests/sim_bus_planes_test.cpp fuzzes cached vs. cold).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +63,64 @@ struct RowWiredOrPlan {
   std::size_t max_segment = 0;
 };
 
+/// Memoized decomposition of one BROADCAST switch configuration (the
+/// wired-OR twin is RowWiredOrPlan above). Everything a broadcast cycle
+/// derives from the switches alone is cached: the driven plane, the
+/// max_segment, and either the per-row fill segments (row axis; driver
+/// VALUES are src-dependent and re-derived per cycle from the recorded
+/// driver columns) or the vertical-scan products (column axis).
+struct BroadcastPlan {
+  // Key: exact switch configuration. n == 0 marks an empty slot.
+  std::vector<PlaneWord> open;
+  std::size_t n = 0;
+  std::uint8_t topology = 0;
+  std::uint8_t dir = 0;
+  std::uint64_t stamp = 0;  // LRU clock of the owning cache
+  // Configuration-only products shared by both axes.
+  std::size_t max_segment = 0;
+  std::vector<PlaneWord> driven;  // plane_words
+  // Row-axis payload: rows whose single ring driver covers the whole
+  // line, and the general segments as inclusive column ranges.
+  struct RowDrive {
+    std::uint32_t row;
+    std::uint32_t col;
+  };
+  struct RowSeg {
+    std::uint32_t row;
+    std::uint32_t col;  // column of the switch driving [clo, chi]
+    std::uint32_t clo;
+    std::uint32_t chi;
+  };
+  std::vector<RowDrive> whole_rows;
+  std::vector<RowSeg> segs;
+  // Column-axis payload: pass-1 scan state per flow row (see
+  // column_broadcast), indexed [k * row_words + w].
+  std::vector<PlaneWord> col_have;
+  std::vector<PlaneWord> col_pend;
+  std::size_t k_stop = 0;
+};
+
+/// 8-deep LRU cache of broadcast decompositions. The minimum-cost-path
+/// kernels rotate through a handful of switch configurations (carrier
+/// row, diagonal, row end — per scheme and per panel), so a shallow
+/// exact-key cache absorbs nearly every resolution after the first
+/// sweep; hits/misses surface as bus.plan_cache.* in ppa.metrics.v1.
+struct BroadcastPlanCache {
+  static constexpr std::size_t kDepth = 8;
+  BroadcastPlan slots[kDepth];
+  std::uint64_t clock = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  // Second-chance filter: a configuration is only planned once it has been
+  // seen twice (the minimum-variant kernels issue data-dependent
+  // configurations that never repeat — planning those would evict live
+  // plans and pay recording cost for nothing). First sight leaves a hash
+  // here; the cycle itself runs the plain resolver untouched.
+  static constexpr std::size_t kSeen = 16;
+  std::uint64_t seen[kSeen] = {};
+  std::size_t seen_next = 0;
+};
+
 /// Reusable buffers for the plane bus resolvers, owned by the Machine (one
 /// per machine; bus cycles are issued sequentially by the controller).
 /// Sized lazily on first use. The per-k arrays are indexed [k * row_words
@@ -74,6 +136,7 @@ struct PlaneBusScratch {
   std::vector<std::size_t> pos_b;     // n (column_max_segment: last)
   std::vector<std::size_t> pos_c;     // n (column_max_segment: gap)
   RowWiredOrPlan wired_or_plan;       // see RowWiredOrPlan
+  BroadcastPlanCache broadcast_plans; // see BroadcastPlanCache
 };
 
 /// Execution knobs for one plane bus cycle. Defaults preserve the plain

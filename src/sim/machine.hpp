@@ -238,6 +238,18 @@ class Machine {
   /// their sweeps over it.
   [[nodiscard]] util::ThreadPool* host_pool() noexcept { return pool_.get(); }
 
+  /// Cumulative hit/miss counters of this machine's broadcast-decomposition
+  /// plan cache (sim::BroadcastPlanCache — bit-plane backend only; the word
+  /// backend never consults it). Solvers report the per-run delta as
+  /// bus.plan_cache.hits / bus.plan_cache.misses in ppa.metrics.v1.
+  struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] PlanCacheStats plan_cache_stats() const noexcept {
+    return {bus_scratch_.broadcast_plans.hits, bus_scratch_.broadcast_plans.misses};
+  }
+
  private:
   /// Execution knobs handed to every plane bus cycle: the host pool (when
   /// the cycle is large enough to chunk) and the machine-owned scratch.

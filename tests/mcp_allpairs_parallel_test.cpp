@@ -46,6 +46,25 @@ TEST(AllPairsParallel, MoreWorkersThanDestinations) {
   expect_identical(threaded, all_pairs(g), options.workers);
 }
 
+TEST(AllPairsParallel, BatchedGroupsBitIdenticalForEveryWorkerCount) {
+  // The batched path (docs/batching.md) hands whole destination GROUPS to
+  // the pool; group composition is global, so results and steps must stay
+  // bit-identical for every worker count there too. This test also puts
+  // the group loop under the tsan preset (it runs the AllPairsParallel
+  // suite), covering the per-group writes to the shared result arrays.
+  util::Rng rng(80);
+  const auto g = graph::random_digraph(13, 16, 0.3, {1, 20}, rng);
+  AllPairsOptions batched;
+  batched.mcp.backend = sim::ExecBackend::BitPlane;
+  batched.mcp.batch_width = 4;
+  const auto sequential = all_pairs(g, batched);  // workers = 1
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    AllPairsOptions options = batched;
+    options.workers = workers;
+    expect_identical(all_pairs(g, options), sequential, workers);
+  }
+}
+
 TEST(AllPairsParallel, ThreadedMatchesFloydWarshall) {
   util::Rng rng(79);
   const auto g = graph::random_digraph(10, 16, 0.25, {1, 15}, rng);

@@ -174,6 +174,81 @@ TEST_P(BusPlaneFuzz, ShiftMatchesBruteForce) {
   }
 }
 
+// The broadcast plan cache only engages through a persistent scratch
+// block, and only for configurations seen more than once: replaying each
+// random configuration several times with fresh data walks one call
+// through the plain, recording and cached paths in turn — every replay
+// must match the cold (scratch-free) resolver and the word oracle in
+// values, driven flags and max_segment.
+TEST_P(BusPlaneFuzz, CachedBroadcastMatchesColdOnRepeats) {
+  const auto [n, seed, density] = GetParam();
+  const PlaneGeometry g(n);
+  const std::size_t pw = g.plane_words();
+  const int planes = 7;
+  util::Rng rng(seed ^ 0xBEEF);
+  PlaneBusScratch scratch;  // persists across all configurations below
+  const PlaneBusExec exec{nullptr, static_cast<std::size_t>(-1), &scratch};
+
+  for (int config = 0; config < 6; ++config) {
+    std::vector<Flag> open(n * n);
+    for (auto& f : open) f = rng.chance(density) ? Flag{1} : Flag{0};
+    std::vector<PlaneWord> open_plane(pw);
+    pack_flags(g, open, open_plane.data());
+    const auto topology = rng.chance(0.5) ? BusTopology::Ring : BusTopology::Linear;
+    for (Direction dir : {Direction::East, Direction::South}) {
+      for (int replay = 0; replay < 4; ++replay) {
+        std::vector<Word> src(n * n);
+        for (auto& v : src) v = static_cast<Word>(rng.below(1u << planes));
+        std::vector<PlaneWord> src_planes(pw * planes);
+        pack_words(g, src, planes, src_planes.data());
+
+        std::vector<PlaneWord> want_out(pw * planes);
+        std::vector<PlaneWord> want_driven(pw);
+        const std::size_t want_segment =
+            plane_broadcast_into(g, topology, dir, src_planes.data(), planes,
+                                 open_plane.data(), want_out.data(), want_driven.data());
+
+        std::vector<PlaneWord> out(pw * planes, ~PlaneWord{0});
+        std::vector<PlaneWord> driven(pw, ~PlaneWord{0});
+        const std::size_t got_segment =
+            plane_broadcast_into(g, topology, dir, src_planes.data(), planes,
+                                 open_plane.data(), out.data(), driven.data(), exec);
+
+        ASSERT_EQ(got_segment, want_segment)
+            << "n=" << n << " dir=" << name_of(dir) << " config=" << config
+            << " replay=" << replay;
+        ASSERT_EQ(out, want_out) << "n=" << n << " dir=" << name_of(dir)
+                                 << " config=" << config << " replay=" << replay;
+        ASSERT_EQ(driven, want_driven) << "n=" << n << " dir=" << name_of(dir)
+                                       << " config=" << config << " replay=" << replay;
+      }
+    }
+  }
+  // Every configuration was replayed 4x per direction: first sight runs
+  // plain, second records, the rest hit.
+  EXPECT_GE(scratch.broadcast_plans.hits, 2u);
+}
+
+// Pin of the second-chance policy: call 1 runs the plain resolver (first
+// sight), call 2 records a plan, calls 3..5 hit it.
+TEST(BroadcastPlanCache, CountsHitsAfterSecondSight) {
+  const std::size_t n = 16;
+  const PlaneGeometry g(n);
+  const std::size_t pw = g.plane_words();
+  const int planes = 3;
+  std::vector<PlaneWord> src(pw * planes), open(pw), out(pw * planes), driven(pw);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = i * 0x9E3779B97F4A7C15ull;
+  for (std::size_t w = 0; w < g.row_words; ++w) open[5 * g.row_words + w] = g.word_mask(w);
+  PlaneBusScratch scratch;
+  const PlaneBusExec exec{nullptr, static_cast<std::size_t>(-1), &scratch};
+  for (int call = 0; call < 5; ++call) {
+    plane_broadcast_into(g, BusTopology::Ring, Direction::South, src.data(), planes,
+                         open.data(), out.data(), driven.data(), exec);
+  }
+  EXPECT_EQ(scratch.broadcast_plans.hits, 3u);
+  EXPECT_EQ(scratch.broadcast_plans.misses, 2u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Shapes, BusPlaneFuzz,
                          ::testing::Values(FuzzCase{1, 1, 0.5}, FuzzCase{2, 2, 0.5},
                                            FuzzCase{5, 3, 0.2}, FuzzCase{8, 4, 0.15},

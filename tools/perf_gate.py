@@ -10,7 +10,10 @@ wall_seconds, pe_ops_per_sec) — the format bench_e6_sim_throughput writes
 via bench::write_perf_records.
 
 Records are matched on the configuration key (workload, backend, n,
-host_threads).  For every matched pair the gate fails when
+host_threads, batch_width); a record without a batch_width field counts
+as batch_width 1, so baselines predating multi-destination batching
+(docs/batching.md) keep matching.  For every matched pair the gate fails
+when
 
     current.wall_seconds > baseline.wall_seconds * (1 + threshold)
 
@@ -48,7 +51,10 @@ import json
 import os
 import sys
 
-KEY_FIELDS = ("workload", "backend", "n", "host_threads")
+KEY_FIELDS = ("workload", "backend", "n", "host_threads", "batch_width")
+
+# Key fields absent from older records, with the value they imply.
+KEY_DEFAULTS = {"batch_width": 1}
 
 
 def load_records(path):
@@ -64,7 +70,10 @@ def load_records(path):
     records = {}
     for record in data:
         try:
-            key = tuple(record[field] for field in KEY_FIELDS)
+            key = tuple(
+                record[field] if field not in KEY_DEFAULTS
+                else record.get(field, KEY_DEFAULTS[field])
+                for field in KEY_FIELDS)
             float(record["wall_seconds"])
         except (TypeError, KeyError) as err:
             print(f"perf_gate: {path}: malformed record {record!r}: missing {err}",

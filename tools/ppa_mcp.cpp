@@ -9,14 +9,17 @@
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt [--backend word|bitplane]
-//   ppa_mcp allpairs --graph graph.txt [--array-side P] [--faults <spec>]
-//                  [--verify] [--max-retries N] [--checked]
+//   ppa_mcp allpairs --graph graph.txt [--array-side P] [--batch-width K]
+//                  [--faults <spec>] [--verify] [--max-retries N] [--checked]
 //                  [--metrics-out FILE] [--trace-chrome FILE] [--stats]
 //
 // --array-side P (ppa only) virtualizes the run on a P x P physical array
 // (P < n sweeps the weight matrix in panels, docs/tiling.md); 0 = full
 // array. Solutions are bit-identical either way; fault coordinates in
 // --faults address the PHYSICAL array, so they must be < P.
+// --batch-width K (allpairs, bitplane backend) solves K destinations per
+// shared machine pass (docs/batching.md); rows, iteration counts and
+// outcomes are bit-identical to K=1, only the step profile changes.
 //   ppa_mcp eccentricity --graph graph.txt
 //
 // Observability (docs/observability.md): --metrics-out writes the
@@ -422,6 +425,8 @@ int cmd_allpairs(int argc, const char* const* argv) {
            "1");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
   cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled", "0");
+  cli.flag("batch-width",
+           "destinations solved per machine pass (bitplane backend only; 1 = off)", "1");
   add_robustness_flags(cli);
   add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
@@ -434,6 +439,12 @@ int cmd_allpairs(int argc, const char* const* argv) {
     return 2;
   }
   options.workers = static_cast<std::size_t>(workers);
+  const std::int64_t batch_width = cli.get_int("batch-width");
+  if (batch_width < 1) {
+    std::fprintf(stderr, "error: --batch-width must be >= 1\n");
+    return 2;
+  }
+  options.mcp.batch_width = static_cast<std::size_t>(batch_width);
   if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
   if (!read_array_side(cli, options.mcp)) return 2;
   if (!read_robustness_flags(cli, g, options.mcp)) return 2;
@@ -470,6 +481,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   run.backend = cli.get_string("backend");
   run.n = g.size();
   run.host_threads = options.workers;
+  run.batch_width = options.mcp.batch_width;
   run.simd_steps = ap.total_steps.total();
   run.wall_seconds = wall_seconds;
   const int obs_rc = finish_observability(obs_state, run);
