@@ -87,6 +87,7 @@ AllPairsResult all_pairs(const graph::WeightMatrix& graph, const AllPairsOptions
   config.bits = graph.field().bits();
   config.backend = options.mcp.backend;
   config.checked = options.mcp.checked || !options.mcp.faults.empty();
+  config.masking = masking_of(options.mcp.recovery);
 
   AllPairsResult result;
   result.n = n;

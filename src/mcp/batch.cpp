@@ -91,6 +91,7 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
   const sim::StepCounter at_entry = machine.steps();
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
+  const sim::MaskingStats masking_at_entry = machine.masking_stats();
 
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverBatches).add(1);
@@ -309,9 +310,19 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
                                                  faults_at_entry),
                                              log.end());
   const bool machine_faulted = machine.fault_count() > faults_at_entry;
+  // Masking counters, like steps, are genuinely shared by the whole group:
+  // each member Result carries the group delta, the observer counts the
+  // group ONCE (all_pairs merges per-group collectors, not per-member).
+  const sim::MaskingStats masking_delta = machine.masking_stats().since(masking_at_entry);
 
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverPanels).add(panels_visited);
+    if (masking_delta.votes != 0) {
+      obs::MetricsRegistry& metrics = observer->metrics();
+      metrics.counter(obs::metric::kMaskVotes).add(masking_delta.votes);
+      metrics.counter(obs::metric::kMaskCorrections).add(masking_delta.corrections);
+      metrics.counter(obs::metric::kMaskUncorrectable).add(masking_delta.uncorrectable);
+    }
   }
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
 
@@ -328,6 +339,7 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
     // group's delta (docs/batching.md; all_pairs counts each group once).
     result.init_steps = init_delta;
     result.total_steps = total;
+    result.masking = masking_delta;
     for (const sim::FaultEvent& event : shared_events) {
       if (event.kind == sim::FaultEventKind::NonConvergence &&
           event.row != m.destination) {
@@ -354,6 +366,10 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
         }
       } else if (machine_faulted) {
         result.outcome = SolveOutcome::HardwareFault;
+      } else if (masking_delta.uncorrectable > 0) {
+        result.outcome = SolveOutcome::HardwareFault;
+      } else if (masking_delta.corrections > 0) {
+        result.outcome = SolveOutcome::MaskedFaults;
       }
     }
 
@@ -442,8 +458,10 @@ std::vector<Result> solve_batch_on(sim::Machine& machine,
       const graph::Vertex d = group[gi];
       std::vector<sim::FaultEvent> events = std::move(result.fault_events);
       sim::StepCounter spent = result.total_steps;
+      sim::MaskingStats masked = result.masking;
       std::size_t attempts = 1;
-      while (retriable(result.outcome) && attempts <= options.max_retries) {
+      while (retry_allowed(options.recovery) && retriable(result.outcome) &&
+             attempts <= options.max_retries) {
         if (!oracle) {
           sim::MachineConfig config;
           config.n = machine.config().n;
@@ -462,10 +480,16 @@ std::vector<Result> solve_batch_on(sim::Machine& machine,
         events.insert(events.end(), result.fault_events.begin(),
                       result.fault_events.end());
         spent.merge(result.total_steps);
+        masked.merge(result.masking);
+      }
+      if (attempts > 1 && result.outcome == SolveOutcome::Verified &&
+          options.observer != nullptr) {
+        options.observer->metrics().counter(obs::metric::kSolverRecoveredRows).add(1);
       }
       result.fault_events = std::move(events);
       result.total_steps = spent;
       result.attempts = attempts;
+      result.masking = masked;
       out.push_back(std::move(result));
     }
     start = stop;
@@ -482,6 +506,7 @@ std::vector<Result> solve_batch(const graph::WeightMatrix& graph,
   config.bits = graph.field().bits();
   config.backend = options.backend;
   config.checked = options.checked || !options.faults.empty();
+  config.masking = masking_of(options.recovery);
   sim::Machine machine(config);
   if (!options.faults.empty()) machine.inject_faults(options.faults);
   std::unique_ptr<sim::Machine> oracle;

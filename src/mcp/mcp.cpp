@@ -17,8 +17,33 @@ const char* name_of(SolveOutcome outcome) noexcept {
     case SolveOutcome::VerificationFailed: return "verification-failed";
     case SolveOutcome::NonConverged: return "non-converged";
     case SolveOutcome::HardwareFault: return "hardware-fault";
+    case SolveOutcome::MaskedFaults: return "masked-faults";
   }
   return "?";
+}
+
+const char* name_of(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::Retry: return "retry";
+    case RecoveryPolicy::Tmr: return "tmr";
+    case RecoveryPolicy::Ecc: return "ecc";
+    case RecoveryPolicy::TmrThenRetry: return "tmr+retry";
+  }
+  return "?";
+}
+
+sim::BusMasking masking_of(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::Retry: return sim::BusMasking::None;
+    case RecoveryPolicy::Tmr:
+    case RecoveryPolicy::TmrThenRetry: return sim::BusMasking::Tmr;
+    case RecoveryPolicy::Ecc: return sim::BusMasking::Ecc;
+  }
+  return sim::BusMasking::None;
+}
+
+bool retry_allowed(RecoveryPolicy policy) noexcept {
+  return policy == RecoveryPolicy::Retry || policy == RecoveryPolicy::TmrThenRetry;
 }
 
 namespace {
@@ -62,6 +87,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   const sim::StepCounter at_entry = machine.steps();
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
+  const sim::MaskingStats masking_at_entry = machine.masking_stats();
 
   // ------------------------------------------------------------------
   // Data layout (paper Section 3): W, SOW, PTN are n x n parallel ints;
@@ -194,6 +220,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
 
   // Fault harvest, outcome policy, solver counters (shared with the tiled
   // driver — relax_core.hpp).
+  result.masking = machine.masking_stats().since(masking_at_entry);
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
@@ -246,9 +273,11 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
   Result result = attempt(machine, graph, destination, options);
   std::vector<sim::FaultEvent> events = std::move(result.fault_events);
   sim::StepCounter spent = result.total_steps;
+  sim::MaskingStats masked = result.masking;
   std::size_t attempts = 1;
 
-  while (retriable(result.outcome) && attempts <= options.max_retries) {
+  while (retry_allowed(options.recovery) && retriable(result.outcome) &&
+         attempts <= options.max_retries) {
     if (!oracle) {
       sim::MachineConfig config;
       // Same geometry as the failed machine: a tiled run retries tiled,
@@ -268,11 +297,18 @@ Result solve_with_recovery(sim::Machine& machine, std::unique_ptr<sim::Machine>&
     ++attempts;
     events.insert(events.end(), result.fault_events.begin(), result.fault_events.end());
     spent.merge(result.total_steps);
+    masked.merge(result.masking);
   }
 
+  if (attempts > 1 && result.outcome == SolveOutcome::Verified &&
+      options.observer != nullptr) {
+    // The retry loop turned a failed row into a verified one.
+    options.observer->metrics().counter(obs::metric::kSolverRecoveredRows).add(1);
+  }
   result.fault_events = std::move(events);
   result.total_steps = spent;
   result.attempts = attempts;
+  result.masking = masked;
   return result;
 }
 
@@ -283,6 +319,7 @@ Result solve(const graph::WeightMatrix& graph, graph::Vertex destination,
   config.bits = graph.field().bits();
   config.backend = options.backend;
   config.checked = options.checked || !options.faults.empty();
+  config.masking = masking_of(options.recovery);
   sim::Machine machine(config);
   if (!options.faults.empty()) machine.inject_faults(options.faults);
   std::unique_ptr<sim::Machine> oracle;

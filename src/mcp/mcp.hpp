@@ -61,6 +61,30 @@ enum class BroadcastScheme {
                    // itself holds the unique minimum).
 };
 
+/// How a solve survives hardware faults (docs/robustness.md). Retry is the
+/// detect-and-repeat baseline; the masking policies correct corruption
+/// in place, during the run, via sim::BusMasking.
+enum class RecoveryPolicy {
+  Retry,         // unprotected run; on a non-Verified outcome re-run on a
+                 // fresh fault-free word-backend oracle (max_retries times)
+  Tmr,           // every bus cycle voted 2-of-3 (sim::BusMasking::Tmr); no
+                 // retry loop — masking is expected to carry the run
+  Ecc,           // parity planes + syndrome decode on every plane bus cycle
+                 // (sim::BusMasking::Ecc); requires backend == BitPlane; no
+                 // retry loop
+  TmrThenRetry,  // TMR-masked run, and the retry loop stays armed as a
+                 // second line of defence for what the vote cannot fix
+                 // (persistent stuck wires)
+};
+
+[[nodiscard]] const char* name_of(RecoveryPolicy policy) noexcept;
+
+/// The machine-level masking mode a policy implies.
+[[nodiscard]] sim::BusMasking masking_of(RecoveryPolicy policy) noexcept;
+
+/// Whether the policy keeps the verify-then-retry loop armed.
+[[nodiscard]] bool retry_allowed(RecoveryPolicy policy) noexcept;
+
 struct Options {
   /// Hard iteration cap; 0 means automatic (n + 2, beyond which the DP
   /// provably cannot still be changing — hitting it indicates a bug).
@@ -115,6 +139,13 @@ struct Options {
   /// (retry machines stay fault-free). minimum_cost_path(machine, ...)
   /// ignores this — inject into the caller's machine directly.
   sim::FaultModel faults;
+  /// Fault-handling strategy for the machines the convenience entry points
+  /// build (solve / solve_batch / all_pairs — full and tiled): the masking
+  /// mode is applied to MachineConfig::masking and the retry loop is gated
+  /// on retry_allowed(). Ecc requires backend == BitPlane (ContractError).
+  /// minimum_cost_path(machine, ...) only reads the masking stats off the
+  /// caller's machine — configure its masking directly.
+  RecoveryPolicy recovery = RecoveryPolicy::Retry;
 
   // ---- observability (docs/observability.md) ----
 
@@ -142,6 +173,11 @@ enum class SolveOutcome {
   HardwareFault,       // checked execution recorded faults (or a fault
                        // tripped a machine contract) and no verification
                        // cleared the result
+  MaskedFaults,        // the run completed because in-place masking (TMR /
+                       // ECC) corrected at least one bus cycle, none were
+                       // uncorrectable, and verification was not requested
+                       // to upgrade the outcome to Verified. Success with
+                       // information, not a failure; never retried.
 };
 
 [[nodiscard]] const char* name_of(SolveOutcome outcome) noexcept;
@@ -154,6 +190,11 @@ struct Result {
   std::vector<IterationRecord> iteration_trace;  // if record_iterations
 
   SolveOutcome outcome = SolveOutcome::Unchecked;
+  /// Fault-masking counters spent inside this solve (the machine-counter
+  /// delta; summed over attempts). All zero when masking is off. For a
+  /// batched run each member Result carries its whole group's delta, like
+  /// total_steps (docs/batching.md).
+  sim::MaskingStats masking;
   /// Structured diagnostics from every attempt: checked-execution events
   /// recorded by the machine plus synthesized verification/convergence
   /// events. Empty for a clean run.

@@ -86,7 +86,11 @@ void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
   const bool machine_faulted = machine.fault_count() > faults_at_entry;
 
   // Outcome: non-convergence dominates (row d is partial data), then the
-  // host certificate, then any machine diagnostics.
+  // host certificate, then any machine diagnostics, then the masking
+  // counters — a run that completed only because TMR / ECC corrected bus
+  // cycles is success-with-information (MaskedFaults), unless decode left
+  // uncorrectable residue, which is as untrustworthy as any other
+  // hardware fault.
   if (result.outcome != SolveOutcome::NonConverged) {
     if (options.verify) {
       PPA_SPAN(options.observer, "verify", &machine);
@@ -104,6 +108,10 @@ void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
       }
     } else if (machine_faulted) {
       result.outcome = SolveOutcome::HardwareFault;
+    } else if (result.masking.uncorrectable > 0) {
+      result.outcome = SolveOutcome::HardwareFault;
+    } else if (result.masking.corrections > 0) {
+      result.outcome = SolveOutcome::MaskedFaults;
     }
   }
 
@@ -113,6 +121,11 @@ void finalize_result(sim::Machine& machine, const graph::WeightMatrix& graph,
     metrics.counter(obs::metric::kSolverIterations).add(result.iterations);
     metrics.counter(std::string(obs::metric::kOutcomePrefix) + name_of(result.outcome))
         .add(1);
+    if (result.masking.votes != 0) {
+      metrics.counter(obs::metric::kMaskVotes).add(result.masking.votes);
+      metrics.counter(obs::metric::kMaskCorrections).add(result.masking.corrections);
+      metrics.counter(obs::metric::kMaskUncorrectable).add(result.masking.uncorrectable);
+    }
   }
 }
 

@@ -59,6 +59,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   const sim::StepCounter at_entry = machine.steps();
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
+  const sim::MaskingStats masking_at_entry = machine.masking_stats();
 
   // ------------------------------------------------------------------
   // Initialization. The row-d state lives with the controller as host
@@ -218,6 +219,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverPanels).add(panels_visited);
   }
+  result.masking = machine.masking_stats().since(masking_at_entry);
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;

@@ -157,6 +157,15 @@ inline constexpr const char* kBusMaxSegment = "bus.max_segment";
 inline constexpr const char* kBusOpenCount = "bus.open_count";
 inline constexpr const char* kBusPlaneWidth = "bus.plane_width";
 inline constexpr const char* kSolverRetries = "solver.retries";
+/// Destinations whose retry loop turned a failed row into a Verified one
+/// (distinct from kSolverRetries, which counts the re-runs themselves).
+inline constexpr const char* kSolverRecoveredRows = "solver.recovered_rows";
+/// Fault masking (docs/robustness.md): masked bus cycles executed, cycles
+/// where the TMR vote / ECC decode changed a delivered value, and ECC
+/// cycles left with an unrepairable syndrome.
+inline constexpr const char* kMaskVotes = "mask.votes";
+inline constexpr const char* kMaskCorrections = "mask.corrections";
+inline constexpr const char* kMaskUncorrectable = "mask.uncorrectable";
 inline constexpr const char* kSolverRuns = "solver.runs";
 inline constexpr const char* kSolverIterations = "solver.iterations";
 /// Panels visited by the virtualized (tiled) sweep — 0 / absent for

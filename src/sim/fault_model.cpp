@@ -27,8 +27,13 @@ std::string to_string(const Fault& fault) {
       os << name_of(fault.kind) << ':' << axis << ',' << fault.row << ',' << fault.col;
       break;
     case FaultKind::StuckBit:
-      os << "stuck-bit:" << axis << ',' << fault.row << ',' << fault.bit << ','
-         << (fault.stuck_value ? 1 : 0);
+      if (fault.period > 0) {
+        os << "transient-bit:" << axis << ',' << fault.row << ',' << fault.bit << ','
+           << (fault.stuck_value ? 1 : 0) << ',' << fault.period << ',' << fault.phase;
+      } else {
+        os << "stuck-bit:" << axis << ',' << fault.row << ',' << fault.bit << ','
+           << (fault.stuck_value ? 1 : 0);
+      }
       break;
     case FaultKind::DeadPe:
       os << "dead:" << fault.row << ',' << fault.col;
@@ -131,8 +136,14 @@ FaultModel FaultModel::parse(std::string_view spec, std::size_t n, int bits) {
       fault.col = parse_number(item, args[2]);
       require_range(item, fault.row, n, "row");
       require_range(item, fault.col, n, "col");
-    } else if (kind == "stuck-bit") {
-      if (args.size() != 4) fail_parse(item, "expected <row|col>,<line>,<bit>,<0|1>");
+    } else if (kind == "stuck-bit" || kind == "transient-bit") {
+      const bool transient = kind == "transient-bit";
+      if (!transient && args.size() != 4) {
+        fail_parse(item, "expected <row|col>,<line>,<bit>,<0|1>");
+      }
+      if (transient && args.size() != 6) {
+        fail_parse(item, "expected <row|col>,<line>,<bit>,<0|1>,<period>,<phase>");
+      }
       fault.kind = FaultKind::StuckBit;
       fault.axis = parse_axis(item, args[0]);
       fault.row = parse_number(item, args[1]);
@@ -143,6 +154,12 @@ FaultModel FaultModel::parse(std::string_view spec, std::size_t n, int bits) {
       if (value > 1) fail_parse(item, "stuck value must be 0 or 1");
       fault.bit = static_cast<int>(bit);
       fault.stuck_value = value != 0;
+      if (transient) {
+        fault.period = parse_number(item, args[4]);
+        fault.phase = parse_number(item, args[5]);
+        if (fault.period == 0) fail_parse(item, "transient period must be >= 1");
+        if (fault.phase >= fault.period) fail_parse(item, "phase must be < period");
+      }
     } else if (kind == "dead") {
       if (args.size() != 2) fail_parse(item, "expected <r>,<c>");
       fault.kind = FaultKind::DeadPe;
@@ -195,8 +212,10 @@ CompiledFaults compile_faults(const FaultModel& model, const PlaneGeometry& geom
         PPA_REQUIRE(fault.row < n, "stuck-bit line out of range: " + to_string(fault));
         PPA_REQUIRE(fault.bit >= 0 && fault.bit < bits,
                     "stuck-bit wire out of range: " + to_string(fault));
-        compiled.stuck_bits[axis].push_back(
-            StuckBitFault{fault.row, fault.bit, fault.stuck_value});
+        PPA_REQUIRE(fault.period == 0 || fault.phase < fault.period,
+                    "transient phase out of range: " + to_string(fault));
+        compiled.stuck_bits[axis].push_back(StuckBitFault{
+            fault.row, fault.bit, fault.stuck_value, fault.period, fault.phase});
         break;
       case FaultKind::DeadPe:
         PPA_REQUIRE(fault.row < n && fault.col < n,

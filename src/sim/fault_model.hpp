@@ -51,6 +51,14 @@ enum class FaultKind : std::uint8_t {
 ///                           Row axis, column number on the Column axis),
 ///                           `bit` = wire index, `stuck_value` = forced level;
 ///   DeadPe                — (row, col) of the dead PE; axis ignored.
+///
+/// A StuckBit with `period` > 0 is TRANSIENT: it afflicts a bus cycle only
+/// when the machine's bus-cycle index satisfies cycle % period == phase (a
+/// deterministic stand-in for intermittent contacts / coupling glitches —
+/// seed-reproducible, identical under both backends). period == 0 is the
+/// persistent defect. With period >= 3 at most one of any three
+/// consecutive cycles is hit, which is what makes TMR's 2-of-3 vote a
+/// guaranteed correction (docs/robustness.md).
 struct Fault {
   FaultKind kind = FaultKind::StuckOpen;
   Axis axis = Axis::Row;
@@ -58,6 +66,8 @@ struct Fault {
   std::size_t col = 0;
   int bit = 0;
   bool stuck_value = false;
+  std::size_t period = 0;  // StuckBit only: 0 = persistent, else cycle period
+  std::size_t phase = 0;   // StuckBit only: afflicted when cycle % period == phase
 
   friend bool operator==(const Fault&, const Fault&) = default;
 };
@@ -83,6 +93,7 @@ class FaultModel {
   ///   stuck-open:<row|col>,<r>,<c>
   ///   stuck-closed:<row|col>,<r>,<c>
   ///   stuck-bit:<row|col>,<line>,<bit>,<0|1>
+  ///   transient-bit:<row|col>,<line>,<bit>,<0|1>,<period>,<phase>
   ///   dead:<r>,<c>
   ///   random:<seed>,<count>
   /// Throws util::ParseError on malformed input or out-of-range coordinates.
@@ -104,6 +115,8 @@ struct StuckBitFault {
   std::size_t line = 0;
   int bit = 0;
   bool value = false;
+  std::size_t period = 0;  // 0 = persistent; else active iff cycle % period == phase
+  std::size_t phase = 0;
 };
 
 struct CompiledFaults {

@@ -1,8 +1,10 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <type_traits>
 
+#include "sim/plane_kernels.hpp"
 #include "util/check.hpp"
 
 namespace ppa::sim {
@@ -14,6 +16,9 @@ Machine::Machine(const MachineConfig& config)
   // (and selected_min over COL) live in the h-bit field.
   PPA_REQUIRE(config.n - 1 <= field_.max_finite(),
               "array side does not fit in the h-bit word field");
+  PPA_REQUIRE(config.masking != BusMasking::Ecc || config.backend == ExecBackend::BitPlane,
+              "ECC masking rides the bit-plane bus engine; it requires "
+              "backend == BitPlane (use TMR on the word backend)");
   const std::size_t count = pe_count();
   row_index_.resize(count);
   col_index_.resize(count);
@@ -64,6 +69,45 @@ std::size_t count_open(std::span<const Flag> open) {
   std::size_t total = 0;
   for (const Flag f : open) total += (f != 0);
   return total;
+}
+
+/// True when a transient (or persistent) stuck bit afflicts this cycle.
+bool stuck_bit_active(const StuckBitFault& sb, std::uint64_t cycle) {
+  return sb.period == 0 || cycle % sb.period == sb.phase;
+}
+
+/// Per-element 2-of-3 majority vote of a (the primary trial, updated in
+/// place), b and c. Bitwise, so it is simultaneously a per-wire vote on
+/// words and a per-lane vote on packed planes. Returns true when any trial
+/// disagreed with the voted result — i.e. the vote actually masked
+/// something.
+template <typename T>
+bool majority_vote(std::span<T> a, std::span<const T> b, std::span<const T> c) {
+  bool changed = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const T m = static_cast<T>((a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i]));
+    changed = changed || m != a[i] || m != b[i] || m != c[i];
+    a[i] = m;
+  }
+  return changed;
+}
+
+bool majority_vote_words(PlaneWord* a, const PlaneWord* b, const PlaneWord* c,
+                         std::size_t words) {
+  bool changed = false;
+  for (std::size_t i = 0; i < words; ++i) {
+    const PlaneWord m = (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i]);
+    changed = changed || m != a[i] || m != b[i] || m != c[i];
+    a[i] = m;
+  }
+  return changed;
+}
+
+/// Parity planes protecting `planes` data planes: Hamming with data plane j
+/// assigned the nonzero signature j + 1, so r = bit_width(planes) parity
+/// planes distinguish every single-plane error (h = 16 -> r = 5).
+int ecc_parity_count(int planes) {
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(planes)));
 }
 
 }  // namespace
@@ -186,10 +230,11 @@ void Machine::clear_dead_driven_plane(Direction dir, const PlaneWord* open_eff,
 }
 
 template <typename T>
-void Machine::apply_stuck_bits(Axis axis, std::span<T> values, int value_bits) {
+void Machine::apply_stuck_bits(Axis axis, std::span<T> values, int value_bits,
+                               std::uint64_t cycle) {
   const std::size_t n = config_.n;
   for (const StuckBitFault& sb : faults_.stuck_bits[static_cast<int>(axis)]) {
-    if (sb.bit >= value_bits) continue;
+    if (sb.bit >= value_bits || !stuck_bit_active(sb, cycle)) continue;
     const T bit = static_cast<T>(T{1} << sb.bit);
     const std::size_t base = axis == Axis::Row ? sb.line * n : sb.line;
     const std::size_t stride = axis == Axis::Row ? 1 : n;
@@ -200,10 +245,11 @@ void Machine::apply_stuck_bits(Axis axis, std::span<T> values, int value_bits) {
   }
 }
 
-void Machine::apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes) {
+void Machine::apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes,
+                                      std::uint64_t cycle) {
   const std::size_t pw = geometry_.plane_words();
   for (const StuckBitFault& sb : faults_.stuck_bits[static_cast<int>(axis)]) {
-    if (sb.bit >= planes) continue;
+    if (sb.bit >= planes || !stuck_bit_active(sb, cycle)) continue;
     PlaneWord* plane = out + static_cast<std::size_t>(sb.bit) * pw;
     if (axis == Axis::Row) {
       for (std::size_t w = 0; w < geometry_.row_words; ++w) {
@@ -223,40 +269,74 @@ void Machine::apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes) {
 }
 
 template <typename T>
-std::size_t Machine::faulty_broadcast_into(std::span<const T> src, Direction dir,
-                                           std::span<const Flag> open, std::span<T> values,
-                                           std::span<Flag> driven, int value_bits) {
+std::size_t Machine::broadcast_cycle(std::span<const T> src, Direction dir,
+                                     std::span<const Flag> open, std::span<T> values,
+                                     std::span<Flag> driven, int value_bits,
+                                     StepCategory category) {
+  const std::uint64_t cycle = bus_cycles_++;
   const Axis axis = axis_of(dir);
-  const std::span<const Flag> open_eff = effective_open(axis, open);
+  std::span<const Flag> open_eff = open;
   std::span<const T> src_eff = src;
-  if (faults_.any_dead) {
-    auto& scratch = [&]() -> std::vector<T>& {
-      if constexpr (std::is_same_v<T, Word>) return scratch_src_word_;
-      else return scratch_src_flag_;
-    }();
-    scratch.resize(src.size());
-    const Flag* dead = faults_.dead.data();
-    for (std::size_t pe = 0; pe < src.size(); ++pe) {
-      scratch[pe] = dead[pe] != 0 ? T{0} : src[pe];
+  if (faults_.any) {
+    open_eff = effective_open(axis, open);
+    if (faults_.any_dead) {
+      auto& scratch = [&]() -> std::vector<T>& {
+        if constexpr (std::is_same_v<T, Word>) return scratch_src_word_;
+        else return scratch_src_flag_;
+      }();
+      scratch.resize(src.size());
+      const Flag* dead = faults_.dead.data();
+      for (std::size_t pe = 0; pe < src.size(); ++pe) {
+        scratch[pe] = dead[pe] != 0 ? T{0} : src[pe];
+      }
+      src_eff = scratch;
     }
-    src_eff = scratch;
   }
   const std::size_t max_segment =
       bus_broadcast_into(config_.n, config_.topology, dir, src_eff, open_eff, values, driven);
-  check_contention(StepCategory::BusBroadcast, dir, open);
-  clear_dead_driven(dir, open_eff, driven);
-  apply_stuck_bits(axis, values, value_bits);
-  if (faults_.any_dead) {
-    const Flag* dead = faults_.dead.data();
-    for (std::size_t pe = 0; pe < values.size(); ++pe) {
-      if (dead[pe] != 0) values[pe] = T{0};
+  if (faults_.any) {
+    // A masked re-execution rides the primary trial's cycle: that trial
+    // already reported any contention, so the Masking trials stay silent.
+    if (category != StepCategory::Masking) check_contention(category, dir, open);
+    clear_dead_driven(dir, open_eff, driven);
+    apply_stuck_bits(axis, values, value_bits, cycle);
+    if (faults_.any_dead) {
+      const Flag* dead = faults_.dead.data();
+      for (std::size_t pe = 0; pe < values.size(); ++pe) {
+        if (dead[pe] != 0) values[pe] = T{0};
+      }
     }
   }
-  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
+  steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir, count_open(open_eff),
-                                max_segment, 1, static_cast<std::size_t>(value_bits)});
+    trace_->on_event(TraceEvent{category, dir, count_open(open_eff), max_segment, 1,
+                                static_cast<std::size_t>(value_bits)});
   }
+  return max_segment;
+}
+
+template <typename T>
+std::size_t Machine::tmr_broadcast_into(std::span<const T> src, Direction dir,
+                                        std::span<const Flag> open, std::span<T> values,
+                                        std::span<Flag> driven, int value_bits) {
+  const std::size_t max_segment =
+      broadcast_cycle<T>(src, dir, open, values, driven, value_bits,
+                         StepCategory::BusBroadcast);
+  auto trial = [&](int i) -> std::vector<T>& {
+    if constexpr (std::is_same_v<T, Word>) return tmr_word_[i];
+    else return tmr_flag_[i];
+  };
+  for (int i = 0; i < 2; ++i) {
+    trial(i).resize(values.size());
+    tmr_driven_[i].resize(driven.size());
+    (void)broadcast_cycle<T>(src, dir, open, std::span<T>(trial(i)),
+                             std::span<Flag>(tmr_driven_[i]), value_bits,
+                             StepCategory::Masking);
+  }
+  ++mask_stats_.votes;
+  bool changed = majority_vote<T>(values, trial(0), trial(1));
+  changed |= majority_vote<Flag>(driven, tmr_driven_[0], tmr_driven_[1]);
+  if (changed) ++mask_stats_.corrections;
   return max_segment;
 }
 
@@ -282,37 +362,27 @@ BusResult Machine::wired_or(std::span<const Flag> src, Direction dir,
 std::size_t Machine::broadcast_into(std::span<const Word> src, Direction dir,
                                     std::span<const Flag> open, std::span<Word> values,
                                     std::span<Flag> driven) {
-  if (faults_.any) {
-    return faulty_broadcast_into<Word>(src, dir, open, values, driven, field_.bits());
+  if (config_.masking == BusMasking::Tmr) {
+    return tmr_broadcast_into<Word>(src, dir, open, values, driven, field_.bits());
   }
-  const std::size_t max_segment =
-      bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
-  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
-  if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir, count_open(open),
-                                max_segment, 1, static_cast<std::size_t>(field_.bits())});
-  }
-  return max_segment;
+  return broadcast_cycle<Word>(src, dir, open, values, driven, field_.bits(),
+                               StepCategory::BusBroadcast);
 }
 
 std::size_t Machine::broadcast_into(std::span<const Flag> src, Direction dir,
                                     std::span<const Flag> open, std::span<Flag> values,
                                     std::span<Flag> driven) {
-  if (faults_.any) {
-    return faulty_broadcast_into<Flag>(src, dir, open, values, driven, 1);
+  if (config_.masking == BusMasking::Tmr) {
+    return tmr_broadcast_into<Flag>(src, dir, open, values, driven, 1);
   }
-  const std::size_t max_segment =
-      bus_broadcast_into(config_.n, config_.topology, dir, src, open, values, driven);
-  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
-  if (trace_ != nullptr) {
-    trace_->on_event(
-        TraceEvent{StepCategory::BusBroadcast, dir, count_open(open), max_segment});
-  }
-  return max_segment;
+  return broadcast_cycle<Flag>(src, dir, open, values, driven, 1,
+                               StepCategory::BusBroadcast);
 }
 
-std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
-                                   std::span<const Flag> open, std::span<Flag> values) {
+std::size_t Machine::wired_or_cycle(std::span<const Flag> src, Direction dir,
+                                    std::span<const Flag> open, std::span<Flag> values,
+                                    StepCategory category) {
+  const std::uint64_t cycle = bus_cycles_++;
   const Axis axis = axis_of(dir);
   std::span<const Flag> open_eff = open;
   std::span<const Flag> src_eff = src;
@@ -330,7 +400,7 @@ std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
   const std::size_t max_segment =
       bus_wired_or_into(config_.n, config_.topology, dir, src_eff, open_eff, values);
   if (faults_.any) {
-    apply_stuck_bits(axis, values, 1);
+    apply_stuck_bits(axis, values, 1, cycle);
     if (faults_.any_dead) {
       const Flag* dead = faults_.dead.data();
       for (std::size_t pe = 0; pe < values.size(); ++pe) {
@@ -338,16 +408,38 @@ std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
       }
     }
   }
-  steps_.charge_bus(StepCategory::BusOr, max_segment);
+  steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusOr, dir, count_open(open_eff), max_segment});
+    trace_->on_event(TraceEvent{category, dir, count_open(open_eff), max_segment});
   }
   return max_segment;
 }
 
-std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
-                                           Direction dir, const PlaneWord* open,
-                                           PlaneWord* out, PlaneWord* driven) {
+std::size_t Machine::tmr_wired_or_into(std::span<const Flag> src, Direction dir,
+                                       std::span<const Flag> open, std::span<Flag> values) {
+  const std::size_t max_segment =
+      wired_or_cycle(src, dir, open, values, StepCategory::BusOr);
+  for (int i = 0; i < 2; ++i) {
+    tmr_flag_[i].resize(values.size());
+    (void)wired_or_cycle(src, dir, open, std::span<Flag>(tmr_flag_[i]),
+                         StepCategory::Masking);
+  }
+  ++mask_stats_.votes;
+  if (majority_vote<Flag>(values, tmr_flag_[0], tmr_flag_[1])) ++mask_stats_.corrections;
+  return max_segment;
+}
+
+std::size_t Machine::wired_or_into(std::span<const Flag> src, Direction dir,
+                                   std::span<const Flag> open, std::span<Flag> values) {
+  if (config_.masking == BusMasking::Tmr) return tmr_wired_or_into(src, dir, open, values);
+  return wired_or_cycle(src, dir, open, values, StepCategory::BusOr);
+}
+
+std::size_t Machine::broadcast_planes_cycle(const PlaneWord* src, int planes,
+                                            Direction dir, const PlaneWord* open,
+                                            PlaneWord* out, PlaneWord* driven,
+                                            StepCategory category) {
+  const std::uint64_t cycle = bus_cycles_++;
   const Axis axis = axis_of(dir);
   const PlaneWord* open_eff = open;
   const PlaneWord* src_eff = src;
@@ -370,9 +462,9 @@ std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
       plane_broadcast_into(geometry_, config_.topology, dir, src_eff, planes, open_eff,
                            out, driven, plane_bus_exec());
   if (faults_.any) {
-    check_contention_plane(StepCategory::BusBroadcast, dir, open);
+    if (category != StepCategory::Masking) check_contention_plane(category, dir, open);
     clear_dead_driven_plane(dir, open_eff, driven);
-    apply_stuck_bits_planes(axis, out, planes);
+    apply_stuck_bits_planes(axis, out, planes, cycle);
     if (faults_.any_dead) {
       const PlaneWord* alive = faults_.alive_plane.data();
       for (int j = 0; j < planes; ++j) {
@@ -381,13 +473,48 @@ std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
       }
     }
   }
-  steps_.charge_bus(StepCategory::BusBroadcast, max_segment);
+  steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusBroadcast, dir,
-                                plane_popcount(geometry_, open_eff), max_segment, 1,
-                                static_cast<std::size_t>(planes)});
+    trace_->on_event(TraceEvent{category, dir, plane_popcount(geometry_, open_eff),
+                                max_segment, 1, static_cast<std::size_t>(planes)});
   }
   return max_segment;
+}
+
+std::size_t Machine::tmr_broadcast_planes_into(const PlaneWord* src, int planes,
+                                               Direction dir, const PlaneWord* open,
+                                               PlaneWord* out, PlaneWord* driven) {
+  const std::size_t max_segment =
+      broadcast_planes_cycle(src, planes, dir, open, out, driven,
+                             StepCategory::BusBroadcast);
+  const std::size_t pw = geometry_.plane_words();
+  const std::size_t words = pw * static_cast<std::size_t>(planes);
+  for (int i = 0; i < 2; ++i) {
+    tmr_planes_[i].resize(words);
+    tmr_planes_driven_[i].resize(pw);
+    (void)broadcast_planes_cycle(src, planes, dir, open, tmr_planes_[i].data(),
+                                 tmr_planes_driven_[i].data(), StepCategory::Masking);
+  }
+  ++mask_stats_.votes;
+  bool changed =
+      majority_vote_words(out, tmr_planes_[0].data(), tmr_planes_[1].data(), words);
+  changed |= majority_vote_words(driven, tmr_planes_driven_[0].data(),
+                                 tmr_planes_driven_[1].data(), pw);
+  if (changed) ++mask_stats_.corrections;
+  return max_segment;
+}
+
+std::size_t Machine::broadcast_planes_into(const PlaneWord* src, int planes,
+                                           Direction dir, const PlaneWord* open,
+                                           PlaneWord* out, PlaneWord* driven) {
+  if (config_.masking == BusMasking::Tmr) {
+    return tmr_broadcast_planes_into(src, planes, dir, open, out, driven);
+  }
+  if (config_.masking == BusMasking::Ecc) {
+    return ecc_broadcast_planes_into(src, planes, dir, open, out, driven);
+  }
+  return broadcast_planes_cycle(src, planes, dir, open, out, driven,
+                                StepCategory::BusBroadcast);
 }
 
 std::size_t Machine::shadow_broadcast_into(std::span<const Flag> src, Direction dir,
@@ -447,8 +574,10 @@ std::size_t Machine::shadow_broadcast_planes_into(const PlaneWord* src, Directio
   return max_segment;
 }
 
-std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
-                                         const PlaneWord* open, PlaneWord* out) {
+std::size_t Machine::wired_or_plane_cycle(const PlaneWord* src, Direction dir,
+                                          const PlaneWord* open, PlaneWord* out,
+                                          StepCategory category) {
+  const std::uint64_t cycle = bus_cycles_++;
   const Axis axis = axis_of(dir);
   const PlaneWord* open_eff = open;
   const PlaneWord* src_eff = src;
@@ -466,17 +595,199 @@ std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
       plane_wired_or_into(geometry_, config_.topology, dir, src_eff, open_eff, out,
                           plane_bus_exec());
   if (faults_.any) {
-    apply_stuck_bits_planes(axis, out, 1);
+    apply_stuck_bits_planes(axis, out, 1, cycle);
     if (faults_.any_dead) {
       const PlaneWord* alive = faults_.alive_plane.data();
       for (std::size_t i = 0; i < pw; ++i) out[i] &= alive[i];
     }
   }
-  steps_.charge_bus(StepCategory::BusOr, max_segment);
+  steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{StepCategory::BusOr, dir,
-                                plane_popcount(geometry_, open_eff), max_segment});
+    trace_->on_event(TraceEvent{category, dir, plane_popcount(geometry_, open_eff),
+                                max_segment});
   }
+  return max_segment;
+}
+
+std::size_t Machine::tmr_wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                             const PlaneWord* open, PlaneWord* out) {
+  const std::size_t max_segment =
+      wired_or_plane_cycle(src, dir, open, out, StepCategory::BusOr);
+  const std::size_t pw = geometry_.plane_words();
+  for (int i = 0; i < 2; ++i) {
+    tmr_planes_[i].resize(pw);
+    (void)wired_or_plane_cycle(src, dir, open, tmr_planes_[i].data(),
+                               StepCategory::Masking);
+  }
+  ++mask_stats_.votes;
+  if (majority_vote_words(out, tmr_planes_[0].data(), tmr_planes_[1].data(), pw)) {
+    ++mask_stats_.corrections;
+  }
+  return max_segment;
+}
+
+std::size_t Machine::wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                         const PlaneWord* open, PlaneWord* out) {
+  if (config_.masking == BusMasking::Tmr) return tmr_wired_or_plane_into(src, dir, open, out);
+  if (config_.masking == BusMasking::Ecc) return ecc_wired_or_plane_into(src, dir, open, out);
+  return wired_or_plane_cycle(src, dir, open, out, StepCategory::BusOr);
+}
+
+// ---------------------------------------------------------------------------
+// ECC rider (docs/robustness.md). Every plane bus cycle is followed by a
+// parity beat: r = bit_width(planes) parity planes of the PROGRAM source,
+// computed with the dispatched SIMD plane kernels and sent through the same
+// switch fabric (effective switches, dead-driver silencing, dead reads) but
+// on spare wires outside the h-bit stuck-bit fault surface. The receiver
+// recomputes parity over the received data planes; the XOR of the two is a
+// per-lane Hamming syndrome that names the single corrupted data plane
+// (signature j + 1), which is then bit-flipped in place. Double faults on
+// one lane can alias to a wrong signature — the run's verification
+// certificate stays the backstop for that.
+// ---------------------------------------------------------------------------
+
+void Machine::ecc_parity_of(const PlaneWord* data, int planes, int r, PlaneWord* parity) {
+  const auto& k = plane_kernels::active();
+  const std::size_t pw = geometry_.plane_words();
+  for (int b = 0; b < r; ++b) {
+    PlaneWord* p = parity + static_cast<std::size_t>(b) * pw;
+    bool first = true;
+    for (int j = 0; j < planes; ++j) {
+      if ((static_cast<unsigned>(j + 1) >> b & 1u) == 0) continue;
+      const PlaneWord* d = data + static_cast<std::size_t>(j) * pw;
+      if (first) {
+        k.op_copy(d, p, pw);
+        first = false;
+      } else {
+        k.op_xor(p, d, p, pw);
+      }
+    }
+    if (first) k.op_zero(p, pw);  // unreachable for r = bit_width(planes)
+  }
+}
+
+void Machine::ecc_parity_beat(int r, Direction dir, const PlaneWord* program_open,
+                              bool wired_or) {
+  const Axis axis = axis_of(dir);
+  const std::size_t pw = geometry_.plane_words();
+  const PlaneWord* open_eff =
+      faults_.any ? effective_open_plane(axis, program_open) : program_open;
+  if (faults_.any_dead) {
+    const PlaneWord* alive = faults_.alive_plane.data();
+    for (int b = 0; b < r; ++b) {
+      const std::size_t off = static_cast<std::size_t>(b) * pw;
+      for (std::size_t i = 0; i < pw; ++i) ecc_parity_src_[off + i] &= alive[i];
+    }
+  }
+  ecc_parity_recv_.resize(static_cast<std::size_t>(r) * pw);
+  std::size_t max_segment = 0;
+  if (wired_or) {
+    max_segment = plane_wired_or_into(geometry_, config_.topology, dir,
+                                      ecc_parity_src_.data(), open_eff,
+                                      ecc_parity_recv_.data(), plane_bus_exec());
+  } else {
+    ecc_parity_driven_.resize(pw);
+    max_segment = plane_broadcast_into(geometry_, config_.topology, dir,
+                                       ecc_parity_src_.data(), r, open_eff,
+                                       ecc_parity_recv_.data(), ecc_parity_driven_.data(),
+                                       plane_bus_exec());
+  }
+  // No apply_stuck_bits_planes: the modeled stuck wires are data wires
+  // (bit < h); the parity beat's spare wires are clean. Dead PEs still
+  // read zero — zero received data plus zero parity is a valid codeword,
+  // so dead lanes never trigger a false correction.
+  if (faults_.any_dead) {
+    const PlaneWord* alive = faults_.alive_plane.data();
+    for (int b = 0; b < r; ++b) {
+      const std::size_t off = static_cast<std::size_t>(b) * pw;
+      for (std::size_t i = 0; i < pw; ++i) ecc_parity_recv_[off + i] &= alive[i];
+    }
+  }
+  steps_.charge_bus(StepCategory::Masking, max_segment);
+  if (trace_ != nullptr) {
+    trace_->on_event(TraceEvent{StepCategory::Masking, dir,
+                                plane_popcount(geometry_, open_eff), max_segment, 1,
+                                static_cast<std::size_t>(r)});
+  }
+}
+
+void Machine::ecc_decode(PlaneWord* out, int planes, int r) {
+  const auto& k = plane_kernels::active();
+  const std::size_t pw = geometry_.plane_words();
+  ecc_check_.resize(static_cast<std::size_t>(r) * pw);
+  ecc_parity_of(out, planes, r, ecc_check_.data());
+  // Per-lane syndrome, in place: received parity XOR recomputed parity.
+  k.op_xor(ecc_parity_recv_.data(), ecc_check_.data(), ecc_parity_recv_.data(),
+           static_cast<std::size_t>(r) * pw);
+  const PlaneWord* s = ecc_parity_recv_.data();
+  ++mask_stats_.votes;
+  ecc_nonzero_.resize(pw);
+  k.op_copy(s, ecc_nonzero_.data(), pw);
+  for (int b = 1; b < r; ++b) {
+    k.op_or(ecc_nonzero_.data(), s + static_cast<std::size_t>(b) * pw,
+            ecc_nonzero_.data(), pw);
+  }
+  if (k.all_zero(ecc_nonzero_.data(), pw)) return;  // clean cycle
+  ecc_corrected_.resize(pw);
+  ecc_mask_.resize(pw);
+  k.op_zero(ecc_corrected_.data(), pw);
+  for (int j = 0; j < planes; ++j) {
+    const unsigned sig = static_cast<unsigned>(j) + 1;
+    // Lanes whose syndrome equals this plane's signature exactly.
+    bool first = true;
+    for (int b = 0; b < r; ++b) {
+      if ((sig >> b & 1u) == 0) continue;
+      const PlaneWord* sb = s + static_cast<std::size_t>(b) * pw;
+      if (first) {
+        k.op_copy(sb, ecc_mask_.data(), pw);
+        first = false;
+      } else {
+        k.op_and(ecc_mask_.data(), sb, ecc_mask_.data(), pw);
+      }
+    }
+    for (int b = 0; b < r; ++b) {
+      if ((sig >> b & 1u) != 0) continue;
+      k.op_andnot(ecc_mask_.data(), s + static_cast<std::size_t>(b) * pw,
+                  ecc_mask_.data(), pw);
+    }
+    if (k.all_zero(ecc_mask_.data(), pw)) continue;
+    PlaneWord* dj = out + static_cast<std::size_t>(j) * pw;
+    k.op_xor(dj, ecc_mask_.data(), dj, pw);
+    k.op_or(ecc_corrected_.data(), ecc_mask_.data(), ecc_corrected_.data(), pw);
+  }
+  if (!k.all_zero(ecc_corrected_.data(), pw)) ++mask_stats_.corrections;
+  // Lanes whose syndrome matched no data-plane signature (e.g. a multi-bit
+  // hit aliasing past `planes`): flagged, not repaired.
+  k.op_andnot(ecc_nonzero_.data(), ecc_corrected_.data(), ecc_nonzero_.data(), pw);
+  if (!k.all_zero(ecc_nonzero_.data(), pw)) ++mask_stats_.uncorrectable;
+}
+
+std::size_t Machine::ecc_broadcast_planes_into(const PlaneWord* src, int planes,
+                                               Direction dir, const PlaneWord* open,
+                                               PlaneWord* out, PlaneWord* driven) {
+  const int r = ecc_parity_count(planes);
+  const std::size_t pw = geometry_.plane_words();
+  ecc_parity_src_.resize(static_cast<std::size_t>(r) * pw);
+  ecc_parity_of(src, planes, r, ecc_parity_src_.data());
+  const std::size_t max_segment =
+      broadcast_planes_cycle(src, planes, dir, open, out, driven,
+                             StepCategory::BusBroadcast);
+  ecc_parity_beat(r, dir, open, /*wired_or=*/false);
+  ecc_decode(out, planes, r);
+  return max_segment;
+}
+
+std::size_t Machine::ecc_wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                             const PlaneWord* open, PlaneWord* out) {
+  // A 1-plane wired-OR cycle degenerates to r = 1: the parity "plane" is a
+  // duplicate of the data plane on the clean spare wire.
+  const std::size_t pw = geometry_.plane_words();
+  ecc_parity_src_.resize(pw);
+  plane_kernels::active().op_copy(src, ecc_parity_src_.data(), pw);
+  const std::size_t max_segment =
+      wired_or_plane_cycle(src, dir, open, out, StepCategory::BusOr);
+  ecc_parity_beat(1, dir, open, /*wired_or=*/true);
+  ecc_decode(out, 1, 1);
   return max_segment;
 }
 

@@ -49,6 +49,30 @@ enum class ExecBackend {
   BitPlane,  // h bit planes, 64 PE lanes per uint64_t (sim/bit_planes.hpp)
 };
 
+/// In-place bus-cycle fault masking (docs/robustness.md). Orthogonal to the
+/// verify-then-retry recovery loop: masking corrects corruption DURING the
+/// run instead of detecting it afterwards.
+enum class BusMasking {
+  None,  // bus cycles execute once, unprotected
+  Tmr,   // triple modular redundancy: every charged bus cycle executes
+         // three times and the received values (and driven flags) are
+         // majority-voted per wire. Trial 1 is charged to the cycle's
+         // normal category; trials 2 and 3 are charged to
+         // StepCategory::Masking, so a fault-free masked run minus its
+         // Masking steps is bit-identical to the unmasked run. Both
+         // backends implement the identical vote, so the differential
+         // oracle extends to masked runs. Corrects transient faults
+         // (period >= 3); a persistent defect corrupts all three trials
+         // identically and is NOT masked.
+  Ecc,   // BitPlane backend only: r = ceil(log2(h + 1)) parity planes ride
+         // every plane broadcast (r = 1 for a wired-OR cycle) on spare bus
+         // wires outside the h-bit fault surface, through the same switch
+         // fabric (switch and dead-PE faults hit data and parity alike).
+         // A syndrome decode after the cycle corrects any single stuck
+         // data wire — transient or persistent — without repetition. The
+         // parity beat is charged as ONE StepCategory::Masking bus cycle.
+};
+
 struct MachineConfig {
   std::size_t n = 8;        // array side; the graph's vertex count
   int bits = 16;            // word width h
@@ -76,6 +100,29 @@ struct MachineConfig {
   /// of the UndrivenPolicy::Error throw. Lets a solver finish a corrupted
   /// run and decide on the diagnostics afterwards.
   bool checked = false;
+  /// Fault masking applied to every charged bus cycle (see BusMasking).
+  /// Ecc requires backend == BitPlane (enforced by the constructor).
+  BusMasking masking = BusMasking::None;
+};
+
+/// Cumulative fault-masking counters (ppa.metrics.v1: mask.votes /
+/// mask.corrections / mask.uncorrectable).
+struct MaskingStats {
+  std::uint64_t votes = 0;          // masked bus cycles executed
+  std::uint64_t corrections = 0;    // cycles where masking changed a value
+  std::uint64_t uncorrectable = 0;  // ECC cycles with residual syndrome
+
+  /// Counters spent since `baseline` (snapshot-delta, like StepCounter).
+  [[nodiscard]] MaskingStats since(const MaskingStats& baseline) const noexcept {
+    return {votes - baseline.votes, corrections - baseline.corrections,
+            uncorrectable - baseline.uncorrectable};
+  }
+  void merge(const MaskingStats& other) noexcept {
+    votes += other.votes;
+    corrections += other.corrections;
+    uncorrectable += other.uncorrectable;
+  }
+  friend bool operator==(const MaskingStats&, const MaskingStats&) = default;
 };
 
 class Machine {
@@ -105,6 +152,16 @@ class Machine {
   /// An empty model clears previously injected faults.
   void inject_faults(const FaultModel& model);
   [[nodiscard]] bool has_faults() const noexcept { return faults_.any; }
+
+  /// Cumulative fault-masking counters (zero when config.masking == None).
+  [[nodiscard]] const MaskingStats& masking_stats() const noexcept { return mask_stats_; }
+
+  /// Physical bus cycles executed so far. Every charged bus cycle —
+  /// including each individual TMR trial — advances it; shadow cycles and
+  /// the ECC parity beat (which shares its data cycle's slot) do not.
+  /// Transient StuckBit faults key on this index, identically under both
+  /// backends.
+  [[nodiscard]] std::uint64_t bus_cycles() const noexcept { return bus_cycles_; }
 
   /// Structured checked-execution diagnostics. The log keeps the first
   /// kMaxFaultLog events; fault_count() counts every report.
@@ -270,12 +327,56 @@ class Machine {
                          std::span<Flag> driven);
   void clear_dead_driven_plane(Direction dir, const PlaneWord* open_eff, PlaneWord* driven);
   template <typename T>
-  void apply_stuck_bits(Axis axis, std::span<T> values, int value_bits);
-  void apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes);
+  void apply_stuck_bits(Axis axis, std::span<T> values, int value_bits, std::uint64_t cycle);
+  void apply_stuck_bits_planes(Axis axis, PlaneWord* out, int planes, std::uint64_t cycle);
+
+  // One physical bus cycle, clean or fault-transformed, charged and traced
+  // under `category` (contention is only reported for the primary category
+  // of a masked cycle, never for the Masking re-executions). Each call
+  // advances bus_cycles_.
   template <typename T>
-  std::size_t faulty_broadcast_into(std::span<const T> src, Direction dir,
-                                    std::span<const Flag> open, std::span<T> values,
-                                    std::span<Flag> driven, int value_bits);
+  std::size_t broadcast_cycle(std::span<const T> src, Direction dir,
+                              std::span<const Flag> open, std::span<T> values,
+                              std::span<Flag> driven, int value_bits,
+                              StepCategory category);
+  std::size_t wired_or_cycle(std::span<const Flag> src, Direction dir,
+                             std::span<const Flag> open, std::span<Flag> values,
+                             StepCategory category);
+  std::size_t broadcast_planes_cycle(const PlaneWord* src, int planes, Direction dir,
+                                     const PlaneWord* open, PlaneWord* out,
+                                     PlaneWord* driven, StepCategory category);
+  std::size_t wired_or_plane_cycle(const PlaneWord* src, Direction dir,
+                                   const PlaneWord* open, PlaneWord* out,
+                                   StepCategory category);
+
+  // TMR wrappers: trial 1 into the caller's buffers (normal category),
+  // trials 2-3 into machine scratch (Masking), then a per-wire majority
+  // vote over values and driven flags.
+  template <typename T>
+  std::size_t tmr_broadcast_into(std::span<const T> src, Direction dir,
+                                 std::span<const Flag> open, std::span<T> values,
+                                 std::span<Flag> driven, int value_bits);
+  std::size_t tmr_wired_or_into(std::span<const Flag> src, Direction dir,
+                                std::span<const Flag> open, std::span<Flag> values);
+  std::size_t tmr_broadcast_planes_into(const PlaneWord* src, int planes, Direction dir,
+                                        const PlaneWord* open, PlaneWord* out,
+                                        PlaneWord* driven);
+  std::size_t tmr_wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                      const PlaneWord* open, PlaneWord* out);
+
+  // ECC wrappers: data cycle, then a parity beat (r parity planes of the
+  // program source through the same fault transform minus stuck bits —
+  // parity rides spare wires), then a Hamming syndrome decode on the
+  // received planes. Parity planes are computed with the dispatched SIMD
+  // plane kernels (sim/plane_kernels.hpp).
+  std::size_t ecc_broadcast_planes_into(const PlaneWord* src, int planes, Direction dir,
+                                        const PlaneWord* open, PlaneWord* out,
+                                        PlaneWord* driven);
+  std::size_t ecc_wired_or_plane_into(const PlaneWord* src, Direction dir,
+                                      const PlaneWord* open, PlaneWord* out);
+  void ecc_parity_of(const PlaneWord* data, int planes, int r, PlaneWord* parity);
+  void ecc_parity_beat(int r, Direction dir, const PlaneWord* program_open, bool wired_or);
+  void ecc_decode(PlaneWord* out, int planes, int r);
 
   MachineConfig config_;
   util::HField field_;
@@ -289,6 +390,22 @@ class Machine {
   CompiledFaults faults_;
   std::vector<FaultEvent> fault_log_;
   std::size_t fault_count_ = 0;
+  MaskingStats mask_stats_;
+  std::uint64_t bus_cycles_ = 0;
+  // TMR trial buffers (2 extra trials per masked cycle).
+  std::vector<Word> tmr_word_[2];
+  std::vector<Flag> tmr_flag_[2];
+  std::vector<Flag> tmr_driven_[2];
+  std::vector<PlaneWord> tmr_planes_[2];
+  std::vector<PlaneWord> tmr_planes_driven_[2];
+  // ECC parity-beat and decode scratch.
+  std::vector<PlaneWord> ecc_parity_src_;
+  std::vector<PlaneWord> ecc_parity_recv_;
+  std::vector<PlaneWord> ecc_parity_driven_;
+  std::vector<PlaneWord> ecc_check_;
+  std::vector<PlaneWord> ecc_nonzero_;
+  std::vector<PlaneWord> ecc_corrected_;
+  std::vector<PlaneWord> ecc_mask_;
   // Scratch for the fault transform, sized on first faulty cycle.
   std::vector<Flag> scratch_open_;
   std::vector<Word> scratch_src_word_;

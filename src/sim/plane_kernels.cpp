@@ -4,13 +4,13 @@
 // variable. A forced arm that is unavailable falls back to the widest
 // available one with a one-line stderr note instead of failing, so forced
 // CI legs stay green on heterogeneous runners.
-#include "ppc/plane_kernels.hpp"
+#include "sim/plane_kernels.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-namespace ppa::ppc::plane_kernels {
+namespace ppa::sim::plane_kernels {
 
 #if defined(PPA_HAVE_KERNELS_AVX2)
 const PlaneKernels* avx2_table() noexcept;
@@ -130,4 +130,4 @@ const PlaneKernels& active() noexcept {
 
 SimdVariant active_variant() noexcept { return active().variant; }
 
-}  // namespace ppa::ppc::plane_kernels
+}  // namespace ppa::sim::plane_kernels

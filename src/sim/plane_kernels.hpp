@@ -1,0 +1,235 @@
+// Runtime-dispatched SIMD kernel table for the bit-plane ALU.
+//
+// plane_ops.hpp holds the portable scalar loops — they remain the
+// always-available reference implementation and the differential oracle
+// (tests/ppc_plane_kernels_test.cpp fuzzes every table below against
+// them). This header adds the production path: a table of function
+// pointers filled per SIMD variant (scalar / AVX2 / AVX-512), selected
+// once per process from what the build compiled in and what the CPU
+// reports, plus the PlaneAlu wrapper that chunks big sweeps over the
+// machine's host thread pool.
+//
+// Dispatch order:
+//   1. A PPA_FORCE_SIMD=<arm> build (CMake option) pins the arm at
+//      compile time; if the CPU cannot execute the pinned arm the next
+//      best one is used and a one-line note goes to stderr (keeps forced
+//      CI legs green on heterogeneous runners).
+//   2. The PPA_SIMD environment variable (scalar|avx2|avx512) overrides
+//      at run time, with the same graceful fallback.
+//   3. Otherwise the widest compiled-in variant the CPU supports wins.
+//
+// The multi-plane kernels (add_sat / compare_*) take a [begin, end) word
+// sub-range of every plane so the thread pool can split one logical SIMD
+// instruction into contiguous plane-word chunks: the ripple-carry and
+// MSB-first scans carry state across PLANES (j), never across word index
+// (i), so range splitting is exact, not approximate.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/bit_planes.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppa::sim::plane_kernels {
+
+using sim::PlaneWord;
+
+enum class SimdVariant { Scalar, Avx2, Avx512 };
+
+[[nodiscard]] const char* variant_name(SimdVariant v) noexcept;
+
+/// One fully-populated kernel arm. All pointers are non-null.
+struct PlaneKernels {
+  SimdVariant variant = SimdVariant::Scalar;
+
+  // Elementwise bitwise sweeps over raw word ranges (callers pass pw or
+  // h * pw; chunking slices the pointers).
+  void (*op_and)(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+                 std::size_t words) noexcept = nullptr;
+  void (*op_or)(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+                std::size_t words) noexcept = nullptr;
+  void (*op_xor)(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+                 std::size_t words) noexcept = nullptr;
+  void (*op_andnot)(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+                    std::size_t words) noexcept = nullptr;
+  void (*op_copy)(const PlaneWord* a, PlaneWord* out, std::size_t words) noexcept = nullptr;
+  void (*op_zero)(PlaneWord* out, std::size_t words) noexcept = nullptr;
+  void (*masked_assign)(const PlaneWord* mask, const PlaneWord* src, PlaneWord* dst,
+                        std::size_t words) noexcept = nullptr;
+  void (*blend)(const PlaneWord* cond, const PlaneWord* a, const PlaneWord* b,
+                PlaneWord* out, std::size_t words) noexcept = nullptr;
+  bool (*all_zero)(const PlaneWord* a, std::size_t words) noexcept = nullptr;
+  bool (*equal)(const PlaneWord* a, const PlaneWord* b, std::size_t words) noexcept = nullptr;
+
+  // Multi-plane kernels on the word sub-range [begin, end) of every
+  // plane. Semantics match plane_ops exactly (same clamp rule, same
+  // MSB-first compare); the scratch planes of the plane_ops signatures
+  // are gone — carry/ones/lt/eq live in registers per word block.
+  void (*add_sat)(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+                  const PlaneWord* full, PlaneWord* out, std::size_t begin,
+                  std::size_t end) noexcept = nullptr;
+  void (*compare_lt)(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+                     const PlaneWord* full, PlaneWord* lt, PlaneWord* eq,
+                     std::size_t begin, std::size_t end) noexcept = nullptr;
+  void (*compare_eq)(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+                     const PlaneWord* full, PlaneWord* eq, std::size_t begin,
+                     std::size_t end) noexcept = nullptr;
+
+  /// Packs rows [row_begin, row_end) of per-PE words into `planes` bit
+  /// planes (plane j at offset j * plane_words). Fully overwrites the
+  /// covered words, pads read 0 — no pre-zeroing needed, and row ranges
+  /// write disjoint words, so the pool can split on rows.
+  void (*pack_words)(const sim::PlaneGeometry& g, const sim::Word* src, int planes,
+                     PlaneWord* out, std::size_t row_begin, std::size_t row_end) = nullptr;
+};
+
+/// The scalar arm (always compiled; the dispatch fallback).
+[[nodiscard]] const PlaneKernels& scalar_kernels() noexcept;
+
+/// The AVX2 / AVX-512 arms, or nullptr when the build did not compile
+/// them (non-x86, or compiler without the flags) or the CPU cannot run
+/// them. Tests iterate these directly to fuzz every arm.
+[[nodiscard]] const PlaneKernels* avx2_kernels() noexcept;
+[[nodiscard]] const PlaneKernels* avx512_kernels() noexcept;
+
+/// The dispatched table / its variant (chosen once per process).
+[[nodiscard]] const PlaneKernels& active() noexcept;
+[[nodiscard]] SimdVariant active_variant() noexcept;
+
+/// The ppc layer's view of one plane sweep: the dispatched kernels plus
+/// the machine's thread pool. Sweeps at least `min_words` words long are
+/// chunked into contiguous plane-word ranges over the pool (one chunk per
+/// pool lane, deterministic boundaries); smaller sweeps run inline.
+/// Results are bit-identical for every pool size because no kernel
+/// carries state across the word index.
+class PlaneAlu {
+ public:
+  PlaneAlu() = default;
+  PlaneAlu(const PlaneKernels& kernels, util::ThreadPool* pool,
+           std::size_t min_words) noexcept
+      : k_(&kernels), pool_(pool), min_words_(min_words) {}
+
+  [[nodiscard]] const PlaneKernels& kernels() const noexcept { return *k_; }
+
+  void op_and(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+              std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->op_and(a + lo, b + lo, out + lo, hi - lo);
+    });
+  }
+  void op_or(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+             std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->op_or(a + lo, b + lo, out + lo, hi - lo);
+    });
+  }
+  void op_xor(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+              std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->op_xor(a + lo, b + lo, out + lo, hi - lo);
+    });
+  }
+  void op_andnot(const PlaneWord* a, const PlaneWord* b, PlaneWord* out,
+                 std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->op_andnot(a + lo, b + lo, out + lo, hi - lo);
+    });
+  }
+  void op_copy(const PlaneWord* a, PlaneWord* out, std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->op_copy(a + lo, out + lo, hi - lo);
+    });
+  }
+  void op_zero(PlaneWord* out, std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) { k_->op_zero(out + lo, hi - lo); });
+  }
+  void masked_assign(const PlaneWord* mask, const PlaneWord* src, PlaneWord* dst,
+                     std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->masked_assign(mask + lo, src + lo, dst + lo, hi - lo);
+    });
+  }
+  void blend(const PlaneWord* cond, const PlaneWord* a, const PlaneWord* b,
+             PlaneWord* out, std::size_t words) const {
+    sweep(words, [&](std::size_t lo, std::size_t hi) {
+      k_->blend(cond + lo, a + lo, b + lo, out + lo, hi - lo);
+    });
+  }
+
+  // Early-exit scans stay inline: splitting them buys nothing.
+  [[nodiscard]] bool all_zero(const PlaneWord* a, std::size_t words) const {
+    return k_->all_zero(a, words);
+  }
+  [[nodiscard]] bool equal(const PlaneWord* a, const PlaneWord* b,
+                           std::size_t words) const {
+    return k_->equal(a, b, words);
+  }
+
+  void fill_scalar(sim::Word value, int h, std::size_t pw, const PlaneWord* full,
+                   PlaneWord* out) const {
+    for (int j = 0; j < h; ++j) {
+      PlaneWord* plane = out + static_cast<std::size_t>(j) * pw;
+      if ((value >> j) & 1u) {
+        op_copy(full, plane, pw);
+      } else {
+        op_zero(plane, pw);
+      }
+    }
+  }
+
+  void add_sat(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+               const PlaneWord* full, PlaneWord* out) const {
+    planes_sweep(h, pw, [&](std::size_t lo, std::size_t hi) {
+      k_->add_sat(a, b, h, pw, full, out, lo, hi);
+    });
+  }
+  void compare_lt(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+                  const PlaneWord* full, PlaneWord* lt, PlaneWord* eq) const {
+    planes_sweep(h, pw, [&](std::size_t lo, std::size_t hi) {
+      k_->compare_lt(a, b, h, pw, full, lt, eq, lo, hi);
+    });
+  }
+  void compare_eq(const PlaneWord* a, const PlaneWord* b, int h, std::size_t pw,
+                  const PlaneWord* full, PlaneWord* eq) const {
+    planes_sweep(h, pw, [&](std::size_t lo, std::size_t hi) {
+      k_->compare_eq(a, b, h, pw, full, eq, lo, hi);
+    });
+  }
+
+  void pack_words(const sim::PlaneGeometry& g, const sim::Word* src, int planes,
+                  PlaneWord* out) const {
+    if (pool_ == nullptr || g.plane_words() * static_cast<std::size_t>(planes) < min_words_) {
+      k_->pack_words(g, src, planes, out, 0, g.n);
+      return;
+    }
+    pool_->parallel_for(g.n, [&](std::size_t lo, std::size_t hi) {
+      k_->pack_words(g, src, planes, out, lo, hi);
+    });
+  }
+
+ private:
+  template <typename Body>
+  void sweep(std::size_t words, Body&& body) const {
+    if (pool_ == nullptr || words < min_words_) {
+      body(std::size_t{0}, words);
+      return;
+    }
+    pool_->parallel_for(words, body);
+  }
+  /// Chunks the word domain [0, pw) when the TOTAL work (h planes) is big
+  /// enough; every chunk runs all h planes of its word range.
+  template <typename Body>
+  void planes_sweep(int h, std::size_t pw, Body&& body) const {
+    if (pool_ == nullptr || static_cast<std::size_t>(h) * pw < min_words_) {
+      body(std::size_t{0}, pw);
+      return;
+    }
+    pool_->parallel_for(pw, body);
+  }
+
+  const PlaneKernels* k_ = &scalar_kernels();
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t min_words_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace ppa::sim::plane_kernels

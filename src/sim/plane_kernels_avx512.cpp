@@ -8,10 +8,10 @@
 #include <algorithm>
 #include <cstring>
 
-#include "ppc/plane_kernels.hpp"
-#include "ppc/plane_kernels_detail.hpp"
+#include "sim/plane_kernels.hpp"
+#include "sim/plane_kernels_detail.hpp"
 
-namespace ppa::ppc::plane_kernels {
+namespace ppa::sim::plane_kernels {
 
 namespace {
 
@@ -92,6 +92,6 @@ const PlaneKernels* avx512_table() noexcept {
   return &table;
 }
 
-}  // namespace ppa::ppc::plane_kernels
+}  // namespace ppa::sim::plane_kernels
 
 #endif  // __AVX512F__

@@ -21,7 +21,7 @@
 
 #include "sim/bit_planes.hpp"
 
-namespace ppa::ppc::plane_kernels::detail {
+namespace ppa::sim::plane_kernels::detail {
 
 using sim::PlaneWord;
 
@@ -239,4 +239,4 @@ inline void pack_words_rows_scalar(const sim::PlaneGeometry& g, const sim::Word*
   }
 }
 
-}  // namespace ppa::ppc::plane_kernels::detail
+}  // namespace ppa::sim::plane_kernels::detail

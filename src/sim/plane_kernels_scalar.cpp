@@ -1,10 +1,10 @@
 // Scalar kernel arm: the template bodies instantiated at W = 1. Compiled
 // unconditionally with the project's default flags — this is the dispatch
 // fallback on any host.
-#include "ppc/plane_kernels.hpp"
-#include "ppc/plane_kernels_detail.hpp"
+#include "sim/plane_kernels.hpp"
+#include "sim/plane_kernels_detail.hpp"
 
-namespace ppa::ppc::plane_kernels {
+namespace ppa::sim::plane_kernels {
 
 namespace {
 using detail::VecScalar;
@@ -33,4 +33,4 @@ const PlaneKernels& scalar_kernels() noexcept {
   return table;
 }
 
-}  // namespace ppa::ppc::plane_kernels
+}  // namespace ppa::sim::plane_kernels

@@ -14,6 +14,7 @@ const char* name_of(StepCategory c) noexcept {
     case StepCategory::BusOr: return "bus_or";
     case StepCategory::GlobalOr: return "global_or";
     case StepCategory::PanelIo: return "panel_io";
+    case StepCategory::Masking: return "masking";
     case StepCategory::kCount: break;
   }
   return "?";

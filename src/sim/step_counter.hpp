@@ -32,7 +32,12 @@ enum class StepCategory : int {
   PanelIo = 5,   // controller panel load/unload on a virtualized (tiled)
                  // array — one step per p-wide row of words moved over the
                  // array's I/O ports (docs/tiling.md)
-  kCount = 6,
+  Masking = 6,   // fault-masking overhead (docs/robustness.md): the 2 extra
+                 // TMR voting trials of a masked bus cycle, or the ECC
+                 // parity-plane beat riding a plane bus cycle. Kept separate
+                 // so a masked run minus its Masking steps is bit-identical
+                 // to the unmasked run on a fault-free machine.
+  kCount = 7,
 };
 
 [[nodiscard]] const char* name_of(StepCategory c) noexcept;

@@ -54,6 +54,7 @@ std::string to_string(const TraceEvent& event) {
       break;
     case StepCategory::BusBroadcast:
     case StepCategory::BusOr:
+    case StepCategory::Masking:  // a re-executed / parity bus cycle
       os << " dir=" << name_of(event.direction) << " open=" << event.open_count
          << " seg=" << event.max_segment;
       if (event.planes != 1) os << " planes=" << event.planes;

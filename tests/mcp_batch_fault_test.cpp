@@ -132,6 +132,63 @@ TEST(McpBatchFaultInjection, FailedMembersRetryAloneAndRecover) {
          "was never distinguishable from a whole-batch re-run";
 }
 
+TEST(McpBatchFaultInjection, MaskedBatchesZeroSilentlyWrongRows) {
+  // Masked runs extend the batch contract: with TMR or ECC active and NO
+  // retries, a transient wire is corrected in place for every member of
+  // the shared pass — full or tiled, and for TMR on either backend. Each
+  // member carries the group's masking delta, and the silently-wrong-row
+  // bar stays absolute.
+  struct Arm {
+    RecoveryPolicy policy;
+    sim::ExecBackend backend;
+  };
+  const Arm arms[] = {{RecoveryPolicy::Tmr, sim::ExecBackend::Words},
+                      {RecoveryPolicy::Tmr, sim::ExecBackend::BitPlane},
+                      {RecoveryPolicy::Ecc, sim::ExecBackend::BitPlane}};
+  const std::size_t sides[] = {0, 4};  // full array / tiled p=4
+  std::size_t masked_members = 0;
+  for (const Arm arm : arms) {
+    for (const std::size_t p : sides) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        util::Rng rng(seed * 577 + p);
+        const std::size_t n = 12;
+        const auto g = graph::random_reachable_digraph(n, 8, 0.25, {1, 20}, 0, rng);
+        const std::size_t side = p == 0 ? n : p;
+        // One transient wire (period >= 3: maskable by both policies).
+        std::ostringstream spec;
+        spec << "transient-bit:row," << rng.below(side) << ","
+             << rng.below(8) << ",1," << 3 + rng.below(3) << ",0";
+        std::vector<graph::Vertex> dests;
+        for (graph::Vertex d = 0; d < n; ++d) dests.push_back(d);
+
+        Options options;
+        options.verify = true;
+        options.recovery = arm.policy;
+        options.backend = arm.backend;
+        options.faults = FaultModel::parse(spec.str(), side, 8);
+        options.array_side = p;
+        options.batch_width = 4;
+        const std::vector<Result> batched = solve_batch(g, dests, options);
+        ASSERT_EQ(batched.size(), dests.size());
+        for (const Result& r : batched) {
+          std::ostringstream label;
+          label << "policy=" << name_of(arm.policy) << " backend="
+                << (arm.backend == sim::ExecBackend::Words ? "word" : "bitplane")
+                << " p=" << p << " seed=" << seed << " dest="
+                << r.solution.destination;
+          expect_never_silently_wrong(g, r, label.str());
+          EXPECT_EQ(r.attempts, 1u) << label.str() << ": masking must not retry";
+          EXPECT_GT(r.masking.votes, 0u)
+              << label.str() << ": member lost the group's masking delta";
+          if (r.masking.corrections > 0) ++masked_members;
+        }
+      }
+    }
+  }
+  EXPECT_GT(masked_members, 0u)
+      << "no batch member ever saw a correction; the transient wires never bit";
+}
+
 TEST(McpBatchFaultInjection, AllPairsBatchedRecoversExactly) {
   util::Rng rng(171);
   const std::size_t n = 12;

@@ -44,6 +44,33 @@ TEST(FaultModelParse, AcceptsEveryItemKind) {
   EXPECT_EQ(m.faults()[3].col, 3u);
 }
 
+TEST(FaultModelParse, AcceptsTransientBitGrammar) {
+  const FaultModel m = FaultModel::parse("transient-bit:col,2,5,1,4,3", 4, 8);
+  ASSERT_EQ(m.size(), 1u);
+  const Fault& f = m.faults()[0];
+  EXPECT_EQ(f.kind, FaultKind::StuckBit);
+  EXPECT_EQ(f.axis, Axis::Column);
+  EXPECT_EQ(f.row, 2u);
+  EXPECT_EQ(f.bit, 5);
+  EXPECT_TRUE(f.stuck_value);
+  EXPECT_EQ(f.period, 4u);
+  EXPECT_EQ(f.phase, 3u);
+  // The transient form round-trips through to_string.
+  EXPECT_NE(to_string(f).find("transient-bit"), std::string::npos);
+}
+
+TEST(FaultModelParse, RejectsMalformedTransientBit) {
+  const auto bad = [](std::string_view spec) {
+    EXPECT_THROW((void)FaultModel::parse(spec, 4, 8), util::ParseError) << spec;
+  };
+  bad("transient-bit:row,1,3,1");        // transient form needs period+phase
+  bad("transient-bit:row,1,3,1,4");      // missing phase
+  bad("transient-bit:row,1,3,1,0,0");    // period must be >= 1
+  bad("transient-bit:row,1,3,1,4,4");    // phase must be < period
+  bad("transient-bit:row,9,3,1,4,1");    // line out of range for n=4
+  bad("transient-bit:row,1,8,1,4,1");    // bit out of range for h=8
+}
+
 TEST(FaultModelParse, RandomItemExpandsDeterministically) {
   const FaultModel parsed = FaultModel::parse("random:9,4", 8, 8);
   EXPECT_EQ(parsed, FaultModel::random(8, 8, 9, 4));

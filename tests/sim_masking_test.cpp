@@ -1,0 +1,295 @@
+// Machine-level fault masking (docs/robustness.md): TMR-voted bus cycles
+// and ECC parity planes, exercised directly against the two bus engines.
+//
+// The contracts pinned here:
+//   - masking is invisible on a fault-free machine: values, driven flags
+//     and max_segment are bit-identical to the unmasked cycle, and the
+//     overhead lands exclusively in StepCategory::Masking;
+//   - TMR corrects any transient fault with period >= 3 (at most one of
+//     the three voting trials can be hit) but, by construction, cannot fix
+//     a persistent fault (three identically wrong trials out-vote reality);
+//   - ECC corrects single stuck bus wires — persistent ones included —
+//     in one parity beat, and flags multi-wire syndromes with no matching
+//     signature as uncorrectable instead of guessing.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "sim/fault_model.hpp"
+#include "sim/machine.hpp"
+#include "util/check.hpp"
+
+namespace ppa::sim {
+namespace {
+
+MachineConfig config_of(std::size_t n, int bits, BusMasking masking,
+                        ExecBackend backend = ExecBackend::Words) {
+  MachineConfig c;
+  c.n = n;
+  c.bits = bits;
+  c.masking = masking;
+  c.backend = backend;
+  return c;
+}
+
+/// Deterministic word/open patterns shared by the identity tests.
+void fill_patterns(std::size_t n, int bits, std::vector<Word>& src,
+                   std::vector<Flag>& open) {
+  src.assign(n * n, 0);
+  open.assign(n * n, 0);
+  for (std::size_t pe = 0; pe < n * n; ++pe) {
+    src[pe] = static_cast<Word>((pe * 7 + 3) % (1u << bits));
+    open[pe] = (pe % 9 == 0) ? 1 : 0;
+  }
+}
+
+TEST(TmrMasking, FaultFreeWordCycleBitIdenticalWithMaskingOverhead) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine plain(config_of(n, bits, BusMasking::None));
+  Machine masked(config_of(n, bits, BusMasking::Tmr));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  std::vector<Word> v0(n * n), v1(n * n);
+  std::vector<Flag> d0(n * n), d1(n * n);
+  const std::size_t seg0 =
+      plain.broadcast_into(std::span<const Word>(src), Direction::East, open, v0, d0);
+  const std::size_t seg1 =
+      masked.broadcast_into(std::span<const Word>(src), Direction::East, open, v1, d1);
+  EXPECT_EQ(v1, v0);
+  EXPECT_EQ(d1, d0);
+  EXPECT_EQ(seg1, seg0);
+
+  // The vote itself is free of data effects; only the step ledger differs:
+  // one normal bus cycle plus two Masking-charged voting trials.
+  EXPECT_EQ(masked.steps().count(StepCategory::BusBroadcast), 1u);
+  EXPECT_EQ(masked.steps().count(StepCategory::Masking), 2u);
+  EXPECT_EQ(masked.masking_stats().votes, 1u);
+  EXPECT_EQ(masked.masking_stats().corrections, 0u);
+  // Each voting trial is a physical bus cycle for transient-fault gating.
+  EXPECT_EQ(masked.bus_cycles(), 3u);
+  EXPECT_EQ(plain.bus_cycles(), 1u);
+}
+
+TEST(TmrMasking, CorrectsTransientStuckBitWithPeriodThree) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine clean(config_of(n, bits, BusMasking::None));
+  Machine masked(config_of(n, bits, BusMasking::Tmr));
+  // Period 3 hits exactly one of the first three trials (cycle 0).
+  masked.inject_faults(FaultModel::parse("transient-bit:row,1,3,1,3,0", n, bits));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  std::vector<Word> want(n * n), got(n * n);
+  std::vector<Flag> dw(n * n), dg(n * n);
+  (void)clean.broadcast_into(std::span<const Word>(src), Direction::East, open, want, dw);
+  (void)masked.broadcast_into(std::span<const Word>(src), Direction::East, open, got, dg);
+  EXPECT_EQ(got, want) << "2-of-3 vote did not mask the transient wire";
+  EXPECT_EQ(dg, dw);
+  EXPECT_EQ(masked.masking_stats().votes, 1u);
+  EXPECT_EQ(masked.masking_stats().corrections, 1u);
+}
+
+TEST(TmrMasking, CannotFixPersistentStuckBit) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine clean(config_of(n, bits, BusMasking::None));
+  Machine masked(config_of(n, bits, BusMasking::Tmr));
+  masked.inject_faults(FaultModel::parse("stuck-bit:row,1,3,1", n, bits));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  std::vector<Word> want(n * n), got(n * n);
+  std::vector<Flag> dw(n * n), dg(n * n);
+  (void)clean.broadcast_into(std::span<const Word>(src), Direction::East, open, want, dw);
+  (void)masked.broadcast_into(std::span<const Word>(src), Direction::East, open, got, dg);
+  // Three identically wrong trials out-vote reality: the delivered row 1
+  // still carries the stuck bit, and no trial ever disagreed.
+  EXPECT_NE(got, want);
+  EXPECT_EQ(masked.masking_stats().votes, 1u);
+  EXPECT_EQ(masked.masking_stats().corrections, 0u);
+}
+
+TEST(TmrMasking, PlaneEngineVotesIdenticallyToWordEngine) {
+  // The differential-oracle extension: under IDENTICAL transient faults the
+  // two bus engines of TMR-masked machines deliver bit-identical results.
+  const std::size_t n = 67;  // straddles the 64-lane plane-word boundary
+  const int bits = 8;
+  Machine word_m(config_of(n, bits, BusMasking::Tmr));
+  Machine plane_m(config_of(n, bits, BusMasking::Tmr, ExecBackend::BitPlane));
+  const FaultModel model =
+      FaultModel::parse("transient-bit:row,2,4,1,3,1;transient-bit:col,65,0,1,5,0", n, bits);
+  word_m.inject_faults(model);
+  plane_m.inject_faults(model);
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  std::vector<Word> word_values(n * n);
+  std::vector<Flag> word_driven(n * n);
+  const std::size_t word_seg = word_m.broadcast_into(
+      std::span<const Word>(src), Direction::East, open, word_values, word_driven);
+
+  const PlaneGeometry& g = plane_m.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> out_planes(src_planes.size());
+  std::vector<PlaneWord> driven_plane(g.plane_words());
+  const std::size_t plane_seg = plane_m.broadcast_planes_into(
+      src_planes.data(), bits, Direction::East, open_plane.data(), out_planes.data(),
+      driven_plane.data());
+
+  EXPECT_EQ(plane_seg, word_seg);
+  std::vector<Word> plane_values(n * n);
+  std::vector<Flag> plane_driven(n * n);
+  unpack_words(g, out_planes.data(), bits, plane_values);
+  unpack_flags(g, driven_plane.data(), plane_driven);
+  EXPECT_EQ(plane_values, word_values);
+  EXPECT_EQ(plane_driven, word_driven);
+  EXPECT_EQ(plane_m.masking_stats(), word_m.masking_stats());
+  EXPECT_EQ(plane_m.bus_cycles(), word_m.bus_cycles());
+}
+
+TEST(EccMasking, RequiresBitPlaneBackend) {
+  EXPECT_THROW((void)Machine(config_of(4, 8, BusMasking::Ecc, ExecBackend::Words)),
+               util::ContractError);
+}
+
+TEST(EccMasking, FaultFreePlaneCycleBitIdenticalWithOneParityBeat) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine plain(config_of(n, bits, BusMasking::None, ExecBackend::BitPlane));
+  Machine masked(config_of(n, bits, BusMasking::Ecc, ExecBackend::BitPlane));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  const PlaneGeometry& g = plain.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> out0(src_planes.size()), out1(src_planes.size());
+  std::vector<PlaneWord> drv0(g.plane_words()), drv1(g.plane_words());
+  const std::size_t seg0 = plain.broadcast_planes_into(
+      src_planes.data(), bits, Direction::South, open_plane.data(), out0.data(),
+      drv0.data());
+  const std::size_t seg1 = masked.broadcast_planes_into(
+      src_planes.data(), bits, Direction::South, open_plane.data(), out1.data(),
+      drv1.data());
+  EXPECT_EQ(out1, out0);
+  EXPECT_EQ(drv1, drv0);
+  EXPECT_EQ(seg1, seg0);
+  EXPECT_EQ(masked.steps().count(StepCategory::BusBroadcast), 1u);
+  EXPECT_EQ(masked.steps().count(StepCategory::Masking), 1u);  // the parity beat
+  EXPECT_EQ(masked.masking_stats().votes, 1u);
+  EXPECT_EQ(masked.masking_stats().corrections, 0u);
+  EXPECT_EQ(masked.masking_stats().uncorrectable, 0u);
+}
+
+TEST(EccMasking, CorrectsPersistentSingleStuckWire) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine clean(config_of(n, bits, BusMasking::None, ExecBackend::BitPlane));
+  Machine masked(config_of(n, bits, BusMasking::Ecc, ExecBackend::BitPlane));
+  // The fault class TMR provably cannot mask — ECC's syndrome decode can.
+  masked.inject_faults(FaultModel::parse("stuck-bit:row,1,3,1", n, bits));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  const PlaneGeometry& g = clean.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> want(src_planes.size()), got(src_planes.size());
+  std::vector<PlaneWord> dw(g.plane_words()), dg(g.plane_words());
+  (void)clean.broadcast_planes_into(src_planes.data(), bits, Direction::East,
+                                    open_plane.data(), want.data(), dw.data());
+  (void)masked.broadcast_planes_into(src_planes.data(), bits, Direction::East,
+                                     open_plane.data(), got.data(), dg.data());
+  EXPECT_EQ(got, want) << "syndrome decode did not repair the stuck wire";
+  EXPECT_EQ(dg, dw);
+  EXPECT_EQ(masked.masking_stats().corrections, 1u);
+  EXPECT_EQ(masked.masking_stats().uncorrectable, 0u);
+}
+
+TEST(EccMasking, CorrectsTransientWireAndWiredOrCycle) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine clean(config_of(n, bits, BusMasking::None, ExecBackend::BitPlane));
+  Machine masked(config_of(n, bits, BusMasking::Ecc, ExecBackend::BitPlane));
+  // One transient data wire plus a persistent flag wire (bit 0 covers the
+  // wired-OR cycle, whose ECC degenerates to a duplicate parity beat).
+  masked.inject_faults(
+      FaultModel::parse("transient-bit:col,2,5,1,2,0;stuck-bit:row,3,0,1", n, bits));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  const PlaneGeometry& g = clean.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> want(src_planes.size()), got(src_planes.size());
+  std::vector<PlaneWord> dw(g.plane_words()), dg(g.plane_words());
+  (void)clean.broadcast_planes_into(src_planes.data(), bits, Direction::South,
+                                    open_plane.data(), want.data(), dw.data());
+  (void)masked.broadcast_planes_into(src_planes.data(), bits, Direction::South,
+                                     open_plane.data(), got.data(), dg.data());
+  EXPECT_EQ(got, want);
+
+  // Wired-OR: the stuck row-3 flag wire forces ones the duplicate beat
+  // strips back out.
+  std::vector<Flag> or_src(n * n);
+  for (std::size_t pe = 0; pe < n * n; ++pe) or_src[pe] = (pe % 5 == 0) ? 1 : 0;
+  std::vector<PlaneWord> or_src_plane(g.plane_words());
+  pack_flags(g, or_src, or_src_plane.data());
+  std::vector<PlaneWord> or_want(g.plane_words()), or_got(g.plane_words());
+  (void)clean.wired_or_plane_into(or_src_plane.data(), Direction::East, open_plane.data(),
+                                  or_want.data());
+  (void)masked.wired_or_plane_into(or_src_plane.data(), Direction::East,
+                                   open_plane.data(), or_got.data());
+  EXPECT_EQ(or_got, or_want);
+  EXPECT_GE(masked.masking_stats().corrections, 1u);
+  EXPECT_EQ(masked.masking_stats().uncorrectable, 0u);
+}
+
+TEST(EccMasking, FlagsUnmatchableMultiWireSyndromeAsUncorrectable) {
+  const std::size_t n = 8;
+  const int bits = 8;
+  Machine masked(config_of(n, bits, BusMasking::Ecc, ExecBackend::BitPlane));
+  // Two stuck wires on the SAME row line at bits 6 and 7, with stuck
+  // values chosen so both flip the delivered word: their signatures (7 and
+  // 8) XOR to 15, which matches no single-wire signature for h = 8, so the
+  // decode must refuse instead of miscorrecting.
+  masked.inject_faults(
+      FaultModel::parse("stuck-bit:row,1,6,0;stuck-bit:row,1,7,1", n, bits));
+  std::vector<Word> src;
+  std::vector<Flag> open;
+  fill_patterns(n, bits, src, open);
+
+  const PlaneGeometry& g = masked.plane_geometry();
+  std::vector<PlaneWord> src_planes(g.plane_words() * static_cast<std::size_t>(bits));
+  std::vector<PlaneWord> open_plane(g.plane_words());
+  pack_words(g, src, bits, src_planes.data());
+  pack_flags(g, open, open_plane.data());
+  std::vector<PlaneWord> out(src_planes.size());
+  std::vector<PlaneWord> drv(g.plane_words());
+  (void)masked.broadcast_planes_into(src_planes.data(), bits, Direction::East,
+                                     open_plane.data(), out.data(), drv.data());
+  EXPECT_GE(masked.masking_stats().uncorrectable, 1u);
+}
+
+}  // namespace
+}  // namespace ppa::sim

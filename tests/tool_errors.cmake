@@ -54,6 +54,31 @@ expect_fail("fault" solve --graph ${graph_file} --dest 1 --faults bogus:1,2
             --out ${solution_file})
 expect_fail("range" solve --graph ${graph_file} --dest 1 --faults dead:99,0
             --out ${solution_file})
+# Fault coordinates validate against the PHYSICAL geometry: with
+# --array-side 4 the virtualized run of a 10-vertex graph only has rows
+# 0..3, so row 7 must be a one-line parse error, while the same spec is
+# fine on the full 10x10 array (regression pin: specs used to be checked
+# against the graph size instead of the array side).
+expect_fail("range" solve --graph ${graph_file} --dest 1 --array-side 4
+            --faults dead:7,0 --out ${solution_file})
+run_ok(solve --graph ${graph_file} --dest 1 --faults dead:7,0 --verify
+       --max-retries 2 --out ${solution_file})
+# Transient-bit grammar: wrong arity, phase >= period, and out-of-range
+# lines are all one-line errors.
+expect_fail("fault" solve --graph ${graph_file} --dest 1
+            --faults "transient-bit:row,1,3,1" --out ${solution_file})
+expect_fail("fault" solve --graph ${graph_file} --dest 1
+            --faults "transient-bit:row,1,3,1,4,7" --out ${solution_file})
+expect_fail("range" solve --graph ${graph_file} --dest 1 --array-side 4
+            --faults "transient-bit:row,9,3,1,4,1" --out ${solution_file})
+# --recovery validation: unknown policy, ECC off the bit-plane backend,
+# and recovery under a non-PPA model are all one-line errors.
+expect_fail("recovery" solve --graph ${graph_file} --dest 1 --recovery voodoo
+            --out ${solution_file})
+expect_fail("bitplane" solve --graph ${graph_file} --dest 1 --recovery ecc
+            --backend word --out ${solution_file})
+expect_fail("model=ppa" solve --graph ${graph_file} --dest 1 --model gcn
+            --recovery tmr --out ${solution_file})
 expect_fail("not an integer" solve --graph ${graph_file} --dest xyz
             --out ${solution_file})
 expect_fail("max-retries" solve --graph ${graph_file} --dest 1 --max-retries -3
@@ -88,6 +113,25 @@ endif()
 if(NOT out MATCHES "outcome=(verification-failed|hardware-fault|non-converged)")
   message(FATAL_ERROR "faulty solve did not report a failure outcome:\n${out}")
 endif()
+
+# --- fault masking end to end (docs/robustness.md): the same stuck bus
+# wire is corrected in place by ECC parity planes and by TMR voting, with
+# zero retries, and the written solutions pass the independent verifier.
+run_ok(solve --graph ${graph_file} --dest 1 --backend bitplane --recovery ecc
+       --faults "stuck-bit:row,1,3,1" --verify --out ${solution_file})
+if(NOT last_output MATCHES "outcome=verified" OR NOT last_output MATCHES "attempts=1")
+  message(FATAL_ERROR "ECC-masked solve did not verify on the first attempt: ${last_output}")
+endif()
+if(NOT last_output MATCHES "masking: votes=[1-9]")
+  message(FATAL_ERROR "ECC-masked solve did not report masking counters: ${last_output}")
+endif()
+run_ok(verify --graph ${graph_file} --solution ${solution_file})
+run_ok(solve --graph ${graph_file} --dest 1 --recovery tmr
+       --faults "transient-bit:row,1,3,1,5,2" --verify --out ${solution_file})
+if(NOT last_output MATCHES "outcome=verified" OR NOT last_output MATCHES "attempts=1")
+  message(FATAL_ERROR "TMR-masked solve did not verify on the first attempt: ${last_output}")
+endif()
+run_ok(verify --graph ${graph_file} --solution ${solution_file})
 
 # Checked allpairs with retries: per-destination outcomes, all recovered.
 run_ok(allpairs --graph ${graph_file} --faults dead:1,2 --verify --max-retries 2

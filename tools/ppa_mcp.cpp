@@ -4,13 +4,15 @@
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
 //                  [--array-side P] [--trace] [--faults <spec>] [--verify]
-//                  [--max-retries N] [--checked] [--metrics-out FILE]
+//                  [--max-retries N] [--recovery retry|tmr|ecc|tmr+retry]
+//                  [--checked] [--metrics-out FILE]
 //                  [--trace-chrome FILE] [--stats]
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt [--backend word|bitplane]
 //   ppa_mcp allpairs --graph graph.txt [--array-side P] [--batch-width K]
-//                  [--faults <spec>] [--verify] [--max-retries N] [--checked]
+//                  [--faults <spec>] [--verify] [--max-retries N]
+//                  [--recovery retry|tmr|ecc|tmr+retry] [--checked]
 //                  [--metrics-out FILE] [--trace-chrome FILE] [--stats]
 //
 // --array-side P (ppa only) virtualizes the run on a P x P physical array
@@ -95,6 +97,10 @@ bool parse_backend(const std::string& name, sim::ExecBackend& out) {
 void add_robustness_flags(util::CliParser& cli) {
   cli.flag("faults", "fault injection spec, e.g. 'dead:1,2;stuck-bit:row,0,3,1'", "");
   cli.flag("max-retries", "solve retries on a fault-free word-backend oracle", "0");
+  cli.flag("recovery",
+           "fault handling: retry (verify-then-retry), tmr (3x voted bus cycles), "
+           "ecc (parity planes, bitplane backend only), tmr+retry",
+           "retry");
   cli.bool_flag("verify", "check each solution against the host certificate checker");
   cli.bool_flag("checked", "record bus contention / undriven reads as fault events");
 }
@@ -126,6 +132,28 @@ bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix
   options.max_retries = static_cast<std::size_t>(retries);
   options.verify = cli.get_bool("verify");
   options.checked = cli.get_bool("checked");
+  const std::string recovery = cli.get_string("recovery");
+  if (recovery == "retry") {
+    options.recovery = mcp::RecoveryPolicy::Retry;
+  } else if (recovery == "tmr") {
+    options.recovery = mcp::RecoveryPolicy::Tmr;
+  } else if (recovery == "ecc") {
+    options.recovery = mcp::RecoveryPolicy::Ecc;
+  } else if (recovery == "tmr+retry") {
+    options.recovery = mcp::RecoveryPolicy::TmrThenRetry;
+  } else {
+    std::fprintf(stderr,
+                 "error: --recovery must be retry, tmr, ecc or tmr+retry (got '%s')\n",
+                 recovery.c_str());
+    return false;
+  }
+  if (options.recovery == mcp::RecoveryPolicy::Ecc &&
+      options.backend != sim::ExecBackend::BitPlane) {
+    std::fprintf(stderr,
+                 "error: --recovery ecc rides the bit-plane bus engine; it requires "
+                 "--backend bitplane\n");
+    return false;
+  }
   const std::string spec = cli.get_string("faults");
   if (!spec.empty()) {
     const std::size_t side = mcp::effective_array_side(options, g.size());
@@ -227,9 +255,18 @@ bool is_failure(mcp::SolveOutcome outcome) {
 /// Prints the outcome / attempts / fault-event summary for one solve when
 /// any robustness feature produced something worth reporting.
 void print_outcome(const mcp::Result& r) {
-  if (r.outcome == mcp::SolveOutcome::Unchecked && r.fault_events.empty()) return;
+  if (r.outcome == mcp::SolveOutcome::Unchecked && r.fault_events.empty() &&
+      r.masking.votes == 0) {
+    return;
+  }
   std::printf("outcome=%s attempts=%zu fault-events=%zu\n", mcp::name_of(r.outcome),
               r.attempts, r.fault_events.size());
+  if (r.masking.votes != 0) {
+    std::printf("masking: votes=%llu corrections=%llu uncorrectable=%llu\n",
+                static_cast<unsigned long long>(r.masking.votes),
+                static_cast<unsigned long long>(r.masking.corrections),
+                static_cast<unsigned long long>(r.masking.uncorrectable));
+  }
   if (!r.verify_detail.empty()) std::printf("verify: %s\n", r.verify_detail.c_str());
   const std::size_t shown = std::min<std::size_t>(r.fault_events.size(), 5);
   for (std::size_t i = 0; i < shown; ++i) {
@@ -303,11 +340,12 @@ int cmd_solve(int argc, const char* const* argv) {
   if (model != "ppa" &&
       (cli.get_bool("verify") || cli.get_bool("checked") ||
        !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0 ||
+       cli.get_string("recovery") != "retry" ||
        cli.get_int("array-side") != 0 || !cli.get_string("metrics-out").empty() ||
        !cli.get_string("trace-chrome").empty() || cli.get_bool("stats"))) {
     std::fprintf(stderr,
-                 "error: --faults/--verify/--max-retries/--checked/--array-side and "
-                 "the observability flags require --model=ppa\n");
+                 "error: --faults/--verify/--max-retries/--recovery/--checked/"
+                 "--array-side and the observability flags require --model=ppa\n");
     return 2;
   }
 
@@ -466,8 +504,13 @@ int cmd_allpairs(int argc, const char* const* argv) {
     for (const std::size_t a : ap.attempts) {
       if (a > 1) ++retried;
     }
-    std::printf("outcomes: %zu/%zu ok, %zu failed, %zu retried, %zu fault events\n",
-                ap.n - failed, ap.n, failed, retried, ap.fault_events.size());
+    std::size_t masked = 0;
+    for (const mcp::SolveOutcome o : ap.outcomes) {
+      if (o == mcp::SolveOutcome::MaskedFaults) ++masked;
+    }
+    std::printf("outcomes: %zu/%zu ok, %zu failed, %zu retried, %zu masked, "
+                "%zu fault events\n",
+                ap.n - failed, ap.n, failed, retried, masked, ap.fault_events.size());
     for (graph::Vertex dd = 0; dd < ap.n; ++dd) {
       if (is_failure(ap.outcomes[dd])) {
         std::printf("  destination %zu: %s (attempts %zu)\n", dd,
