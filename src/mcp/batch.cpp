@@ -92,6 +92,8 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
   const sim::MaskingStats masking_at_entry = machine.masking_stats();
+  const detail::ThroughputProbe throughput_at_entry =
+      observer != nullptr ? detail::probe_throughput(machine) : detail::ThroughputProbe{};
 
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverBatches).add(1);
@@ -274,17 +276,25 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
     for (Member& m : members) {
       if (m.converged) continue;
       std::size_t changed = 0;
+      // Per-row-block change counts, like the tiled driver: each member's
+      // sparsity signal is its own (vertex i lives in block i/p).
+      std::vector<std::uint64_t> panel_changes(observer != nullptr ? blocks : 0, 0);
       for (std::size_t i = 0; i < n; ++i) {
         if (i == m.destination) continue;  // pinned at 0
         if (m.next_min[i] != m.sow[i]) {
           m.sow[i] = m.next_min[i];
           m.ptn[i] = static_cast<graph::Vertex>(m.next_arg[i]);
           ++changed;
+          if (observer != nullptr) ++panel_changes[i / p];
         }
       }
       ++m.iterations;
       if (options.record_iterations) {
         m.trace.push_back(IterationRecord{changed, machine.steps().since(before_iteration)});
+      }
+      if (observer != nullptr) {
+        observer->record_iteration(static_cast<std::int64_t>(m.destination),
+                                   m.iterations, changed, std::move(panel_changes));
       }
       if (changed == 0) {
         m.converged = true;
@@ -325,6 +335,7 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
     }
   }
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
+  detail::record_throughput_delta(machine, throughput_at_entry, observer);
 
   std::vector<Result> results;
   results.reserve(b);

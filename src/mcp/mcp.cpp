@@ -88,6 +88,8 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
   const sim::MaskingStats masking_at_entry = machine.masking_stats();
+  const detail::ThroughputProbe throughput_at_entry =
+      observer != nullptr ? detail::probe_throughput(machine) : detail::ThroughputProbe{};
 
   // ------------------------------------------------------------------
   // Data layout (paper Section 3): W, SOW, PTN are n x n parallel ints;
@@ -193,9 +195,18 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
     });
 
     ++result.iterations;
-    if (options.record_iterations) {
-      result.iteration_trace.push_back(IterationRecord{
-          changed.count(), machine.steps().since(before_iteration)});
+    // changed.count() is a free host read (it never charges SIMD steps),
+    // so convergence telemetry rides the OR the loop test needs anyway.
+    if (options.record_iterations || observer != nullptr) {
+      const std::size_t active = changed.count();
+      if (options.record_iterations) {
+        result.iteration_trace.push_back(
+            IterationRecord{active, machine.steps().since(before_iteration)});
+      }
+      if (observer != nullptr) {
+        observer->record_iteration(static_cast<std::int64_t>(destination),
+                                   result.iterations, active);
+      }
     }
 
     // 20: while (at least one SOW in row d has changed) — the controller's
@@ -222,6 +233,7 @@ Result minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix& graph
   // driver — relax_core.hpp).
   result.masking = machine.masking_stats().since(masking_at_entry);
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
+  detail::record_throughput_delta(machine, throughput_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
 }

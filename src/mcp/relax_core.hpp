@@ -80,6 +80,23 @@ void record_plan_cache_delta(const sim::Machine& machine,
                              sim::Machine::PlanCacheStats entry,
                              obs::Collector* observer);
 
+/// Entry snapshot for record_throughput_delta: the machine's cumulative
+/// kernel-sweep billing plus (bit-plane backend with workers) the host
+/// pool's per-lane busy seconds.
+struct ThroughputProbe {
+  sim::plane_kernels::SweepStats sweeps;
+  std::vector<double> pool_busy;
+};
+
+[[nodiscard]] ThroughputProbe probe_throughput(sim::Machine& machine);
+
+/// Records the delta since `entry` as the observer's simd.sweep.* counters
+/// (deterministic: billed per sweep on the controller thread, so pool-size
+/// and min-words independent) and the pool.* gauges (timing; gauge merge
+/// keeps the worst case seen). No-op without an observer.
+void record_throughput_delta(sim::Machine& machine, const ThroughputProbe& entry,
+                             obs::Collector* observer);
+
 /// The solver epilogue both geometries share: harvests the machine's
 /// checked-execution fault-event delta, settles Result::outcome
 /// (non-convergence dominates, then the host certificate — which is

@@ -60,6 +60,8 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   const std::size_t faults_at_entry = machine.fault_count();
   const sim::Machine::PlanCacheStats plans_at_entry = machine.plan_cache_stats();
   const sim::MaskingStats masking_at_entry = machine.masking_stats();
+  const detail::ThroughputProbe throughput_at_entry =
+      observer != nullptr ? detail::probe_throughput(machine) : detail::ThroughputProbe{};
 
   // ------------------------------------------------------------------
   // Initialization. The row-d state lives with the controller as host
@@ -188,13 +190,18 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
 
     // Apply the buffered row-d update; the loop test is the host's (the
     // controller already holds the fresh row, no global-OR cycle needed).
+    // Change counts are kept per row block (vertex i lives in block i/p):
+    // the per-panel sparsity signal active-panel virtualization needs —
+    // a block whose count hits 0 has a settled SOW fragment.
     std::size_t changed = 0;
+    std::vector<std::uint64_t> panel_changes(observer != nullptr ? blocks : 0, 0);
     for (std::size_t i = 0; i < n; ++i) {
       if (i == destination) continue;  // pinned at 0, like (d,d) on the array
       if (next_min[i] != sow[i]) {
         sow[i] = next_min[i];
         ptn[i] = static_cast<graph::Vertex>(next_arg[i]);
         ++changed;
+        if (observer != nullptr) ++panel_changes[i / p];
       }
     }
 
@@ -202,6 +209,10 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
     if (options.record_iterations) {
       result.iteration_trace.push_back(
           IterationRecord{changed, machine.steps().since(before_iteration)});
+    }
+    if (observer != nullptr) {
+      observer->record_iteration(static_cast<std::int64_t>(destination),
+                                 result.iterations, changed, std::move(panel_changes));
     }
     if (changed == 0) break;
   }
@@ -221,6 +232,7 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   }
   result.masking = machine.masking_stats().since(masking_at_entry);
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);
+  detail::record_throughput_delta(machine, throughput_at_entry, observer);
   detail::finalize_result(machine, graph, destination, options, faults_at_entry, result);
   return result;
 }

@@ -47,6 +47,9 @@ void ChromeTraceWriter::on_event(const sim::TraceEvent& event) {
       event.category == sim::StepCategory::BusOr) {
     out_ << ",\"open\":" << event.open_count << ",\"seg\":" << event.max_segment
          << ",\"planes\":" << event.planes;
+    if (event.wires != 0) {
+      out_ << ",\"driven\":" << event.driven_wires << ",\"wires\":" << event.wires;
+    }
   }
   if (event.count != 1) out_ << ",\"count\":" << event.count;
   out_ << "}";
@@ -90,6 +93,15 @@ void ChromeTraceWriter::complete_span(std::string_view name, double start_us,
     // second-class field Perfetto shows in the detail pane.
     out_ << ",\"id\":" << arg;
   }
+  close_event();
+}
+
+void ChromeTraceWriter::counter(std::string_view name, double value) {
+  if (finished_) return;
+  open_event(name, 'C', now_us(), 0);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  out_ << ",\"args\":{\"value\":" << buf << "}";
   close_event();
 }
 

@@ -55,6 +55,10 @@ class ChromeTraceWriter final : public sim::TraceSink {
                      std::uint32_t tid, const sim::StepCounter& span_steps,
                      std::int64_t arg = -1);
 
+  /// Self-stamped counter ("C") sample: Perfetto renders each named series
+  /// as a track graph. Used for the per-iteration active-lane telemetry.
+  void counter(std::string_view name, double value);
+
   /// Closes the JSON array; idempotent, called by the destructor. The
   /// output is a valid JSON document from this point on.
   void finish();

@@ -20,6 +20,13 @@ const std::vector<std::uint64_t>& plane_bounds() {
   return bounds;
 }
 
+/// Driven-port counts reach pe_count = n^2 (64Ki at n = 256); beyond
+/// lands in the overflow bucket.
+const std::vector<std::uint64_t>& wire_bounds() {
+  static const std::vector<std::uint64_t> bounds = pow2_bounds(65536);
+  return bounds;
+}
+
 }  // namespace
 
 Collector::Collector() : epoch_(std::chrono::steady_clock::now()) {
@@ -31,17 +38,57 @@ Collector::Collector() : epoch_(std::chrono::steady_clock::now()) {
   seg_hist_ = &metrics_.histogram(metric::kBusMaxSegment, segment_bounds());
   open_hist_ = &metrics_.histogram(metric::kBusOpenCount, segment_bounds());
   planes_hist_ = &metrics_.histogram(metric::kBusPlaneWidth, plane_bounds());
+  driven_wires_ = &metrics_.counter(metric::kBusDrivenWires);
+  total_wires_ = &metrics_.counter(metric::kBusTotalWires);
+  driven_hist_ = &metrics_.histogram(metric::kBusDrivenHist, wire_bounds());
+  active_lanes_ = &metrics_.counter(metric::kActiveLanes);
 }
 
 void Collector::on_event(const sim::TraceEvent& event) {
-  step_counters_[static_cast<int>(event.category)]->add(event.count);
+  const auto now = std::chrono::steady_clock::now();
+  const int category = static_cast<int>(event.category);
+  // Wall attribution: the gap since the previous event is billed to the
+  // arriving event's category (the time the host spent producing it).
+  if (has_last_event_) {
+    profile_.seconds[static_cast<std::size_t>(category)] +=
+        std::chrono::duration<double>(now - last_event_).count();
+  }
+  last_event_ = now;
+  has_last_event_ = true;
+  profile_.events[static_cast<std::size_t>(category)] += event.count;
+
+  step_counters_[category]->add(event.count);
   if (event.category == sim::StepCategory::BusBroadcast ||
       event.category == sim::StepCategory::BusOr) {
     seg_hist_->observe(event.max_segment, event.count);
     open_hist_->observe(event.open_count, event.count);
     planes_hist_->observe(event.planes, event.count);
+    // Occupancy only rides events that carried it (wires == 0 means the
+    // emitting site predates the scan or the event is not a bus cycle).
+    if (event.wires != 0) {
+      driven_wires_->add(event.driven_wires * event.count);
+      total_wires_->add(event.wires * event.count);
+      driven_hist_->observe(event.driven_wires, event.count);
+    }
   }
   if (chrome_ != nullptr) chrome_->on_event(event);
+}
+
+void Collector::record_iteration(std::int64_t destination, std::uint64_t iteration,
+                                 std::uint64_t active,
+                                 std::vector<std::uint64_t> panel_changes) {
+  active_lanes_->add(active);
+  convergence_.push_back(
+      IterationSample{destination, iteration, active, std::move(panel_changes)});
+  if (chrome_ != nullptr) {
+    chrome_->counter("active_lanes", static_cast<double>(active));
+  }
+  if (snapshot_every_ != 0 && snapshot_hook_) {
+    if (++iterations_since_snapshot_ >= snapshot_every_) {
+      iterations_since_snapshot_ = 0;
+      snapshot_hook_(*this);
+    }
+  }
 }
 
 void Collector::on_fault(const sim::FaultEvent& event) {
@@ -100,6 +147,9 @@ Collector::Span open_span(Collector* collector, std::string_view name,
 void Collector::merge(const Collector& other) {
   PPA_REQUIRE(other.open_stack_.empty(), "cannot merge a collector with open spans");
   metrics_.merge(other.metrics_);
+  profile_.merge(other.profile_);
+  convergence_.insert(convergence_.end(), other.convergence_.begin(),
+                      other.convergence_.end());
   const double rebase =
       std::chrono::duration<double>(other.epoch_ - epoch_).count();
   const std::size_t offset = records_.size();

@@ -19,8 +19,10 @@
 // destination order by the all-pairs driver.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,38 @@ struct SpanRecord {
   /// Free-form argument (the MCP destination vertex, the retry attempt
   /// number, ...); -1 when unset.
   std::int64_t value = -1;
+};
+
+/// Wall-time attribution per StepCategory (the utilization profiler,
+/// docs/observability.md). Each TraceEvent's inter-event wall gap is billed
+/// to the ARRIVING event's category — an inclusive approximation that
+/// attributes the host time spent producing an instruction to that
+/// instruction. Timing data: merged additively, never part of the
+/// determinism contract (unlike the counters, which are).
+struct WallProfile {
+  static constexpr std::size_t kCategories =
+      static_cast<std::size_t>(sim::StepCategory::kCount);
+  std::array<double, kCategories> seconds{};
+  std::array<std::uint64_t, kCategories> events{};
+
+  void merge(const WallProfile& other) noexcept {
+    for (std::size_t c = 0; c < kCategories; ++c) {
+      seconds[c] += other.seconds[c];
+      events[c] += other.events[c];
+    }
+  }
+};
+
+/// One relaxation iteration's convergence telemetry: how many vertices'
+/// SOW improved (the active-lane count riding the convergence OR the
+/// solver already computes) and, for tiled runs, the per-row-block change
+/// counts — the sparse-panel signal active-panel virtualization needs
+/// (ROADMAP). Free by contract: host reads only.
+struct IterationSample {
+  std::int64_t destination = -1;
+  std::uint64_t iteration = 0;   // 1-based, as Result::iterations counts
+  std::uint64_t active = 0;      // vertices whose SOW changed this iteration
+  std::vector<std::uint64_t> panel_changes;  // per row block; empty = full array
 };
 
 class Collector final : public sim::TraceSink {
@@ -101,10 +135,40 @@ class Collector final : public sim::TraceSink {
 
   [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return records_; }
 
+  // ---- convergence telemetry ----
+
+  /// Records one relaxation iteration's telemetry: the active-lane count
+  /// and (tiled runs) per-row-block change counts. Adds `active` to the
+  /// solver.active_lanes counter, appends to the convergence series,
+  /// streams a Chrome 'C' counter sample when live, and fires the snapshot
+  /// hook on its cadence. Host bookkeeping only — never touches the
+  /// machine.
+  void record_iteration(std::int64_t destination, std::uint64_t iteration,
+                        std::uint64_t active,
+                        std::vector<std::uint64_t> panel_changes = {});
+
+  [[nodiscard]] const std::vector<IterationSample>& convergence() const noexcept {
+    return convergence_;
+  }
+
+  /// Per-category wall-time attribution (fed by on_event).
+  [[nodiscard]] const WallProfile& profile() const noexcept { return profile_; }
+
+  /// Installs a periodic snapshot callback: fired from record_iteration
+  /// every `every_iterations` iterations (0 disables). Shaped for the
+  /// long-lived service: the CLI uses it to stream JSONL metrics
+  /// snapshots (--snapshot-every). The hook must not mutate the collector.
+  void set_snapshot_hook(std::uint64_t every_iterations,
+                         std::function<void(const Collector&)> hook) {
+    snapshot_every_ = every_iterations;
+    snapshot_hook_ = std::move(hook);
+  }
+
   /// Deterministic accumulation of another collector: metrics merge by
   /// name, span trees append with parents re-indexed and times rebased
-  /// onto this collector's epoch. Used by the all-pairs driver to fold
-  /// per-destination collectors in destination order.
+  /// onto this collector's epoch, convergence series append, wall profiles
+  /// add. Used by the all-pairs driver to fold per-destination collectors
+  /// in destination order.
   void merge(const Collector& other);
 
   /// Exports every recorded span as a complete ("X") Chrome event onto
@@ -142,6 +206,21 @@ class Collector final : public sim::TraceSink {
   Histogram* seg_hist_ = nullptr;
   Histogram* open_hist_ = nullptr;
   Histogram* planes_hist_ = nullptr;
+  Counter* driven_wires_ = nullptr;
+  Counter* total_wires_ = nullptr;
+  Histogram* driven_hist_ = nullptr;
+  Counter* active_lanes_ = nullptr;
+
+  // Utilization profiler state (timing — excluded from determinism).
+  WallProfile profile_;
+  std::chrono::steady_clock::time_point last_event_;
+  bool has_last_event_ = false;
+
+  // Convergence series + snapshot cadence.
+  std::vector<IterationSample> convergence_;
+  std::uint64_t snapshot_every_ = 0;
+  std::uint64_t iterations_since_snapshot_ = 0;
+  std::function<void(const Collector&)> snapshot_hook_;
 };
 
 /// Null-safe span opener: returns an inert handle when `collector` is
@@ -179,6 +258,25 @@ inline constexpr const char* kSolverBatchWidth = "solver.batch_width";
 // the machine-counter delta spent inside the run.
 inline constexpr const char* kPlanCacheHits = "bus.plan_cache.hits";
 inline constexpr const char* kPlanCacheMisses = "bus.plan_cache.misses";
+// Bus occupancy (utilization profiler): PE bus ports that read a driven
+// value vs. total ports, summed over charged bus cycles, plus the
+// per-cycle driven-port histogram. Fed from TraceEvent::driven_wires /
+// wires — bit-identical across backends (driven flags are pinned).
+inline constexpr const char* kBusDrivenWires = "bus.wires.driven";
+inline constexpr const char* kBusTotalWires = "bus.wires.total";
+inline constexpr const char* kBusDrivenHist = "bus.driven_wires";
+// SIMD kernel throughput (sim::plane_kernels::SweepStats): dispatched
+// sweeps and plane words covered, recorded per solver run as the
+// machine-counter delta. Pool-size and plane_sweep_min_words independent.
+inline constexpr const char* kSweepDispatches = "simd.sweep.dispatches";
+inline constexpr const char* kSweepWords = "simd.sweep.words";
+// Convergence telemetry: total changed-vertex observations summed over
+// iterations (per-iteration detail lives in the convergence series).
+inline constexpr const char* kActiveLanes = "solver.active_lanes";
+// Host-pool utilization gauges (timing; merge keeps the worst case):
+// busiest-lane seconds and busiest/mean imbalance ratio for the run.
+inline constexpr const char* kPoolBusyMax = "pool.busy_seconds.max";
+inline constexpr const char* kPoolImbalance = "pool.imbalance";
 /// Prefixes completed by a kind/outcome name.
 inline constexpr const char* kFaultPrefix = "faults.";
 inline constexpr const char* kOutcomePrefix = "solver.outcome.";

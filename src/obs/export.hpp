@@ -32,8 +32,18 @@ struct RunInfo {
 /// The complete metrics document (one JSON object).
 void write_metrics_json(std::ostream& out, const Collector& collector, const RunInfo& run);
 
-/// Human-readable digest: run line, step mix, bus-shape histograms,
-/// solver counters and the top-level spans.
+/// Prometheus text exposition (version 0.0.4) of the same registry:
+/// counters/gauges as single samples, histograms in the cumulative
+/// `_bucket{le=...}` / `_sum` / `_count` convention. Metric names get a
+/// `ppa_` prefix with dots mapped to underscores; every sample carries
+/// workload/backend/n labels from the run context. Shaped for the
+/// long-lived `ppa_mcpd` service's scrape endpoint; today the CLI writes
+/// one exposition per run (`ppa_mcp --prom-out`).
+void write_prometheus(std::ostream& out, const Collector& collector, const RunInfo& run);
+
+/// Human-readable digest: run line, per-category step + wall-time
+/// attribution table, bus-shape histograms, solver counters and the
+/// top-level spans.
 void write_stats_summary(std::ostream& out, const Collector& collector, const RunInfo& run);
 
 }  // namespace ppa::obs

@@ -1,0 +1,63 @@
+// Tiny JSON DOM: parse a complete document into a tree that preserves the
+// exact token text, and serialize it back compactly.
+//
+// The point is round-trip fidelity for the "ppa.metrics.v1" document:
+// JsonWriter emits compact JSON (no whitespace, `,` separators, `"k":`
+// keys), and this parser keeps every scalar as its raw token (strings with
+// their quotes, numbers as written), so
+//   json_serialize(parse) == original
+// byte for byte whenever the original was compact. That equality is pinned
+// by the export round-trip test, which is what keeps the schema honest:
+// any exporter change that would silently garble a field breaks the trip.
+//
+// metrics_document_valid layers schema checks on top of the DOM: required
+// sections, the schema tag, and the shape of each new section.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppa::obs {
+
+/// One parsed JSON value. Scalars keep their raw token text (strings keep
+/// their surrounding quotes and escapes untouched); containers hold their
+/// children in document order. Object keys keep their quotes too, so the
+/// serializer never has to re-escape anything.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  std::string raw;  // scalar token exactly as it appeared (empty for containers)
+  std::vector<JsonValue> items;                              // Array
+  std::vector<std::pair<std::string, JsonValue>> members;    // Object, keys quoted
+
+  /// Object member lookup by unquoted key (no unescaping: keys the repo
+  /// emits never contain escapes). Returns nullptr when absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// String contents without the surrounding quotes (escapes untouched).
+  /// Only meaningful for Kind::String.
+  [[nodiscard]] std::string_view unquoted() const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Returns nullopt and fills `error`
+/// (when non-null) on failure.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error = nullptr);
+
+/// Compact serialization: no whitespace, "," separators, "key": with no
+/// space — the same shape JsonWriter emits.
+[[nodiscard]] std::string json_serialize(const JsonValue& value);
+
+/// Semantic validation of a "ppa.metrics.v1" document: the schema tag, the
+/// run context, and every section the exporter writes (counters, gauges,
+/// histograms, profile, convergence, spans) with the right JSON shapes.
+/// Returns false and fills `error` (when non-null) on the first violation.
+[[nodiscard]] bool metrics_document_valid(std::string_view text,
+                                          std::string* error = nullptr);
+
+}  // namespace ppa::obs

@@ -11,7 +11,7 @@ namespace ppa::ppc {
 Context::Context(sim::Machine& machine)
     : machine_(machine),
       alu_(plane_kernels::active(), machine.host_pool(),
-           machine.config().plane_sweep_min_words) {
+           machine.config().plane_sweep_min_words, machine.mutable_sweep_stats()) {
   if (bitplane()) {
     full_.resize(geometry().plane_words());
     sim::plane_fill_full(geometry(), full_.data());

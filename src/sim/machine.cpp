@@ -309,8 +309,14 @@ std::size_t Machine::broadcast_cycle(std::span<const T> src, Direction dir,
   }
   steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
+    // Bus occupancy rides the event only while a sink is attached: the
+    // driven-flag scan is host bookkeeping, never charged, and the flags
+    // themselves are pinned bit-identical across backends.
+    std::size_t driven_wires = 0;
+    for (const Flag f : driven) driven_wires += static_cast<std::size_t>(f != 0);
     trace_->on_event(TraceEvent{category, dir, count_open(open_eff), max_segment, 1,
-                                static_cast<std::size_t>(value_bits)});
+                                static_cast<std::size_t>(value_bits), driven_wires,
+                                driven.size()});
   }
   return max_segment;
 }
@@ -410,7 +416,9 @@ std::size_t Machine::wired_or_cycle(std::span<const Flag> src, Direction dir,
   }
   steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
-    trace_->on_event(TraceEvent{category, dir, count_open(open_eff), max_segment});
+    // An open-collector read never floats: every PE port sees the OR.
+    trace_->on_event(TraceEvent{category, dir, count_open(open_eff), max_segment, 1, 1,
+                                values.size(), values.size()});
   }
   return max_segment;
 }
@@ -475,8 +483,11 @@ std::size_t Machine::broadcast_planes_cycle(const PlaneWord* src, int planes,
   }
   steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
+    // Pads are canonically zero, so the plane popcount equals the word
+    // engine's driven-flag count exactly (the parity the tests pin).
     trace_->on_event(TraceEvent{category, dir, plane_popcount(geometry_, open_eff),
-                                max_segment, 1, static_cast<std::size_t>(planes)});
+                                max_segment, 1, static_cast<std::size_t>(planes),
+                                plane_popcount(geometry_, driven), pe_count()});
   }
   return max_segment;
 }
@@ -604,7 +615,7 @@ std::size_t Machine::wired_or_plane_cycle(const PlaneWord* src, Direction dir,
   steps_.charge_bus(category, max_segment);
   if (trace_ != nullptr) {
     trace_->on_event(TraceEvent{category, dir, plane_popcount(geometry_, open_eff),
-                                max_segment});
+                                max_segment, 1, 1, pe_count(), pe_count()});
   }
   return max_segment;
 }

@@ -26,6 +26,7 @@
 #include "sim/bus.hpp"
 #include "sim/bus_planes.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/plane_kernels.hpp"
 #include "sim/step_counter.hpp"
 #include "sim/trace.hpp"
 #include "util/saturating.hpp"
@@ -307,6 +308,18 @@ class Machine {
     return {bus_scratch_.broadcast_plans.hits, bus_scratch_.broadcast_plans.misses};
   }
 
+  /// Cumulative SIMD kernel-dispatch / plane-word throughput counters for
+  /// the ppc-layer plane ALU bound to this machine (ppc::Context wires its
+  /// PlaneAlu here). Billed once per sweep on the controller thread, so
+  /// the totals are pool-size and plane_sweep_min_words independent;
+  /// solvers report the per-run delta as simd.sweep.* counters.
+  [[nodiscard]] const plane_kernels::SweepStats& sweep_stats() const noexcept {
+    return sweep_stats_;
+  }
+  [[nodiscard]] plane_kernels::SweepStats* mutable_sweep_stats() noexcept {
+    return &sweep_stats_;
+  }
+
  private:
   /// Execution knobs handed to every plane bus cycle: the host pool (when
   /// the cycle is large enough to chunk) and the machine-owned scratch.
@@ -417,6 +430,7 @@ class Machine {
   std::vector<PlaneWord> scratch_alive_out_;
   std::vector<PlaneWord> scratch_alive_driven_plane_;
   PlaneBusScratch bus_scratch_;  // reused by every plane bus cycle
+  plane_kernels::SweepStats sweep_stats_;  // ppc PlaneAlu throughput billing
 };
 
 }  // namespace ppa::sim

@@ -96,6 +96,20 @@ struct PlaneKernels {
 [[nodiscard]] const PlaneKernels& active() noexcept;
 [[nodiscard]] SimdVariant active_variant() noexcept;
 
+/// SIMD kernel-throughput counters, billed on the controller thread once
+/// per dispatched sweep (BEFORE any pool chunking), so the totals are
+/// independent of the pool size and of `plane_sweep_min_words` — the
+/// profiler's determinism contract (docs/observability.md). Plain host
+/// bookkeeping: never charged as SIMD steps.
+struct SweepStats {
+  std::uint64_t dispatches = 0;  // kernel sweeps issued
+  std::uint64_t words = 0;       // total plane words those sweeps covered
+
+  [[nodiscard]] SweepStats since(const SweepStats& earlier) const noexcept {
+    return {dispatches - earlier.dispatches, words - earlier.words};
+  }
+};
+
 /// The ppc layer's view of one plane sweep: the dispatched kernels plus
 /// the machine's thread pool. Sweeps at least `min_words` words long are
 /// chunked into contiguous plane-word ranges over the pool (one chunk per
@@ -106,8 +120,8 @@ class PlaneAlu {
  public:
   PlaneAlu() = default;
   PlaneAlu(const PlaneKernels& kernels, util::ThreadPool* pool,
-           std::size_t min_words) noexcept
-      : k_(&kernels), pool_(pool), min_words_(min_words) {}
+           std::size_t min_words, SweepStats* stats = nullptr) noexcept
+      : k_(&kernels), pool_(pool), min_words_(min_words), stats_(stats) {}
 
   [[nodiscard]] const PlaneKernels& kernels() const noexcept { return *k_; }
 
@@ -198,6 +212,7 @@ class PlaneAlu {
 
   void pack_words(const sim::PlaneGeometry& g, const sim::Word* src, int planes,
                   PlaneWord* out) const {
+    bill(g.plane_words() * static_cast<std::size_t>(planes));
     if (pool_ == nullptr || g.plane_words() * static_cast<std::size_t>(planes) < min_words_) {
       k_->pack_words(g, src, planes, out, 0, g.n);
       return;
@@ -208,8 +223,17 @@ class PlaneAlu {
   }
 
  private:
+  /// Controller-thread throughput billing; deterministic by construction
+  /// (counts the whole sweep, not its chunks).
+  void bill(std::size_t words) const noexcept {
+    if (stats_ != nullptr) {
+      ++stats_->dispatches;
+      stats_->words += words;
+    }
+  }
   template <typename Body>
   void sweep(std::size_t words, Body&& body) const {
+    bill(words);
     if (pool_ == nullptr || words < min_words_) {
       body(std::size_t{0}, words);
       return;
@@ -220,6 +244,7 @@ class PlaneAlu {
   /// enough; every chunk runs all h planes of its word range.
   template <typename Body>
   void planes_sweep(int h, std::size_t pw, Body&& body) const {
+    bill(static_cast<std::size_t>(h) * pw);
     if (pool_ == nullptr || static_cast<std::size_t>(h) * pw < min_words_) {
       body(std::size_t{0}, pw);
       return;
@@ -230,6 +255,7 @@ class PlaneAlu {
   const PlaneKernels* k_ = &scalar_kernels();
   util::ThreadPool* pool_ = nullptr;
   std::size_t min_words_ = static_cast<std::size_t>(-1);
+  SweepStats* stats_ = nullptr;
 };
 
 }  // namespace ppa::sim::plane_kernels

@@ -33,6 +33,14 @@ struct TraceEvent {
   /// bit-plane engine sweeps the same logical planes the word engine moves
   /// at once.
   std::size_t planes = 1;
+  /// Bus occupancy (bus cycles only, and only when a sink is attached —
+  /// tracing off means the occupancy scan never runs): how many of the
+  /// array's `wires` PE bus ports read a driven value this cycle. Wired-OR
+  /// cycles never float, so there driven_wires == wires. Derived from the
+  /// driven flags, which are pinned bit-identical across backends.
+  std::size_t driven_wires = 0;
+  /// Total PE bus ports on the array (pe_count); 0 for non-bus events.
+  std::size_t wires = 0;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };

@@ -42,6 +42,16 @@ class ThreadPool {
   /// constructed, never destroyed before exit.
   static ThreadPool& shared();
 
+  /// Cumulative wall time each lane spent inside parallel_for bodies since
+  /// construction (docs/observability.md). Lane 0 is the caller's share,
+  /// lanes 1..worker_count the workers — the spread across lanes is the
+  /// chunk-imbalance signal the utilization profiler reports. Inline mode
+  /// (<= 1 worker) keeps a single lane-0 slot. Snapshot/delta only between
+  /// parallel_for calls: every slot is written either by the caller or
+  /// under mutex_ before the final pending_ handoff, so a post-join read
+  /// is race-free.
+  [[nodiscard]] std::vector<double> busy_seconds();
+
  private:
   struct Job {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
@@ -57,6 +67,7 @@ class ThreadPool {
   std::condition_variable done_;
   std::vector<Job> jobs_;         // one slot per worker
   std::vector<bool> job_ready_;   // guarded by mutex_
+  std::vector<double> busy_;      // per-lane busy seconds; lane 0 = caller
   std::size_t pending_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;

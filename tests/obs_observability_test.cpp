@@ -4,7 +4,11 @@
 // change a single result word or step count, on either backend.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "mcp/allpairs.hpp"
@@ -13,6 +17,7 @@
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/json_dom.hpp"
 #include "sim/machine.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -101,6 +106,28 @@ TEST(Metrics, Pow2Bounds) {
   EXPECT_EQ(pow2_bounds(5), (std::vector<std::uint64_t>{1, 2, 4, 5}));
 }
 
+TEST(Metrics, Pow2BucketBoundsAreInclusive) {
+  // A sample exactly AT a bound lands in that bound's own bucket
+  // (observe uses value <= bound), so the pow2 histograms have no
+  // off-by-one at 1, 2, 4, ..., top — pinned here because every bus-shape
+  // histogram in the collector rides pow2_bounds.
+  const std::vector<std::uint64_t> bounds = pow2_bounds(8);  // {1, 2, 4, 8}
+  Histogram at_bounds(bounds);
+  for (const std::uint64_t b : bounds) at_bounds.observe(b);
+  ASSERT_EQ(at_bounds.counts().size(), bounds.size() + 1);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(at_bounds.counts()[i], 1u) << "bound " << bounds[i];
+  }
+  EXPECT_EQ(at_bounds.counts().back(), 0u);  // nothing overflows
+
+  Histogram above_bounds(bounds);
+  above_bounds.observe(3);  // one past bound 2 -> the le=4 bucket
+  above_bounds.observe(9);  // one past the top bound -> overflow
+  EXPECT_EQ(above_bounds.counts()[1], 0u);
+  EXPECT_EQ(above_bounds.counts()[2], 1u);
+  EXPECT_EQ(above_bounds.counts().back(), 1u);
+}
+
 // ---- spans ----
 
 TEST(Spans, NestAndRecordStepDeltas) {
@@ -185,6 +212,88 @@ TEST(Collector, FeedsBusHistogramsAndStepCounters) {
   EXPECT_EQ(planes.max(), 8u);  // word broadcast sweeps all 8 planes
   EXPECT_EQ(m.counters().at(std::string(metric::kStepPrefix) + "alu").value(), 5u);
   EXPECT_EQ(m.counters().at(std::string(metric::kStepPrefix) + "bus_bcast").value(), 1u);
+
+  // Bus occupancy rode the same event: every PE port is a wire, the driven
+  // subset is whatever the cycle's driven flags said, and the per-cycle
+  // histogram saw exactly one sample equal to the driven counter.
+  const std::uint64_t total = m.counters().at(metric::kBusTotalWires).value();
+  const std::uint64_t driven = m.counters().at(metric::kBusDrivenWires).value();
+  EXPECT_EQ(total, 16u);
+  EXPECT_GT(driven, 0u);
+  EXPECT_LE(driven, total);
+  const Histogram& wires = m.histograms().at(metric::kBusDrivenHist);
+  EXPECT_EQ(wires.count(), 1u);
+  EXPECT_EQ(wires.sum(), driven);
+
+  // The utilization profiler billed the same event counts per category;
+  // wall seconds are timing (>= 0) and not pinned further.
+  const WallProfile& profile = collector.profile();
+  EXPECT_EQ(profile.events[static_cast<std::size_t>(sim::StepCategory::Alu)], 5u);
+  EXPECT_EQ(profile.events[static_cast<std::size_t>(sim::StepCategory::BusBroadcast)], 1u);
+  for (const double seconds : profile.seconds) EXPECT_GE(seconds, 0.0);
+}
+
+TEST(Collector, ConvergenceSeriesCountersAndChromeSamples) {
+  std::ostringstream out;
+  ChromeTraceWriter writer(out);
+  Collector collector;
+  collector.set_chrome(&writer);
+  collector.record_iteration(3, 1, 10, {4, 6});
+  collector.record_iteration(3, 2, 0);
+  writer.finish();
+
+  const auto& series = collector.convergence();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].destination, 3);
+  EXPECT_EQ(series[0].iteration, 1u);
+  EXPECT_EQ(series[0].active, 10u);
+  EXPECT_EQ(series[0].panel_changes, (std::vector<std::uint64_t>{4, 6}));
+  EXPECT_TRUE(series[1].panel_changes.empty());
+  EXPECT_EQ(collector.metrics().counters().at(metric::kActiveLanes).value(), 10u);
+
+  // The live stream carried each sample as a Chrome counter ('C') event.
+  const std::string text = out.str();
+  std::string error;
+  ASSERT_TRUE(json_valid(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("active_lanes"), std::string::npos);
+}
+
+TEST(Collector, SnapshotHookFiresOnItsCadence) {
+  Collector collector;
+  std::size_t fired = 0;
+  collector.set_snapshot_hook(2, [&](const Collector&) { ++fired; });
+  for (std::uint64_t i = 1; i <= 5; ++i) collector.record_iteration(0, i, 1);
+  EXPECT_EQ(fired, 2u);  // iterations 2 and 4; cadence 0-resets in between
+
+  Collector disabled;
+  disabled.set_snapshot_hook(0, [&](const Collector&) { ++fired; });
+  disabled.record_iteration(0, 1, 1);
+  EXPECT_EQ(fired, 2u);  // every = 0 disables
+}
+
+TEST(Collector, MergeAppendsConvergenceAndAddsProfiles) {
+  Collector a;
+  a.record_iteration(0, 1, 7);
+  Collector b;
+  b.record_iteration(1, 1, 3, {1, 2});
+  a.merge(b);
+  ASSERT_EQ(a.convergence().size(), 2u);
+  EXPECT_EQ(a.convergence()[0].destination, 0);
+  EXPECT_EQ(a.convergence()[1].destination, 1);
+  EXPECT_EQ(a.convergence()[1].panel_changes, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(a.metrics().counters().at(metric::kActiveLanes).value(), 10u);
+
+  // Wall profiles add component-wise on merge.
+  WallProfile left;
+  left.seconds[0] = 0.5;
+  left.events[0] = 2;
+  WallProfile right;
+  right.seconds[0] = 0.25;
+  right.events[0] = 1;
+  left.merge(right);
+  EXPECT_DOUBLE_EQ(left.seconds[0], 0.75);
+  EXPECT_EQ(left.events[0], 3u);
 }
 
 // ---- exporters ----
@@ -272,6 +381,122 @@ TEST(Export, PostHocSpanExportEmitsCompleteEvents) {
   EXPECT_NE(out.str().find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(Export, PrometheusExpositionShape) {
+  Collector collector;
+  demo_collector(collector);
+  RunInfo run;
+  run.workload = "mcp";
+  run.backend = "word";
+  run.n = 8;
+  std::ostringstream out;
+  write_prometheus(out, collector, run);
+  const std::string text = out.str();
+
+  // Counters and gauges: one `# TYPE` line, one labelled sample each.
+  EXPECT_NE(text.find("# TYPE ppa_solver_runs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("ppa_solver_runs{workload=\"mcp\",backend=\"word\",n=\"8\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ppa_demo_ratio gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("ppa_demo_ratio{workload=\"mcp\",backend=\"word\",n=\"8\"} 0.5\n"),
+            std::string::npos);
+
+  // Wall attribution: a gauge family labelled by StepCategory.
+  EXPECT_NE(text.find("# TYPE ppa_profile_wall_seconds gauge\n"), std::string::npos);
+  EXPECT_NE(text.find(",category=\"alu\"} "), std::string::npos);
+
+  // Histograms follow the cumulative _bucket / _sum / _count convention;
+  // demo_collector observed a single 3 against bounds {1, 2, 4, 8}.
+  EXPECT_NE(text.find("# TYPE ppa_bus_max_segment histogram\n"), std::string::npos);
+  const std::string prefix = "{workload=\"mcp\",backend=\"word\",n=\"8\"";
+  EXPECT_NE(text.find("ppa_bus_max_segment_bucket" + prefix + ",le=\"2\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppa_bus_max_segment_bucket" + prefix + ",le=\"4\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppa_bus_max_segment_bucket" + prefix + ",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppa_bus_max_segment_sum" + prefix + "} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("ppa_bus_max_segment_count" + prefix + "} 1\n"), std::string::npos);
+}
+
+// Object member lookup for DOM surgery in the tests below (keys are stored
+// with their quotes).
+JsonValue* mutable_member(JsonValue& object, std::string_view key) {
+  const std::string quoted = "\"" + std::string(key) + "\"";
+  for (auto& [k, v] : object.members) {
+    if (k == quoted) return &v;
+  }
+  return nullptr;
+}
+
+std::string exported_metrics_document() {
+  Collector collector;
+  demo_collector(collector);
+  collector.record_iteration(0, 1, 5, {2, 3});
+  collector.record_iteration(0, 2, 0);
+  RunInfo run;
+  run.workload = "mcp";
+  run.backend = "word";
+  run.n = 8;
+  run.simd_steps = 123;
+  run.wall_seconds = 0.25;
+  std::ostringstream out;
+  write_metrics_json(out, collector, run);
+  return out.str();
+}
+
+TEST(Export, MetricsJsonRoundTripsByteIdentical) {
+  const std::string text = exported_metrics_document();
+
+  // The new sections made it out...
+  EXPECT_NE(text.find("\"profile\":"), std::string::npos);
+  EXPECT_NE(text.find("\"convergence\":["), std::string::npos);
+  EXPECT_NE(text.find("\"panels\":[2,3]"), std::string::npos);
+
+  // ...the document passes the semantic validator...
+  std::string error;
+  EXPECT_TRUE(metrics_document_valid(text, &error)) << error << "\n" << text;
+
+  // ...and parse -> serialize reproduces the exporter's bytes exactly
+  // (plus the trailing newline the exporter appends). This is the schema
+  // honesty check: any exporter drift that garbles a token breaks it.
+  const std::optional<JsonValue> dom = json_parse(text, &error);
+  ASSERT_TRUE(dom.has_value()) << error;
+  EXPECT_EQ(json_serialize(*dom) + "\n", text);
+}
+
+TEST(Json, MetricsDocumentValidatorAcceptsAndRejects) {
+  const std::string text = exported_metrics_document();
+  std::string error;
+  ASSERT_TRUE(metrics_document_valid(text, &error)) << error;
+
+  // Not an object / wrong schema tag.
+  EXPECT_FALSE(metrics_document_valid("[]", &error));
+  EXPECT_FALSE(metrics_document_valid("{}", &error));
+  std::string wrong_schema = text;
+  wrong_schema.replace(wrong_schema.find("ppa.metrics.v1"), 14, "ppa.metrics.v9");
+  EXPECT_FALSE(metrics_document_valid(wrong_schema, &error));
+
+  // Every required section is load-bearing: dropping any one rejects.
+  for (const char* section : {"run", "counters", "gauges", "histograms", "profile",
+                              "convergence", "spans"}) {
+    JsonValue dom = *json_parse(text);
+    const std::string quoted = "\"" + std::string(section) + "\"";
+    std::erase_if(dom.members, [&](const auto& member) { return member.first == quoted; });
+    EXPECT_FALSE(metrics_document_valid(json_serialize(dom), &error)) << section;
+  }
+
+  // Histogram shape: counts must be exactly bounds.size() + 1 long.
+  JsonValue dom = *json_parse(text);
+  JsonValue* histograms = mutable_member(dom, "histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_FALSE(histograms->members.empty());
+  JsonValue* counts = mutable_member(histograms->members.front().second, "counts");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_FALSE(counts->items.empty());
+  counts->items.pop_back();
+  EXPECT_FALSE(metrics_document_valid(json_serialize(dom), &error));
+}
+
 // ---- the zero-cost contract ----
 
 struct SolveSnapshot {
@@ -316,6 +541,66 @@ TEST(ZeroCost, ObservationIsBitIdenticalOnBothBackends) {
     EXPECT_GT(collector.metrics().histograms().at(metric::kBusMaxSegment).count(), 0u);
     EXPECT_FALSE(collector.spans().empty());
   }
+}
+
+TEST(ZeroCost, FullTelemetryPipelineIsFreeAndBackendIdentical) {
+  // The heaviest observation stack the CLI can attach — live Chrome
+  // streaming, per-iteration snapshots serializing the whole document,
+  // occupancy scans, the wall profiler — must still change nothing, and
+  // the deterministic telemetry (occupancy, active lanes) must agree
+  // across backends like every other pinned quantity.
+  util::Rng rng(11);
+  const auto g = graph::random_reachable_digraph(17, 8, 0.3, {1, 9}, 0, rng);
+  std::vector<std::uint64_t> driven_by_backend;
+  std::vector<std::vector<std::uint64_t>> active_by_backend;
+  for (const sim::ExecBackend backend :
+       {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    const SolveSnapshot bare = run_solve(g, backend, nullptr);
+
+    std::ostringstream trace;
+    ChromeTraceWriter writer(trace);
+    Collector collector;
+    collector.set_chrome(&writer);
+    std::size_t snapshots = 0;
+    collector.set_snapshot_hook(1, [&](const Collector& live) {
+      RunInfo run;
+      run.workload = "mcp";
+      run.backend = backend == sim::ExecBackend::Words ? "word" : "bitplane";
+      run.n = g.size();
+      std::ostringstream snapshot;
+      write_metrics_json(snapshot, live, run);
+      std::string error;
+      EXPECT_TRUE(metrics_document_valid(snapshot.str(), &error)) << error;
+      ++snapshots;
+    });
+    const SolveSnapshot observed = run_solve(g, backend, &collector);
+    writer.finish();
+
+    EXPECT_EQ(bare.costs, observed.costs);
+    EXPECT_EQ(bare.next, observed.next);
+    EXPECT_EQ(bare.total_steps, observed.total_steps);
+    EXPECT_EQ(bare.iterations, observed.iterations);
+
+    // The pipeline genuinely ran: one snapshot and one convergence sample
+    // per iteration (the last iteration is the settled one), counter
+    // samples on the live stream, occupancy on the counters.
+    EXPECT_EQ(snapshots, observed.iterations);
+    ASSERT_EQ(collector.convergence().size(), observed.iterations);
+    EXPECT_EQ(collector.convergence().back().active, 0u);
+    EXPECT_NE(trace.str().find("active_lanes"), std::string::npos);
+    const auto& counters = collector.metrics().counters();
+    EXPECT_GT(counters.at(metric::kBusTotalWires).value(), 0u);
+
+    driven_by_backend.push_back(counters.at(metric::kBusDrivenWires).value());
+    std::vector<std::uint64_t> active;
+    for (const IterationSample& sample : collector.convergence()) {
+      active.push_back(sample.active);
+    }
+    active_by_backend.push_back(std::move(active));
+  }
+  ASSERT_EQ(driven_by_backend.size(), 2u);
+  EXPECT_EQ(driven_by_backend[0], driven_by_backend[1]);
+  EXPECT_EQ(active_by_backend[0], active_by_backend[1]);
 }
 
 // ---- all-pairs determinism ----

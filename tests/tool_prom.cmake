@@ -1,0 +1,108 @@
+# Exposition + snapshot paths of the CLI (docs/observability.md):
+# --prom-out must write a Prometheus text exposition with labelled samples
+# and cumulative histogram buckets, --stats must print the per-category
+# attribution table, and --snapshot-every must stream one ppa.metrics.v1
+# JSON line per iteration to --snapshot-out (solve only — allpairs rejects
+# it). Invoked by ctest with -DTOOL=<binary> -DWORKDIR=<scratch dir>.
+if(NOT DEFINED TOOL OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "TOOL and WORKDIR must be defined")
+endif()
+
+set(graph_file "${WORKDIR}/tool_prom_graph.txt")
+set(solution_file "${WORKDIR}/tool_prom_solution.txt")
+set(prom_file "${WORKDIR}/tool_prom_metrics.prom")
+set(snapshot_file "${WORKDIR}/tool_prom_snapshots.jsonl")
+
+function(run_ok)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} failed (rc=${rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_fail expected)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "ppa_mcp ${ARGN} unexpectedly succeeded\nstdout: ${out}")
+  endif()
+  if(NOT rc MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "ppa_mcp ${ARGN} crashed (rc=${rc})\nstderr: ${err}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${expected}")
+    message(FATAL_ERROR "ppa_mcp ${ARGN}: diagnostic does not mention '${expected}'\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+run_ok(gen --family reachable --n 12 --seed 5 --dest 1 --out ${graph_file})
+
+# --- Prometheus exposition + the --stats attribution table ---
+run_ok(solve --graph ${graph_file} --dest 1 --stats --prom-out ${prom_file}
+       --out ${solution_file})
+if(NOT last_output MATCHES "run: workload=mcp")
+  message(FATAL_ERROR "--stats lost the run summary line: ${last_output}")
+endif()
+if(NOT last_output MATCHES "category" OR NOT last_output MATCHES "steps%")
+  message(FATAL_ERROR "--stats is missing the attribution table: ${last_output}")
+endif()
+if(NOT EXISTS ${prom_file})
+  message(FATAL_ERROR "--prom-out did not write its file")
+endif()
+file(READ ${prom_file} prom_text)
+if(NOT prom_text MATCHES "# TYPE ppa_steps_alu counter")
+  message(FATAL_ERROR "exposition is missing counter TYPE lines:\n${prom_text}")
+endif()
+if(NOT prom_text MATCHES "ppa_solver_runs{workload=\"mcp\",backend=\"word\",n=\"12\"} 1")
+  message(FATAL_ERROR "exposition is missing the labelled solver.runs sample:\n${prom_text}")
+endif()
+if(NOT prom_text MATCHES "_bucket{[^\n]*,le=\"\\+Inf\"}")
+  message(FATAL_ERROR "exposition histograms lack cumulative +Inf buckets:\n${prom_text}")
+endif()
+if(NOT prom_text MATCHES "# TYPE ppa_profile_wall_seconds gauge")
+  message(FATAL_ERROR "exposition is missing the wall-attribution gauge family:\n${prom_text}")
+endif()
+
+# --- periodic JSONL snapshots (solve only) ---
+run_ok(solve --graph ${graph_file} --dest 1 --snapshot-every 1
+       --snapshot-out ${snapshot_file} --out ${solution_file})
+if(NOT EXISTS ${snapshot_file})
+  message(FATAL_ERROR "--snapshot-out did not write its file")
+endif()
+file(STRINGS ${snapshot_file} snapshot_lines)
+list(LENGTH snapshot_lines snapshot_count)
+if(snapshot_count LESS 2)
+  message(FATAL_ERROR "expected one snapshot per iteration, got ${snapshot_count} lines")
+endif()
+foreach(line IN LISTS snapshot_lines)
+  if(NOT line MATCHES "^{\"schema\":\"ppa\\.metrics\\.v1\"")
+    message(FATAL_ERROR "snapshot line is not a ppa.metrics.v1 document:\n${line}")
+  endif()
+endforeach()
+list(GET snapshot_lines -1 last_line)
+if(NOT last_line MATCHES "\"convergence\":\\[{\"dest\":")
+  message(FATAL_ERROR "snapshots carry no convergence series:\n${last_line}")
+endif()
+
+# --- flag validation: cadence without a sink, negative cadence, allpairs ---
+expect_fail("snapshot-out" solve --graph ${graph_file} --dest 1
+            --snapshot-every 2 --out ${solution_file})
+expect_fail(">= 0" solve --graph ${graph_file} --dest 1 --snapshot-every -2
+            --snapshot-out ${snapshot_file} --out ${solution_file})
+expect_fail("solve subcommand" allpairs --graph ${graph_file} --snapshot-every 2
+            --snapshot-out ${snapshot_file})
+
+# allpairs still takes the exposition flags (merged registry).
+run_ok(allpairs --graph ${graph_file} --workers 2 --prom-out ${prom_file})
+file(READ ${prom_file} prom_text)
+if(NOT prom_text MATCHES "ppa_solver_runs{workload=\"all_pairs\"[^\n]*} 12")
+  message(FATAL_ERROR "allpairs exposition lost the merged solver.runs:\n${prom_text}")
+endif()
+
+file(REMOVE ${graph_file} ${solution_file} ${prom_file} ${snapshot_file})
+message(STATUS "prometheus + snapshot CLI round trip OK")

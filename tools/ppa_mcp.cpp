@@ -5,15 +5,17 @@
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
 //                  [--array-side P] [--trace] [--faults <spec>] [--verify]
 //                  [--max-retries N] [--recovery retry|tmr|ecc|tmr+retry]
-//                  [--checked] [--metrics-out FILE]
+//                  [--checked] [--metrics-out FILE] [--prom-out FILE]
 //                  [--trace-chrome FILE] [--stats]
+//                  [--snapshot-every N --snapshot-out FILE]
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt [--backend word|bitplane]
 //   ppa_mcp allpairs --graph graph.txt [--array-side P] [--batch-width K]
 //                  [--faults <spec>] [--verify] [--max-retries N]
 //                  [--recovery retry|tmr|ecc|tmr+retry] [--checked]
-//                  [--metrics-out FILE] [--trace-chrome FILE] [--stats]
+//                  [--metrics-out FILE] [--prom-out FILE]
+//                  [--trace-chrome FILE] [--stats]
 //
 // --array-side P (ppa only) virtualizes the run on a P x P physical array
 // (P < n sweeps the weight matrix in panels, docs/tiling.md); 0 = full
@@ -25,9 +27,12 @@
 //   ppa_mcp eccentricity --graph graph.txt
 //
 // Observability (docs/observability.md): --metrics-out writes the
-// ppa.metrics.v1 JSON dump, --trace-chrome a Perfetto-loadable Chrome
-// trace, --stats a human summary; when any fault events were recorded the
-// tool prints a one-line kind tally on stderr.
+// ppa.metrics.v1 JSON dump, --prom-out a Prometheus text exposition,
+// --trace-chrome a Perfetto-loadable Chrome trace, --stats a human summary
+// with the per-category step/wall attribution table; --snapshot-every N
+// (solve only) streams a metrics snapshot to --snapshot-out as one JSON
+// line per N relaxation iterations. When any fault events were recorded
+// the tool prints a one-line kind tally on stderr.
 //
 // The fault spec grammar is sim/fault_model.hpp's, e.g.
 // "dead:2,3;stuck-bit:row,1,0,1;random:7,4" (docs/robustness.md).
@@ -38,6 +43,7 @@
 // ParseError / ContractError escaping a subcommand is reported as a
 // one-line stderr error with exit code 2 — never an uncaught abort.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -166,17 +172,28 @@ bool read_robustness_flags(const util::CliParser& cli, const graph::WeightMatrix
 /// (docs/observability.md).
 void add_observability_flags(util::CliParser& cli) {
   cli.flag("metrics-out", "write the ppa.metrics.v1 JSON metrics dump to this file", "");
+  cli.flag("prom-out", "write a Prometheus text exposition to this file", "");
   cli.flag("trace-chrome", "write a Chrome trace_event (Perfetto) trace to this file", "");
+  cli.flag("snapshot-every",
+           "stream a metrics snapshot every N relaxation iterations (solve only; "
+           "0 = off)",
+           "0");
+  cli.flag("snapshot-out", "JSONL file the periodic snapshots append to", "");
   cli.bool_flag("stats", "print a human-readable metrics summary to stdout");
 }
 
 /// The observability state one subcommand run owns: a Collector when any
-/// of the three flags asked for one, plus the streaming Chrome writer.
+/// of the observability flags asked for one, plus the streaming Chrome
+/// writer and the snapshot stream.
 struct Observability {
   std::unique_ptr<obs::Collector> collector;
   std::ofstream chrome_file;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  std::ofstream snapshot_file;
   std::string metrics_path;
+  std::string prom_path;
+  std::string snapshot_path;
+  std::uint64_t snapshot_every = 0;
   bool stats = false;
 
   [[nodiscard]] bool enabled() const noexcept { return collector != nullptr; }
@@ -189,9 +206,24 @@ struct Observability {
 /// a stderr message when the trace file cannot be opened.
 bool setup_observability(const util::CliParser& cli, bool live, Observability& out) {
   out.metrics_path = cli.get_string("metrics-out");
+  out.prom_path = cli.get_string("prom-out");
+  out.snapshot_path = cli.get_string("snapshot-out");
   out.stats = cli.get_bool("stats");
+  const std::int64_t snapshot_every = cli.get_int("snapshot-every");
+  if (snapshot_every < 0) {
+    std::fprintf(stderr, "error: --snapshot-every must be >= 0 (0 = off)\n");
+    return false;
+  }
+  out.snapshot_every = static_cast<std::uint64_t>(snapshot_every);
+  if (out.snapshot_every != 0 && out.snapshot_path.empty()) {
+    std::fprintf(stderr, "error: --snapshot-every requires --snapshot-out\n");
+    return false;
+  }
   const std::string chrome_path = cli.get_string("trace-chrome");
-  if (out.metrics_path.empty() && chrome_path.empty() && !out.stats) return true;
+  if (out.metrics_path.empty() && out.prom_path.empty() && chrome_path.empty() &&
+      !out.stats && out.snapshot_every == 0) {
+    return true;
+  }
   out.collector = std::make_unique<obs::Collector>();
   if (!chrome_path.empty()) {
     out.chrome_file.open(chrome_path);
@@ -206,8 +238,30 @@ bool setup_observability(const util::CliParser& cli, bool live, Observability& o
   return true;
 }
 
+/// Installs the periodic JSONL snapshot stream on the live collector
+/// (solve only: snapshots fire from the per-iteration hook, which the
+/// all-pairs driver feeds into per-destination collectors instead). `run`
+/// is the context known before the run; simd_steps / wall_seconds stay 0
+/// in snapshots — the final dump carries the totals. Returns false after a
+/// stderr message when the file cannot be opened.
+bool setup_snapshots(Observability& o, const obs::RunInfo& run) {
+  if (o.snapshot_every == 0) return true;
+  o.snapshot_file.open(o.snapshot_path);
+  if (!o.snapshot_file) {
+    std::fprintf(stderr, "error: cannot open --snapshot-out file '%s'\n",
+                 o.snapshot_path.c_str());
+    return false;
+  }
+  o.collector->set_snapshot_hook(o.snapshot_every,
+                                 [&o, run](const obs::Collector& collector) {
+                                   obs::write_metrics_json(o.snapshot_file, collector, run);
+                                   o.snapshot_file.flush();
+                                 });
+  return true;
+}
+
 /// Writes the requested artifacts. Returns 2 (after a stderr message) when
-/// the metrics file cannot be written, 0 otherwise.
+/// an output file cannot be written, 0 otherwise.
 int finish_observability(Observability& o, const obs::RunInfo& run) {
   if (!o.enabled()) return 0;
   if (o.chrome != nullptr) {
@@ -222,6 +276,15 @@ int finish_observability(Observability& o, const obs::RunInfo& run) {
       return 2;
     }
     obs::write_metrics_json(f, *o.collector, run);
+  }
+  if (!o.prom_path.empty()) {
+    std::ofstream f(o.prom_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open --prom-out file '%s'\n",
+                   o.prom_path.c_str());
+      return 2;
+    }
+    obs::write_prometheus(f, *o.collector, run);
   }
   if (o.stats) obs::write_stats_summary(std::cout, *o.collector, run);
   return 0;
@@ -342,7 +405,9 @@ int cmd_solve(int argc, const char* const* argv) {
        !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0 ||
        cli.get_string("recovery") != "retry" ||
        cli.get_int("array-side") != 0 || !cli.get_string("metrics-out").empty() ||
-       !cli.get_string("trace-chrome").empty() || cli.get_bool("stats"))) {
+       !cli.get_string("prom-out").empty() || !cli.get_string("trace-chrome").empty() ||
+       cli.get_int("snapshot-every") != 0 || !cli.get_string("snapshot-out").empty() ||
+       cli.get_bool("stats"))) {
     std::fprintf(stderr,
                  "error: --faults/--verify/--max-retries/--recovery/--checked/"
                  "--array-side and the observability flags require --model=ppa\n");
@@ -377,6 +442,12 @@ int cmd_solve(int argc, const char* const* argv) {
     Observability obs_state;
     if (!setup_observability(cli, /*live=*/true, obs_state)) return 2;
     options.observer = obs_state.collector.get();
+    obs::RunInfo snapshot_run;
+    snapshot_run.workload = "mcp";
+    snapshot_run.backend = cli.get_string("backend");
+    snapshot_run.n = g.size();
+    snapshot_run.host_threads = 1;
+    if (obs_state.enabled() && !setup_snapshots(obs_state, snapshot_run)) return 2;
     util::Stopwatch timer;
     const auto r = mcp::solve(g, d, options);
     const double wall_seconds = timer.seconds();
@@ -491,6 +562,12 @@ int cmd_allpairs(int argc, const char* const* argv) {
   // are identical for every --workers value.
   Observability obs_state;
   if (!setup_observability(cli, /*live=*/false, obs_state)) return 2;
+  if (obs_state.snapshot_every != 0) {
+    std::fprintf(stderr,
+                 "error: --snapshot-every rides the live per-iteration hook; it "
+                 "requires the solve subcommand\n");
+    return 2;
+  }
   options.mcp.observer = obs_state.collector.get();
   util::Stopwatch timer;
   const auto ap = mcp::all_pairs(g, options);
