@@ -34,6 +34,7 @@ struct PerfRecord {
   std::size_t n = 0;
   std::size_t host_threads = 1;
   std::size_t batch_width = 1;  // destinations per machine pass (docs/batching.md)
+  std::size_t active_panels = 1;  // 0 = dense every-panel sweep (docs/tiling.md)
   std::uint64_t simd_steps = 0;
   double wall_seconds = 0;
   double pe_ops_per_sec = 0;
@@ -57,6 +58,7 @@ inline void write_perf_records(const std::vector<PerfRecord>& records, const cha
     w.kv(obs::field::kN, r.n);
     w.kv(obs::field::kHostThreads, r.host_threads);
     w.kv(obs::field::kBatchWidth, r.batch_width);
+    w.kv(obs::field::kActivePanels, r.active_panels);
     w.kv(obs::field::kSimdSteps, r.simd_steps);
     w.kv(obs::field::kWallSeconds, r.wall_seconds);
     w.kv(obs::field::kPeOpsPerSec, r.pe_ops_per_sec);

@@ -23,6 +23,7 @@ struct Throughput {
   double seconds = 0;
   std::uint64_t steps = 0;
   double pe_ops = 0;  // steps * n^2
+  std::uint64_t panel_io = 0;  // PanelIo category steps (tiled runs)
 };
 
 const char* backend_name(sim::ExecBackend backend) {
@@ -111,18 +112,43 @@ Throughput run_all_pairs(std::size_t n, std::size_t workers,
 /// field names, which is what lets tools/perf_gate.py consume the file.
 bench::PerfRecord record_of(const char* workload, sim::ExecBackend backend, std::size_t n,
                             std::size_t host_threads, const Throughput& t,
-                            std::size_t batch_width = 1) {
+                            std::size_t batch_width = 1, std::size_t active_panels = 1) {
   bench::PerfRecord r;
   r.workload = workload;
   r.backend = backend_name(backend);
   r.n = n;
   r.host_threads = host_threads;
   r.batch_width = batch_width;
+  r.active_panels = active_panels;
   r.simd_steps = t.steps;
   r.wall_seconds = t.seconds;
   r.pe_ops_per_sec = t.pe_ops / t.seconds;
   r.simd = simd_name(backend);
   return r;
+}
+
+/// Huge-graph virtualization (docs/tiling.md): n = 4096 vertices on a
+/// 64 x 64 physical array, a power-law sparse graph, with the activity-
+/// driven panel schedule on or off. PE-ops count the PHYSICAL array
+/// (side^2), which is what the simulator actually sweeps per step.
+Throughput run_tiled(std::size_t n, std::size_t side, bool active,
+                     sim::ExecBackend backend) {
+  util::Rng rng(n);
+  const auto g = graph::power_law(n, 16, 2, 0.1, {1, 30}, rng);
+  mcp::Options options;
+  options.backend = backend;
+  options.array_side = side;
+  options.active_panels = active;
+  return best_throughput([&] {
+    util::Stopwatch watch;
+    const auto result = mcp::solve(g, 0, options);
+    Throughput t;
+    t.seconds = watch.seconds();
+    t.steps = result.total_steps.total();
+    t.pe_ops = static_cast<double>(t.steps) * static_cast<double>(side * side);
+    t.panel_io = result.total_steps.count(sim::StepCategory::PanelIo);
+    return t;
+  });
 }
 
 void print_tables() {
@@ -229,6 +255,37 @@ void print_tables() {
       "panel once per sweep for the whole group and keep convergence host-side, so the\n"
       "speedup comes from amortized panel I/O and broadcast setup, not from changed\n"
       "results (bit-identical rows are pinned in tests/mcp_batch_test.cpp).\n\n");
+
+  // Active-panel scheduling on a huge graph (docs/tiling.md): n = 4096 on
+  // a 64 x 64 array — 64^2 = 4096 weight panels per relaxation sweep. The
+  // dense schedule visits all of them; the activity-driven schedule skips
+  // every panel whose source column block saw no SOW change and hides load
+  // beats behind the previous panel's relax phase. Results are
+  // bit-identical either way (tests/mcp_active_panels_test.cpp); only the
+  // PanelIo charge and the wall clock move.
+  util::Table active_table(
+      "E6: active-panel scheduling (tiled MCP, n=4096 on 64x64, power-law graph)",
+      {"schedule", "SIMD steps", "PanelIo steps", "wall ms", "speedup vs dense"});
+  {
+    const std::size_t n = 4096;
+    const std::size_t side = 64;
+    double dense_seconds = 0;
+    for (const bool active : {false, true}) {
+      const auto t = run_tiled(n, side, active, sim::ExecBackend::BitPlane);
+      if (!active) dense_seconds = t.seconds;
+      active_table.add_row({active ? "active" : "dense",
+                            static_cast<std::int64_t>(t.steps),
+                            static_cast<std::int64_t>(t.panel_io), t.seconds * 1e3,
+                            dense_seconds / t.seconds});
+      records.push_back(record_of("mcp_tiled", sim::ExecBackend::BitPlane, n, 1, t, 1,
+                                  active ? 1 : 0));
+    }
+  }
+  bench::emit(active_table);
+  std::printf(
+      "The dense row charges exactly I*ceil(n/p)^2*(p+3) PanelIo beats; the active row\n"
+      "charges strictly less on this sparse graph (the skipped + overlap-hidden beats\n"
+      "are pinned to close the formula exactly in tests/mcp_active_panels_test.cpp).\n\n");
   bench::write_perf_records(records, "BENCH_e6.json");
 }
 

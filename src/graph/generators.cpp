@@ -219,4 +219,76 @@ WeightMatrix geometric(std::size_t n, int bits, double radius, WeightRange range
   return g;
 }
 
+WeightMatrix ring_of_cliques(std::size_t cliques, std::size_t clique_size, int bits,
+                             WeightRange range, util::Rng& rng) {
+  PPA_REQUIRE(cliques >= 1 && clique_size >= 1,
+              "ring_of_cliques needs at least one clique of one vertex");
+  const std::size_t n = cliques * clique_size;
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+  for (std::size_t k = 0; k < cliques; ++k) {
+    const Vertex base = k * clique_size;
+    for (std::size_t a = 0; a < clique_size; ++a) {
+      for (std::size_t b = 0; b < clique_size; ++b) {
+        if (a == b) continue;
+        g.set(base + a, base + b, draw());
+      }
+    }
+    // One gateway per clique: last slot of k into first slot of k+1.
+    if (cliques > 1) {
+      const Vertex gateway = base + clique_size - 1;
+      const Vertex entry = ((k + 1) % cliques) * clique_size;
+      g.set(gateway, entry, draw());
+    }
+  }
+  return g;
+}
+
+WeightMatrix power_law(std::size_t n, int bits, std::size_t attach_edges,
+                       double back_probability, WeightRange range, util::Rng& rng) {
+  PPA_REQUIRE(n >= 1, "power_law needs at least one vertex");
+  PPA_REQUIRE(attach_edges >= 1, "power_law needs at least one attachment edge");
+  WeightMatrix g(n, bits);
+  WeightDrawer draw(g.field(), range, rng);
+
+  // Degree-proportional sampling via the endpoint-multiset trick: every
+  // edge pushes both ends, so a uniform draw from `endpoints` is a draw
+  // proportional to degree. A vertex's own endpoints are pushed only
+  // after its targets are chosen, so targets are always EARLIER vertices
+  // and the attachment edges form a DAG into vertex 0.
+  std::vector<Vertex> endpoints;
+  for (Vertex v = 1; v < n; ++v) {
+    const std::size_t m = std::min<std::size_t>(attach_edges, v);
+    std::vector<Vertex> chosen;
+    chosen.reserve(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      Vertex target = n;  // sentinel: not yet valid
+      // A few preferential draws, then a deterministic uniform fallback
+      // so the edge count per vertex is exact.
+      for (int attempt = 0; attempt < 4 && target == n; ++attempt) {
+        const Vertex candidate = endpoints.empty()
+                                     ? static_cast<Vertex>(rng.below(v))
+                                     : endpoints[rng.below(endpoints.size())];
+        if (candidate < v && !g.has_edge(v, candidate)) target = candidate;
+      }
+      if (target == n) {
+        const Vertex start = static_cast<Vertex>(rng.below(v));
+        for (std::size_t off = 0; off < v && target == n; ++off) {
+          const Vertex candidate = (start + off) % v;
+          if (!g.has_edge(v, candidate)) target = candidate;
+        }
+      }
+      if (target == n) break;  // v already points at every earlier vertex
+      g.set(v, target, draw());
+      if (rng.chance(back_probability)) g.set(target, v, draw());
+      chosen.push_back(target);
+    }
+    for (const Vertex t : chosen) {
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
 }  // namespace ppa::graph

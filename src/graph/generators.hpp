@@ -81,4 +81,27 @@ WeightMatrix banded(std::size_t n, int bits, std::size_t bandwidth, WeightRange 
 WeightMatrix geometric(std::size_t n, int bits, double radius, WeightRange range,
                        util::Rng& rng);
 
+/// Ring of cliques: `cliques` complete directed cliques of `clique_size`
+/// vertices each (vertex id = clique * clique_size + slot, so clique k is
+/// block k of a clique_size-wide tiling), chained by one directed gateway
+/// edge per clique (last slot of clique k -> first slot of clique k+1,
+/// wrapping). Every vertex reaches every other, but a relaxation
+/// wavefront crosses one gateway per iteration — the maximally LOCALIZED
+/// sparse activity pattern, so with clique_size == the physical array
+/// side only O(1) column blocks are dirty per iteration (the active-panel
+/// schedule's best case, docs/tiling.md).
+WeightMatrix ring_of_cliques(std::size_t cliques, std::size_t clique_size, int bits,
+                             WeightRange range, util::Rng& rng);
+
+/// Power-law digraph by preferential attachment: vertex v >= 1 adds
+/// min(attach_edges, v) edges to distinct earlier vertices chosen
+/// proportionally to their current degree (plus-one smoothing via a
+/// uniform fallback), and each target independently gains a reverse edge
+/// with probability `back_probability`. Every vertex reaches vertex 0
+/// through the attachment DAG in O(log n) hops with high probability —
+/// the hub-dominated sparse family (few relaxation iterations, global but
+/// thinning activity).
+WeightMatrix power_law(std::size_t n, int bits, std::size_t attach_edges,
+                       double back_probability, WeightRange range, util::Rng& rng);
+
 }  // namespace ppa::graph

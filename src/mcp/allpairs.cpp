@@ -24,30 +24,65 @@ using sim::Word;
 EccentricityResult eccentricity(sim::Machine& machine, const graph::WeightMatrix& graph,
                                 graph::Vertex destination, const Options& options) {
   EccentricityResult out;
-  out.mcp = minimum_cost_path(machine, graph, destination, options);
+  out.mcp = run_minimum_cost_path(machine, graph, destination, options);
 
-  // After the run the costs are resident in row d of the PEs' SOW
-  // registers; the Result copied them out but the machine state is
-  // unchanged. Rebuild that register view and reduce it on the machine:
-  // one OR-probe selected_max over the finite entries of row d. The
-  // candidate set is never empty ((d,d) == 0), and the OR-probe variant
-  // leaves the other rows' empty selections at a harmless 0 instead of a
-  // floating bus read.
   const std::size_t n = graph.size();
+  const std::size_t p = machine.n();
   const Word inf = graph.infinity();
   ppc::Context ctx(machine);
-  std::vector<Word> cells(machine.pe_count(), 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    cells[destination * n + i] = out.mcp.solution.cost[i];
+
+  if (p == n) {
+    // After the run the costs are resident in row d of the PEs' SOW
+    // registers; the Result copied them out but the machine state is
+    // unchanged. Rebuild that register view and reduce it on the machine:
+    // one OR-probe selected_max over the finite entries of row d. The
+    // candidate set is never empty ((d,d) == 0), and the OR-probe variant
+    // leaves the other rows' empty selections at a harmless 0 instead of a
+    // floating bus read.
+    std::vector<Word> cells(machine.pe_count(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[destination * n + i] = out.mcp.solution.cost[i];
+    }
+
+    const sim::StepCounter before = machine.steps();
+    const Pint SOW(ctx, cells);
+    const Pbool row_is_d = (ppc::row_of(ctx) == static_cast<Word>(destination));
+    const Pbool row_end = (ppc::col_of(ctx) == static_cast<Word>(n - 1));
+    const Pbool finite_in_d = row_is_d & !(SOW == inf);
+    const Pint row_max = ppc::selected_max_orprobe(SOW, Direction::West, row_end, finite_in_d);
+    out.eccentricity = row_max.at(destination, 0);
+    out.reduction_steps = machine.steps().since(before);
+    return out;
   }
 
+  // Virtualized reduction (docs/tiling.md): the row-d costs only exist as
+  // the controller's host vector after a tiled run, so the selected_max
+  // folds block by block — each ceil(n/p) fragment rides machine row 0
+  // (1 PanelIo beat in, 1 readback beat out), reduces with the same
+  // OR-probe selected_max over its finite entries, and the controller
+  // max-folds the per-block results. A fragment with no finite entry
+  // reduces to the OR-probe's harmless 0, which can never exceed the true
+  // maximum (the destination's own 0 is always finite).
+  const std::size_t blocks = (n + p - 1) / p;
   const sim::StepCounter before = machine.steps();
-  const Pint SOW(ctx, cells);
-  const Pbool row_is_d = (ppc::row_of(ctx) == static_cast<Word>(destination));
-  const Pbool row_end = (ppc::col_of(ctx) == static_cast<Word>(n - 1));
-  const Pbool finite_in_d = row_is_d & !(SOW == inf);
-  const Pint row_max = ppc::selected_max_orprobe(SOW, Direction::West, row_end, finite_in_d);
-  out.eccentricity = row_max.at(destination, 0);
+  const Pbool row0 = (ppc::row_of(ctx) == Word{0});
+  const Pbool row_end = (ppc::col_of(ctx) == static_cast<Word>(p - 1));
+  std::vector<Word> cells(machine.pe_count(), 0);
+  graph::Weight ecc = 0;
+  for (std::size_t bj = 0; bj < blocks; ++bj) {
+    const std::size_t base_c = bj * p;
+    for (std::size_t c = 0; c < p; ++c) {
+      const std::size_t gj = base_c + c;
+      cells[c] = gj < n ? out.mcp.solution.cost[gj] : inf;
+    }
+    const Pint SOW(ctx, cells);
+    machine.charge_panel_io(1);
+    const Pbool finite = row0 & !(SOW == inf);
+    const Pint block_max = ppc::selected_max_orprobe(SOW, Direction::West, row_end, finite);
+    machine.charge_panel_io(1);
+    ecc = std::max(ecc, block_max.at(0, 0));
+  }
+  out.eccentricity = ecc;
   out.reduction_steps = machine.steps().since(before);
   return out;
 }
@@ -55,7 +90,7 @@ EccentricityResult eccentricity(sim::Machine& machine, const graph::WeightMatrix
 EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
                                       graph::Vertex destination, const Options& options) {
   sim::MachineConfig config;
-  config.n = graph.size();
+  config.n = effective_array_side(options, graph.size());
   config.bits = graph.field().bits();
   config.backend = options.backend;
   sim::Machine machine(config);

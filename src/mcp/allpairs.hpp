@@ -25,18 +25,21 @@ struct EccentricityResult {
   sim::StepCounter reduction_steps;  // the extra O(h) selected_max
 };
 
-/// Runs the MCP toward `destination` on `machine`, then reduces row d on
-/// the machine itself (one selected_max) to the in-eccentricity.
+/// Runs the MCP toward `destination` on `machine` (dispatching on the
+/// machine geometry — a p x p machine with p < n rides the tiled sweep),
+/// then reduces row d on the machine itself to the in-eccentricity: one
+/// selected_max on the full array, or — virtualized — one selected_max
+/// per ceil(n/p) fragment of the host-held cost row with a controller
+/// max-fold across blocks (each fragment is 1 PanelIo beat in, 1 out).
+/// Eccentricities are bit-identical across geometries and backends.
 [[nodiscard]] EccentricityResult eccentricity(sim::Machine& machine,
                                               const graph::WeightMatrix& graph,
                                               graph::Vertex destination,
                                               const Options& options = {});
 
-/// Convenience one-shot with a fresh host-sequential machine. Ignores
-/// Options::array_side: the on-machine row-d reduction needs the costs
-/// resident across a full array row, so the machine is built at the
-/// vertex count (all_pairs, by contrast, honors array_side — its
-/// diameter reduction is host-side).
+/// Convenience one-shot with a fresh machine honoring Options::array_side
+/// (clamped to the vertex count) — every workload in the repo now runs on
+/// a p x p array with n >> p, the block-folded reduction included.
 [[nodiscard]] EccentricityResult solve_eccentricity(const graph::WeightMatrix& graph,
                                                     graph::Vertex destination,
                                                     const Options& options = {});

@@ -42,6 +42,12 @@ struct Member {
   std::vector<IterationRecord> trace;
   std::size_t iterations = 0;
   bool converged = false;
+  // Active-panel schedule, per member (docs/tiling.md "Active panels"):
+  // each destination's change pattern is its own, so each member carries
+  // its own dirty flags and cached per-(bi,bj) readbacks.
+  detail::DirtyBlocks dirty{0};
+  std::vector<Word> cache_min;
+  std::vector<Word> cache_arg;
 };
 
 /// One shared sweep pass over `members.size()` destinations. The sweep
@@ -105,6 +111,7 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
   // times) plus the shared physical constants and host panel views.
   // ------------------------------------------------------------------
   auto init_span = std::make_optional(obs::open_span(observer, "init", &machine));
+  const bool active_schedule = options.active_panels;
   std::vector<Member> members(b);
   for (std::size_t mi = 0; mi < b; ++mi) {
     Member& m = members[mi];
@@ -117,6 +124,11 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
     m.carry_arg.resize(p);
     for (std::size_t i = 0; i < n; ++i) {
       m.sow[i] = (i == m.destination) ? 0 : graph.at(i, m.destination);
+    }
+    if (active_schedule) {
+      m.dirty = detail::DirtyBlocks(blocks);
+      m.cache_min.resize(blocks * blocks * p);
+      m.cache_arg.resize(blocks * blocks * p);
     }
   }
 
@@ -162,16 +174,26 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
   // ------------------------------------------------------------------
   // Relaxation sweeps. Panel-visit cost splits into a shared part (the W
   // panel load, p PanelIo) and a per-active-member part (1 fragment load
-  // + 2 result-column readbacks): PanelIo totals S * blocks^2 * p +
-  // 3 * blocks^2 * sum_m I_m, with S = max iterations over the batch —
-  // the amortization tests/mcp_batch_test.cpp pins. A member freezes the
-  // sweep after its row first comes back unchanged; the pass runs until
-  // every member has frozen or the cap trips.
+  // + 2 result-column readbacks): the dense schedule's PanelIo totals
+  // S * blocks^2 * p + 3 * blocks^2 * sum_m I_m, with S = max iterations
+  // over the batch — the amortization tests/mcp_batch_test.cpp pins with
+  // Options::active_panels off. The active schedule (docs/tiling.md
+  // "Active panels") makes the formula an upper bound: a member whose
+  // column block is clean replays its cached readback (saving its 3
+  // beats), a panel NO live member needs skips the shared W load (saving
+  // p), and visited W loads double-buffer against the previous panel's
+  // relax phase; charged PanelIo + saved equals the formula exactly. A
+  // member freezes the sweep after its row first comes back unchanged;
+  // the pass runs until every member has frozen or the cap trips.
   // ------------------------------------------------------------------
   auto relax_span = std::make_optional(obs::open_span(observer, "relax", &machine));
   std::vector<Word> sow_cells(p * p, Word{0});
   std::vector<Word> minv(p), argv(p);
   std::uint64_t panels_visited = 0;
+  detail::PanelIoLedger ledger(machine, active_schedule);
+  std::vector<std::uint8_t> need(blocks, 1);
+  std::uint64_t panels_skipped = 0;
+  std::uint64_t active_blocks_total = 0;
   std::size_t sweeps = 0;
   std::size_t active = b;
   while (active > 0) {
@@ -190,6 +212,26 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
     const sim::StepCounter before_iteration = machine.steps();
     PPA_SPAN(observer, "relax_iter", &machine, static_cast<std::int64_t>(sweeps));
 
+    ledger.begin_sweep();
+    if (active_schedule) {
+      // A column block is needed this sweep when ANY live member's slice
+      // of it changed last iteration; blocks nobody needs skip the shared
+      // W load outright. Computed once per sweep — convergence flags only
+      // move in the apply phase below.
+      std::size_t needed = 0;
+      for (std::size_t bj = 0; bj < blocks; ++bj) {
+        std::uint8_t flag = 0;
+        for (const Member& m : members) {
+          if (!m.converged && m.dirty.dirty(bj)) {
+            flag = 1;
+            break;
+          }
+        }
+        need[bj] = flag;
+        needed += flag;
+      }
+      active_blocks_total += needed;
+    }
     for (std::size_t bi = 0; bi < blocks; ++bi) {
       const std::size_t base_r = bi * p;
       const std::size_t bh = std::min(p, n - base_r);
@@ -201,19 +243,56 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
       for (std::size_t bj = 0; bj < blocks; ++bj) {
         const std::size_t base_c = bj * p;
         const auto panel_id = static_cast<std::int64_t>(bi * blocks + bj);
+
+        if (active_schedule && !need[bj]) {
+          // ---- skipped shared visit: every live member's bj block is
+          //      clean, so each replays its cached readback.
+          ++panels_skipped;
+          ledger.skip(static_cast<std::uint64_t>(p));
+          for (Member& m : members) {
+            if (m.converged) continue;
+            ledger.skip(3);
+            const Word* const cm = &m.cache_min[(bi * blocks + bj) * p];
+            const Word* const ca = &m.cache_arg[(bi * blocks + bj) * p];
+            for (std::size_t r = 0; r < bh; ++r) {
+              if (cm[r] < m.carry_min[r]) {
+                m.carry_min[r] = cm[r];
+                m.carry_arg[r] = ca[r];
+              }
+            }
+          }
+          continue;
+        }
         ++panels_visited;
 
         // ---- shared panel load: the W panel rides ONE PanelIo charge
-        //      for the whole batch.
+        //      for the whole batch, double-buffered against the previous
+        //      visited panel's relax phase under the active schedule.
         auto load_span =
             std::make_optional(obs::open_span(observer, "panel_load", &machine, panel_id));
         const Pint Wp(ctx, panels[bi * blocks + bj]);
-        machine.charge_panel_io(static_cast<std::uint64_t>(p));
+        ledger.load(static_cast<std::uint64_t>(p));
         load_span.reset();
 
         PPA_SPAN(observer, "panel_relax", &machine, panel_id);
+        ledger.relax_begin();
         for (Member& m : members) {
           if (m.converged) continue;
+          if (active_schedule && !m.dirty.dirty(bj)) {
+            // ---- member replay: this member's bj block is clean; its
+            //      cached partial is exact, so the fragment and compute
+            //      are skipped and the fold order stays identical.
+            ledger.skip(3);
+            const Word* const cm = &m.cache_min[(bi * blocks + bj) * p];
+            const Word* const ca = &m.cache_arg[(bi * blocks + bj) * p];
+            for (std::size_t r = 0; r < bh; ++r) {
+              if (cm[r] < m.carry_min[r]) {
+                m.carry_min[r] = cm[r];
+                m.carry_arg[r] = ca[r];
+              }
+            }
+            continue;
+          }
           // ---- member fragment: 1 PanelIo row.
           for (std::size_t c = 0; c < p; ++c) {
             const std::size_t gj = base_c + c;
@@ -254,6 +333,12 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
           }
           // ---- member readback: min + argmin columns, 2 PanelIo rows.
           machine.charge_panel_io(2);
+          if (active_schedule) {
+            std::copy(minv.begin(), minv.begin() + static_cast<std::ptrdiff_t>(bh),
+                      m.cache_min.begin() + static_cast<std::ptrdiff_t>((bi * blocks + bj) * p));
+            std::copy(argv.begin(), argv.begin() + static_cast<std::ptrdiff_t>(bh),
+                      m.cache_arg.begin() + static_cast<std::ptrdiff_t>((bi * blocks + bj) * p));
+          }
           for (std::size_t r = 0; r < bh; ++r) {
             if (minv[r] < m.carry_min[r]) {
               m.carry_min[r] = minv[r];
@@ -261,6 +346,7 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
             }
           }
         }
+        ledger.relax_end();
       }
       for (Member& m : members) {
         if (m.converged) continue;
@@ -278,16 +364,18 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
       std::size_t changed = 0;
       // Per-row-block change counts, like the tiled driver: each member's
       // sparsity signal is its own (vertex i lives in block i/p).
-      std::vector<std::uint64_t> panel_changes(observer != nullptr ? blocks : 0, 0);
+      std::vector<std::uint64_t> panel_changes(
+          observer != nullptr || active_schedule ? blocks : 0, 0);
       for (std::size_t i = 0; i < n; ++i) {
         if (i == m.destination) continue;  // pinned at 0
         if (m.next_min[i] != m.sow[i]) {
           m.sow[i] = m.next_min[i];
           m.ptn[i] = static_cast<graph::Vertex>(m.next_arg[i]);
           ++changed;
-          if (observer != nullptr) ++panel_changes[i / p];
+          if (!panel_changes.empty()) ++panel_changes[i / p];
         }
       }
+      if (active_schedule) m.dirty.update(panel_changes);
       ++m.iterations;
       if (options.record_iterations) {
         m.trace.push_back(IterationRecord{changed, machine.steps().since(before_iteration)});
@@ -327,6 +415,12 @@ std::vector<Result> run_batched(sim::Machine& machine, const graph::WeightMatrix
 
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverPanels).add(panels_visited);
+    if (active_schedule) {
+      obs::MetricsRegistry& metrics = observer->metrics();
+      metrics.counter(obs::metric::kSolverPanelsSkipped).add(panels_skipped);
+      metrics.counter(obs::metric::kSolverActiveBlocks).add(active_blocks_total);
+      metrics.counter(obs::metric::kSolverPanelIoSaved).add(ledger.saved());
+    }
     if (masking_delta.votes != 0) {
       obs::MetricsRegistry& metrics = observer->metrics();
       metrics.counter(obs::metric::kMaskVotes).add(masking_delta.votes);

@@ -35,14 +35,18 @@ struct ReachabilityResult {
   std::size_t iterations = 0;
   sim::StepCounter init_steps;   // load + row-d initialization
   sim::StepCounter total_steps;
-};
 
-/// Single-destination reachability on `machine`. Same preconditions as
-/// minimum_cost_path (the boolean DP still addresses the array with its
-/// h-bit words).
-[[nodiscard]] ReachabilityResult reachability(sim::Machine& machine,
-                                              const graph::WeightMatrix& graph,
-                                              graph::Vertex destination);
+  /// Virtualized-run accounting (zero on the full-array path). A tiled
+  /// boolean sweep visits ceil(n/p)^2 adjacency panels per iteration at
+  /// p+2 PanelIo beats each (p panel rows + 1 reach fragment + 1 column
+  /// readback); the active-panel schedule skips panels whose column block
+  /// saw no reach change last iteration and double-buffers visited loads,
+  /// so charged PanelIo + panel_io_saved == iterations * blocks^2 * (p+2)
+  /// exactly (tests/mcp_closure_test.cpp pins both sides).
+  std::uint64_t panels_visited = 0;
+  std::uint64_t panels_skipped = 0;
+  std::uint64_t panel_io_saved = 0;
+};
 
 /// Knobs for the one-shot closure drivers. The boolean-semiring DP is the
 /// bit-plane backend's best case: every register it touches is a Pbool,
@@ -52,7 +56,33 @@ struct ReachabilityResult {
 /// bit-identical across backends (tests/mcp_closure_backend_test.cpp).
 struct ClosureOptions {
   sim::ExecBackend backend = sim::ExecBackend::Words;
+  /// Physical array side p for the machines the one-shot drivers build.
+  /// 0 (the default) sizes the machine at the vertex count — the dense
+  /// path, which stays the oracle. 0 < p < n sweeps the boolean DP in
+  /// ceil(n/p)^2 adjacency panels per iteration on a p x p machine, with
+  /// the reach row held by the controller between visits. Reachable sets
+  /// and iteration counts are bit-identical to the dense run on both
+  /// backends; only the step profile differs (panel reloads are
+  /// StepCategory::PanelIo). Values >= n are clamped.
+  std::size_t array_side = 0;
+  /// Activity-driven panel scheduling for the tiled sweep (docs/tiling.md
+  /// "Active panels"): reach growth is monotone, so a column block whose
+  /// bits did not change last iteration cannot change any panel result —
+  /// its visits replay the cached readback. Exact, like the MCP schedule;
+  /// false restores the dense visit order. Ignored by the full-array path.
+  bool active_panels = true;
 };
+
+/// Single-destination reachability on `machine`. Same preconditions as
+/// minimum_cost_path (the boolean DP still addresses the array with its
+/// h-bit words). Dispatches on the machine geometry like
+/// run_minimum_cost_path: a machine smaller than the graph runs the tiled
+/// boolean sweep; `options` only contributes the active-panel knob there
+/// (backend and geometry are the caller's machine's).
+[[nodiscard]] ReachabilityResult reachability(sim::Machine& machine,
+                                              const graph::WeightMatrix& graph,
+                                              graph::Vertex destination,
+                                              const ClosureOptions& options = {});
 
 /// Convenience one-shot with a fresh machine on the chosen backend.
 [[nodiscard]] ReachabilityResult solve_reachability(const graph::WeightMatrix& graph,

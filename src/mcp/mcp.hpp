@@ -107,9 +107,9 @@ struct Options {
   /// Solutions, outcomes, iteration counts and certificate verdicts are
   /// bit-identical to the full array on both backends; only the step
   /// profile differs (panel reloads are charged as StepCategory::PanelIo).
-  /// Values >= n are clamped to n. minimum_cost_path(machine, ...) and
-  /// solve_eccentricity ignore this (the latter's on-machine row-d
-  /// reduction needs the full array).
+  /// Values >= n are clamped to n. minimum_cost_path(machine, ...) ignores
+  /// this and uses the caller's machine geometry; solve_eccentricity
+  /// honors it with a block-folded row-d reduction (mcp/allpairs.hpp).
   std::size_t array_side = 0;
   /// Destinations solved per machine pass by solve_batch / all_pairs
   /// (mcp/batch.hpp, docs/batching.md). <= 1 keeps the per-destination
@@ -122,6 +122,19 @@ struct Options {
   /// the BitPlane backend — the word backend keeps the per-destination
   /// path and remains the differential oracle.
   std::size_t batch_width = 1;
+  /// Activity-driven panel scheduling for the virtualized sweeps
+  /// (docs/tiling.md "Active panels"). When true (the default), the tiled
+  /// and batched drivers keep per-column-block dirty flags fed by the
+  /// per-iteration change counts: a weight-panel visit whose SOW fragment
+  /// saw no change last iteration is skipped and its cached partial
+  /// min/argmin readback is folded instead — exact under Jacobi order, so
+  /// rows, iteration counts and outcomes stay bit-identical to the dense
+  /// schedule on both backends. Visited panels additionally double-buffer
+  /// their loads: the p+1 load beats of the next panel overlap the current
+  /// panel's relax sweep in the step accounting. Only the PanelIo profile
+  /// changes; the dense formula I*ceil(n/p)^2*(p+3) becomes an upper bound
+  /// (false restores it exactly). Ignored by the full-array path.
+  bool active_panels = true;
 
   // ---- robustness layer (docs/robustness.md) ----
 

@@ -17,6 +17,10 @@
 // solver (tests/mcp_step_regression_test.cpp pins the step counts).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "mcp/mcp.hpp"
 #include "ppc/parallel.hpp"
 
@@ -45,6 +49,93 @@ void panel_candidates(const ppc::Pint& W, const ppc::Pbool& carrier_row,
 /// — the smallest index attaining it. Stores obey the ambient mask.
 void panel_row_reduce(const ppc::Pint& index, const ppc::Pbool& row_end, MinVariant variant,
                       const ppc::Pint& sow, ppc::Pint& min_sow, ppc::Pint& ptn);
+
+/// Per-column-block activity flags for the active-panel schedule
+/// (docs/tiling.md "Active panels"). A block is dirty when its slice of
+/// the row-d state changed in the previous iteration; every block starts
+/// dirty (iteration 1 has no previous information). Under Jacobi order a
+/// panel's partial result depends only on the static weight panel and the
+/// SOW fragment of its COLUMN block, so a visit whose column block is
+/// clean can be skipped and its cached readback replayed — exact, not
+/// heuristic. One instance per solve lane (batch members each carry their
+/// own).
+class DirtyBlocks {
+ public:
+  explicit DirtyBlocks(std::size_t blocks) : dirty_(blocks, 1) {}
+
+  [[nodiscard]] bool dirty(std::size_t bj) const { return dirty_[bj] != 0; }
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint8_t f : dirty_) c += f;
+    return c;
+  }
+  /// Feeds the next iteration from this iteration's per-block change
+  /// counts (the PR 9 convergence-telemetry vector).
+  void update(const std::vector<std::uint64_t>& block_changes) {
+    for (std::size_t b = 0; b < dirty_.size(); ++b) {
+      dirty_[b] = block_changes[b] != 0 ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> dirty_;
+};
+
+/// Double-buffered PanelIo accounting for the virtualized sweeps. A
+/// visited panel's load beats can overlap the PREVIOUS visited panel's
+/// relax sweep (the fragments all come from last iteration's state under
+/// Jacobi order, so the controller knows them at sweep start): the first
+/// load of each sweep pays full price, every later one is charged only
+/// the beats the overlap window could not hide. The window is the
+/// previous visited panel's relax step count with the Masking category
+/// excluded — masking trials are bus-level redundancy, and excluding them
+/// keeps the accounting identical across backends and recovery policies
+/// (ECC masking bills bit-plane-only steps). `saved()` accumulates every
+/// avoided beat — skipped visits included via skip() — so charged PanelIo
+/// plus saved() equals the dense schedule's total exactly.
+class PanelIoLedger {
+ public:
+  PanelIoLedger(sim::Machine& machine, bool overlap) : machine_(machine), overlap_(overlap) {}
+
+  /// Resets the overlap window; the next load pays full price (a prefetch
+  /// cannot cross the iteration boundary — the fragment values depend on
+  /// the convergence update).
+  void begin_sweep() { window_ = 0; }
+
+  /// Charges `rows` PanelIo minus the part hidden under the previous
+  /// visited panel's relax sweep.
+  void load(std::uint64_t rows) {
+    const std::uint64_t hidden = overlap_ ? std::min(rows, window_) : 0;
+    if (rows > hidden) machine_.charge_panel_io(rows - hidden);
+    saved_ += hidden;
+  }
+
+  /// Brackets a panel's relax phase to measure the next overlap window.
+  void relax_begin() { before_relax_ = machine_.steps(); }
+  void relax_end() {
+    // PanelIo beats inside the bracket (the batched sweep's member
+    // fragments/readbacks) keep the I/O channel busy and cannot hide a
+    // prefetch, so they never widen the window.
+    const sim::StepCounter delta = machine_.steps().since(before_relax_);
+    window_ = delta.total() - delta.count(sim::StepCategory::Masking) -
+              delta.count(sim::StepCategory::PanelIo);
+  }
+
+  /// Plain charge (result readbacks are never overlapped).
+  void unload(std::uint64_t rows) { machine_.charge_panel_io(rows); }
+
+  /// Accounts a skipped visit's beats as saved without charging them.
+  void skip(std::uint64_t rows) { saved_ += rows; }
+
+  [[nodiscard]] std::uint64_t saved() const { return saved_; }
+
+ private:
+  sim::Machine& machine_;
+  bool overlap_;
+  std::uint64_t window_ = 0;
+  std::uint64_t saved_ = 0;
+  sim::StepCounter before_relax_;
+};
 
 /// Attaches the observer as the machine's trace sink for the duration of a
 /// call — only when the machine has no sink of its own (a caller-attached

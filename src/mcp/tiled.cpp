@@ -103,7 +103,9 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   result.init_steps = after_init.since(at_entry);
 
   // ------------------------------------------------------------------
-  // Relaxation sweeps. Each iteration visits all ceil(n/p)^2 panels;
+  // Relaxation sweeps. Each iteration covers all ceil(n/p)^2 panels —
+  // visiting the ones whose column block is dirty, replaying the cached
+  // readback for the rest (Options::active_panels; false visits all);
   // row-block bi folds its panels' partial minima into a host carry
   // (strict `<`, so the earliest column block wins ties and the paper's
   // smallest-next-hop tie-break survives), and the row-d updates are
@@ -114,6 +116,20 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
   std::vector<Word> carry_min(p), carry_arg(p);
   std::vector<Word> next_min(n), next_arg(n);
   std::uint64_t panels_visited = 0;
+  // Active-panel schedule (docs/tiling.md "Active panels"): per-column-
+  // block dirty flags decide which visits can be skipped, the per-(bi,bj)
+  // cache replays a skipped panel's last readback (exact under Jacobi
+  // order — the panel's inputs are the static W panel and its column
+  // block's fragment, both unchanged while the block stays clean), and
+  // the ledger double-buffers visited loads and closes the accounting:
+  // charged PanelIo + saved == the dense I*blocks^2*(p+3) exactly.
+  const bool active = options.active_panels;
+  detail::DirtyBlocks dirty(blocks);
+  detail::PanelIoLedger ledger(machine, active);
+  std::vector<Word> cache_min(active ? blocks * blocks * p : 0);
+  std::vector<Word> cache_arg(active ? blocks * blocks * p : 0);
+  std::uint64_t panels_skipped = 0;
+  std::uint64_t active_blocks_total = 0;
   for (;;) {
     if (result.iterations >= iteration_cap) {
       // Same diagnosis as the full solver: the DP is monotone, so an
@@ -129,6 +145,8 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
     PPA_SPAN(observer, "relax_iter", &machine,
              static_cast<std::int64_t>(result.iterations));
 
+    ledger.begin_sweep();
+    if (active) active_blocks_total += dirty.count();
     for (std::size_t bi = 0; bi < blocks; ++bi) {
       const std::size_t base_r = bi * p;
       const std::size_t bh = std::min(p, n - base_r);
@@ -137,10 +155,29 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
       for (std::size_t bj = 0; bj < blocks; ++bj) {
         const std::size_t base_c = bj * p;
         const auto panel_id = static_cast<std::int64_t>(bi * blocks + bj);
+        Word* const cache_m = active ? &cache_min[(bi * blocks + bj) * p] : nullptr;
+        Word* const cache_a = active ? &cache_arg[(bi * blocks + bj) * p] : nullptr;
+
+        if (active && !dirty.dirty(bj)) {
+          // ---- skipped visit: the column block's fragment is unchanged,
+          //      so the cached readback IS the visit's result. Fold it in
+          //      the same bj order and save the whole p+3 beats.
+          ++panels_skipped;
+          ledger.skip(static_cast<std::uint64_t>(p) + 3);
+          for (std::size_t r = 0; r < bh; ++r) {
+            if (cache_m[r] < carry_min[r]) {
+              carry_min[r] = cache_m[r];
+              carry_arg[r] = cache_a[r];
+            }
+          }
+          continue;
+        }
         ++panels_visited;
 
         // ---- panel load: W panel (p rows) + SOW fragment (1 row),
-        //      counted and traced as PanelIo.
+        //      counted and traced as PanelIo; under the active schedule
+        //      the beats hidden by the previous panel's relax sweep are
+        //      not charged (double buffering).
         auto load_span =
             std::make_optional(obs::open_span(observer, "panel_load", &machine, panel_id));
         std::fill(sow_cells.begin(), sow_cells.end(), Word{0});
@@ -150,11 +187,12 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
         }
         const Pint Wp(ctx, panels[bi * blocks + bj]);
         Pint SOWP(ctx, sow_cells);
-        machine.charge_panel_io(static_cast<std::uint64_t>(p) + 1);
+        ledger.load(static_cast<std::uint64_t>(p) + 1);
         load_span.reset();
 
         // ---- panel relax: the shared core (relax_core.hpp).
         PPA_SPAN(observer, "panel_relax", &machine, panel_id);
+        ledger.relax_begin();
         // Global column indices for the argmin: one ALU op per visit.
         const Pint INDEX = COL + static_cast<Word>(base_c);
         Pint MINP(ctx, inf);
@@ -170,15 +208,21 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
           SOWP = SOWP + Wp;
         });
         detail::panel_row_reduce(INDEX, row_end, variant, SOWP, MINP, PTNP);
+        ledger.relax_end();
 
         // ---- panel unload: one column readback per result register
         //      (min / argmin are cluster-wide, so column 0 suffices).
-        machine.charge_panel_io(2);
+        ledger.unload(2);
         for (std::size_t r = 0; r < bh; ++r) {
           const Word m = MINP.at(r, 0);
+          const Word a = PTNP.at(r, 0);
+          if (active) {
+            cache_m[r] = m;
+            cache_a[r] = a;
+          }
           if (m < carry_min[r]) {
             carry_min[r] = m;
-            carry_arg[r] = PTNP.at(r, 0);
+            carry_arg[r] = a;
           }
         }
       }
@@ -194,16 +238,18 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
     // the per-panel sparsity signal active-panel virtualization needs —
     // a block whose count hits 0 has a settled SOW fragment.
     std::size_t changed = 0;
-    std::vector<std::uint64_t> panel_changes(observer != nullptr ? blocks : 0, 0);
+    std::vector<std::uint64_t> panel_changes(
+        observer != nullptr || active ? blocks : 0, 0);
     for (std::size_t i = 0; i < n; ++i) {
       if (i == destination) continue;  // pinned at 0, like (d,d) on the array
       if (next_min[i] != sow[i]) {
         sow[i] = next_min[i];
         ptn[i] = static_cast<graph::Vertex>(next_arg[i]);
         ++changed;
-        if (observer != nullptr) ++panel_changes[i / p];
+        if (!panel_changes.empty()) ++panel_changes[i / p];
       }
     }
+    if (active) dirty.update(panel_changes);
 
     ++result.iterations;
     if (options.record_iterations) {
@@ -229,6 +275,12 @@ Result tiled_minimum_cost_path(sim::Machine& machine, const graph::WeightMatrix&
 
   if (observer != nullptr) {
     observer->metrics().counter(obs::metric::kSolverPanels).add(panels_visited);
+    if (active) {
+      obs::MetricsRegistry& metrics = observer->metrics();
+      metrics.counter(obs::metric::kSolverPanelsSkipped).add(panels_skipped);
+      metrics.counter(obs::metric::kSolverActiveBlocks).add(active_blocks_total);
+      metrics.counter(obs::metric::kSolverPanelIoSaved).add(ledger.saved());
+    }
   }
   result.masking = machine.masking_stats().since(masking_at_entry);
   detail::record_plan_cache_delta(machine, plans_at_entry, observer);

@@ -250,6 +250,17 @@ inline constexpr const char* kSolverIterations = "solver.iterations";
 /// Panels visited by the virtualized (tiled) sweep — 0 / absent for
 /// full-array runs (mcp/tiled.hpp).
 inline constexpr const char* kSolverPanels = "solver.panels";
+// Active-panel scheduling (docs/tiling.md "Active panels"): panel visits
+// skipped because their SOW column block was clean, the sum over
+// iterations of dirty column blocks, and the PanelIo steps the schedule
+// avoided (skipped loads/readbacks plus load beats hidden under the
+// previous panel's relax sweep). kSolverPanels + kSolverPanelsSkipped is
+// the dense visit count I*ceil(n/p)^2, and the charged PanelIo plus
+// kSolverPanelIoSaved is the dense formula I*ceil(n/p)^2*(p+3) — both
+// pinned exactly (tests/mcp_active_panels_test.cpp).
+inline constexpr const char* kSolverPanelsSkipped = "solver.panels_skipped";
+inline constexpr const char* kSolverActiveBlocks = "solver.active_blocks";
+inline constexpr const char* kSolverPanelIoSaved = "solver.panel_io_saved";
 // Multi-destination batching (mcp/batch.hpp): batches launched and the sum
 // of their widths (width per launch = kSolverBatchWidth / kSolverBatches).
 inline constexpr const char* kSolverBatches = "solver.batches";

@@ -18,6 +18,7 @@ void write_run(JsonWriter& w, const RunInfo& run) {
   w.kv(field::kN, run.n);
   w.kv(field::kHostThreads, run.host_threads);
   w.kv(field::kBatchWidth, run.batch_width);
+  w.kv(field::kActivePanels, run.active_panels);
   w.kv(field::kSimdSteps, run.simd_steps);
   w.kv(field::kWallSeconds, run.wall_seconds);
   w.end_object();

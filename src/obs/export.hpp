@@ -25,6 +25,10 @@ struct RunInfo {
   /// Destinations per shared machine pass (docs/batching.md); 1 = the
   /// per-destination engine. Part of the perf gate's configuration key.
   std::size_t batch_width = 1;
+  /// 1 when the tiled sweep ran the activity-driven panel schedule
+  /// (docs/tiling.md), 0 with --active-panels=off. Part of the perf gate's
+  /// configuration key: the schedules charge different PanelIo totals.
+  std::size_t active_panels = 1;
   std::uint64_t simd_steps = 0;
   double wall_seconds = 0;
 };

@@ -33,6 +33,10 @@ inline constexpr std::string_view kHostThreads = "host_threads";
 /// perf gate's configuration key so batched and unbatched runs never get
 /// compared against each other's baselines.
 inline constexpr std::string_view kBatchWidth = "batch_width";
+/// 1 = activity-driven panel schedule (docs/tiling.md), 0 = the dense
+/// every-panel sweep. Part of the perf gate's configuration key: the two
+/// schedules charge different PanelIo totals by design.
+inline constexpr std::string_view kActivePanels = "active_panels";
 inline constexpr std::string_view kSimdSteps = "simd_steps";
 inline constexpr std::string_view kWallSeconds = "wall_seconds";
 inline constexpr std::string_view kPeOpsPerSec = "pe_ops_per_sec";

@@ -373,6 +373,12 @@ bool metrics_document_valid(std::string_view text, std::string* error) {
       return schema_fail(error, std::string("run missing numeric '") + field + "'");
     }
   }
+  // Optional within v1 (documents predate the active-panel schedule), but
+  // when present it must be numeric.
+  if (const JsonValue* v = run->find("active_panels");
+      v != nullptr && !is_numeric(*v)) {
+    return schema_fail(error, "run field 'active_panels' is not numeric");
+  }
 
   if (!check_numeric_object(root->find("counters"), "counters", error)) return false;
   if (!check_numeric_object(root->find("gauges"), "gauges", error)) return false;

@@ -115,12 +115,80 @@ TEST_P(GeneratorSeeds, GeometricEdgesScaleWithDistance) {
   }
 }
 
+TEST_P(GeneratorSeeds, RingOfCliquesStructure) {
+  const std::size_t cliques = 5;
+  const std::size_t size = 4;
+  const auto g = ring_of_cliques(cliques, size, 8, {1, 9}, rng);
+  EXPECT_EQ(g.size(), cliques * size);
+  // Each clique: size*(size-1) internal arcs; plus one gateway per clique.
+  EXPECT_EQ(g.edge_count(), cliques * (size * (size - 1) + 1));
+  for (std::size_t k = 0; k < cliques; ++k) {
+    const Vertex base = static_cast<Vertex>(k * size);
+    for (Vertex a = 0; a < size; ++a) {
+      for (Vertex b = 0; b < size; ++b) {
+        if (a != b) EXPECT_TRUE(g.has_edge(base + a, base + b)) << k;
+      }
+    }
+    // Gateway: last slot of clique k -> first slot of clique k+1 (wrap).
+    EXPECT_TRUE(g.has_edge(base + size - 1,
+                           static_cast<Vertex>(((k + 1) % cliques) * size)));
+  }
+  // The ring of gateways makes the whole graph strongly connected...
+  EXPECT_TRUE(all_reach(g, 0));
+  // ...but a wavefront must cross ~all gateways to get around: the worst
+  // source pays one hop into its gateway vertex plus one per clique hop.
+  EXPECT_GE(max_mcp_edges(g, 0), cliques - 1);
+}
+
+TEST_P(GeneratorSeeds, RingOfCliquesSingleCliqueHasNoGateway) {
+  const auto g = ring_of_cliques(1, 4, 8, {1, 9}, rng);
+  EXPECT_EQ(g.edge_count(), 4u * 3u);  // just the complete clique
+}
+
+TEST_P(GeneratorSeeds, PowerLawReachesVertexZeroWithFewHops) {
+  const std::size_t n = 64;
+  const auto g = power_law(n, 16, 2, 0.0, {1, 9}, rng);
+  // back_probability = 0: pure attachment DAG, every edge points to a
+  // strictly earlier vertex...
+  for (const Edge& e : g.edges()) EXPECT_LT(e.to, e.from);
+  // ...so every vertex reaches 0, and through hubs, in few hops.
+  EXPECT_TRUE(all_reach(g, 0));
+  EXPECT_LT(max_mcp_edges(g, 0), n / 4);
+  // Each vertex v >= 1 contributes min(2, v) attachment edges exactly.
+  EXPECT_EQ(g.edge_count(), 1u + 2u * (n - 2));
+}
+
+TEST_P(GeneratorSeeds, PowerLawBackEdgesStayWithinEdgePairs) {
+  const auto g = power_law(48, 16, 3, 0.5, {2, 7}, rng);
+  std::size_t forward = 0;
+  std::size_t backward = 0;
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 2u);
+    EXPECT_LE(e.weight, 7u);
+    if (e.to < e.from) {
+      ++forward;
+    } else {
+      ++backward;
+      // A reverse edge only ever shadows a forward attachment.
+      EXPECT_TRUE(g.has_edge(e.to, e.from));
+    }
+  }
+  EXPECT_GT(backward, 0u);
+  EXPECT_LE(backward, forward);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds, ::testing::Values(1u, 42u, 20260704u));
 
 TEST(Generators, Determinism) {
   util::Rng a(5);
   util::Rng b(5);
   EXPECT_EQ(random_digraph(12, 8, 0.3, {1, 9}, a), random_digraph(12, 8, 0.3, {1, 9}, b));
+  util::Rng c(5);
+  util::Rng d(5);
+  EXPECT_EQ(ring_of_cliques(4, 5, 8, {1, 9}, c), ring_of_cliques(4, 5, 8, {1, 9}, d));
+  util::Rng e(5);
+  util::Rng f(5);
+  EXPECT_EQ(power_law(30, 8, 2, 0.2, {1, 9}, e), power_law(30, 8, 2, 0.2, {1, 9}, f));
 }
 
 TEST(Generators, RejectsBadParameters) {
@@ -131,6 +199,8 @@ TEST(Generators, RejectsBadParameters) {
   EXPECT_THROW((void)star(5, 8, 9, {1, 5}, rng), util::ContractError);               // center oob
   EXPECT_THROW((void)banded(5, 8, 0, {1, 5}, rng), util::ContractError);
   EXPECT_THROW((void)geometric(5, 8, 0.0, {1, 5}, rng), util::ContractError);
+  EXPECT_THROW((void)ring_of_cliques(0, 4, 8, {1, 5}, rng), util::ContractError);
+  EXPECT_THROW((void)power_law(8, 8, 0, 0.1, {1, 5}, rng), util::ContractError);
 }
 
 TEST(Generators, ZeroWeightEdgesAllowed) {

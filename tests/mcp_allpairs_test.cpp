@@ -101,6 +101,36 @@ TEST(Eccentricity, MatchesHostMaxOverDijkstra) {
   }
 }
 
+TEST(Eccentricity, VirtualizedMatchesDenseOnBothBackendsAndSchedules) {
+  // solve_eccentricity honoring Options::array_side: the tiled MCP run
+  // plus the block-folded reduction must reproduce the full-array
+  // eccentricity exactly — per backend, active panels on or off.
+  util::Rng rng(47);
+  for (int t = 0; t < 3; ++t) {
+    const std::size_t n = 9 + rng.below(10);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 16, 0.3, {1, 20}, rng);
+    const auto dense = solve_eccentricity(g, d);
+    for (const auto backend : {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+      for (const bool active : {false, true}) {
+        Options options;
+        options.backend = backend;
+        options.array_side = 4;
+        options.active_panels = active;
+        const auto tiled = solve_eccentricity(g, d, options);
+        EXPECT_EQ(tiled.eccentricity, dense.eccentricity)
+            << "n=" << n << " d=" << d << " active=" << active;
+        EXPECT_EQ(tiled.mcp.solution.cost, dense.mcp.solution.cost)
+            << "n=" << n << " d=" << d << " active=" << active;
+        EXPECT_EQ(tiled.mcp.iterations, dense.mcp.iterations)
+            << "n=" << n << " d=" << d << " active=" << active;
+        EXPECT_GT(tiled.reduction_steps.count(sim::StepCategory::PanelIo), 0u)
+            << "virtualized reduction must move cost fragments over PanelIo";
+      }
+    }
+  }
+}
+
 TEST(AllPairs, AccumulatedStepsConsistent) {
   util::Rng rng(46);
   const auto g = graph::random_digraph(6, 16, 0.4, {1, 9}, rng);

@@ -123,11 +123,13 @@ TEST(McpBatch, BatchedRowsAnchorToDijkstra) {
 }
 
 TEST(McpBatch, PanelIoFollowsTheAmortizedFormula) {
-  // One group of b destinations on a tiled geometry: PanelIo must equal
+  // One group of b destinations on a tiled geometry with the dense
+  // schedule (active_panels = false): PanelIo must equal
   // S * blocks^2 * p + 3 * blocks^2 * sum(I_m) exactly — the W panel is
   // shared, the per-member traffic is not. Iteration counts come from the
   // sequential oracle, which the differential test above ties to the
-  // batched engine.
+  // batched engine. The active schedule charges at most that and its
+  // ledger closes against it (rows stay bit-identical either way).
   util::Rng rng(5150);
   const std::size_t n = 19;
   const std::size_t p = 8;
@@ -137,6 +139,7 @@ TEST(McpBatch, PanelIoFollowsTheAmortizedFormula) {
   mcp::Options options;
   options.backend = sim::ExecBackend::BitPlane;
   options.array_side = p;
+  options.active_panels = false;
 
   std::vector<std::size_t> iters;
   for (const graph::Vertex d : dests) iters.push_back(mcp::solve(g, d, options).iterations);
@@ -156,6 +159,26 @@ TEST(McpBatch, PanelIoFollowsTheAmortizedFormula) {
     EXPECT_EQ(r.total_steps.count(StepCategory::GlobalOr), 0u)
         << "batched convergence is host-side";
   }
+
+  // Active schedule: identical rows, PanelIo bounded by the dense charge,
+  // and the ledger closes the gap exactly.
+  obs::Collector collector;
+  mcp::Options active = options;
+  active.active_panels = true;
+  active.observer = &collector;
+  const std::vector<mcp::Result> live = mcp::solve_batch(g, dests, active);
+  ASSERT_EQ(live.size(), batched.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].solution.cost, batched[i].solution.cost);
+    EXPECT_EQ(live[i].solution.next, batched[i].solution.next);
+    EXPECT_EQ(live[i].iterations, batched[i].iterations);
+  }
+  const std::uint64_t charged = live[0].total_steps.count(StepCategory::PanelIo);
+  const std::uint64_t saved =
+      collector.metrics().counter(obs::metric::kSolverPanelIoSaved).value();
+  EXPECT_LE(charged, expected);
+  EXPECT_EQ(charged + saved, expected)
+      << "the batched active ledger must close against the amortized formula";
 }
 
 TEST(McpBatch, WidthOneDelegatesToThePerDestinationEngine) {

@@ -119,6 +119,86 @@ TEST(TransitiveClosure, ReflexiveAndIdempotentShape) {
   }
 }
 
+TEST(TiledReachability, MatchesDenseOnBothBackendsAndBothSchedules) {
+  // The virtualized boolean sweep (array_side < n) must reproduce the
+  // dense run's reachable set AND iteration count exactly — per backend,
+  // with the active-panel schedule on or off.
+  util::Rng rng(23);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t n = 9 + rng.below(12);
+    const Vertex d = rng.below(n);
+    const auto g = graph::random_digraph(n, 16, 0.2, {1, 9}, rng);
+    const auto dense = solve_reachability(g, d);
+    for (const auto backend : {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+      for (const bool active : {false, true}) {
+        ClosureOptions options;
+        options.backend = backend;
+        options.array_side = 4;
+        options.active_panels = active;
+        const auto tiled = solve_reachability(g, d, options);
+        EXPECT_EQ(tiled.reachable, dense.reachable)
+            << "n=" << n << " d=" << d << " active=" << active;
+        EXPECT_EQ(tiled.iterations, dense.iterations)
+            << "n=" << n << " d=" << d << " active=" << active;
+      }
+    }
+  }
+}
+
+TEST(TiledReachability, PanelIoLedgerClosesAgainstTheDenseFormula) {
+  // Dense schedule: exactly I * blocks^2 * (p+2) PanelIo beats. Active
+  // schedule: strictly fewer charged on a localized graph, but charged +
+  // panel_io_saved must equal the formula beat for beat, and visited +
+  // skipped must cover every panel of every sweep.
+  util::Rng rng(5);
+  const std::size_t n = 32;
+  const std::size_t p = 8;
+  const auto g = graph::directed_ring(n, 16, {1, 3}, rng);
+  const std::uint64_t blocks = n / p;
+
+  ClosureOptions options;
+  options.array_side = p;
+  options.active_panels = false;
+  const auto dense = solve_reachability(g, 0, options);
+  const std::uint64_t formula =
+      static_cast<std::uint64_t>(dense.iterations) * blocks * blocks * (p + 2);
+  EXPECT_EQ(dense.total_steps.count(sim::StepCategory::PanelIo), formula);
+  EXPECT_EQ(dense.panels_visited,
+            static_cast<std::uint64_t>(dense.iterations) * blocks * blocks);
+  EXPECT_EQ(dense.panels_skipped, 0u);
+  EXPECT_EQ(dense.panel_io_saved, 0u);
+
+  options.active_panels = true;
+  const auto active = solve_reachability(g, 0, options);
+  EXPECT_EQ(active.reachable, dense.reachable);
+  EXPECT_EQ(active.iterations, dense.iterations);
+  const std::uint64_t charged = active.total_steps.count(sim::StepCategory::PanelIo);
+  EXPECT_LT(charged, formula) << "ring reach growth is localized; panels must skip";
+  EXPECT_EQ(charged + active.panel_io_saved, formula);
+  EXPECT_EQ(active.panels_visited + active.panels_skipped,
+            static_cast<std::uint64_t>(active.iterations) * blocks * blocks);
+  EXPECT_GT(active.panels_skipped, 0u);
+}
+
+TEST(TiledTransitiveClosure, MatchesDenseClosure) {
+  util::Rng rng(29);
+  const std::size_t n = 13;
+  const auto g = graph::random_digraph(n, 16, 0.2, {1, 9}, rng);
+  const auto dense = transitive_closure(g);
+  for (const auto backend : {sim::ExecBackend::Words, sim::ExecBackend::BitPlane}) {
+    for (const bool active : {false, true}) {
+      ClosureOptions options;
+      options.backend = backend;
+      options.array_side = 4;
+      options.active_panels = active;
+      const auto tiled = transitive_closure(g, options);
+      ASSERT_EQ(tiled.n, dense.n) << "active=" << active;
+      EXPECT_EQ(tiled.closed, dense.closed) << "active=" << active;
+      EXPECT_EQ(tiled.total_iterations, dense.total_iterations) << "active=" << active;
+    }
+  }
+}
+
 TEST(TransitiveClosure, StronglyConnectedGraphIsAllOnes) {
   util::Rng rng(17);
   const auto g = graph::directed_ring(7, 16, {1, 3}, rng);

@@ -150,6 +150,84 @@ TEST(McpTiledFaultInjection, FuzzAllClassesOnSmallPhysicalArrays) {
          "softer, than on a full array";
 }
 
+TEST(McpTiledFaultInjection, ActivePanelScheduleKeepsTheRobustnessContract) {
+  // The active-panel schedule decides skips from the PREVIOUS iteration's
+  // change counts — counts a fault may itself have corrupted. The contract
+  // must hold anyway, under every recovery arm: never silently wrong,
+  // bit-identical across backends under identical faults, and with retry /
+  // masking armed the run ends Verified (or MaskedFaults) and exact.
+  const FaultClass classes[] = {FaultClass::Dead, FaultClass::StuckOpen,
+                                FaultClass::StuckClosed, FaultClass::StuckBit};
+  std::size_t perturbed = 0;
+  for (const FaultClass fault_class : classes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      util::Rng rng(seed * 1700 + static_cast<std::uint64_t>(fault_class));
+      const int bits = 8;
+      const std::size_t n = 12, p = 4;
+      const auto g = graph::random_reachable_digraph(n, bits, 0.2, {1, 20}, 0, rng);
+      const graph::Vertex dest = static_cast<graph::Vertex>(rng.below(n));
+      const FaultModel model = model_for(fault_class, p, bits, rng);
+      std::ostringstream label;
+      label << "active class=" << name_of(fault_class) << " seed=" << seed
+            << " dest=" << dest;
+
+      Options base;
+      base.verify = true;
+      base.faults = model;
+      base.array_side = p;
+      base.active_panels = true;
+
+      // Unprotected, both backends: never silently wrong, and the two
+      // backends agree on rows, outcome AND step counters — skip decisions
+      // included, since both replay the same corrupted change counts.
+      Options plain = base;
+      plain.backend = sim::ExecBackend::Words;
+      const Result word = solve(g, dest, plain);
+      plain.backend = sim::ExecBackend::BitPlane;
+      const Result plane = solve(g, dest, plain);
+      expect_never_silently_wrong(g, word, label.str() + " word");
+      expect_never_silently_wrong(g, plane, label.str() + " bitplane");
+      ASSERT_EQ(plane.solution.cost, word.solution.cost) << label.str();
+      ASSERT_EQ(plane.outcome, word.outcome) << label.str();
+      ASSERT_TRUE(plane.total_steps == word.total_steps)
+          << label.str() << ": active-panel skip decisions diverged under faults";
+      if (word.outcome != SolveOutcome::Verified) ++perturbed;
+
+      // Retry arm: recovery re-runs tiled with the active schedule on a
+      // fault-free machine — exact every time.
+      Options retry = base;
+      retry.max_retries = 2;
+      const Result recovered_run = solve(g, dest, retry);
+      ASSERT_EQ(recovered_run.outcome, SolveOutcome::Verified) << label.str();
+      test::expect_solves(g, recovered_run.solution, label.str() + " (retry)");
+
+      // Masking arms: TMR (word or plane) and ECC (plane-only) vote /
+      // decode every bus cycle of every visited panel; a skipped panel has
+      // no bus cycles, so skipping can never hide a maskable fault.
+      for (const auto policy : {RecoveryPolicy::Tmr, RecoveryPolicy::TmrThenRetry}) {
+        Options masked = base;
+        masked.recovery = policy;
+        masked.max_retries = policy == RecoveryPolicy::TmrThenRetry ? 2 : 0;
+        const Result r = solve(g, dest, masked);
+        expect_never_silently_wrong(g, r, label.str() + " tmr");
+        if (policy == RecoveryPolicy::TmrThenRetry) {
+          ASSERT_TRUE(r.outcome == SolveOutcome::Verified ||
+                      r.outcome == SolveOutcome::MaskedFaults)
+              << label.str() << " tmr+retry";
+          test::expect_solves(g, r.solution, label.str() + " (tmr+retry)");
+        }
+      }
+      Options ecc = base;
+      ecc.backend = sim::ExecBackend::BitPlane;
+      ecc.recovery = RecoveryPolicy::Ecc;
+      expect_never_silently_wrong(g, solve(g, dest, ecc), label.str() + " ecc");
+    }
+  }
+  EXPECT_GT(perturbed, 0u)
+      << "no unprotected active-panel run was ever perturbed; the fault grid "
+         "is too soft to exercise the skip-under-corruption path";
+}
+
 TEST(McpTiledFaultInjection, AllPairsRecoversOnTinyPhysicalArray) {
   util::Rng rng(171);
   const std::size_t n = 12;

@@ -32,6 +32,10 @@ std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
 /// Solves with array_side = p on both backends and asserts full observable
 /// equality with the full-array run (and between the tiled backends).
+/// The default options ride the active-panel schedule; a third tiled run
+/// with active_panels = false pins the exact dense PanelIo formula, and
+/// the active run's ledger must close against it (charged + saved ==
+/// formula — docs/tiling.md "Active panels").
 void expect_tiled_matches_full(const graph::WeightMatrix& g, graph::Vertex destination,
                                mcp::Options options, std::size_t p,
                                const std::string& label) {
@@ -42,7 +46,11 @@ void expect_tiled_matches_full(const graph::WeightMatrix& g, graph::Vertex desti
       << label << ": the full-array path must not charge panel I/O";
 
   options.array_side = p;
+  obs::Collector ledger_metrics;
+  obs::Collector* const caller_observer = options.observer;
+  options.observer = &ledger_metrics;
   const mcp::Result word = mcp::solve(g, destination, options);
+  options.observer = caller_observer;
   options.backend = sim::ExecBackend::BitPlane;
   const mcp::Result plane = mcp::solve(g, destination, options);
 
@@ -62,12 +70,40 @@ void expect_tiled_matches_full(const graph::WeightMatrix& g, graph::Vertex desti
 
   // Panel-reload cost is attributed to its own category: p + 1 I/O rows
   // per panel load (weight panel + SOW fragment) and 2 column readbacks,
-  // for every panel of every iteration.
+  // for every panel of every iteration — charged in full by the dense
+  // schedule, and an upper bound under the active one.
   const std::size_t blocks = ceil_div(g.size(), p);
   const std::uint64_t per_panel = static_cast<std::uint64_t>(p) + 3;
-  const std::uint64_t expected_io =
+  const std::uint64_t formula =
       static_cast<std::uint64_t>(word.iterations) * blocks * blocks * per_panel;
-  ASSERT_EQ(word.total_steps.count(StepCategory::PanelIo), expected_io) << label;
+
+  mcp::Options dense = options;
+  dense.backend = sim::ExecBackend::Words;
+  dense.observer = caller_observer;
+  dense.active_panels = false;
+  const mcp::Result off = mcp::solve(g, destination, dense);
+  ASSERT_EQ(off.solution.cost, full.solution.cost) << label;
+  ASSERT_EQ(off.solution.next, full.solution.next) << label;
+  ASSERT_EQ(off.iterations, full.iterations) << label;
+  ASSERT_EQ(off.total_steps.count(StepCategory::PanelIo), formula) << label;
+
+  if (options.active_panels) {
+    const std::uint64_t charged = word.total_steps.count(StepCategory::PanelIo);
+    const std::uint64_t saved =
+        ledger_metrics.metrics().counter(obs::metric::kSolverPanelIoSaved).value();
+    const std::uint64_t visited =
+        ledger_metrics.metrics().counter(obs::metric::kSolverPanels).value();
+    const std::uint64_t skipped =
+        ledger_metrics.metrics().counter(obs::metric::kSolverPanelsSkipped).value();
+    ASSERT_LE(charged, formula) << label;
+    ASSERT_EQ(charged + saved, formula)
+        << label << ": the active ledger must close against the dense formula";
+    ASSERT_EQ(visited + skipped,
+              static_cast<std::uint64_t>(word.iterations) * blocks * blocks)
+        << label;
+  } else {
+    ASSERT_EQ(word.total_steps.count(StepCategory::PanelIo), formula) << label;
+  }
 
   // Anchor the oracle itself to ground truth.
   test::expect_solves(g, full.solution, label + " (full-array oracle)");
@@ -221,10 +257,11 @@ TEST(McpTiled, ArraySideClampAndDispatch) {
 }
 
 TEST(McpTiled, PanelsCounterAndSpansSurfaceInMetrics) {
-  // The observer sees the tiled phases: a solver.panels counter equal to
-  // iterations x ceil(n/p)^2, panel_load / panel_relax spans nested under
-  // relax_iter, and the steps.panel_io counter in the exported
-  // ppa.metrics.v1 document.
+  // The observer sees the tiled phases: solver.panels counts the VISITED
+  // panels, solver.panels_skipped the rest (the two always sum to
+  // iterations x ceil(n/p)^2), panel_load / panel_relax spans exist for
+  // exactly the visited panels, and the steps.panel_io counter lands in
+  // the exported ppa.metrics.v1 document.
   util::Rng rng(23);
   const auto g = graph::random_reachable_digraph(10, 8, 0.3, {1, 20}, 0, rng);
   obs::Collector collector;
@@ -234,10 +271,14 @@ TEST(McpTiled, PanelsCounterAndSpansSurfaceInMetrics) {
   const auto r = mcp::solve(g, 0, options);
 
   const std::size_t blocks = ceil_div(g.size(), 4);
-  const std::uint64_t expected_panels =
+  const std::uint64_t all_panels =
       static_cast<std::uint64_t>(r.iterations) * blocks * blocks;
-  EXPECT_EQ(collector.metrics().counter(obs::metric::kSolverPanels).value(),
-            expected_panels);
+  const std::uint64_t visited =
+      collector.metrics().counter(obs::metric::kSolverPanels).value();
+  const std::uint64_t skipped =
+      collector.metrics().counter(obs::metric::kSolverPanelsSkipped).value();
+  EXPECT_EQ(visited + skipped, all_panels);
+  EXPECT_GT(collector.metrics().counter(obs::metric::kSolverActiveBlocks).value(), 0u);
   EXPECT_EQ(collector.metrics().counter(std::string(obs::metric::kStepPrefix) + "panel_io")
                 .value(),
             r.total_steps.count(StepCategory::PanelIo));
@@ -247,8 +288,20 @@ TEST(McpTiled, PanelsCounterAndSpansSurfaceInMetrics) {
     if (span.name == "panel_load") ++loads;
     if (span.name == "panel_relax") ++relaxes;
   }
-  EXPECT_EQ(loads, expected_panels);
-  EXPECT_EQ(relaxes, expected_panels);
+  EXPECT_EQ(loads, visited);
+  EXPECT_EQ(relaxes, visited);
+
+  // The dense schedule restores the every-panel span stream.
+  obs::Collector dense_collector;
+  mcp::Options dense = options;
+  dense.observer = &dense_collector;
+  dense.active_panels = false;
+  const auto dense_run = mcp::solve(g, 0, dense);
+  EXPECT_EQ(dense_collector.metrics().counter(obs::metric::kSolverPanels).value(),
+            all_panels);
+  EXPECT_EQ(dense_collector.metrics().counter(obs::metric::kSolverPanelsSkipped).value(),
+            0u);
+  EXPECT_EQ(dense_run.solution.cost, r.solution.cost);
 
   obs::RunInfo run;
   run.workload = "mcp";
@@ -258,6 +311,8 @@ TEST(McpTiled, PanelsCounterAndSpansSurfaceInMetrics) {
   std::ostringstream json;
   obs::write_metrics_json(json, collector, run);
   EXPECT_NE(json.str().find("solver.panels"), std::string::npos);
+  EXPECT_NE(json.str().find("solver.panels_skipped"), std::string::npos);
+  EXPECT_NE(json.str().find("solver.panel_io_saved"), std::string::npos);
   EXPECT_NE(json.str().find("steps.panel_io"), std::string::npos);
 
   // Observation is free on the tiled path too.

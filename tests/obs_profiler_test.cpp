@@ -162,6 +162,7 @@ TEST(Profiler, TiledRingTelemetryShowsPerPanelSparsity) {
   mcp::Options options;
   options.observer = &collector;
   options.array_side = 32;
+  options.active_panels = false;  // the dense sweep, to pin the waste below
   const auto result = mcp::solve(g, 0, options);
   EXPECT_EQ(result.iterations, 127u);
 
@@ -183,10 +184,28 @@ TEST(Profiler, TiledRingTelemetryShowsPerPanelSparsity) {
   }
   EXPECT_EQ(series.back().active, 0u);  // the settled sweep that ends the loop
 
-  // Today's sweep still visits every panel every iteration — the gap the
+  // The dense sweep visits every panel every iteration — the gap the
   // telemetry quantifies: 127 iterations x 16 panels.
   EXPECT_EQ(collector.metrics().counters().at(metric::kSolverPanels).value(),
             127u * 16u);
+
+  // The active-panel schedule consumes exactly this signal: after the
+  // first sweep only the single wavefront column block stays dirty, so
+  // each of the remaining 126 iterations visits 4 panels (one per row
+  // block) instead of 16 — with bit-identical results.
+  Collector active_collector;
+  mcp::Options active = options;
+  active.observer = &active_collector;
+  active.active_panels = true;
+  const auto active_result = mcp::solve(g, 0, active);
+  EXPECT_EQ(active_result.solution.cost, result.solution.cost);
+  EXPECT_EQ(active_result.solution.next, result.solution.next);
+  EXPECT_EQ(active_result.iterations, result.iterations);
+  const auto& counters = active_collector.metrics().counters();
+  EXPECT_EQ(counters.at(metric::kSolverPanels).value(), 16u + 126u * 4u);
+  EXPECT_EQ(counters.at(metric::kSolverPanelsSkipped).value(),
+            127u * 16u - (16u + 126u * 4u));
+  EXPECT_EQ(counters.at(metric::kSolverActiveBlocks).value(), 4u + 126u * 1u);
 }
 
 }  // namespace

@@ -66,6 +66,49 @@ if(NOT metrics_text MATCHES "steps.panel_io")
   message(FATAL_ERROR "tiled metrics dump lacks steps.panel_io: ${metrics_text}")
 endif()
 
+# Active-panel scheduling (the default) vs --active-panels=off: the dense
+# schedule must produce a byte-identical solution file, and the off run's
+# metrics must NOT carry the skip counters (they only exist when active).
+set(dense_file "${WORKDIR}/tool_tiled_dense.txt")
+set(dense_metrics "${WORKDIR}/tool_tiled_dense_metrics.json")
+run_tool(solve --graph ${graph_file} --dest 5 --array-side 4
+         --active-panels off --metrics-out ${dense_metrics} --out ${dense_file})
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${tiled_file} ${dense_file}
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "--active-panels=off solution differs from the default schedule")
+endif()
+file(READ ${dense_metrics} dense_metrics_text)
+if(dense_metrics_text MATCHES "solver.panels_skipped")
+  message(FATAL_ERROR
+          "dense-schedule metrics carry solver.panels_skipped: ${dense_metrics_text}")
+endif()
+if(NOT dense_metrics_text MATCHES "\"active_panels\":0")
+  message(FATAL_ERROR
+          "dense-schedule metrics lack run.active_panels = 0: ${dense_metrics_text}")
+endif()
+if(NOT metrics_text MATCHES "\"active_panels\":1")
+  message(FATAL_ERROR
+          "active-schedule metrics lack run.active_panels = 1: ${metrics_text}")
+endif()
+
+# Generators for the sparse families ride the same gen subcommand.
+set(sparse_file "${WORKDIR}/tool_tiled_sparse.txt")
+run_tool(gen --family ring-of-cliques --n 16 --clique-size 4 --seed 9
+         --out ${sparse_file})
+run_tool(solve --graph ${sparse_file} --dest 0 --array-side 4 --verify
+         --out ${dense_file})
+if(NOT last_output MATCHES "outcome=verified")
+  message(FATAL_ERROR "ring-of-cliques tiled solve not verified: ${last_output}")
+endif()
+run_tool(gen --family power-law --n 32 --attach 2 --back-prob 0.1 --seed 9
+         --out ${sparse_file})
+run_tool(solve --graph ${sparse_file} --dest 0 --array-side 4 --verify
+         --out ${dense_file})
+if(NOT last_output MATCHES "outcome=verified")
+  message(FATAL_ERROR "power-law tiled solve not verified: ${last_output}")
+endif()
+
 # Tiled under the robustness machinery: a fault on the 4x4 PHYSICAL array
 # plus retry must still converge to a verified run (exit 0).
 run_tool(solve --graph ${graph_file} --dest 5 --array-side 4
@@ -88,5 +131,14 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "solve accepted --array-side with --model=mesh")
 endif()
 
-file(REMOVE ${graph_file} ${full_file} ${tiled_file} ${metrics_file})
+# ...and so is --active-panels (the schedule only exists on the PPA).
+execute_process(COMMAND ${TOOL} solve --graph ${graph_file} --dest 5
+                --model mesh --active-panels off --out ${tiled_file}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "solve accepted --active-panels with --model=mesh")
+endif()
+
+file(REMOVE ${graph_file} ${full_file} ${tiled_file} ${metrics_file}
+     ${dense_file} ${dense_metrics} ${sparse_file})
 message(STATUS "tool tiled round trip OK")

@@ -10,10 +10,11 @@ wall_seconds, pe_ops_per_sec) — the format bench_e6_sim_throughput writes
 via bench::write_perf_records.
 
 Records are matched on the configuration key (workload, backend, n,
-host_threads, batch_width); a record without a batch_width field counts
-as batch_width 1, so baselines predating multi-destination batching
-(docs/batching.md) keep matching.  For every matched pair the gate fails
-when
+host_threads, batch_width, active_panels); a record without a batch_width
+field counts as batch_width 1, and one without an active_panels field as
+active_panels 1, so baselines predating multi-destination batching
+(docs/batching.md) and the active-panel schedule (docs/tiling.md) keep
+matching.  For every matched pair the gate fails when
 
     current.wall_seconds > baseline.wall_seconds * (1 + threshold)
 
@@ -51,10 +52,11 @@ import json
 import os
 import sys
 
-KEY_FIELDS = ("workload", "backend", "n", "host_threads", "batch_width")
+KEY_FIELDS = ("workload", "backend", "n", "host_threads", "batch_width",
+              "active_panels")
 
 # Key fields absent from older records, with the value they imply.
-KEY_DEFAULTS = {"batch_width": 1}
+KEY_DEFAULTS = {"batch_width": 1, "active_panels": 1}
 
 
 def load_records(path):

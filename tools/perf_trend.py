@@ -10,8 +10,9 @@ order given, oldest first — e.g. the committed baseline followed by a
 fresh run, or a whole directory of dated snapshots.  Where the gate is a
 binary pass/fail against ONE baseline, the trend report shows the
 *trajectory*: per configuration key (workload, backend, n, host_threads,
-batch_width — the gate's key, with the same batch_width=1 default for old
-records), the first and last wall_seconds / pe_ops_per_sec, the relative
+batch_width, active_panels — the gate's key, with the same batch_width=1
+and active_panels=1 defaults for old records), the first and last
+wall_seconds / pe_ops_per_sec, the relative
 drift between them, and the worst single-step jump along the series.
 
 Output is a markdown table (stdout, or --out FILE for the CI artifact).
@@ -28,8 +29,9 @@ the hard gate is perf_gate.py; this tool is the context around it.
 import json
 import sys
 
-KEY_FIELDS = ("workload", "backend", "n", "host_threads", "batch_width")
-KEY_DEFAULTS = {"batch_width": 1}
+KEY_FIELDS = ("workload", "backend", "n", "host_threads", "batch_width",
+              "active_panels")
+KEY_DEFAULTS = {"batch_width": 1, "active_panels": 1}
 
 
 def load_records(path):

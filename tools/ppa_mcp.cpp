@@ -3,7 +3,8 @@
 //   ppa_mcp gen    --family random --n 16 --seed 1 --out graph.txt [...]
 //   ppa_mcp solve  --graph graph.txt --dest 0 --out solution.txt
 //                  [--model ppa|gcn|mesh|hypercube] [--backend word|bitplane]
-//                  [--array-side P] [--trace] [--faults <spec>] [--verify]
+//                  [--array-side P] [--active-panels on|off] [--trace]
+//                  [--faults <spec>] [--verify]
 //                  [--max-retries N] [--recovery retry|tmr|ecc|tmr+retry]
 //                  [--checked] [--metrics-out FILE] [--prom-out FILE]
 //                  [--trace-chrome FILE] [--stats]
@@ -11,20 +12,26 @@
 //   ppa_mcp verify --graph graph.txt --solution solution.txt --dest 0
 //   ppa_mcp info   --graph graph.txt [--dest 0]
 //   ppa_mcp closure --graph graph.txt [--backend word|bitplane]
+//                  [--array-side P] [--active-panels on|off]
 //   ppa_mcp allpairs --graph graph.txt [--array-side P] [--batch-width K]
+//                  [--active-panels on|off]
 //                  [--faults <spec>] [--verify] [--max-retries N]
 //                  [--recovery retry|tmr|ecc|tmr+retry] [--checked]
 //                  [--metrics-out FILE] [--prom-out FILE]
 //                  [--trace-chrome FILE] [--stats]
+//   ppa_mcp eccentricity --graph graph.txt [--backend word|bitplane]
+//                  [--array-side P] [--active-panels on|off]
 //
 // --array-side P (ppa only) virtualizes the run on a P x P physical array
 // (P < n sweeps the weight matrix in panels, docs/tiling.md); 0 = full
 // array. Solutions are bit-identical either way; fault coordinates in
 // --faults address the PHYSICAL array, so they must be < P.
+// --active-panels off (tiled runs only) disables the activity-driven panel
+// schedule and restores the dense every-panel sweep; results are
+// bit-identical either way, only the PanelIo charge differs.
 // --batch-width K (allpairs, bitplane backend) solves K destinations per
 // shared machine pass (docs/batching.md); rows, iteration counts and
 // outcomes are bit-identical to K=1, only the step profile changes.
-//   ppa_mcp eccentricity --graph graph.txt
 //
 // Observability (docs/observability.md): --metrics-out writes the
 // ppa.metrics.v1 JSON dump, --prom-out a Prometheus text exposition,
@@ -121,6 +128,22 @@ bool read_array_side(const util::CliParser& cli, mcp::Options& options) {
   }
   options.array_side = static_cast<std::size_t>(side);
   return true;
+}
+
+/// Parses --active-panels ("on" | "off") into `out`. Returns false (after
+/// a one-line stderr message) on anything else.
+bool parse_active_panels(const std::string& value, bool& out) {
+  if (value == "on") {
+    out = true;
+    return true;
+  }
+  if (value == "off") {
+    out = false;
+    return true;
+  }
+  std::fprintf(stderr, "error: --active-panels must be on or off (got '%s')\n",
+               value.c_str());
+  return false;
 }
 
 /// Reads the shared robustness flags back into `options`. Returns false
@@ -342,12 +365,19 @@ void print_outcome(const mcp::Result& r) {
 
 int cmd_gen(int argc, const char* const* argv) {
   util::CliParser cli("generate a workload graph");
-  cli.flag("family", "random|reachable|ring|grid|banded|geometric|complete", "random");
+  cli.flag("family",
+           "random|reachable|ring|grid|banded|geometric|complete|"
+           "ring-of-cliques|power-law",
+           "random");
   cli.flag("n", "vertex count (grid: side^2)", "16");
   cli.flag("bits", "word width h", "16");
   cli.flag("seed", "RNG seed", "1");
   cli.flag("density", "edge probability (random families)", "0.25");
   cli.flag("dest", "destination guaranteed reachable (family=reachable)", "0");
+  cli.flag("clique-size", "vertices per clique (family=ring-of-cliques; must divide n)",
+           "8");
+  cli.flag("attach", "attachment edges per vertex (family=power-law)", "2");
+  cli.flag("back-prob", "reverse-edge probability (family=power-law)", "0.1");
   cli.flag("w-lo", "minimum edge weight", "1");
   cli.flag("w-hi", "maximum edge weight", "20");
   cli.flag("out", "output graph file", "graph.txt");
@@ -374,6 +404,16 @@ int cmd_gen(int argc, const char* const* argv) {
     if (family == "banded") return graph::banded(n, bits, 3, range, rng);
     if (family == "geometric") return graph::geometric(n, bits, 0.4, range, rng);
     if (family == "complete") return graph::complete(n, bits, range, rng);
+    if (family == "ring-of-cliques") {
+      const auto clique_size = static_cast<std::size_t>(cli.get_int("clique-size"));
+      PPA_REQUIRE(clique_size >= 1 && n % clique_size == 0,
+                  "--clique-size must divide --n");
+      return graph::ring_of_cliques(n / clique_size, clique_size, bits, range, rng);
+    }
+    if (family == "power-law") {
+      return graph::power_law(n, bits, static_cast<std::size_t>(cli.get_int("attach")),
+                              cli.get_double("back-prob"), range, rng);
+    }
     return graph::random_digraph(n, bits, cli.get_double("density"), range, rng);
   }();
 
@@ -391,6 +431,8 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.flag("backend", "host execution backend, word|bitplane (ppa only)", "word");
   cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled (ppa only)",
            "0");
+  cli.flag("active-panels",
+           "activity-driven panel schedule on tiled runs, on|off (ppa only)", "on");
   cli.flag("out", "output solution file", "solution.txt");
   cli.bool_flag("trace", "print per-iteration statistics (ppa only)");
   add_robustness_flags(cli);
@@ -404,13 +446,15 @@ int cmd_solve(int argc, const char* const* argv) {
       (cli.get_bool("verify") || cli.get_bool("checked") ||
        !cli.get_string("faults").empty() || cli.get_int("max-retries") != 0 ||
        cli.get_string("recovery") != "retry" ||
-       cli.get_int("array-side") != 0 || !cli.get_string("metrics-out").empty() ||
+       cli.get_int("array-side") != 0 || cli.get_string("active-panels") != "on" ||
+       !cli.get_string("metrics-out").empty() ||
        !cli.get_string("prom-out").empty() || !cli.get_string("trace-chrome").empty() ||
        cli.get_int("snapshot-every") != 0 || !cli.get_string("snapshot-out").empty() ||
        cli.get_bool("stats"))) {
     std::fprintf(stderr,
                  "error: --faults/--verify/--max-retries/--recovery/--checked/"
-                 "--array-side and the observability flags require --model=ppa\n");
+                 "--array-side/--active-panels and the observability flags require "
+                 "--model=ppa\n");
     return 2;
   }
 
@@ -438,6 +482,9 @@ int cmd_solve(int argc, const char* const* argv) {
     options.record_iterations = cli.get_bool("trace");
     if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
     if (!read_array_side(cli, options)) return 2;
+    if (!parse_active_panels(cli.get_string("active-panels"), options.active_panels)) {
+      return 2;
+    }
     if (!read_robustness_flags(cli, g, options)) return 2;
     Observability obs_state;
     if (!setup_observability(cli, /*live=*/true, obs_state)) return 2;
@@ -447,6 +494,7 @@ int cmd_solve(int argc, const char* const* argv) {
     snapshot_run.backend = cli.get_string("backend");
     snapshot_run.n = g.size();
     snapshot_run.host_threads = 1;
+    snapshot_run.active_panels = options.active_panels ? 1 : 0;
     if (obs_state.enabled() && !setup_snapshots(obs_state, snapshot_run)) return 2;
     util::Stopwatch timer;
     const auto r = mcp::solve(g, d, options);
@@ -468,6 +516,7 @@ int cmd_solve(int argc, const char* const* argv) {
     run.backend = cli.get_string("backend");
     run.n = g.size();
     run.host_threads = 1;
+    run.active_panels = options.active_panels ? 1 : 0;
     run.simd_steps = r.total_steps.total();
     run.wall_seconds = wall_seconds;
     const int obs_rc = finish_observability(obs_state, run);
@@ -536,6 +585,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled", "0");
   cli.flag("batch-width",
            "destinations solved per machine pass (bitplane backend only; 1 = off)", "1");
+  cli.flag("active-panels", "activity-driven panel schedule on tiled runs, on|off", "on");
   add_robustness_flags(cli);
   add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 2;
@@ -556,6 +606,9 @@ int cmd_allpairs(int argc, const char* const* argv) {
   options.mcp.batch_width = static_cast<std::size_t>(batch_width);
   if (!parse_backend(cli.get_string("backend"), options.mcp.backend)) return 2;
   if (!read_array_side(cli, options.mcp)) return 2;
+  if (!parse_active_panels(cli.get_string("active-panels"), options.mcp.active_panels)) {
+    return 2;
+  }
   if (!read_robustness_flags(cli, g, options.mcp)) return 2;
   // Post-hoc Chrome export: the per-destination span trees are merged in
   // destination order after the (possibly threaded) run, so the artifacts
@@ -602,6 +655,7 @@ int cmd_allpairs(int argc, const char* const* argv) {
   run.n = g.size();
   run.host_threads = options.workers;
   run.batch_width = options.mcp.batch_width;
+  run.active_panels = options.mcp.active_panels ? 1 : 0;
   run.simd_steps = ap.total_steps.total();
   run.wall_seconds = wall_seconds;
   const int obs_rc = finish_observability(obs_state, run);
@@ -629,11 +683,17 @@ int cmd_eccentricity(int argc, const char* const* argv) {
   util::CliParser cli("per-destination in-eccentricities on the PPA");
   cli.flag("graph", "input graph file", "graph.txt");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
+  cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled", "0");
+  cli.flag("active-panels", "activity-driven panel schedule on tiled runs, on|off", "on");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
   mcp::Options options;
   if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
+  if (!read_array_side(cli, options)) return 2;
+  if (!parse_active_panels(cli.get_string("active-panels"), options.active_panels)) {
+    return 2;
+  }
   graph::Weight radius = g.infinity();
   graph::Weight diameter = 0;
   for (graph::Vertex d = 0; d < g.size(); ++d) {
@@ -651,11 +711,22 @@ int cmd_closure(int argc, const char* const* argv) {
   util::CliParser cli("transitive closure on the PPA (boolean DP)");
   cli.flag("graph", "input graph file", "graph.txt");
   cli.flag("backend", "host execution backend, word|bitplane", "word");
+  cli.flag("array-side", "physical array side P; 0 = full array, P < n runs tiled", "0");
+  cli.flag("active-panels", "activity-driven panel schedule on tiled runs, on|off", "on");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto g = graph::load_graph(cli.get_string("graph"));
   mcp::ClosureOptions options;
   if (!parse_backend(cli.get_string("backend"), options.backend)) return 2;
+  const std::int64_t side = cli.get_int("array-side");
+  if (side < 0) {
+    std::fprintf(stderr, "error: --array-side must be >= 0 (0 = full array)\n");
+    return 2;
+  }
+  options.array_side = static_cast<std::size_t>(side);
+  if (!parse_active_panels(cli.get_string("active-panels"), options.active_panels)) {
+    return 2;
+  }
   const auto closure = mcp::transitive_closure(g, options);
   std::printf("transitive closure of %zu vertices (%zu total iterations, %s)\n", closure.n,
               closure.total_iterations, closure.total_steps.summary().c_str());
